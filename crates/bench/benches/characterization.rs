@@ -1,0 +1,90 @@
+//! Criterion benches for the paper's characterization stages
+//! (Figs. 2–4 kernels): power characterization, timing
+//! characterization and partial-sum binning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use powerpruning::chars::{
+    characterize_power, characterize_timing, MacHardware, PowerConfig, PsumBinning, TimingConfig,
+};
+use std::hint::black_box;
+use systolic::stats::TransitionStats;
+
+fn workload() -> (TransitionStats, Vec<(i32, i32)>) {
+    let mut stats = TransitionStats::new();
+    for a in 0..255u8 {
+        stats.record_activation(a, a.saturating_add(1), 25);
+        stats.record_activation(a.saturating_add(1), a, 25);
+        stats.record_activation(a, a ^ 0x0f, 2);
+    }
+    let psums: Vec<(i32, i32)> = (0..4000)
+        .map(|i| {
+            let x = (i as i64 * 2654435761) % (1 << 22) - (1 << 21);
+            let y = (i as i64 * 40503 + 977) % (1 << 22) - (1 << 21);
+            (x as i32, y as i32)
+        })
+        .collect();
+    (stats, psums)
+}
+
+fn bench_power_characterization(c: &mut Criterion) {
+    let hw = MacHardware::paper_default();
+    let (stats, psums) = workload();
+    let binning = PsumBinning::from_samples(&psums, 50, 22, 1);
+    let mut group = c.benchmark_group("characterization");
+    group.sample_size(10);
+    group.bench_function("power_64samples_stride16", |b| {
+        b.iter(|| {
+            black_box(characterize_power(
+                &hw,
+                &stats,
+                &binning,
+                &PowerConfig {
+                    samples_per_weight: 64,
+                    seed: 1,
+                    clock_ps: 200.0,
+                    weight_stride: 16,
+                    baseline_fj_per_cycle: 90.0,
+                },
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_timing_characterization(c: &mut Criterion) {
+    let hw = MacHardware::paper_default();
+    let mut group = c.benchmark_group("characterization");
+    group.sample_size(10);
+    group.bench_function("timing_256samples_stride16", |b| {
+        b.iter(|| {
+            black_box(characterize_timing(
+                &hw,
+                &TimingConfig {
+                    exhaustive: false,
+                    samples: 256,
+                    seed: 2,
+                    slow_floor_ps: f64::MAX,
+                    weight_stride: 16,
+                },
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_binning(c: &mut Criterion) {
+    let (_, psums) = workload();
+    let mut group = c.benchmark_group("characterization");
+    group.bench_function("psum_binning_50bins_4k_samples", |b| {
+        b.iter(|| black_box(PsumBinning::from_samples(&psums, 50, 22, 3)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_power_characterization,
+    bench_timing_characterization,
+    bench_binning
+);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion benches for the end-to-end pipeline stages (Table I /
+//! Figs. 7–9 drivers) at Micro scale, plus the selection algorithms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use powerpruning::chars::{WeightTiming, WeightTimingProfile};
+use powerpruning::pipeline::{NetworkKind, Pipeline, PipelineConfig, Scale};
+use powerpruning::select::delay::{select_by_delay, DelaySelectionConfig};
+use std::hint::black_box;
+
+fn bench_pipeline_stages(c: &mut Criterion) {
+    let pipeline = Pipeline::new(PipelineConfig::for_scale(Scale::Micro));
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    group.bench_function("prepare_micro_lenet", |b| {
+        b.iter(|| black_box(pipeline.prepare(NetworkKind::LeNet5).accuracy));
+    });
+
+    let mut prepared = pipeline.prepare(NetworkKind::LeNet5);
+    let captures = pipeline.capture(&mut prepared);
+    group.bench_function("characterize_micro", |b| {
+        b.iter(|| black_box(pipeline.characterize(&captures).power_profile.power_uw(0)));
+    });
+
+    let chars = pipeline.characterize(&captures);
+    group.bench_function("measure_power_both_variants", |b| {
+        b.iter(|| {
+            let (s, o) = pipeline.measure_power(&captures, &chars.energy_model);
+            black_box(s.total_power_mw() + o.total_power_mw())
+        });
+    });
+    group.finish();
+}
+
+/// Synthetic timing profile for selection benches: many slow combos.
+fn synthetic_profile(combos_per_weight: usize) -> WeightTimingProfile {
+    let per_weight: Vec<WeightTiming> = (-127i32..=127)
+        .map(|code| {
+            let slow: Vec<(u8, u8, f32)> = (0..combos_per_weight)
+                .map(|i| {
+                    let h = (code as i64 * 31 + i as i64 * 17) as u64;
+                    (
+                        (h % 256) as u8,
+                        ((h >> 8) % 256) as u8,
+                        150.0 + ((h >> 16) % 40) as f32,
+                    )
+                })
+                .collect();
+            WeightTiming {
+                code,
+                max_delay_ps: 190.0,
+                histogram: vec![0; 4],
+                slow,
+            }
+        })
+        .collect();
+    WeightTimingProfile {
+        per_weight,
+        psum_floor_ps: 60.0,
+        adder_from_product_ps: vec![10.0; 17],
+        slow_floor_ps: 140.0,
+    }
+}
+
+fn bench_delay_selection(c: &mut Criterion) {
+    let profile = synthetic_profile(64);
+    let candidates: Vec<i32> = (-127..=127).collect();
+    let mut group = c.benchmark_group("pipeline");
+    group.bench_function("delay_selection_20restarts_16k_combos", |b| {
+        b.iter(|| {
+            black_box(select_by_delay(
+                &profile,
+                &candidates,
+                256,
+                &DelaySelectionConfig {
+                    threshold_ps: 160.0,
+                    restarts: 20,
+                    seed: 5,
+                    protected_weights: vec![0],
+                    activation_bias: 4,
+                },
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_stages, bench_delay_selection);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Criterion benches for the substrate kernels: gate-level simulation,
+//! STA, systolic energy/stats runs and NN training steps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gatesim::circuits::{AdderCircuit, AdderKind, MacCircuit, MultiplierCircuit};
+use gatesim::{CellLibrary, Simulator, Sta};
+use nn::data::SyntheticSpec;
+use nn::layers::GemmCapture;
+use nn::models;
+use nn::train::{train, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use systolic::{ArrayConfig, HwVariant, MacEnergyModel, SystolicArray};
+
+fn bench_gatesim(c: &mut Criterion) {
+    let lib = CellLibrary::nangate15_like();
+    let mac = MacCircuit::new(8, 8, 22);
+    let mut sim = Simulator::new(mac.netlist(), &lib);
+    sim.settle(&mac.encode(0, 0, 0));
+
+    let mut group = c.benchmark_group("gatesim");
+    group.bench_function("mac_transition", |b| {
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let (w, a, p) = if flip { (-105, 213, 12345) } else { (64, 10, -777) };
+            black_box(sim.transition(&mac.encode(w, a, p)))
+        });
+    });
+    group.bench_function("mac_settle", |b| {
+        b.iter(|| black_box(mac.netlist().evaluate_outputs(&mac.encode(-105, 213, 12345))));
+    });
+    group.bench_function("mac_sta", |b| {
+        b.iter(|| black_box(Sta::new(mac.netlist(), &lib).critical_path_ps()));
+    });
+    group.bench_function("build_multiplier_8x8", |b| {
+        b.iter(|| black_box(MultiplierCircuit::new(8, 8)));
+    });
+    group.bench_function("build_adder_cla_22", |b| {
+        b.iter(|| black_box(AdderCircuit::new(AdderKind::Cla4, 22)));
+    });
+    group.finish();
+}
+
+fn bench_systolic(c: &mut Criterion) {
+    let gemm = GemmCapture {
+        layer: "bench".into(),
+        weight_codes: (0..64 * 128).map(|i| ((i * 7) % 255) as i8).collect(),
+        act_codes: (0..128 * 256).map(|i| ((i * 13) % 256) as u8).collect(),
+        m: 64,
+        k: 128,
+        n: 256,
+    };
+    let array = SystolicArray::new(ArrayConfig::paper_64x64());
+    let model = MacEnergyModel::analytic_default();
+
+    let mut group = c.benchmark_group("systolic");
+    group.bench_function("gemm_energy_64x128x256", |b| {
+        b.iter(|| black_box(array.run_gemm_energy(&gemm, &model, HwVariant::Optimized)));
+    });
+    group.bench_function("gemm_stats_64x128x64", |b| {
+        let small = GemmCapture {
+            n: 64,
+            act_codes: gemm.act_codes[..128 * 64].to_vec(),
+            ..gemm.clone()
+        };
+        b.iter(|| {
+            let mut stats = systolic::TransitionStats::new();
+            array.run_gemm_stats(&small, &mut stats);
+            black_box(stats.total_activation_transitions())
+        });
+    });
+    group.finish();
+}
+
+fn bench_nn(c: &mut Criterion) {
+    let data = SyntheticSpec::cifar10_like(16, 64, 5).generate();
+    let mut group = c.benchmark_group("nn");
+    group.sample_size(10);
+    group.bench_function("lenet5_train_epoch_64imgs", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut net = models::lenet5(3, 16, 10, &mut rng);
+            net.quantize = true;
+            let cfg = TrainConfig {
+                epochs: 1,
+                batch_size: 16,
+                ..TrainConfig::default()
+            };
+            black_box(train(&mut net, &data, &cfg, &mut rng))
+        });
+    });
+    group.bench_function("lenet5_capture_batch16", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = models::lenet5(3, 16, 10, &mut rng);
+        let (x, _) = data.head(16);
+        b.iter(|| black_box(net.forward_capture(&x).1.len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gatesim, bench_systolic, bench_nn);
+criterion_main!(benches);

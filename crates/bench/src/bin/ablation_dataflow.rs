@@ -1,0 +1,69 @@
+//! Dataflow ablation: weight-stationary vs output-stationary execution
+//! of the same PowerPruned network, plus the SRAM-traffic perspective.
+//!
+//! Run: `cargo run -p powerpruning-bench --bin ablation_dataflow --release`
+
+use powerpruning::pipeline::{NetworkKind, Pipeline};
+use powerpruning_bench::{banner, config_from_env};
+use systolic::{
+    gemm_traffic, run_gemm_energy_dataflow, Dataflow, HwVariant, MemoryModel, MemoryTraffic,
+};
+
+fn main() {
+    banner("Ablation — dataflow (weight- vs output-stationary) and SRAM traffic");
+    let pipeline = Pipeline::new(config_from_env());
+    let mut prepared = pipeline.prepare(NetworkKind::LeNet5);
+    let captures = pipeline.capture(&mut prepared);
+    let chars = pipeline.characterize(&captures);
+    let array = pipeline.array();
+
+    let mut totals = [(0.0f64, 0.0f64); 2]; // (dynamic, leakage) per dataflow
+    let mut traffic = MemoryTraffic {
+        weight_bytes: 0,
+        act_bytes: 0,
+        psum_bytes: 0,
+    };
+    for gemm in &captures {
+        for (i, df) in [Dataflow::WeightStationary, Dataflow::OutputStationary]
+            .iter()
+            .enumerate()
+        {
+            let rep = run_gemm_energy_dataflow(
+                array,
+                gemm,
+                &chars.energy_model,
+                HwVariant::Optimized,
+                *df,
+            );
+            totals[i].0 += rep.dynamic_fj;
+            totals[i].1 += rep.leakage_fj;
+        }
+        let t = gemm_traffic(array, gemm);
+        traffic.weight_bytes += t.weight_bytes;
+        traffic.act_bytes += t.act_bytes;
+        traffic.psum_bytes += t.psum_bytes;
+    }
+
+    println!("\nArray energy (Optimized HW, PowerPruned workload):");
+    for (i, name) in ["weight-stationary", "output-stationary"].iter().enumerate() {
+        println!(
+            "  {name:<18}: dynamic {:.1} nJ + leakage {:.1} nJ",
+            totals[i].0 / 1e6,
+            totals[i].1 / 1e6
+        );
+    }
+    let overhead = 100.0 * (totals[1].0 - totals[0].0) / totals[0].0;
+    println!("  -> output-stationary pays {overhead:.1}% extra dynamic energy for weight streaming,");
+    println!("     and zero-weight residency gating no longer idles whole PEs.");
+
+    let mem = MemoryModel::default();
+    println!("\nSRAM traffic for the same run:");
+    println!(
+        "  weights {} B, activations {} B, partial sums {} B -> {:.1} nJ",
+        traffic.weight_bytes,
+        traffic.act_bytes,
+        traffic.psum_bytes,
+        mem.energy_fj(&traffic) / 1e6
+    );
+    println!("  (value-independent: PowerPruning's array-level savings are undiluted in ratio)");
+}

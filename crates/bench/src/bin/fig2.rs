@@ -1,0 +1,58 @@
+//! Fig. 2: average power consumption of quantized weight values.
+//!
+//! Trains the LeNet-5 workload, collects transition statistics on the
+//! systolic array, characterizes every weight code on the gate-level
+//! MAC and prints the per-code power series with the count-86 threshold
+//! line (the analogue of the paper's 900 µW line).
+//!
+//! Run: `cargo run -p powerpruning-bench --bin fig2 --release`
+
+use powerpruning::pipeline::{NetworkKind, Pipeline};
+use powerpruning::select::power::threshold_for_count;
+use powerpruning_bench::{banner, bar, config_from_env};
+
+fn main() {
+    banner("Fig. 2 — Average power consumption of quantized weight values");
+    let pipeline = Pipeline::new(config_from_env());
+    let mut prepared = pipeline.prepare(NetworkKind::LeNet5);
+    println!(
+        "Workload: {} (baseline accuracy {:.1}%)",
+        NetworkKind::LeNet5.label(),
+        100.0 * prepared.accuracy
+    );
+    let captures = pipeline.capture(&mut prepared);
+    let chars = pipeline.characterize(&captures);
+    let profile = &chars.power_profile;
+
+    let threshold = threshold_for_count(profile, 86.min(profile.codes().len()));
+    let max_p = profile
+        .series()
+        .iter()
+        .map(|&(_, p)| p)
+        .fold(0.0f64, f64::max);
+
+    println!("\nThreshold keeping 86 weight values (paper's 900 µW analogue): {threshold:.1} µW");
+    println!("{:>6} {:>9}  power (# = selected-range bar)", "code", "µW");
+    for &(code, p) in profile.series().iter() {
+        if code % 8 != 0 && code != -105 && code != 64 {
+            continue; // keep the printout readable; full data in the profile
+        }
+        let mark = if p <= threshold { ' ' } else { '*' };
+        println!("{code:>6} {p:>9.1} {mark} {}", bar(p, max_p, 48));
+    }
+    println!("(* = above threshold; every 8th code shown plus the paper's two example codes)");
+
+    // Headline checks mirroring the paper's observations.
+    let p0 = profile.power_uw(0);
+    let p105 = profile.power_uw(-105);
+    let p2 = profile.power_uw(-2);
+    println!("\nPaper shape checks:");
+    println!("  weight 0    : {p0:>8.1} µW (paper: by far the lowest)");
+    println!("  weight -2   : {p2:>8.1} µW (paper: 596 µW, low)");
+    println!("  weight -105 : {p105:>8.1} µW (paper: 1066 µW, high)");
+    println!(
+        "  ratio -105 / -2 = {:.2} (paper: {:.2})",
+        p105 / p2,
+        1066.0 / 596.0
+    );
+}

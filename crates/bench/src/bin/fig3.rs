@@ -1,0 +1,57 @@
+//! Fig. 3: delay profiles of a MAC unit for two quantized weight
+//! values (-105 and 64), with the maximum-delay markers.
+//!
+//! Run: `cargo run -p powerpruning-bench --bin fig3 --release`
+
+use powerpruning::pipeline::Pipeline;
+use powerpruning_bench::{banner, bar, config_from_env};
+
+fn main() {
+    banner("Fig. 3 — Delay profiles of a MAC unit for two quantized weight values");
+    let pipeline = Pipeline::new(config_from_env());
+    let profile = pipeline.characterize_timing(f64::MAX);
+
+    println!(
+        "Adder partial-sum STA floor: {:.1} ps; global max delay: {:.1} ps\n",
+        profile.psum_floor_ps,
+        profile.max_delay_ps()
+    );
+
+    for code in [-105i32, 64] {
+        let t = profile.timing(code);
+        println!(
+            "Quantized weight value {code}, maximum delay: {:.0} ps",
+            t.max_delay_ps
+        );
+        // Bucket the histogram into 25-ps groups like the paper's axis.
+        let last = t.histogram.iter().rposition(|&c| c > 0).unwrap_or(0);
+        let group = 10usize;
+        let max_count = t
+            .histogram
+            .chunks(group)
+            .map(|c| c.iter().sum::<u64>())
+            .max()
+            .unwrap_or(1);
+        for (gi, chunk) in t.histogram[..=last].chunks(group).enumerate() {
+            let count: u64 = chunk.iter().sum();
+            if count == 0 {
+                continue;
+            }
+            println!(
+                "  {:>3}-{:<3} ps {:>8} {}",
+                gi * group,
+                gi * group + group - 1,
+                count,
+                bar(count as f64, max_count as f64, 40)
+            );
+        }
+        println!();
+    }
+
+    println!("Paper shape check: weight 64 (power of two) should have a smaller");
+    println!("maximum delay than weight -105 (dense bit pattern):");
+    let d64 = profile.timing(64).max_delay_ps;
+    let d105 = profile.timing(-105).max_delay_ps;
+    println!("  max_delay(64) = {d64:.0} ps, max_delay(-105) = {d105:.0} ps -> {}",
+        if d64 < d105 { "HOLDS" } else { "INVERTED (see EXPERIMENTS.md)" });
+}

@@ -1,0 +1,69 @@
+//! Fig. 4: transition distributions of activations and partial sums of
+//! a MAC unit, collected from real network execution on the systolic
+//! array.
+//!
+//! Run: `cargo run -p powerpruning-bench --bin fig4 --release`
+
+use powerpruning::pipeline::{NetworkKind, Pipeline};
+use powerpruning_bench::{banner, config_from_env};
+
+fn glyph(p: f64, max: f64) -> char {
+    if p <= 0.0 {
+        ' '
+    } else {
+        let r = p / max;
+        match r {
+            r if r > 0.5 => '#',
+            r if r > 0.1 => 'o',
+            r if r > 0.01 => '.',
+            _ => '`',
+        }
+    }
+}
+
+fn main() {
+    banner("Fig. 4 — Transition distributions of activations and partial sums");
+    let pipeline = Pipeline::new(config_from_env());
+    let mut prepared = pipeline.prepare(NetworkKind::LeNet5);
+    let captures = pipeline.capture(&mut prepared);
+    let chars = pipeline.characterize(&captures);
+
+    // (a) Activation transition distribution, downsampled to 32×32.
+    println!(
+        "\n(a) Activation transition distribution ({} transitions; 32x32 downsample; rows = from, cols = to)",
+        chars.stats.total_activation_transitions()
+    );
+    let hist = chars.stats.activation_histogram();
+    let block = 256 / 32;
+    let mut grid = vec![0u64; 32 * 32];
+    for from in 0..256 {
+        for to in 0..256 {
+            grid[(from / block) * 32 + (to / block)] += hist[from * 256 + to];
+        }
+    }
+    let max = *grid.iter().max().unwrap_or(&1) as f64;
+    for row in 0..32 {
+        let line: String = (0..32)
+            .map(|col| glyph(grid[row * 32 + col] as f64, max))
+            .collect();
+        println!("  |{line}|");
+    }
+    println!("  (the bright diagonal = transitions between similar activation values)");
+
+    // (b) Partial-sum bin transition distribution.
+    let nb = chars.binning.num_bins();
+    println!("\n(b) Partial-sum bin transition distribution ({nb} bit-similarity bins)");
+    let counts = chars.binning.transition_counts();
+    let maxc = *counts.iter().max().unwrap_or(&1) as f64;
+    for from in 0..nb {
+        let line: String = (0..nb)
+            .map(|to| glyph(counts[from * nb + to] as f64, maxc))
+            .collect();
+        println!("  |{line}|");
+    }
+    println!(
+        "  ({} partial-sum transitions observed, {} sampled into the reservoir)",
+        chars.stats.psum_transitions_seen(),
+        chars.stats.psum_samples().len()
+    );
+}

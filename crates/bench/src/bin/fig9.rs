@@ -1,0 +1,19 @@
+//! Fig. 9: tradeoff between accuracy and the number of selected
+//! activation values (max-delay sweep at a fixed power-selected weight
+//! set).
+//!
+//! Run: `cargo run -p powerpruning-bench --bin fig9 --release`
+
+use powerpruning::pipeline::{NetworkKind, Pipeline};
+use powerpruning_bench::{banner, config_from_env};
+
+fn main() {
+    banner("Fig. 9 — Accuracy vs number of selected activation values (delay sweep)");
+    let pipeline = Pipeline::new(config_from_env());
+    for kind in NetworkKind::all() {
+        let series = pipeline.delay_sweep(kind);
+        println!("{series}");
+    }
+    println!("Paper shape: the activation count shrinks as the delay threshold");
+    println!("tightens; accuracy holds before the knee and drops after it.");
+}

@@ -1,0 +1,25 @@
+//! Table I: the complete proposed flow on all four network/dataset
+//! combinations.
+//!
+//! Run: `cargo run -p powerpruning-bench --bin table1 --release`
+//! (`POWERPRUNING_SCALE=micro` for a fast smoke run)
+
+use powerpruning::pipeline::{NetworkKind, Pipeline};
+use powerpruning::report::table1_header;
+use powerpruning_bench::{banner, config_from_env};
+
+fn main() {
+    banner("Table I — Experimental results of the proposed method");
+    let pipeline = Pipeline::new(config_from_env());
+    println!("{}", table1_header());
+    for kind in NetworkKind::all() {
+        let row = pipeline.run_table1_row(kind);
+        println!("{row}");
+    }
+    println!();
+    println!("Paper reference values (different substrate, same shape expected):");
+    println!("  LeNet-5       : 46.0% std / 73.9% opt reduction, 32 wei, 176 act, 40 ps, 0.71/0.8");
+    println!("  ResNet-20     : 50.9% std / 59.4% opt reduction, 32 wei, 176 act, 40 ps, 0.71/0.8");
+    println!("  ResNet-50     : 45.3% std / 72.4% opt reduction, 40 wei, 220 act, 30 ps, 0.73/0.8");
+    println!("  EfficientNet  : 29.8% std / 41.5% opt reduction, 76 wei, 244 act, 20 ps, 0.75/0.8");
+}

@@ -1,0 +1,328 @@
+//! Partial-sum transition-space reduction by bit-similarity binning.
+//!
+//! The 22-bit partial sum has ~1.8·10^13 possible transitions — far too
+//! many to simulate or even to estimate a distribution from traces
+//! (paper §III-A2). The paper's remedy, reproduced here: partition the
+//! observed partial-sum values into a small number of bins (50 in the
+//! experiments) such that values within a bin have similar bit
+//! patterns, then model the transition distribution *between bins*.
+//!
+//! Binning follows the paper's procedure: a seed value is assigned to
+//! each bin, then remaining values are iteratively assigned to the bin
+//! with the smallest **average Hamming distance** to its current
+//! members (tracked incrementally with per-bit population counters).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A partition of partial-sum values into bit-similarity bins, plus the
+/// observed bin-to-bin transition distribution.
+#[derive(Debug, Clone)]
+pub struct PsumBinning {
+    bits: usize,
+    /// Members per bin (sorted).
+    bins: Vec<Vec<i32>>,
+    /// Bin transition counts: `counts[from * bins + to]`.
+    counts: Vec<u64>,
+    total: u64,
+}
+
+fn to_pattern(value: i32, bits: usize) -> u32 {
+    (value as u32) & ((1u32 << bits) - 1)
+}
+
+impl PsumBinning {
+    /// Builds a binning from sampled partial-sum transitions.
+    ///
+    /// `num_bins` is the target bin count (50 in the paper);
+    /// `bits` is the accumulator width. Deterministic for a fixed seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or `num_bins` is zero.
+    #[must_use]
+    pub fn from_samples(
+        samples: &[(i32, i32)],
+        num_bins: usize,
+        bits: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(!samples.is_empty(), "need partial-sum samples to bin");
+        assert!(num_bins > 0, "need at least one bin");
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Distinct observed values.
+        let mut values: Vec<i32> = samples
+            .iter()
+            .flat_map(|&(a, b)| [a, b])
+            .collect();
+        values.sort_unstable();
+        values.dedup();
+        let num_bins = num_bins.min(values.len());
+
+        // Seed each bin with a random distinct value.
+        let mut shuffled = values.clone();
+        shuffled.shuffle(&mut rng);
+        let mut bins: Vec<Vec<i32>> = shuffled[..num_bins].iter().map(|&v| vec![v]).collect();
+
+        // Per-bin, per-bit population counters for O(bits) average
+        // Hamming distance queries.
+        let mut ones: Vec<Vec<u64>> = bins
+            .iter()
+            .map(|b| {
+                let mut o = vec![0u64; bits];
+                let p = to_pattern(b[0], bits);
+                for (bit, slot) in o.iter_mut().enumerate() {
+                    *slot += u64::from((p >> bit) & 1);
+                }
+                o
+            })
+            .collect();
+        let mut sizes: Vec<u64> = vec![1; num_bins];
+
+        for &v in &shuffled[num_bins..] {
+            let p = to_pattern(v, bits);
+            let mut best = 0usize;
+            let mut best_cost = f64::INFINITY;
+            for (b, o) in ones.iter().enumerate() {
+                let n = sizes[b] as f64;
+                let mut cost = 0.0;
+                for (bit, &count) in o.iter().enumerate() {
+                    let is_one = (p >> bit) & 1 == 1;
+                    cost += if is_one {
+                        (sizes[b] - count) as f64
+                    } else {
+                        count as f64
+                    };
+                }
+                cost /= n;
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = b;
+                }
+            }
+            bins[best].push(v);
+            sizes[best] += 1;
+            for (bit, slot) in ones[best].iter_mut().enumerate() {
+                *slot += u64::from((p >> bit) & 1);
+            }
+        }
+        for b in &mut bins {
+            b.sort_unstable();
+        }
+
+        let mut binning = PsumBinning {
+            bits,
+            bins,
+            counts: vec![0; num_bins * num_bins],
+            total: 0,
+        };
+        for &(from, to) in samples {
+            let bf = binning.bin_of(from);
+            let bt = binning.bin_of(to);
+            binning.counts[bf * num_bins + bt] += 1;
+            binning.total += 1;
+        }
+        binning
+    }
+
+    /// Number of bins.
+    #[must_use]
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Members of a bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is out of range.
+    #[must_use]
+    pub fn members(&self, bin: usize) -> &[i32] {
+        &self.bins[bin]
+    }
+
+    /// The bin a value belongs to: its home bin if it was observed,
+    /// otherwise the bin with the nearest average bit pattern.
+    #[must_use]
+    pub fn bin_of(&self, value: i32) -> usize {
+        // Exact membership first.
+        for (i, b) in self.bins.iter().enumerate() {
+            if b.binary_search(&value).is_ok() {
+                return i;
+            }
+        }
+        // Fall back to nearest representative (first member) by Hamming
+        // distance.
+        let p = to_pattern(value, self.bits);
+        let mut best = 0;
+        let mut best_d = u32::MAX;
+        for (i, b) in self.bins.iter().enumerate() {
+            let d = (to_pattern(b[0], self.bits) ^ p).count_ones();
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Probability of the bin transition `from → to`.
+    #[must_use]
+    pub fn transition_probability(&self, from: usize, to: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.counts[from * self.num_bins() + to] as f64 / self.total as f64
+    }
+
+    /// The raw bin-transition count matrix (`counts[from * bins + to]`).
+    #[must_use]
+    pub fn transition_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Draws `count` concrete partial-sum transitions: a bin pair
+    /// according to the bin-transition distribution, then uniform
+    /// members within each bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transitions were recorded.
+    #[must_use]
+    pub fn sample_transitions(&self, count: usize, rng: &mut StdRng) -> Vec<(i32, i32)> {
+        assert!(self.total > 0, "no bin transitions recorded");
+        let nb = self.num_bins();
+        let mut cumulative: Vec<(u64, usize)> = Vec::new();
+        let mut acc = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                acc += c;
+                cumulative.push((acc, idx));
+            }
+        }
+        (0..count)
+            .map(|_| {
+                let r = rng.random_range(0..acc);
+                let pos = cumulative.partition_point(|&(cum, _)| cum <= r);
+                let idx = cumulative[pos.min(cumulative.len() - 1)].1;
+                let (bf, bt) = (idx / nb, idx % nb);
+                let from = self.bins[bf][rng.random_range(0..self.bins[bf].len())];
+                let to = self.bins[bt][rng.random_range(0..self.bins[bt].len())];
+                (from, to)
+            })
+            .collect()
+    }
+
+    /// Checks the partition invariant: every observed value is in
+    /// exactly one bin.
+    #[must_use]
+    pub fn is_partition(&self) -> bool {
+        let mut all: Vec<i32> = self.bins.iter().flatten().copied().collect();
+        let before = all.len();
+        all.sort_unstable();
+        all.dedup();
+        before == all.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data() -> Vec<(i32, i32)> {
+        let mut x: u64 = 99;
+        (0..2000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let a = ((x & 0x3fffff) as i64 - (1 << 21)) as i32;
+                let b = (((x >> 22) & 0x3fffff) as i64 - (1 << 21)) as i32;
+                (a, b)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn binning_is_a_partition() {
+        let binning = PsumBinning::from_samples(&sample_data(), 50, 22, 1);
+        assert!(binning.is_partition());
+        assert_eq!(binning.num_bins(), 50);
+    }
+
+    #[test]
+    fn every_observed_value_maps_to_its_bin() {
+        let samples = sample_data();
+        let binning = PsumBinning::from_samples(&samples, 20, 22, 2);
+        for &(a, _) in samples.iter().take(100) {
+            let bin = binning.bin_of(a);
+            assert!(binning.members(bin).binary_search(&a).is_ok());
+        }
+    }
+
+    #[test]
+    fn transition_probabilities_sum_to_one() {
+        let binning = PsumBinning::from_samples(&sample_data(), 10, 22, 3);
+        let total: f64 = (0..10)
+            .flat_map(|f| (0..10).map(move |t| (f, t)))
+            .map(|(f, t)| binning.transition_probability(f, t))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_returns_observed_values() {
+        let samples = sample_data();
+        let binning = PsumBinning::from_samples(&samples, 10, 22, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let draws = binning.sample_transitions(50, &mut rng);
+        assert_eq!(draws.len(), 50);
+        let mut observed: Vec<i32> = samples.iter().flat_map(|&(a, b)| [a, b]).collect();
+        observed.sort_unstable();
+        for (a, b) in draws {
+            assert!(observed.binary_search(&a).is_ok());
+            assert!(observed.binary_search(&b).is_ok());
+        }
+    }
+
+    #[test]
+    fn binning_is_deterministic_per_seed() {
+        let samples = sample_data();
+        let a = PsumBinning::from_samples(&samples, 10, 22, 7);
+        let b = PsumBinning::from_samples(&samples, 10, 22, 7);
+        for i in 0..10 {
+            assert_eq!(a.members(i), b.members(i));
+        }
+    }
+
+    #[test]
+    fn similar_values_tend_to_share_bins() {
+        // Values with nearly identical bit patterns should mostly land
+        // together: craft clusters around two very different patterns.
+        let mut samples = Vec::new();
+        for i in 0..200 {
+            let base1 = 0b101010_1010_1010_1010_1010i64 as i32;
+            let base2 = 0b010101_0101_0101_0101_0101i64 as i32;
+            samples.push((base1 ^ (i & 3), base2 ^ ((i >> 2) & 3)));
+        }
+        let binning = PsumBinning::from_samples(&samples, 2, 22, 9);
+        // The two clusters should dominate different bins.
+        let b1 = binning.bin_of(samples[0].0);
+        let b2 = binning.bin_of(samples[0].1);
+        assert_ne!(b1, b2, "clusters should separate");
+    }
+
+    #[test]
+    #[should_panic(expected = "need partial-sum samples")]
+    fn empty_samples_rejected() {
+        let _ = PsumBinning::from_samples(&[], 10, 22, 0);
+    }
+
+    #[test]
+    fn more_bins_than_values_is_clamped() {
+        let samples = vec![(1, 2), (2, 3)];
+        let binning = PsumBinning::from_samples(&samples, 50, 22, 0);
+        assert!(binning.num_bins() <= 3);
+        assert!(binning.is_partition());
+    }
+}

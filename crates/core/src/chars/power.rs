@@ -1,0 +1,365 @@
+//! Average power per weight value (paper §III-A, Fig. 2).
+//!
+//! For each weight code, the MAC netlist is simulated with the weight
+//! input held constant while sampled combined transitions of activation
+//! and partial sum (drawn from the distributions observed on the
+//! systolic array) are applied to the other inputs. The average
+//! switching energy per transition, divided by the clock period, is the
+//! weight's average power — the quantity plotted in the paper's Fig. 2.
+
+use crate::chars::{MacHardware, PsumBinning};
+use gatesim::Simulator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use systolic::stats::TransitionStats;
+
+/// Configuration of the power characterization run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerConfig {
+    /// Combined transitions sampled per weight value (paper: 10 000).
+    pub samples_per_weight: usize,
+    /// Base RNG seed (each weight derives its own stream).
+    pub seed: u64,
+    /// Clock period used to convert energy to power, ps.
+    pub clock_ps: f64,
+    /// Characterize only every `weight_stride`-th code (plus 0 and the
+    /// extremes); skipped codes inherit the nearest characterized
+    /// energy. 1 (the default) characterizes everything — use larger
+    /// strides only for quick smoke runs.
+    pub weight_stride: usize,
+    /// Constant per-cycle energy of the sequential parts the
+    /// combinational netlist does not model (pipeline registers and
+    /// clock tree of a real MAC), fJ. Added to every weight's energy;
+    /// this is the floor that keeps even weight 0 at a few hundred µW
+    /// in the paper's Fig. 2.
+    pub baseline_fj_per_cycle: f64,
+}
+
+impl Default for PowerConfig {
+    fn default() -> Self {
+        PowerConfig {
+            samples_per_weight: 10_000,
+            seed: 0x7057_3250,
+            clock_ps: 200.0,
+            weight_stride: 1,
+            baseline_fj_per_cycle: 90.0,
+        }
+    }
+}
+
+/// Average power per weight code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightPowerProfile {
+    codes: Vec<i32>,
+    energy_fj: Vec<f64>,
+    power_uw: Vec<f64>,
+    clock_ps: f64,
+}
+
+impl WeightPowerProfile {
+    /// The characterized weight codes (ascending).
+    #[must_use]
+    pub fn codes(&self) -> &[i32] {
+        &self.codes
+    }
+
+    /// Average switching energy per cycle for a code, fJ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the code was not characterized.
+    #[must_use]
+    pub fn energy_fj(&self, code: i32) -> f64 {
+        let idx = self
+            .codes
+            .binary_search(&code)
+            .expect("code not characterized");
+        self.energy_fj[idx]
+    }
+
+    /// Average power for a code, µW.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the code was not characterized.
+    #[must_use]
+    pub fn power_uw(&self, code: i32) -> f64 {
+        let idx = self
+            .codes
+            .binary_search(&code)
+            .expect("code not characterized");
+        self.power_uw[idx]
+    }
+
+    /// `(code, power µW)` pairs — the paper's Fig. 2 series.
+    #[must_use]
+    pub fn series(&self) -> Vec<(i32, f64)> {
+        self.codes
+            .iter()
+            .copied()
+            .zip(self.power_uw.iter().copied())
+            .collect()
+    }
+
+    /// The clock period the power numbers assume, ps.
+    #[must_use]
+    pub fn clock_ps(&self) -> f64 {
+        self.clock_ps
+    }
+
+    /// Codes whose power is at most `threshold_uw` (the paper's weight
+    /// selection by power threshold; zero is always kept — it is the
+    /// pruning target and by far the cheapest value).
+    #[must_use]
+    pub fn codes_below(&self, threshold_uw: f64) -> Vec<i32> {
+        let mut out: Vec<i32> = self
+            .codes
+            .iter()
+            .zip(&self.power_uw)
+            .filter(|&(_, &p)| p <= threshold_uw)
+            .map(|(&c, _)| c)
+            .collect();
+        if !out.contains(&0) {
+            out.push(0);
+            out.sort_unstable();
+        }
+        out
+    }
+
+    /// Builds a [`systolic::MacEnergyModel`] from this profile so the
+    /// array simulator can integrate characterized energies.
+    ///
+    /// `idle_fraction` scales the zero-weight energy to model an idle
+    /// (weightless) clocked PE; `leakage_nw_per_pe` comes from the
+    /// netlist's leakage under the cell library.
+    #[must_use]
+    pub fn to_energy_model(
+        &self,
+        idle_fraction: f64,
+        leakage_nw_per_pe: f64,
+    ) -> systolic::MacEnergyModel {
+        let mut table = vec![0.0f64; 256];
+        let min_code = *self.codes.first().expect("non-empty profile");
+        for code in -128i32..=127 {
+            let lookup = code.max(min_code);
+            let idx = self
+                .codes
+                .binary_search(&lookup)
+                .unwrap_or_else(|i| i.min(self.codes.len() - 1));
+            table[(code + 128) as usize] = self.energy_fj[idx];
+        }
+        let idle = self.energy_fj(0) * idle_fraction;
+        systolic::MacEnergyModel::from_table(table, idle, leakage_nw_per_pe)
+    }
+}
+
+/// Characterizes the average power of every weight value.
+///
+/// The weight input is fixed per run; activation transitions are drawn
+/// from `act_stats` and partial-sum transitions from `binning`, so the
+/// sampled input stream reflects real network execution. Weights are
+/// characterized in parallel.
+///
+/// # Panics
+///
+/// Panics if `act_stats` has no recorded transitions or
+/// `cfg.samples_per_weight` is zero.
+#[must_use]
+pub fn characterize_power(
+    hw: &MacHardware,
+    act_stats: &TransitionStats,
+    binning: &PsumBinning,
+    cfg: &PowerConfig,
+) -> WeightPowerProfile {
+    assert!(cfg.samples_per_weight > 0, "need at least one sample");
+    let all_codes = hw.weight_codes();
+    let stride = cfg.weight_stride.max(1) as i32;
+    let min_code = *all_codes.first().expect("non-empty code range");
+    let max_code = *all_codes.last().expect("non-empty code range");
+    let codes: Vec<i32> = all_codes
+        .iter()
+        .copied()
+        .filter(|&c| c % stride == 0 || c == min_code || c == max_code)
+        .collect();
+    let mut energy_fj = vec![0.0f64; codes.len()];
+
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(codes.len());
+    let chunk = codes.len().div_ceil(threads);
+
+    std::thread::scope(|scope| {
+        for (slice_idx, (code_chunk, energy_chunk)) in codes
+            .chunks(chunk)
+            .zip(energy_fj.chunks_mut(chunk))
+            .enumerate()
+        {
+            scope.spawn(move || {
+                let mut sim = Simulator::new(hw.mac().netlist(), hw.lib());
+                for (i, &code) in code_chunk.iter().enumerate() {
+                    let mut rng =
+                        StdRng::seed_from_u64(cfg.seed ^ ((slice_idx * chunk + i) as u64) << 8);
+                    let acts =
+                        act_stats.sample_activation_transitions(cfg.samples_per_weight, &mut rng);
+                    let psums = binning.sample_transitions(cfg.samples_per_weight, &mut rng);
+                    let mut total = 0.0f64;
+                    for ((af, at), (pf, pt)) in acts.iter().zip(&psums) {
+                        let from = hw.mac().encode(code as i64, *af as u64, *pf as i64);
+                        let to = hw.mac().encode(code as i64, *at as u64, *pt as i64);
+                        sim.settle(&from);
+                        let stats = sim.transition(&to);
+                        total += stats.energy_fj;
+                    }
+                    energy_chunk[i] =
+                        total / cfg.samples_per_weight as f64 + cfg.baseline_fj_per_cycle;
+                }
+            });
+        }
+    });
+
+    // Expand back to the full code list: skipped codes inherit the
+    // nearest characterized energy.
+    let full_energy: Vec<f64> = all_codes
+        .iter()
+        .map(|&c| {
+            let idx = match codes.binary_search(&c) {
+                Ok(i) => i,
+                Err(i) => {
+                    if i == 0 {
+                        0
+                    } else if i >= codes.len() {
+                        codes.len() - 1
+                    } else if (c - codes[i - 1]).abs() <= (codes[i] - c).abs() {
+                        i - 1
+                    } else {
+                        i
+                    }
+                }
+            };
+            energy_fj[idx]
+        })
+        .collect();
+    let power_uw: Vec<f64> = full_energy
+        .iter()
+        .map(|e| e / cfg.clock_ps * 1000.0)
+        .collect();
+    WeightPowerProfile {
+        codes: all_codes,
+        energy_fj: full_energy,
+        power_uw,
+        clock_ps: cfg.clock_ps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chars::bins::PsumBinning;
+
+    fn fake_stats() -> (TransitionStats, PsumBinning) {
+        let mut stats = TransitionStats::new();
+        // Mostly small-step transitions like real activations.
+        for a in 0..14u8 {
+            stats.record_activation(a, a + 1, 20);
+            stats.record_activation(a + 1, a, 20);
+            stats.record_activation(a, a.wrapping_add(3), 3);
+        }
+        let samples: Vec<(i32, i32)> = (0..300)
+            .map(|i| ((i * 37) % 1000 - 500, (i * 91) % 1000 - 500))
+            .collect();
+        let binning = PsumBinning::from_samples(&samples, 8, 12, 0);
+        (stats, binning)
+    }
+
+    fn quick_cfg() -> PowerConfig {
+        PowerConfig {
+            samples_per_weight: 40,
+            seed: 1,
+            clock_ps: 200.0,
+            weight_stride: 1,
+            baseline_fj_per_cycle: 0.0,
+        }
+    }
+
+    #[test]
+    fn stride_keeps_full_code_coverage() {
+        let hw = MacHardware::small();
+        let (stats, binning) = fake_stats();
+        let cfg = PowerConfig {
+            weight_stride: 4,
+            baseline_fj_per_cycle: 0.0,
+            ..quick_cfg()
+        };
+        let profile = characterize_power(&hw, &stats, &binning, &cfg);
+        assert_eq!(profile.codes().len(), hw.weight_codes().len());
+        // Neighbours of a characterized code share its energy.
+        assert_eq!(profile.energy_fj(4), profile.energy_fj(5));
+    }
+
+    #[test]
+    fn zero_weight_is_cheapest() {
+        let hw = MacHardware::small();
+        let (stats, binning) = fake_stats();
+        let profile = characterize_power(&hw, &stats, &binning, &quick_cfg());
+        let zero = profile.power_uw(0);
+        for &c in profile.codes() {
+            if c != 0 {
+                assert!(
+                    zero <= profile.power_uw(c) + 1e-9,
+                    "code {c} ({}) beat zero ({zero})",
+                    profile.power_uw(c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn characterization_is_deterministic() {
+        let hw = MacHardware::small();
+        let (stats, binning) = fake_stats();
+        let a = characterize_power(&hw, &stats, &binning, &quick_cfg());
+        let b = characterize_power(&hw, &stats, &binning, &quick_cfg());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn threshold_selection_keeps_cheap_codes_and_zero() {
+        let hw = MacHardware::small();
+        let (stats, binning) = fake_stats();
+        let profile = characterize_power(&hw, &stats, &binning, &quick_cfg());
+        let powers: Vec<f64> = profile.codes().iter().map(|&c| profile.power_uw(c)).collect();
+        let median = {
+            let mut p = powers.clone();
+            p.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            p[p.len() / 2]
+        };
+        let kept = profile.codes_below(median);
+        assert!(kept.contains(&0));
+        assert!(kept.len() < profile.codes().len());
+        assert!(kept.len() >= profile.codes().len() / 4);
+    }
+
+    #[test]
+    fn energy_model_round_trip() {
+        let hw = MacHardware::small();
+        let (stats, binning) = fake_stats();
+        let profile = characterize_power(&hw, &stats, &binning, &quick_cfg());
+        let model = profile.to_energy_model(0.3, 100.0);
+        assert!((model.energy_fj(0) - profile.energy_fj(0)).abs() < 1e-9);
+        assert!((model.energy_fj(5) - profile.energy_fj(5)).abs() < 1e-9);
+        assert!(model.idle_fj() < model.energy_fj(0) + 1e-9);
+    }
+
+    #[test]
+    fn powers_of_two_are_cheap() {
+        // Shift-like weights should sit low in the distribution, the
+        // paper's §II observation.
+        let hw = MacHardware::small();
+        let (stats, binning) = fake_stats();
+        let profile = characterize_power(&hw, &stats, &binning, &quick_cfg());
+        let p2 = profile.power_uw(2);
+        let p7 = profile.power_uw(7); // dense bit pattern 111
+        assert!(p2 < p7, "power-of-two 2 ({p2}) should undercut 7 ({p7})");
+    }
+}

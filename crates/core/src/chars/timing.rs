@@ -1,0 +1,529 @@
+//! Per-weight timing profiles (paper §III-B, Figs. 3 and 5).
+//!
+//! The paper splits MAC timing analysis in two to stay tractable:
+//!
+//! 1. **Dynamic timing analysis (DTA) of the multiplier** — the weight
+//!    input is fixed and all activation transitions are applied; the
+//!    arrival time of the last toggle of each product bit is recorded.
+//! 2. **Static timing analysis (STA) of the adder** — the longest path
+//!    from each product bit to the adder output (and from the
+//!    partial-sum input to the output).
+//!
+//! The MAC delay of a `(weight, activation transition)` pair is then
+//! `max_j (dta_arrival[j] + sta_from_product[j])` — Fig. 5 — with the
+//! partial-sum STA path as a weight-independent floor.
+
+use crate::chars::MacHardware;
+use gatesim::{Simulator, Sta};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the timing characterization run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingConfig {
+    /// Enumerate all `2^(2·act_bits)` activation transitions per weight
+    /// (paper behaviour). When false, sample `samples` transitions.
+    pub exhaustive: bool,
+    /// Number of sampled transitions per weight when not exhaustive.
+    pub samples: usize,
+    /// RNG seed for sampled mode.
+    pub seed: u64,
+    /// Transitions with a composed delay above this floor are stored
+    /// individually (they are the removal candidates of the delay
+    /// selection); everything below only lands in the histogram.
+    pub slow_floor_ps: f64,
+    /// Characterize only every `weight_stride`-th code (plus 0 and the
+    /// extremes); skipped codes inherit the nearest characterized
+    /// profile. 1 (the default) characterizes everything.
+    pub weight_stride: usize,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig {
+            exhaustive: true,
+            samples: 4096,
+            seed: 0x7133_0001,
+            slow_floor_ps: 0.0,
+            weight_stride: 1,
+        }
+    }
+}
+
+/// Timing profile of a single weight value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightTiming {
+    /// The weight code.
+    pub code: i32,
+    /// Maximum composed MAC delay over all analysed activation
+    /// transitions, ps (multiplier side only — compare against
+    /// [`WeightTimingProfile::psum_floor_ps`] for the full MAC bound).
+    pub max_delay_ps: f64,
+    /// Histogram of composed delays in 1 ps buckets (Fig. 3 series).
+    pub histogram: Vec<u64>,
+    /// Activation transitions whose composed delay exceeds the
+    /// configured floor: `(from, to, delay_ps)`.
+    pub slow: Vec<(u8, u8, f32)>,
+}
+
+/// Timing profiles for every weight value plus the adder-side facts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightTimingProfile {
+    /// Per-weight profiles, ascending by code.
+    pub per_weight: Vec<WeightTiming>,
+    /// Longest partial-sum → output path of the adder (STA), ps. A
+    /// weight-independent lower bound on the MAC clock period.
+    pub psum_floor_ps: f64,
+    /// Longest product-bit → output path table used in composition, ps.
+    pub adder_from_product_ps: Vec<f64>,
+    /// The floor above which individual slow transitions were stored.
+    pub slow_floor_ps: f64,
+}
+
+impl WeightTimingProfile {
+    /// The profile of a weight code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the code was not characterized.
+    #[must_use]
+    pub fn timing(&self, code: i32) -> &WeightTiming {
+        let idx = self
+            .per_weight
+            .binary_search_by_key(&code, |t| t.code)
+            .expect("code not characterized");
+        &self.per_weight[idx]
+    }
+
+    /// The worst composed delay over a set of weight codes, ps.
+    #[must_use]
+    pub fn max_delay_over(&self, codes: &[i32]) -> f64 {
+        codes
+            .iter()
+            .filter_map(|&c| {
+                self.per_weight
+                    .binary_search_by_key(&c, |t| t.code)
+                    .ok()
+                    .map(|i| self.per_weight[i].max_delay_ps)
+            })
+            .fold(self.psum_floor_ps, f64::max)
+    }
+
+    /// Global maximum composed delay (all weights, all transitions), ps.
+    #[must_use]
+    pub fn max_delay_ps(&self) -> f64 {
+        self.max_delay_over(&self.per_weight.iter().map(|t| t.code).collect::<Vec<_>>())
+    }
+}
+
+/// Runs the split DTA/STA timing characterization.
+///
+/// The standalone multiplier netlist is structurally identical to the
+/// multiplier embedded in the MAC (both come from the same generator),
+/// so product-bit arrival times measured on it compose exactly with the
+/// MAC-adder STA table.
+///
+/// # Panics
+///
+/// Panics if sampled mode is requested with zero samples.
+#[must_use]
+pub fn characterize_timing(hw: &MacHardware, cfg: &TimingConfig) -> WeightTimingProfile {
+    assert!(
+        cfg.exhaustive || cfg.samples > 0,
+        "sampled mode needs at least one sample"
+    );
+    // STA on the MAC netlist: product bits and psum ports only feed the
+    // adder, so these are adder-side delays.
+    let sta = Sta::new(hw.mac().netlist(), hw.lib());
+    let adder_from_product_ps: Vec<f64> = sta
+        .output_delay_table(hw.mac().product_nets())
+        .into_iter()
+        .map(|d| d.unwrap_or(0.0))
+        .collect();
+    let psum_floor_ps = hw
+        .mac()
+        .psum_ports()
+        .iter()
+        .filter_map(|&p| sta.max_delay_to_outputs_from(p))
+        .fold(0.0, f64::max);
+
+    let all_codes = hw.weight_codes();
+    let stride = cfg.weight_stride.max(1) as i32;
+    let min_code = *all_codes.first().expect("non-empty code range");
+    let max_code = *all_codes.last().expect("non-empty code range");
+    let codes: Vec<i32> = all_codes
+        .iter()
+        .copied()
+        .filter(|&c| c % stride == 0 || c == min_code || c == max_code)
+        .collect();
+    let levels = hw.act_levels() as u32;
+    let mut per_weight: Vec<WeightTiming> = codes
+        .iter()
+        .map(|&code| WeightTiming {
+            code,
+            max_delay_ps: 0.0,
+            histogram: Vec::new(),
+            slow: Vec::new(),
+        })
+        .collect();
+
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(codes.len());
+    let chunk = codes.len().div_ceil(threads);
+    let product_nets = hw.mult_netlist().outputs().to_vec();
+
+    std::thread::scope(|scope| {
+        for (chunk_idx, slot_chunk) in per_weight.chunks_mut(chunk).enumerate() {
+            let adder_table = &adder_from_product_ps;
+            let product_nets = &product_nets;
+            scope.spawn(move || {
+                let mut sim = Simulator::new(hw.mult_netlist(), hw.lib());
+                sim.observe(product_nets);
+                for (i, slot) in slot_chunk.iter_mut().enumerate() {
+                    let code = slot.code;
+                    let mut hist = vec![0u64; 512];
+                    let mut max_delay = 0.0f64;
+                    let mut slow = Vec::new();
+
+                    let analyse = |sim: &mut Simulator,
+                                       from: u32,
+                                       to: u32,
+                                       hist: &mut Vec<u64>,
+                                       max_delay: &mut f64,
+                                       slow: &mut Vec<(u8, u8, f32)>| {
+                        sim.settle(&hw.encode_mult(code as i64, from as u64));
+                        let stats = sim.transition(&hw.encode_mult(code as i64, to as u64));
+                        let mut composed = 0.0f64;
+                        for (j, &adder_d) in adder_table.iter().enumerate() {
+                            let arr = stats.observed_arrival_ps(j);
+                            if arr > 0.0 {
+                                composed = composed.max(arr + adder_d);
+                            }
+                        }
+                        let bucket = (composed.round() as usize).min(hist.len() - 1);
+                        hist[bucket] += 1;
+                        if composed > *max_delay {
+                            *max_delay = composed;
+                        }
+                        if composed > cfg.slow_floor_ps && composed > 0.0 {
+                            slow.push((from as u8, to as u8, composed as f32));
+                        }
+                    };
+
+                    if cfg.exhaustive {
+                        for from in 0..levels {
+                            for to in 0..levels {
+                                if from == to {
+                                    continue;
+                                }
+                                analyse(&mut sim, from, to, &mut hist, &mut max_delay, &mut slow);
+                            }
+                        }
+                    } else {
+                        let mut rng = StdRng::seed_from_u64(
+                            cfg.seed ^ (((chunk_idx * chunk + i) as u64) << 10),
+                        );
+                        for _ in 0..cfg.samples {
+                            let from = rng.random_range(0..levels);
+                            let to = rng.random_range(0..levels);
+                            if from == to {
+                                continue;
+                            }
+                            analyse(&mut sim, from, to, &mut hist, &mut max_delay, &mut slow);
+                        }
+                    }
+                    slot.histogram = hist;
+                    slot.max_delay_ps = max_delay;
+                    slot.slow = slow;
+                }
+            });
+        }
+    });
+
+    // Expand back to the full code list: skipped codes inherit the
+    // nearest characterized profile (re-labelled with their own code).
+    let expanded: Vec<WeightTiming> = all_codes
+        .iter()
+        .map(|&c| {
+            let idx = match codes.binary_search(&c) {
+                Ok(i) => i,
+                Err(i) => {
+                    if i == 0 {
+                        0
+                    } else if i >= codes.len() {
+                        codes.len() - 1
+                    } else if (c - codes[i - 1]).abs() <= (codes[i] - c).abs() {
+                        i - 1
+                    } else {
+                        i
+                    }
+                }
+            };
+            let mut t = per_weight[idx].clone();
+            t.code = c;
+            t
+        })
+        .collect();
+
+    WeightTimingProfile {
+        per_weight: expanded,
+        psum_floor_ps,
+        adder_from_product_ps,
+        slow_floor_ps: cfg.slow_floor_ps,
+    }
+}
+
+/// Per-weight **hazard-free static** timing bound via netlist
+/// specialization.
+///
+/// Fixes the weight bus of the standalone multiplier to `code`,
+/// constant-propagates (removing every path the weight desensitizes —
+/// the paper's §II observation), runs STA on what remains, and composes
+/// with the adder table like the dynamic path.
+///
+/// This bounds the *hazard-free* settling delay only: glitch cascades
+/// can propagate through logically-constant nets and arrive later, which
+/// the event-driven DTA of [`characterize_timing`] captures and this
+/// bound does not. That asymmetry is exactly why the paper performs
+/// dynamic analysis on the multiplier instead of static case analysis —
+/// this function exists to quantify the difference (see the timing
+/// comparison in the test suite).
+///
+/// Returns the composed bound in ps (0 when the multiplier collapses to
+/// constants, e.g. for weight 0).
+#[must_use]
+pub fn sta_bound_per_weight(hw: &MacHardware, code: i32) -> f64 {
+    use gatesim::netlist::to_bits;
+    use gatesim::transform::specialize;
+
+    let mult = hw.mult_netlist();
+    let bits = to_bits(code as i64, hw.weight_bits());
+    let assignments: Vec<(gatesim::NetId, bool)> = bits
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (mult.inputs()[i], v))
+        .collect();
+    let spec = specialize(mult, &assignments);
+
+    // Adder-side table from the full MAC.
+    let sta_mac = Sta::new(hw.mac().netlist(), hw.lib());
+    let adder_from_product: Vec<f64> = sta_mac
+        .output_delay_table(hw.mac().product_nets())
+        .into_iter()
+        .map(|d| d.unwrap_or(0.0))
+        .collect();
+
+    // Multiplier-side arrivals on the specialized netlist.
+    let sta_spec = Sta::new(&spec.netlist, hw.lib());
+    let arrivals = sta_spec.arrivals_from_inputs();
+    let mut bound = 0.0f64;
+    for (j, &out) in spec.netlist.outputs().iter().enumerate() {
+        if spec.const_outputs[j].is_some() {
+            continue; // constant product bit: no dynamic path
+        }
+        if let Some(t) = arrivals[out.index()] {
+            bound = bound.max(t + adder_from_product[j]);
+        }
+    }
+    bound
+}
+
+/// Composes a multiplier arrival vector with an adder STA table — the
+/// worked example of the paper's Fig. 5, exposed for testing and
+/// documentation.
+///
+/// `arrivals[j]` is the last-toggle time of product bit `j` (0 = did not
+/// toggle); `adder[j]` is the STA delay from product bit `j` to the
+/// output; `psum_delay` is the partial-sum STA path.
+///
+/// # Examples
+///
+/// ```
+/// // Fig. 5: arrivals [5, 8, 0, 0], adder [4, 3, 2, 1], psum path 6
+/// // -> max{5+4, 8+3, 6} = 11.
+/// let d = powerpruning::chars::timing::compose_delay(&[5.0, 8.0, 0.0, 0.0], &[4.0, 3.0, 2.0, 1.0], 6.0);
+/// assert_eq!(d, 11.0);
+/// ```
+#[must_use]
+pub fn compose_delay(arrivals: &[f64], adder: &[f64], psum_delay: f64) -> f64 {
+    let mult_side = arrivals
+        .iter()
+        .zip(adder)
+        .filter(|&(&a, _)| a > 0.0)
+        .map(|(&a, &d)| a + d)
+        .fold(0.0, f64::max);
+    mult_side.max(psum_delay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> TimingConfig {
+        TimingConfig {
+            exhaustive: true,
+            samples: 0,
+            seed: 0,
+            slow_floor_ps: 0.0,
+            weight_stride: 1,
+        }
+    }
+
+    #[test]
+    fn stride_keeps_full_code_coverage() {
+        let hw = MacHardware::small();
+        let cfg = TimingConfig {
+            weight_stride: 4,
+            ..quick_cfg()
+        };
+        let profile = characterize_timing(&hw, &cfg);
+        assert_eq!(profile.per_weight.len(), hw.weight_codes().len());
+        // Skipped codes carry their own label but a neighbour's profile.
+        assert_eq!(profile.timing(5).code, 5);
+        assert_eq!(
+            profile.timing(5).max_delay_ps,
+            profile.timing(4).max_delay_ps
+        );
+    }
+
+    #[test]
+    fn paper_fig5_example() {
+        let d = compose_delay(&[5.0, 8.0, 0.0, 0.0], &[4.0, 3.0, 2.0, 1.0], 6.0);
+        assert_eq!(d, 11.0);
+    }
+
+    #[test]
+    fn psum_floor_dominates_when_mult_is_quiet() {
+        let d = compose_delay(&[0.0, 0.0], &[4.0, 3.0], 6.0);
+        assert_eq!(d, 6.0);
+    }
+
+    #[test]
+    fn zero_weight_never_sensitizes_the_multiplier() {
+        let hw = MacHardware::small();
+        let profile = characterize_timing(&hw, &quick_cfg());
+        let zero = profile.timing(0);
+        assert_eq!(
+            zero.max_delay_ps, 0.0,
+            "weight 0 should produce a constant multiplier output"
+        );
+    }
+
+    #[test]
+    fn different_weights_have_different_delay_profiles() {
+        let hw = MacHardware::small();
+        let profile = characterize_timing(&hw, &quick_cfg());
+        let d_all: Vec<f64> = profile.per_weight.iter().map(|t| t.max_delay_ps).collect();
+        let min = d_all.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = d_all.iter().cloned().fold(0.0, f64::max);
+        assert!(max > min, "expected spread in per-weight max delays");
+    }
+
+    #[test]
+    fn max_delay_over_subset_never_exceeds_global() {
+        let hw = MacHardware::small();
+        let profile = characterize_timing(&hw, &quick_cfg());
+        let global = profile.max_delay_ps();
+        let subset = profile.max_delay_over(&[1, 2, 3]);
+        assert!(subset <= global + 1e-9);
+        assert!(subset >= profile.psum_floor_ps);
+    }
+
+    #[test]
+    fn slow_list_respects_floor() {
+        let hw = MacHardware::small();
+        let mut cfg = quick_cfg();
+        let base = characterize_timing(&hw, &cfg);
+        let global = base.max_delay_ps();
+        cfg.slow_floor_ps = global * 0.8;
+        let profile = characterize_timing(&hw, &cfg);
+        for t in &profile.per_weight {
+            for &(_, _, d) in &t.slow {
+                assert!(f64::from(d) > cfg.slow_floor_ps);
+            }
+        }
+        // At least the worst weight must have slow entries.
+        let total_slow: usize = profile.per_weight.iter().map(|t| t.slow.len()).sum();
+        assert!(total_slow > 0);
+    }
+
+    #[test]
+    fn histogram_counts_all_transitions() {
+        let hw = MacHardware::small();
+        let profile = characterize_timing(&hw, &quick_cfg());
+        let levels = hw.act_levels() as u64;
+        let expected = levels * levels - levels; // from != to
+        for t in &profile.per_weight {
+            let total: u64 = t.histogram.iter().sum();
+            assert_eq!(total, expected, "weight {}", t.code);
+        }
+    }
+
+    #[test]
+    fn adder_sta_floor_is_positive() {
+        let hw = MacHardware::small();
+        let profile = characterize_timing(&hw, &quick_cfg());
+        assert!(profile.psum_floor_ps > 0.0);
+        assert!(profile.adder_from_product_ps.iter().all(|&d| d > 0.0));
+    }
+
+    #[test]
+    fn specialized_sta_never_exceeds_full_composition_bound() {
+        // Fixing the weight only removes paths, so the specialized
+        // hazard-free bound can never exceed the full-netlist
+        // composition bound (paper §II, checked structurally). The DTA
+        // max is *not* bounded by it — glitch cascades may run through
+        // logically-constant nets — which is why the paper uses dynamic
+        // analysis; we only require DTA to respect the full bound.
+        let hw = MacHardware::small();
+        let profile = characterize_timing(&hw, &quick_cfg());
+        let full_bound: f64 = {
+            let sta = gatesim::Sta::new(hw.mult_netlist(), hw.lib());
+            let mult_max = sta.critical_path_ps();
+            let adder_max = profile
+                .adder_from_product_ps
+                .iter()
+                .cloned()
+                .fold(0.0, f64::max);
+            mult_max + adder_max
+        };
+        for t in &profile.per_weight {
+            let bound = sta_bound_per_weight(&hw, t.code);
+            assert!(
+                bound <= full_bound + 1e-6,
+                "weight {}: specialized bound {} exceeds full bound {}",
+                t.code,
+                bound,
+                full_bound
+            );
+            assert!(
+                t.max_delay_ps <= full_bound + 1e-6,
+                "weight {}: DTA {} exceeds full bound {}",
+                t.code,
+                t.max_delay_ps,
+                full_bound
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_sta_bound_is_zero() {
+        let hw = MacHardware::small();
+        assert_eq!(sta_bound_per_weight(&hw, 0), 0.0);
+    }
+
+    #[test]
+    fn specialized_sta_varies_across_weights() {
+        let hw = MacHardware::small();
+        let bounds: Vec<f64> = hw
+            .weight_codes()
+            .iter()
+            .map(|&c| sta_bound_per_weight(&hw, c))
+            .collect();
+        let min = bounds.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = bounds.iter().cloned().fold(0.0, f64::max);
+        assert!(max > min, "expected per-weight spread in STA bounds");
+    }
+}

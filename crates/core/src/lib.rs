@@ -1,0 +1,49 @@
+//! PowerPruning: selecting weights and activations for power-efficient
+//! neural network acceleration.
+//!
+//! A from-scratch Rust reproduction of the DAC 2023 paper (Petri, Zhang,
+//! Chen, Schlichtmann, Li — arXiv:2303.13997). The method reduces the
+//! power of digital DNN accelerators **without modifying the MAC
+//! hardware**, by exploiting two observations:
+//!
+//! 1. Different 8-bit weight values cause very different switching
+//!    activity inside a MAC unit — restricting a network to cheap weight
+//!    values lowers power directly ([`chars::power`], [`select::power`]).
+//! 2. Different weight and activation values sensitize different
+//!    combinational paths — removing the slow ones reduces the MAC's
+//!    maximum delay, and the freed slack is converted into further power
+//!    savings by supply-voltage scaling ([`chars::timing`],
+//!    [`select::delay`], [`voltage`]).
+//!
+//! Networks are retrained with the selected values using the
+//! straight-through estimator ([`retrain`]); [`pipeline`] wires the full
+//! flow end to end and drives every table and figure of the paper.
+//!
+//! # Examples
+//!
+//! Run a miniature end-to-end flow:
+//!
+//! ```no_run
+//! use powerpruning::pipeline::{NetworkKind, Pipeline, PipelineConfig, Scale};
+//!
+//! let pipeline = Pipeline::new(PipelineConfig::for_scale(Scale::Micro));
+//! let row = pipeline.run_table1_row(NetworkKind::LeNet5);
+//! println!("{row}");
+//! assert!(row.opt_prop_mw <= row.opt_orig_mw);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chars;
+pub mod pipeline;
+pub mod report;
+pub mod retrain;
+pub mod select;
+pub mod voltage;
+
+pub use chars::{MacHardware, PsumBinning, WeightPowerProfile, WeightTimingProfile};
+pub use pipeline::{NetworkKind, Pipeline, PipelineConfig, Scale};
+pub use report::Table1Row;
+pub use select::{DelaySelection, PowerSelection};
+pub use voltage::{FrequencyBoost, VoltageModel, VoltageScaling};

@@ -1,0 +1,939 @@
+//! The end-to-end PowerPruning flow and the experiment drivers behind
+//! every table and figure of the paper.
+//!
+//! The flow (paper §III-C):
+//!
+//! 1. Quantization-aware training of the baseline network.
+//! 2. Systolic execution to collect activation/partial-sum transition
+//!    statistics (Fig. 4), then gate-level power characterization of
+//!    every weight value (Fig. 2).
+//! 3. Conventional magnitude pruning + retraining.
+//! 4. Weight selection by power threshold + retraining (Fig. 8).
+//! 5. Timing characterization (Fig. 3), then joint weight/activation
+//!    selection by delay threshold + retraining (Fig. 9).
+//! 6. Voltage scaling of the freed timing slack (Table I columns).
+
+use crate::chars::{
+    characterize_power, characterize_timing, MacHardware, PowerConfig, PsumBinning,
+    TimingConfig, WeightPowerProfile, WeightTimingProfile,
+};
+use crate::report::{Fig7Entry, Fig8Series, Fig9Series, Table1Row};
+use crate::retrain::{prune_retrain, restricted_retrain, RetrainConfig};
+use crate::select::delay::{select_by_delay, DelaySelectionConfig};
+use crate::select::power::{select_by_power, threshold_for_count};
+use crate::voltage::{VoltageModel, VoltageScaling};
+use nn::data::{Dataset, SyntheticSpec};
+use nn::layers::GemmCapture;
+use nn::model::Network;
+use nn::models;
+use nn::train::{evaluate, train, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use systolic::{ArrayConfig, HwVariant, MacEnergyModel, SystolicArray, TransitionStats};
+
+/// The four network/dataset combinations of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetworkKind {
+    /// LeNet-5 on the CIFAR-10 stand-in.
+    LeNet5,
+    /// ResNet-20 on the CIFAR-10 stand-in.
+    ResNet20,
+    /// ResNet-50-style bottleneck net on the CIFAR-100 stand-in.
+    ResNet50,
+    /// EfficientNet-B0-Lite-style net on the ImageNet stand-in.
+    EfficientNetLite,
+}
+
+impl NetworkKind {
+    /// All four evaluation networks, in Table I order.
+    #[must_use]
+    pub fn all() -> [NetworkKind; 4] {
+        [
+            NetworkKind::LeNet5,
+            NetworkKind::ResNet20,
+            NetworkKind::ResNet50,
+            NetworkKind::EfficientNetLite,
+        ]
+    }
+
+    /// Paper-style label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            NetworkKind::LeNet5 => "LeNet-5-CIFAR-10 (synthetic)",
+            NetworkKind::ResNet20 => "ResNet-20-CIFAR-10 (synthetic)",
+            NetworkKind::ResNet50 => "ResNet-50-CIFAR-100 (synthetic)",
+            NetworkKind::EfficientNetLite => "EfficientNet-B0-Lite-ImageNet (synthetic)",
+        }
+    }
+
+    /// The paper's Table I target for "#selected weight values".
+    #[must_use]
+    pub fn paper_weight_target(self) -> usize {
+        match self {
+            NetworkKind::LeNet5 | NetworkKind::ResNet20 => 32,
+            NetworkKind::ResNet50 => 40,
+            NetworkKind::EfficientNetLite => 76,
+        }
+    }
+}
+
+/// Experiment scale: how much compute each pipeline stage spends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Seconds-level smoke runs for tests (tiny nets, strided
+    /// characterization, sampled timing).
+    Micro,
+    /// The default for benches: faithful topologies at reduced size,
+    /// full 255-code characterization, exhaustive timing.
+    Mini,
+    /// Paper-sized topologies and sample counts (long-running).
+    Full,
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Master seed; every stage derives its own stream.
+    pub seed: u64,
+    /// Accuracy-drop tolerance for the delay sweep (paper: ~5%).
+    pub accuracy_drop_tolerance: f64,
+    /// Delay sweep granularity, ps (paper: 10 ps).
+    pub delay_step_ps: f64,
+    /// Maximum number of delay-sweep steps.
+    pub max_delay_steps: usize,
+    /// Magnitude-pruning sparsity for the conventional baseline.
+    pub prune_sparsity: f64,
+}
+
+impl PipelineConfig {
+    /// Configuration for a scale with paper-like defaults elsewhere.
+    #[must_use]
+    pub fn for_scale(scale: Scale) -> Self {
+        PipelineConfig {
+            scale,
+            seed: 0xdac2023,
+            accuracy_drop_tolerance: 0.05,
+            // The paper uses a 10 ps search granularity and notes it
+            // "can be lowered if necessary"; our composed-delay
+            // distribution is tighter than the paper's synthesized
+            // netlist, so Mini sweeps at 5 ps resolution.
+            delay_step_ps: match scale {
+                Scale::Mini => 5.0,
+                _ => 10.0,
+            },
+            max_delay_steps: match scale {
+                Scale::Micro => 2,
+                Scale::Mini => 5,
+                Scale::Full => 5,
+            },
+            prune_sparsity: 0.5,
+        }
+    }
+
+    fn img_size(&self) -> usize {
+        match self.scale {
+            Scale::Micro => 8,
+            // 20 px keeps LeNet-5's flatten stage at 2×2×16 (16 px would
+            // starve it to a single spatial position).
+            Scale::Mini => 20,
+            Scale::Full => 32,
+        }
+    }
+
+    fn train_samples(&self) -> usize {
+        match self.scale {
+            Scale::Micro => 240,
+            Scale::Mini => 480,
+            Scale::Full => 4000,
+        }
+    }
+
+    fn test_samples(&self) -> usize {
+        match self.scale {
+            Scale::Micro => 48,
+            Scale::Mini => 160,
+            Scale::Full => 1000,
+        }
+    }
+
+    fn baseline_epochs(&self) -> usize {
+        match self.scale {
+            Scale::Micro => 5,
+            Scale::Mini => 8,
+            Scale::Full => 30,
+        }
+    }
+
+    fn retrain_epochs(&self) -> usize {
+        match self.scale {
+            Scale::Micro => 1,
+            Scale::Mini => 3,
+            Scale::Full => 10,
+        }
+    }
+
+    fn capture_batch(&self) -> usize {
+        match self.scale {
+            Scale::Micro => 6,
+            Scale::Mini => 16,
+            Scale::Full => 64,
+        }
+    }
+
+    fn power_samples(&self) -> usize {
+        match self.scale {
+            Scale::Micro => 24,
+            Scale::Mini => 2500,
+            Scale::Full => 10_000,
+        }
+    }
+
+    fn weight_stride(&self) -> usize {
+        match self.scale {
+            Scale::Micro => 16,
+            _ => 1,
+        }
+    }
+
+    fn timing_exhaustive(&self) -> (bool, usize) {
+        match self.scale {
+            Scale::Micro => (false, 192),
+            Scale::Mini => (false, 12_288),
+            Scale::Full => (true, 0),
+        }
+    }
+
+    fn bins(&self) -> usize {
+        match self.scale {
+            Scale::Micro => 8,
+            _ => 50,
+        }
+    }
+
+    fn array_config(&self) -> ArrayConfig {
+        match self.scale {
+            Scale::Micro => ArrayConfig::small(16, 16),
+            Scale::Mini => ArrayConfig::small(32, 32),
+            Scale::Full => ArrayConfig::paper_64x64(),
+        }
+    }
+
+    fn restarts(&self) -> usize {
+        match self.scale {
+            Scale::Micro => 4,
+            _ => 20,
+        }
+    }
+
+    fn train_config(&self, epochs: usize) -> TrainConfig {
+        TrainConfig {
+            epochs,
+            batch_size: 16,
+            // The batch-norm-free LeNet-5 needs the lower rate at
+            // Mini/Full scale; the tiny Micro net converges faster at
+            // the higher one.
+            lr: match self.scale {
+                Scale::Micro => 0.05,
+                _ => 0.02,
+            },
+            momentum: 0.9,
+            weight_decay: 5e-4,
+            lr_decay: 0.9,
+            clip_norm: Some(5.0),
+        }
+    }
+
+    fn retrain_config(&self) -> RetrainConfig {
+        RetrainConfig {
+            train: TrainConfig {
+                lr: match self.scale {
+                    Scale::Micro => 0.02,
+                    _ => 0.01,
+                },
+                ..self.train_config(self.retrain_epochs())
+            },
+            eval_batch: 64,
+        }
+    }
+
+    /// Pixel-noise amplitude of the synthetic datasets: hard enough at
+    /// Mini/Full scale that accuracy responds to value-set restriction
+    /// (the paper's baselines sit at 74–92%, not at 100%).
+    fn noise(&self) -> f32 {
+        match self.scale {
+            Scale::Micro => 0.08,
+            Scale::Mini | Scale::Full => 0.55,
+        }
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig::for_scale(Scale::Mini)
+    }
+}
+
+/// A trained network with its datasets.
+#[derive(Debug)]
+pub struct Prepared {
+    /// The (quantization-aware trained) network.
+    pub net: Network,
+    /// Training split.
+    pub train_data: Dataset,
+    /// Test split.
+    pub test_data: Dataset,
+    /// Baseline test accuracy after QAT.
+    pub accuracy: f64,
+}
+
+/// Hardware characterization products shared by the experiments.
+#[derive(Debug)]
+pub struct Characterization {
+    /// Transition statistics from systolic execution.
+    pub stats: TransitionStats,
+    /// Partial-sum binning and bin-transition distribution.
+    pub binning: PsumBinning,
+    /// Per-weight power profile (Fig. 2).
+    pub power_profile: WeightPowerProfile,
+    /// Energy model handed to the array simulator.
+    pub energy_model: MacEnergyModel,
+}
+
+/// The end-to-end experiment driver.
+#[derive(Debug)]
+pub struct Pipeline {
+    /// Configuration.
+    pub cfg: PipelineConfig,
+    hw: MacHardware,
+    array: SystolicArray,
+    voltage: VoltageModel,
+}
+
+impl Pipeline {
+    /// Creates a pipeline at the given scale with the paper's 8-bit MAC.
+    #[must_use]
+    pub fn new(cfg: PipelineConfig) -> Self {
+        Pipeline {
+            hw: MacHardware::paper_default(),
+            array: SystolicArray::new(cfg.array_config()),
+            voltage: VoltageModel::finfet15(),
+            cfg,
+        }
+    }
+
+    /// The characterized MAC hardware.
+    #[must_use]
+    pub fn hardware(&self) -> &MacHardware {
+        &self.hw
+    }
+
+    /// The systolic array simulator.
+    #[must_use]
+    pub fn array(&self) -> &SystolicArray {
+        &self.array
+    }
+
+    fn dataset_spec(&self, kind: NetworkKind, train: bool) -> SyntheticSpec {
+        let samples = if train {
+            self.cfg.train_samples()
+        } else {
+            self.cfg.test_samples()
+        };
+        let seed = self.cfg.seed ^ if train { 0x11 } else { 0x22 } ^ (kind as u64) << 4;
+        let size = self.cfg.img_size();
+        let mut spec = match kind {
+            NetworkKind::LeNet5 | NetworkKind::ResNet20 => {
+                SyntheticSpec::cifar10_like(size, samples, seed)
+            }
+            NetworkKind::ResNet50 => {
+                let mut spec = SyntheticSpec::cifar100_like(size, samples, seed);
+                if self.cfg.scale != Scale::Full {
+                    // 100 classes are not learnable at mini sample
+                    // counts; keep the class structure but narrower.
+                    spec.classes = 20;
+                }
+                spec
+            }
+            NetworkKind::EfficientNetLite => SyntheticSpec::imagenet_like(size, samples, seed),
+        };
+        spec.noise = self.cfg.noise();
+        spec
+    }
+
+    fn build_network(&self, kind: NetworkKind, classes: usize, rng: &mut StdRng) -> Network {
+        let size = self.cfg.img_size();
+        match self.cfg.scale {
+            Scale::Micro => models::tiny_cnn("micro", 3, size, classes, rng),
+            Scale::Mini => match kind {
+                NetworkKind::LeNet5 => models::lenet5(3, size, classes, rng),
+                NetworkKind::ResNet20 => models::resnet("resnet20-mini", 3, classes, 1, 8, rng),
+                NetworkKind::ResNet50 => models::resnet50_mini(3, classes, 1, 8, rng),
+                NetworkKind::EfficientNetLite => models::efficientnet_lite_mini(3, classes, rng),
+            },
+            Scale::Full => match kind {
+                NetworkKind::LeNet5 => models::lenet5(3, size, classes, rng),
+                NetworkKind::ResNet20 => models::resnet20(3, classes, rng),
+                NetworkKind::ResNet50 => models::resnet50_mini(3, classes, 2, 16, rng),
+                NetworkKind::EfficientNetLite => models::efficientnet_lite_mini(3, classes, rng),
+            },
+        }
+    }
+
+    /// Trains the quantization-aware baseline for a network kind.
+    #[must_use]
+    pub fn prepare(&self, kind: NetworkKind) -> Prepared {
+        let train_data = self.dataset_spec(kind, true).generate();
+        let test_data = self.dataset_spec(kind, false).generate();
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ (kind as u64));
+        let mut net = self.build_network(kind, train_data.classes(), &mut rng);
+        net.quantize = true;
+        let _ = train(
+            &mut net,
+            &train_data,
+            &self.cfg.train_config(self.cfg.baseline_epochs()),
+            &mut rng,
+        );
+        let accuracy = evaluate(&mut net, &test_data, 64);
+        Prepared {
+            net,
+            train_data,
+            test_data,
+            accuracy,
+        }
+    }
+
+    /// Captures the quantized GEMMs of a forward pass over a fixed
+    /// evaluation batch.
+    #[must_use]
+    pub fn capture(&self, prepared: &mut Prepared) -> Vec<GemmCapture> {
+        let (x, _) = prepared.test_data.head(self.cfg.capture_batch());
+        let (_, captures) = prepared.net.forward_capture(&x);
+        captures
+    }
+
+    /// Runs statistics collection + power characterization from captured
+    /// GEMMs (paper Figs. 2 and 4).
+    #[must_use]
+    pub fn characterize(&self, captures: &[GemmCapture]) -> Characterization {
+        let stats = self.array.run_network_stats(captures);
+        let binning = PsumBinning::from_samples(
+            stats.psum_samples(),
+            self.cfg.bins(),
+            self.array.config().acc_bits,
+            self.cfg.seed ^ 0xb135,
+        );
+        let power_profile = characterize_power(
+            &self.hw,
+            &stats,
+            &binning,
+            &PowerConfig {
+                samples_per_weight: self.cfg.power_samples(),
+                seed: self.cfg.seed ^ 0x909,
+                clock_ps: self.array.config().clock_ps,
+                weight_stride: self.cfg.weight_stride(),
+                baseline_fj_per_cycle: 90.0,
+            },
+        );
+        let leakage = self.hw.mac().netlist().leakage_nw(self.hw.lib());
+        let energy_model = power_profile.to_energy_model(0.3, leakage);
+        Characterization {
+            stats,
+            binning,
+            power_profile,
+            energy_model,
+        }
+    }
+
+    /// Runs the timing characterization with the given slow-combination
+    /// floor (paper Fig. 3).
+    #[must_use]
+    pub fn characterize_timing(&self, slow_floor_ps: f64) -> WeightTimingProfile {
+        let (exhaustive, samples) = self.cfg.timing_exhaustive();
+        characterize_timing(
+            &self.hw,
+            &TimingConfig {
+                exhaustive,
+                samples,
+                seed: self.cfg.seed ^ 0x7171,
+                slow_floor_ps,
+                weight_stride: self.cfg.weight_stride(),
+            },
+        )
+    }
+
+    /// Measures total power on both hardware variants, mW.
+    #[must_use]
+    pub fn measure_power(
+        &self,
+        captures: &[GemmCapture],
+        model: &MacEnergyModel,
+    ) -> (systolic::NetworkEnergyReport, systolic::NetworkEnergyReport) {
+        (
+            self.array.run_network_energy(captures, model, HwVariant::Standard),
+            self.array.run_network_energy(captures, model, HwVariant::Optimized),
+        )
+    }
+
+    /// Runs the complete proposed flow for one network and produces its
+    /// Table I row.
+    #[must_use]
+    pub fn run_table1_row(&self, kind: NetworkKind) -> Table1Row {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xf00d ^ (kind as u64));
+        let retrain_cfg = self.cfg.retrain_config();
+
+        // 1. Baseline QAT.
+        let mut prepared = self.prepare(kind);
+        let acc_orig = prepared.accuracy;
+        let captures_orig = self.capture(&mut prepared);
+
+        // 2. Characterize and measure the baseline.
+        let chars = self.characterize(&captures_orig);
+        let (std_orig, opt_orig) = self.measure_power(&captures_orig, &chars.energy_model);
+
+        // 3. Conventional pruning.
+        let _ = prune_retrain(
+            &mut prepared.net,
+            &prepared.train_data,
+            &prepared.test_data,
+            self.cfg.prune_sparsity,
+            &retrain_cfg,
+            &mut rng,
+        );
+
+        // 4. Weight selection by power threshold (targeting the paper's
+        //    per-network weight-value count).
+        let target = kind.paper_weight_target().min(chars.power_profile.codes().len());
+        let threshold = threshold_for_count(&chars.power_profile, target);
+        let power_sel = select_by_power(&chars.power_profile, threshold);
+        let _ = restricted_retrain(
+            &mut prepared.net,
+            &prepared.train_data,
+            &prepared.test_data,
+            Some(&power_sel.weights),
+            None,
+            &retrain_cfg,
+            &mut rng,
+        );
+
+        // 5. Timing characterization + delay sweep.
+        let probe = self.characterize_timing(f64::MAX);
+        let base_max = probe.max_delay_over(&self.hw.weight_codes()).max(probe.psum_floor_ps);
+        let base_max_rounded = (base_max / self.cfg.delay_step_ps).ceil() * self.cfg.delay_step_ps;
+        let floor = (base_max_rounded
+            - (self.cfg.max_delay_steps as f64 + 1.0) * self.cfg.delay_step_ps)
+            .max(probe.psum_floor_ps);
+        let timing = self.characterize_timing(floor);
+
+        let mut best_sel: Option<crate::select::DelaySelection> = None;
+        let mut best_acc = acc_orig;
+        let mut best_state = prepared.net.snapshot();
+        let mut threshold_ps = base_max_rounded - self.cfg.delay_step_ps;
+        for _ in 0..self.cfg.max_delay_steps {
+            if threshold_ps < floor.max(timing.psum_floor_ps) {
+                break;
+            }
+            let sel = select_by_delay(
+                &timing,
+                &power_sel.weights,
+                self.hw.act_levels(),
+                &DelaySelectionConfig {
+                    threshold_ps,
+                    restarts: self.cfg.restarts(),
+                    seed: self.cfg.seed ^ 0x5e1ec7,
+                    protected_weights: vec![0],
+                    activation_bias: 4,
+                },
+            );
+            let mut acc = restricted_retrain(
+                &mut prepared.net,
+                &prepared.train_data,
+                &prepared.test_data,
+                Some(&sel.weights),
+                Some(&sel.activations),
+                &retrain_cfg,
+                &mut rng,
+            );
+            if acc + self.cfg.accuracy_drop_tolerance < acc_orig {
+                // Restricted retraining oscillates on the BN networks at
+                // small epoch budgets; give the selection one more
+                // retraining round before judging it.
+                acc = restricted_retrain(
+                    &mut prepared.net,
+                    &prepared.train_data,
+                    &prepared.test_data,
+                    Some(&sel.weights),
+                    Some(&sel.activations),
+                    &retrain_cfg,
+                    &mut rng,
+                );
+            }
+            if acc + self.cfg.accuracy_drop_tolerance < acc_orig {
+                // Accuracy dropped noticeably: roll back to the previous
+                // point (weights *and* restriction sets) and stop.
+                prepared.net.restore(&best_state);
+                match &best_sel {
+                    Some(prev) => {
+                        prepared
+                            .net
+                            .set_weight_restriction(Some(nn::ValueSet::new(
+                                prev.weights.iter().copied(),
+                            )));
+                        prepared.net.set_activation_restriction(Some(
+                            nn::ValueSet::new(prev.activations.iter().copied()),
+                        ));
+                    }
+                    None => {
+                        prepared
+                            .net
+                            .set_weight_restriction(Some(nn::ValueSet::new(
+                                power_sel.weights.iter().copied(),
+                            )));
+                        prepared.net.set_activation_restriction(None);
+                    }
+                }
+                break;
+            }
+            best_acc = acc;
+            best_state = prepared.net.snapshot();
+            best_sel = Some(sel);
+            threshold_ps -= self.cfg.delay_step_ps;
+        }
+
+        let (weights, acts, achieved_ps) = match &best_sel {
+            Some(sel) => (
+                sel.weight_count(),
+                sel.activation_count(),
+                sel.threshold_ps.max(timing.psum_floor_ps),
+            ),
+            None => (
+                power_sel.weights.len(),
+                self.hw.act_levels(),
+                base_max_rounded,
+            ),
+        };
+
+        // 6. Proposed power (restricted network) + voltage scaling.
+        let captures_prop = self.capture(&mut prepared);
+        let (std_prop_raw, opt_prop_raw) = self.measure_power(&captures_prop, &chars.energy_model);
+        let scaling = VoltageScaling::from_delays(&self.voltage, base_max_rounded, achieved_ps);
+        let scaled_model = chars
+            .energy_model
+            .scaled(scaling.dynamic_factor, scaling.leakage_factor);
+        let (std_prop, opt_prop) = self.measure_power(&captures_prop, &scaled_model);
+
+        Table1Row {
+            network: kind.label().to_string(),
+            acc_orig,
+            acc_prop: best_acc,
+            std_orig_mw: std_orig.total_power_mw(),
+            std_prop_mw: std_prop.total_power_mw(),
+            opt_orig_mw: opt_orig.total_power_mw(),
+            opt_prop_mw: opt_prop.total_power_mw(),
+            weights,
+            acts,
+            max_delay_orig_ps: base_max_rounded,
+            max_delay_prop_ps: achieved_ps,
+            vdd_label: scaling.label(),
+            vs_std_pct: 100.0
+                * (std_prop_raw.total_power_mw() - std_prop.total_power_mw())
+                / std_orig.total_power_mw(),
+            vs_opt_pct: 100.0
+                * (opt_prop_raw.total_power_mw() - opt_prop.total_power_mw())
+                / opt_orig.total_power_mw(),
+        }
+    }
+
+    /// Fig. 7: Baseline vs conventional pruning vs proposed, on
+    /// Optimized HW.
+    #[must_use]
+    pub fn compare_conventional(&self, kind: NetworkKind) -> Fig7Entry {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x716 ^ (kind as u64));
+        let retrain_cfg = self.cfg.retrain_config();
+        let mut prepared = self.prepare(kind);
+        let captures = self.capture(&mut prepared);
+        let chars = self.characterize(&captures);
+
+        let mut points = Vec::new();
+        let opt = self
+            .array
+            .run_network_energy(&captures, &chars.energy_model, HwVariant::Optimized);
+        points.push((
+            "Baseline".to_string(),
+            opt.dynamic_power_mw(),
+            opt.leakage_power_mw(),
+            prepared.accuracy,
+        ));
+
+        let acc_pruned = prune_retrain(
+            &mut prepared.net,
+            &prepared.train_data,
+            &prepared.test_data,
+            self.cfg.prune_sparsity,
+            &retrain_cfg,
+            &mut rng,
+        );
+        let captures_pruned = self.capture(&mut prepared);
+        let opt_pruned = self.array.run_network_energy(
+            &captures_pruned,
+            &chars.energy_model,
+            HwVariant::Optimized,
+        );
+        points.push((
+            "Pruned".to_string(),
+            opt_pruned.dynamic_power_mw(),
+            opt_pruned.leakage_power_mw(),
+            acc_pruned,
+        ));
+
+        let target = kind.paper_weight_target().min(chars.power_profile.codes().len());
+        let threshold = threshold_for_count(&chars.power_profile, target);
+        let sel = select_by_power(&chars.power_profile, threshold);
+        let acc_prop = restricted_retrain(
+            &mut prepared.net,
+            &prepared.train_data,
+            &prepared.test_data,
+            Some(&sel.weights),
+            None,
+            &retrain_cfg,
+            &mut rng,
+        );
+        let captures_prop = self.capture(&mut prepared);
+        let opt_prop = self.array.run_network_energy(
+            &captures_prop,
+            &chars.energy_model,
+            HwVariant::Optimized,
+        );
+        points.push((
+            "Proposed".to_string(),
+            opt_prop.dynamic_power_mw(),
+            opt_prop.leakage_power_mw(),
+            acc_prop,
+        ));
+
+        Fig7Entry {
+            network: kind.label().to_string(),
+            points,
+        }
+    }
+
+    /// Fig. 8: sequential power-threshold sweep (the paper's ladder
+    /// None → 900 → 850 → 825 → 800 µW, expressed as the equivalent
+    /// weight-value counts 255/86/61/48/36).
+    #[must_use]
+    pub fn power_threshold_sweep(&self, kind: NetworkKind) -> Fig8Series {
+        let counts = [255usize, 86, 61, 48, 36];
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xf18 ^ (kind as u64));
+        let retrain_cfg = self.cfg.retrain_config();
+        let mut prepared = self.prepare(kind);
+        let captures = self.capture(&mut prepared);
+        let chars = self.characterize(&captures);
+
+        let mut points = Vec::new();
+        let opt = self
+            .array
+            .run_network_energy(&captures, &chars.energy_model, HwVariant::Optimized);
+        points.push((
+            f64::NAN,
+            chars.power_profile.codes().len(),
+            opt.dynamic_power_mw(),
+            opt.leakage_power_mw(),
+            prepared.accuracy,
+        ));
+
+        for &count in &counts[1..] {
+            let count = count.min(chars.power_profile.codes().len());
+            let threshold = threshold_for_count(&chars.power_profile, count);
+            let sel = select_by_power(&chars.power_profile, threshold);
+            let mut acc = restricted_retrain(
+                &mut prepared.net,
+                &prepared.train_data,
+                &prepared.test_data,
+                Some(&sel.weights),
+                None,
+                &retrain_cfg,
+                &mut rng,
+            );
+            if acc + self.cfg.accuracy_drop_tolerance < prepared.accuracy {
+                // Short retrain budgets oscillate on the BN networks;
+                // retrain once more before recording the point (the
+                // paper retrains to convergence at each threshold).
+                acc = restricted_retrain(
+                    &mut prepared.net,
+                    &prepared.train_data,
+                    &prepared.test_data,
+                    Some(&sel.weights),
+                    None,
+                    &retrain_cfg,
+                    &mut rng,
+                );
+            }
+            let caps = self.capture(&mut prepared);
+            let power = self
+                .array
+                .run_network_energy(&caps, &chars.energy_model, HwVariant::Optimized);
+            points.push((
+                threshold,
+                sel.weights.len(),
+                power.dynamic_power_mw(),
+                power.leakage_power_mw(),
+                acc,
+            ));
+        }
+        Fig8Series {
+            network: kind.label().to_string(),
+            points,
+        }
+    }
+
+    /// Fig. 9: sequential max-delay sweep at a fixed power-selected
+    /// weight set.
+    #[must_use]
+    pub fn delay_sweep(&self, kind: NetworkKind) -> Fig9Series {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xf19 ^ (kind as u64));
+        let retrain_cfg = self.cfg.retrain_config();
+        let mut prepared = self.prepare(kind);
+        let captures = self.capture(&mut prepared);
+        let chars = self.characterize(&captures);
+
+        // Paper: weight threshold 825 µW for the first three networks,
+        // 900 µW for EfficientNet — i.e. counts 48 and 86.
+        let count = match kind {
+            NetworkKind::EfficientNetLite => 86usize,
+            _ => 48,
+        }
+        .min(chars.power_profile.codes().len());
+        let threshold = threshold_for_count(&chars.power_profile, count);
+        let power_sel = select_by_power(&chars.power_profile, threshold);
+        let acc0 = restricted_retrain(
+            &mut prepared.net,
+            &prepared.train_data,
+            &prepared.test_data,
+            Some(&power_sel.weights),
+            None,
+            &retrain_cfg,
+            &mut rng,
+        );
+
+        let probe = self.characterize_timing(f64::MAX);
+        let base_max = probe.max_delay_over(&self.hw.weight_codes()).max(probe.psum_floor_ps);
+        let base_max_rounded = (base_max / self.cfg.delay_step_ps).ceil() * self.cfg.delay_step_ps;
+        let floor = (base_max_rounded
+            - (self.cfg.max_delay_steps as f64 + 1.0) * self.cfg.delay_step_ps)
+            .max(probe.psum_floor_ps);
+        let timing = self.characterize_timing(floor);
+
+        let mut points = vec![(
+            base_max_rounded,
+            self.hw.act_levels(),
+            power_sel.weights.len(),
+            acc0,
+        )];
+        let mut threshold_ps = base_max_rounded - self.cfg.delay_step_ps;
+        for _ in 0..self.cfg.max_delay_steps {
+            if threshold_ps < floor.max(timing.psum_floor_ps) {
+                break;
+            }
+            let sel = select_by_delay(
+                &timing,
+                &power_sel.weights,
+                self.hw.act_levels(),
+                &DelaySelectionConfig {
+                    threshold_ps,
+                    restarts: self.cfg.restarts(),
+                    seed: self.cfg.seed ^ 0x5e1ec7,
+                    protected_weights: vec![0],
+                    activation_bias: 4,
+                },
+            );
+            let mut acc = restricted_retrain(
+                &mut prepared.net,
+                &prepared.train_data,
+                &prepared.test_data,
+                Some(&sel.weights),
+                Some(&sel.activations),
+                &retrain_cfg,
+                &mut rng,
+            );
+            if acc + self.cfg.accuracy_drop_tolerance < acc0 {
+                acc = restricted_retrain(
+                    &mut prepared.net,
+                    &prepared.train_data,
+                    &prepared.test_data,
+                    Some(&sel.weights),
+                    Some(&sel.activations),
+                    &retrain_cfg,
+                    &mut rng,
+                );
+            }
+            points.push((threshold_ps, sel.activation_count(), sel.weight_count(), acc));
+            threshold_ps -= self.cfg.delay_step_ps;
+        }
+        Fig9Series {
+            network: kind.label().to_string(),
+            points,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn micro_pipeline() -> Pipeline {
+        Pipeline::new(PipelineConfig::for_scale(Scale::Micro))
+    }
+
+    #[test]
+    fn prepare_trains_above_chance() {
+        let p = micro_pipeline();
+        let prepared = p.prepare(NetworkKind::LeNet5);
+        // 10 classes; QAT micro training should beat chance.
+        assert!(
+            prepared.accuracy > 0.15,
+            "baseline accuracy {} at chance",
+            prepared.accuracy
+        );
+    }
+
+    #[test]
+    fn capture_produces_gemms_with_valid_codes() {
+        let p = micro_pipeline();
+        let mut prepared = p.prepare(NetworkKind::LeNet5);
+        let captures = p.capture(&mut prepared);
+        assert!(!captures.is_empty());
+        for c in &captures {
+            assert!(c.weight_codes.iter().all(|&w| w >= -127));
+        }
+    }
+
+    #[test]
+    fn characterization_produces_full_profile() {
+        let p = micro_pipeline();
+        let mut prepared = p.prepare(NetworkKind::LeNet5);
+        let captures = p.capture(&mut prepared);
+        let chars = p.characterize(&captures);
+        assert_eq!(chars.power_profile.codes().len(), 255);
+        assert!(chars.power_profile.power_uw(0) < chars.power_profile.power_uw(-105));
+        let (std_p, opt_p) = p.measure_power(&captures, &chars.energy_model);
+        assert!(opt_p.total_power_mw() <= std_p.total_power_mw());
+    }
+
+    #[test]
+    fn dataset_specs_differ_between_train_and_test() {
+        let p = micro_pipeline();
+        let a = p.dataset_spec(NetworkKind::ResNet20, true);
+        let b = p.dataset_spec(NetworkKind::ResNet20, false);
+        assert_ne!(a.seed, b.seed);
+        assert_eq!(a.classes, b.classes);
+    }
+
+    #[test]
+    fn resnet50_micro_uses_reduced_classes() {
+        let p = micro_pipeline();
+        let spec = p.dataset_spec(NetworkKind::ResNet50, true);
+        assert_eq!(spec.classes, 20);
+    }
+}

@@ -1,0 +1,249 @@
+//! Experiment result types with paper-style formatting.
+
+use std::fmt;
+
+/// One row of the paper's Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Network-dataset label (e.g. "LeNet-5-CIFAR-10 (synthetic)").
+    pub network: String,
+    /// Baseline quantized accuracy.
+    pub acc_orig: f64,
+    /// Accuracy after the full proposed flow.
+    pub acc_prop: f64,
+    /// Baseline total power on Standard HW, mW.
+    pub std_orig_mw: f64,
+    /// Proposed total power on Standard HW (incl. voltage scaling), mW.
+    pub std_prop_mw: f64,
+    /// Baseline total power on Optimized HW, mW.
+    pub opt_orig_mw: f64,
+    /// Proposed total power on Optimized HW (incl. voltage scaling), mW.
+    pub opt_prop_mw: f64,
+    /// Number of selected weight values.
+    pub weights: usize,
+    /// Number of selected activation values.
+    pub acts: usize,
+    /// Original maximum MAC delay, ps.
+    pub max_delay_orig_ps: f64,
+    /// Maximum MAC delay after selection, ps.
+    pub max_delay_prop_ps: f64,
+    /// Voltage scaling label, e.g. "0.71/0.8".
+    pub vdd_label: String,
+    /// Share of the baseline Standard-HW power saved by voltage scaling
+    /// alone (paper column "VS HW"), percent.
+    pub vs_std_pct: f64,
+    /// Share of the baseline Optimized-HW power saved by voltage
+    /// scaling alone (paper column "VO HW"), percent.
+    pub vs_opt_pct: f64,
+}
+
+impl Table1Row {
+    /// Power reduction on Standard HW, percent.
+    #[must_use]
+    pub fn std_reduction_pct(&self) -> f64 {
+        100.0 * (1.0 - self.std_prop_mw / self.std_orig_mw)
+    }
+
+    /// Power reduction on Optimized HW, percent.
+    #[must_use]
+    pub fn opt_reduction_pct(&self) -> f64 {
+        100.0 * (1.0 - self.opt_prop_mw / self.opt_orig_mw)
+    }
+
+    /// Max-delay reduction, ps.
+    #[must_use]
+    pub fn delay_reduction_ps(&self) -> f64 {
+        self.max_delay_orig_ps - self.max_delay_prop_ps
+    }
+}
+
+impl fmt::Display for Table1Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<34} {:>6.1}% {:>6.1}% | {:>8.1} {:>8.1} {:>6.1}% | {:>8.1} {:>8.1} {:>6.1}% | {:>4} {:>4} | {:>5.0} ps | {:>9} | {:>5.1}% {:>5.1}%",
+            self.network,
+            100.0 * self.acc_orig,
+            100.0 * self.acc_prop,
+            self.std_orig_mw,
+            self.std_prop_mw,
+            self.std_reduction_pct(),
+            self.opt_orig_mw,
+            self.opt_prop_mw,
+            self.opt_reduction_pct(),
+            self.weights,
+            self.acts,
+            self.delay_reduction_ps(),
+            self.vdd_label,
+            self.vs_std_pct,
+            self.vs_opt_pct,
+        )
+    }
+}
+
+/// Header line matching [`Table1Row`]'s Display layout.
+#[must_use]
+pub fn table1_header() -> String {
+    format!(
+        "{:<34} {:>7} {:>7} | {:>8} {:>8} {:>7} | {:>8} {:>8} {:>7} | {:>4} {:>4} | {:>8} | {:>9} | {:>6} {:>6}\n{}",
+        "Network-Dataset",
+        "AccO",
+        "AccP",
+        "StdOrig",
+        "StdProp",
+        "Red",
+        "OptOrig",
+        "OptProp",
+        "Red",
+        "Wei",
+        "Act",
+        "DelayRed",
+        "Voltage",
+        "VS HW",
+        "VO HW",
+        "-".repeat(150)
+    )
+}
+
+/// One bar group of Fig. 7 (Baseline / Pruned / Proposed on Optimized
+/// HW, with the dynamic/leakage split and accuracy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7Entry {
+    /// Network label.
+    pub network: String,
+    /// `(variant label, dynamic mW, leakage mW, accuracy)` triples.
+    pub points: Vec<(String, f64, f64, f64)>,
+}
+
+impl fmt::Display for Fig7Entry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} (Optimized HW)", self.network)?;
+        for (label, dyn_mw, leak_mw, acc) in &self.points {
+            writeln!(
+                f,
+                "  {:<10} dyn {:>8.2} mW  leak {:>7.2} mW  total {:>8.2} mW  acc {:>5.1}%",
+                label,
+                dyn_mw,
+                leak_mw,
+                dyn_mw + leak_mw,
+                100.0 * acc
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// One curve of Fig. 8 (power-threshold sweep).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8Series {
+    /// Network label.
+    pub network: String,
+    /// `(threshold µW or NaN for "None", #weights, dynamic mW, leakage
+    /// mW, accuracy)` per sweep point.
+    pub points: Vec<(f64, usize, f64, f64, f64)>,
+}
+
+impl fmt::Display for Fig8Series {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} — power threshold sweep (Optimized HW)", self.network)?;
+        for (thr, n, dyn_mw, leak_mw, acc) in &self.points {
+            let label = if thr.is_nan() {
+                "None".to_string()
+            } else {
+                format!("{thr:.0} µW")
+            };
+            writeln!(
+                f,
+                "  thr {:<9} weights {:>3}  dyn {:>8.2} mW  leak {:>7.2} mW  acc {:>5.1}%",
+                label,
+                n,
+                dyn_mw,
+                leak_mw,
+                100.0 * acc
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// One curve of Fig. 9 (max-delay / activation-count sweep).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9Series {
+    /// Network label.
+    pub network: String,
+    /// `(delay threshold ps, #activation values, #weight values,
+    /// accuracy)` per sweep point.
+    pub points: Vec<(f64, usize, usize, f64)>,
+}
+
+impl fmt::Display for Fig9Series {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} — max-delay sweep", self.network)?;
+        for (thr, acts, weights, acc) in &self.points {
+            writeln!(
+                f,
+                "  {:>5.0} ps  activations {:>3}  weights {:>3}  acc {:>5.1}%",
+                thr, acts, weights, 100.0 * acc
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Table1Row {
+        Table1Row {
+            network: "LeNet-5".into(),
+            acc_orig: 0.807,
+            acc_prop: 0.784,
+            std_orig_mw: 281.6,
+            std_prop_mw: 152.1,
+            opt_orig_mw: 280.4,
+            opt_prop_mw: 73.1,
+            weights: 32,
+            acts: 176,
+            max_delay_orig_ps: 180.0,
+            max_delay_prop_ps: 140.0,
+            vdd_label: "0.71/0.8".into(),
+            vs_std_pct: 13.7,
+            vs_opt_pct: 6.4,
+        }
+    }
+
+    #[test]
+    fn reductions_match_paper_arithmetic() {
+        let r = row();
+        assert!((r.std_reduction_pct() - 46.0).abs() < 0.1);
+        assert!((r.opt_reduction_pct() - 73.9).abs() < 0.1);
+        assert_eq!(r.delay_reduction_ps(), 40.0);
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let text = row().to_string();
+        assert!(text.contains("LeNet-5"));
+        assert!(text.contains("0.71/0.8"));
+        assert!(text.contains("73.9"));
+    }
+
+    #[test]
+    fn header_and_row_render() {
+        let h = table1_header();
+        assert!(h.contains("Network-Dataset"));
+        assert!(h.contains("VO HW"));
+    }
+
+    #[test]
+    fn fig_series_display() {
+        let s = Fig8Series {
+            network: "x".into(),
+            points: vec![(f64::NAN, 255, 10.0, 2.0, 0.8), (900.0, 86, 8.0, 2.0, 0.79)],
+        };
+        let text = s.to_string();
+        assert!(text.contains("None"));
+        assert!(text.contains("900"));
+    }
+}

@@ -1,0 +1,241 @@
+//! Retraining with restricted weight/activation values (paper §III-C).
+//!
+//! Two retraining flavours appear in the paper's flow:
+//!
+//! * **Conventional pruning** — weights with small magnitudes are forced
+//!   to zero (and held there with a mask across optimizer steps), then
+//!   the network is retrained. This is the "Pruned" baseline of Fig. 7
+//!   and the first step of the proposed flow.
+//! * **Restricted retraining** — the network is retrained while its
+//!   weights/activations are projected onto the selected value sets in
+//!   the forward pass; the backward pass uses the straight-through
+//!   estimator (the projection is skipped when propagating gradients),
+//!   exactly as described with reference [15].
+
+use nn::data::Dataset;
+use nn::loss::cross_entropy;
+use nn::model::Network;
+use nn::optim::Sgd;
+use nn::quant::ValueSet;
+use nn::train::{evaluate, train, TrainConfig};
+use rand::rngs::StdRng;
+
+/// Retraining configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetrainConfig {
+    /// Underlying SGD configuration.
+    pub train: TrainConfig,
+    /// Batch size for evaluation passes.
+    pub eval_batch: usize,
+}
+
+impl Default for RetrainConfig {
+    fn default() -> Self {
+        RetrainConfig {
+            train: TrainConfig {
+                epochs: 3,
+                lr: 0.02,
+                ..TrainConfig::default()
+            },
+            eval_batch: 64,
+        }
+    }
+}
+
+/// Installs the given restriction sets, retrains quantization-aware, and
+/// returns the resulting test accuracy.
+///
+/// `weights`/`activations` of `None` leave the corresponding restriction
+/// unchanged.
+pub fn restricted_retrain(
+    net: &mut Network,
+    train_data: &Dataset,
+    test_data: &Dataset,
+    weights: Option<&[i32]>,
+    activations: Option<&[i32]>,
+    cfg: &RetrainConfig,
+    rng: &mut StdRng,
+) -> f64 {
+    net.quantize = true;
+    if let Some(w) = weights {
+        net.set_weight_restriction(Some(ValueSet::new(w.iter().copied())));
+    }
+    if let Some(a) = activations {
+        net.set_activation_restriction(Some(ValueSet::new(a.iter().copied())));
+    }
+    let _ = train(net, train_data, &cfg.train, rng);
+    evaluate(net, test_data, cfg.eval_batch)
+}
+
+/// Forces the smallest-magnitude fraction of each weight tensor to zero
+/// and returns per-parameter masks (`true` = pruned) in visit order.
+pub fn magnitude_prune(net: &mut Network, sparsity: f64) -> Vec<Vec<bool>> {
+    let sparsity = sparsity.clamp(0.0, 1.0);
+    let mut masks = Vec::new();
+    net.visit_params(&mut |p| {
+        if !p.decay {
+            masks.push(Vec::new()); // placeholder for non-weight params
+            return;
+        }
+        let mut mags: Vec<f32> = p.value.data().iter().map(|v| v.abs()).collect();
+        mags.sort_by(|a, b| a.partial_cmp(b).expect("finite weights"));
+        let cut = ((mags.len() as f64 * sparsity) as usize).min(mags.len().saturating_sub(1));
+        let threshold = if mags.is_empty() { 0.0 } else { mags[cut] };
+        let mask: Vec<bool> = p.value.data().iter().map(|v| v.abs() <= threshold).collect();
+        for (v, &m) in p.value.data_mut().iter_mut().zip(&mask) {
+            if m {
+                *v = 0.0;
+            }
+        }
+        masks.push(mask);
+    });
+    masks
+}
+
+/// Re-applies pruning masks (zeroes masked weights) after optimizer
+/// updates.
+fn apply_masks(net: &mut Network, masks: &[Vec<bool>]) {
+    let mut idx = 0usize;
+    net.visit_params(&mut |p| {
+        if idx < masks.len() && !masks[idx].is_empty() {
+            for (v, &m) in p.value.data_mut().iter_mut().zip(&masks[idx]) {
+                if m {
+                    *v = 0.0;
+                }
+            }
+        }
+        idx += 1;
+    });
+}
+
+/// Conventional pruning baseline: magnitude-prunes to `sparsity`, then
+/// retrains while holding pruned weights at zero. Returns the test
+/// accuracy.
+pub fn prune_retrain(
+    net: &mut Network,
+    train_data: &Dataset,
+    test_data: &Dataset,
+    sparsity: f64,
+    cfg: &RetrainConfig,
+    rng: &mut StdRng,
+) -> f64 {
+    net.quantize = true;
+    let masks = magnitude_prune(net, sparsity);
+    let mut opt = Sgd::new(cfg.train.lr, cfg.train.momentum, cfg.train.weight_decay);
+    for _ in 0..cfg.train.epochs {
+        for batch in train_data.epoch_batches(cfg.train.batch_size, rng) {
+            let (x, labels) = train_data.batch(&batch);
+            net.zero_grads();
+            let logits = net.forward_train(&x);
+            let (_, grad) = cross_entropy(&logits, &labels);
+            let _ = net.backward(&grad);
+            if let Some(max_norm) = cfg.train.clip_norm {
+                let _ = nn::train::clip_gradients(net, max_norm);
+            }
+            opt.step(net);
+            apply_masks(net, &masks);
+        }
+        opt.lr *= cfg.train.lr_decay;
+    }
+    evaluate(net, test_data, cfg.eval_batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nn::data::SyntheticSpec;
+    use nn::models;
+    use rand::SeedableRng;
+
+    fn datasets() -> (Dataset, Dataset) {
+        let train = SyntheticSpec {
+            classes: 3,
+            size: 8,
+            channels: 1,
+            samples: 150,
+            noise: 0.05,
+            seed: 10,
+        }
+        .generate();
+        let test = SyntheticSpec {
+            classes: 3,
+            size: 8,
+            channels: 1,
+            samples: 60,
+            noise: 0.05,
+            seed: 20,
+        }
+        .generate();
+        (train, test)
+    }
+
+    fn quick_cfg() -> RetrainConfig {
+        RetrainConfig {
+            train: TrainConfig {
+                epochs: 3,
+                batch_size: 16,
+                lr: 0.05,
+                ..TrainConfig::default()
+            },
+            eval_batch: 32,
+        }
+    }
+
+    #[test]
+    fn magnitude_prune_hits_target_sparsity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = models::tiny_cnn("p", 1, 8, 3, &mut rng);
+        let _ = magnitude_prune(&mut net, 0.5);
+        let frac = net.zero_weight_fraction();
+        assert!(frac >= 0.45, "zero fraction {frac} below target");
+    }
+
+    #[test]
+    fn prune_retrain_keeps_pruned_weights_zero() {
+        let (train_data, test_data) = datasets();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = models::tiny_cnn("p", 1, 8, 3, &mut rng);
+        let _ = prune_retrain(&mut net, &train_data, &test_data, 0.6, &quick_cfg(), &mut rng);
+        let frac = net.zero_weight_fraction();
+        assert!(frac >= 0.55, "sparsity {frac} not maintained through training");
+    }
+
+    #[test]
+    fn restricted_retrain_learns_with_few_weight_values() {
+        let (train_data, test_data) = datasets();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = models::tiny_cnn("r", 1, 8, 3, &mut rng);
+        // Pre-train unrestricted.
+        net.quantize = true;
+        let _ = train(&mut net, &train_data, &quick_cfg().train, &mut rng);
+        let allowed: Vec<i32> = vec![-96, -64, -32, -16, -8, -4, -2, 0, 2, 4, 8, 16, 32, 64, 96];
+        let acc = restricted_retrain(
+            &mut net,
+            &train_data,
+            &test_data,
+            Some(&allowed),
+            None,
+            &quick_cfg(),
+            &mut rng,
+        );
+        assert!(acc > 0.45, "restricted accuracy {acc} collapsed");
+    }
+
+    #[test]
+    fn activation_restriction_is_installed() {
+        let (train_data, test_data) = datasets();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = models::tiny_cnn("a", 1, 8, 3, &mut rng);
+        let acts: Vec<i32> = (0..256).step_by(2).collect();
+        let acc = restricted_retrain(
+            &mut net,
+            &train_data,
+            &test_data,
+            None,
+            Some(&acts),
+            &quick_cfg(),
+            &mut rng,
+        );
+        assert!((0.0..=1.0).contains(&acc));
+    }
+}

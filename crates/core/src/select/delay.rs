@@ -1,0 +1,304 @@
+//! Joint weight/activation selection by delay threshold (paper §III-B,
+//! Fig. 6).
+//!
+//! Every `(weight, activation-from, activation-to)` combination with a
+//! composed delay above the threshold must be eliminated by removing
+//! either the weight value or one of the two activation values. Because
+//! a removal kills many combinations at once, finding the optimal
+//! removal sequence is hard; the paper removes a random member of the
+//! currently worst combination, repeats until no combination exceeds
+//! the threshold, and restarts the whole process several times (20 in
+//! the experiments), keeping the best outcome.
+
+use crate::chars::WeightTimingProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Configuration for the randomized delay selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelaySelectionConfig {
+    /// Delay threshold, ps: all surviving combinations must be at or
+    /// below it.
+    pub threshold_ps: f64,
+    /// Number of randomized restarts (paper: 20).
+    pub restarts: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Weight codes that must never be removed (zero by default: it is
+    /// the pruning target and never sensitizes multiplier paths).
+    pub protected_weights: Vec<i32>,
+    /// Relative odds of removing an activation instead of the weight
+    /// when eliminating a combination (1 = uniform as in the paper's
+    /// plain description). Weights are scarce after the power-threshold
+    /// stage — the paper's Table I keeps all 32 power-selected weights
+    /// through the delay stage — so biasing removals toward activations
+    /// reproduces that outcome.
+    pub activation_bias: u32,
+}
+
+impl Default for DelaySelectionConfig {
+    fn default() -> Self {
+        DelaySelectionConfig {
+            threshold_ps: f64::INFINITY,
+            restarts: 20,
+            seed: 0xde1a_7_5e1,
+            protected_weights: vec![0],
+            activation_bias: 4,
+        }
+    }
+}
+
+/// Result of a delay selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelaySelection {
+    /// Surviving weight codes (ascending).
+    pub weights: Vec<i32>,
+    /// Surviving activation codes (ascending).
+    pub activations: Vec<i32>,
+    /// The applied threshold, ps.
+    pub threshold_ps: f64,
+    /// Upper bound on the max delay of the surviving combinations, ps
+    /// (includes the adder's partial-sum STA floor).
+    pub achieved_max_ps: f64,
+}
+
+impl DelaySelection {
+    /// Number of surviving weight codes.
+    #[must_use]
+    pub fn weight_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of surviving activation codes.
+    #[must_use]
+    pub fn activation_count(&self) -> usize {
+        self.activations.len()
+    }
+}
+
+/// Runs the randomized iterative removal over `restarts` attempts and
+/// returns the selection keeping the most values (ties favour more
+/// activations, matching the paper's preference to keep the activation
+/// space large).
+///
+/// `candidate_weights` is the weight set entering this stage (typically
+/// the power-selected weights); the activation candidates are all
+/// `2^act_bits` codes.
+///
+/// # Panics
+///
+/// Panics if the profile's stored slow-combination floor is above the
+/// threshold (the candidate list would be incomplete) or if
+/// `candidate_weights` is empty.
+#[must_use]
+pub fn select_by_delay(
+    profile: &WeightTimingProfile,
+    candidate_weights: &[i32],
+    act_levels: usize,
+    cfg: &DelaySelectionConfig,
+) -> DelaySelection {
+    assert!(!candidate_weights.is_empty(), "no candidate weights");
+    assert!(
+        profile.slow_floor_ps <= cfg.threshold_ps,
+        "profile slow floor {} is above threshold {} — recharacterize with a lower floor",
+        profile.slow_floor_ps,
+        cfg.threshold_ps
+    );
+
+    // Collect offending combinations once, sorted by descending delay so
+    // a single pass always confronts the currently-worst combination.
+    let mut combos: Vec<(f32, i32, u8, u8)> = Vec::new();
+    for &w in candidate_weights {
+        if let Ok(idx) = profile.per_weight.binary_search_by_key(&w, |t| t.code) {
+            for &(f, t, d) in &profile.per_weight[idx].slow {
+                if f64::from(d) > cfg.threshold_ps {
+                    combos.push((d, w, f, t));
+                }
+            }
+        }
+    }
+    combos.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite delays"));
+
+    let protected: HashSet<i32> = cfg.protected_weights.iter().copied().collect();
+    let mut best: Option<(usize, usize, DelaySelection)> = None;
+
+    for restart in 0..cfg.restarts.max(1) {
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(restart as u64 * 0x9e37));
+        let mut live_w: HashSet<i32> = candidate_weights.iter().copied().collect();
+        let mut live_a: HashSet<i32> = (0..act_levels as i32).collect();
+
+        for &(_, w, f, t) in &combos {
+            if !live_w.contains(&w)
+                || !live_a.contains(&(f as i32))
+                || !live_a.contains(&(t as i32))
+            {
+                continue; // already eliminated
+            }
+            // Remove one participant at random (never a protected
+            // weight; weight 0 has no slow combos anyway), with
+            // activation removals weighted `activation_bias : 1`.
+            let bias = cfg.activation_bias.max(1) as usize;
+            let mut options: Vec<u8> = Vec::with_capacity(1 + 2 * bias);
+            if !protected.contains(&w) {
+                options.push(0);
+            }
+            for _ in 0..bias {
+                options.push(1);
+                if t != f {
+                    options.push(2);
+                }
+            }
+            match options[rng.random_range(0..options.len())] {
+                0 => {
+                    live_w.remove(&w);
+                }
+                1 => {
+                    live_a.remove(&(f as i32));
+                }
+                _ => {
+                    live_a.remove(&(t as i32));
+                }
+            }
+        }
+
+        // Achieved bound: the worst surviving combination (or the stored
+        // floor for combos we never materialized), never below the
+        // adder's psum path.
+        let mut achieved = profile.psum_floor_ps.max(profile.slow_floor_ps);
+        for &(d, w, f, t) in &combos {
+            if live_w.contains(&w)
+                && live_a.contains(&(f as i32))
+                && live_a.contains(&(t as i32))
+            {
+                achieved = achieved.max(f64::from(d));
+            }
+        }
+
+        let mut weights: Vec<i32> = live_w.into_iter().collect();
+        weights.sort_unstable();
+        let mut activations: Vec<i32> = live_a.into_iter().collect();
+        activations.sort_unstable();
+        // Weights are scarcer than activations (dozens vs hundreds of
+        // candidates), so they weigh more in the score.
+        let score = (4 * weights.len() + activations.len(), activations.len());
+        let candidate = DelaySelection {
+            weights,
+            activations,
+            threshold_ps: cfg.threshold_ps,
+            achieved_max_ps: achieved,
+        };
+        match &best {
+            Some((s, a, _)) if (score.0, score.1) <= (*s, *a) => {}
+            _ => best = Some((score.0, score.1, candidate)),
+        }
+    }
+
+    best.expect("at least one restart ran").2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chars::{WeightTiming, WeightTimingProfile};
+
+    /// Hand-built profile mirroring the paper's Fig. 6 example:
+    /// combinations (w1,a5,a8,99), (w1,a2,a5,97), (w3,a5,a7,95) with a
+    /// threshold of 90.
+    fn fig6_profile() -> WeightTimingProfile {
+        let mk = |code: i32, slow: Vec<(u8, u8, f32)>| WeightTiming {
+            code,
+            max_delay_ps: slow.iter().map(|s| f64::from(s.2)).fold(50.0, f64::max),
+            histogram: vec![0; 128],
+            slow,
+        };
+        WeightTimingProfile {
+            per_weight: vec![
+                mk(0, vec![]),
+                mk(1, vec![(2, 5, 97.0), (5, 8, 99.0)]),
+                mk(2, vec![]),
+                mk(3, vec![(5, 7, 95.0)]),
+            ],
+            psum_floor_ps: 40.0,
+            adder_from_product_ps: vec![10.0; 8],
+            slow_floor_ps: 80.0,
+        }
+    }
+
+    fn cfg(threshold: f64) -> DelaySelectionConfig {
+        DelaySelectionConfig {
+            threshold_ps: threshold,
+            restarts: 20,
+            seed: 3,
+            protected_weights: vec![0],
+            activation_bias: 4,
+        }
+    }
+
+    #[test]
+    fn all_surviving_combos_meet_threshold() {
+        let profile = fig6_profile();
+        let sel = select_by_delay(&profile, &[0, 1, 2, 3], 16, &cfg(90.0));
+        // Check directly against the profile.
+        for &w in &sel.weights {
+            let idx = profile.per_weight.binary_search_by_key(&w, |t| t.code).unwrap();
+            for &(f, t, d) in &profile.per_weight[idx].slow {
+                let alive = sel.activations.contains(&(f as i32))
+                    && sel.activations.contains(&(t as i32));
+                assert!(
+                    !alive || f64::from(d) <= 90.0,
+                    "surviving combo (w={w}, {f}->{t}, {d}) violates threshold"
+                );
+            }
+        }
+        assert!(sel.achieved_max_ps <= 90.0);
+    }
+
+    #[test]
+    fn protected_weight_survives() {
+        let sel = select_by_delay(&fig6_profile(), &[0, 1, 2, 3], 16, &cfg(90.0));
+        assert!(sel.weights.contains(&0));
+    }
+
+    #[test]
+    fn loose_threshold_removes_nothing() {
+        let sel = select_by_delay(&fig6_profile(), &[0, 1, 2, 3], 16, &cfg(200.0));
+        assert_eq!(sel.weight_count(), 4);
+        assert_eq!(sel.activation_count(), 16);
+        assert!(sel.achieved_max_ps <= 99.0 + 1e-6);
+    }
+
+    #[test]
+    fn restarts_find_a_small_removal_set() {
+        // At threshold 90, removing just a5 kills all three combos; with
+        // 20 restarts at least one should find a 1-removal solution (or
+        // an equally-sized one).
+        let sel = select_by_delay(&fig6_profile(), &[0, 1, 2, 3], 16, &cfg(90.0));
+        let removed = (4 - sel.weight_count()) + (16 - sel.activation_count());
+        assert!(
+            removed <= 2,
+            "expected a near-optimal removal set, removed {removed} values"
+        );
+    }
+
+    #[test]
+    fn achieved_bound_respects_psum_floor() {
+        let mut profile = fig6_profile();
+        profile.psum_floor_ps = 85.0;
+        let sel = select_by_delay(&profile, &[0, 1, 2, 3], 16, &cfg(90.0));
+        assert!(sel.achieved_max_ps >= 85.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slow floor")]
+    fn threshold_below_floor_is_rejected() {
+        let _ = select_by_delay(&fig6_profile(), &[0, 1], 16, &cfg(70.0));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = select_by_delay(&fig6_profile(), &[0, 1, 2, 3], 16, &cfg(90.0));
+        let b = select_by_delay(&fig6_profile(), &[0, 1, 2, 3], 16, &cfg(90.0));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,13 @@
+//! Weight and activation selection.
+//!
+//! * [`power`] — weight selection by average-power threshold (paper
+//!   §III-A3).
+//! * [`delay`] — joint weight/activation selection by delay threshold
+//!   via randomized iterative removal with restarts (paper §III-B,
+//!   Fig. 6).
+
+pub mod delay;
+pub mod power;
+
+pub use delay::{select_by_delay, DelaySelection, DelaySelectionConfig};
+pub use power::{select_by_power, threshold_for_count, PowerSelection};

@@ -1,0 +1,132 @@
+//! Weight selection by average-power threshold (paper §III-A3).
+
+use crate::chars::WeightPowerProfile;
+
+/// Result of a power-threshold weight selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerSelection {
+    /// The threshold applied, µW.
+    pub threshold_uw: f64,
+    /// The selected weight codes (always includes 0).
+    pub weights: Vec<i32>,
+}
+
+impl PowerSelection {
+    /// Number of selected weight codes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the selection is empty (never true in practice: zero is
+    /// always kept).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+}
+
+/// Selects the weight codes whose characterized average power is at most
+/// `threshold_uw` (zero is always kept).
+#[must_use]
+pub fn select_by_power(profile: &WeightPowerProfile, threshold_uw: f64) -> PowerSelection {
+    PowerSelection {
+        threshold_uw,
+        weights: profile.codes_below(threshold_uw),
+    }
+}
+
+/// The power threshold that keeps (approximately) `count` weight codes
+/// — used to reproduce the paper's reported "#selected weights" (e.g.
+/// 900 µW → 86 values, 800 µW → 36 values in the paper's library; the
+/// absolute µW differ here but the count↔threshold mapping is the same
+/// mechanism).
+///
+/// # Panics
+///
+/// Panics if `count` is zero or exceeds the number of characterized
+/// codes.
+#[must_use]
+pub fn threshold_for_count(profile: &WeightPowerProfile, count: usize) -> f64 {
+    let mut powers: Vec<f64> = profile
+        .codes()
+        .iter()
+        .map(|&c| profile.power_uw(c))
+        .collect();
+    assert!(
+        count > 0 && count <= powers.len(),
+        "count {count} out of range 1..={}",
+        powers.len()
+    );
+    powers.sort_by(|a, b| a.partial_cmp(b).expect("finite powers"));
+    powers[count - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chars::bins::PsumBinning;
+    use crate::chars::power::{characterize_power, PowerConfig};
+    use crate::chars::MacHardware;
+    use systolic::stats::TransitionStats;
+
+    fn profile() -> WeightPowerProfile {
+        let hw = MacHardware::small();
+        let mut stats = TransitionStats::new();
+        for a in 0..15u8 {
+            stats.record_activation(a, a + 1, 5);
+        }
+        let samples: Vec<(i32, i32)> = (0..200).map(|i| (i % 100 - 50, (i * 3) % 100 - 50)).collect();
+        let binning = PsumBinning::from_samples(&samples, 6, 12, 0);
+        characterize_power(
+            &hw,
+            &stats,
+            &binning,
+            &PowerConfig {
+                samples_per_weight: 30,
+                seed: 2,
+                clock_ps: 200.0,
+                weight_stride: 1,
+                baseline_fj_per_cycle: 0.0,
+            },
+        )
+    }
+
+    #[test]
+    fn tighter_threshold_selects_fewer_weights() {
+        let p = profile();
+        let t_loose = threshold_for_count(&p, 12);
+        let t_tight = threshold_for_count(&p, 5);
+        let loose = select_by_power(&p, t_loose);
+        let tight = select_by_power(&p, t_tight);
+        assert!(tight.len() <= loose.len());
+        assert!(tight.weights.contains(&0));
+    }
+
+    #[test]
+    fn threshold_for_count_brackets_count() {
+        let p = profile();
+        for target in [3usize, 7, 12] {
+            let t = threshold_for_count(&p, target);
+            let sel = select_by_power(&p, t);
+            // Ties can add a few extra codes but never fewer.
+            assert!(sel.len() >= target, "target {target}, got {}", sel.len());
+        }
+    }
+
+    #[test]
+    fn selected_weights_are_subset_of_codes() {
+        let p = profile();
+        let sel = select_by_power(&p, threshold_for_count(&p, 6));
+        for w in &sel.weights {
+            assert!(p.codes().contains(w));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_count_panics() {
+        let p = profile();
+        let _ = threshold_for_count(&p, 0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Safe construction of topologically ordered netlists.
+//!
+//! [`NetlistBuilder`] hands out [`NetId`]s as gates are created; since a
+//! gate can only reference ids that already exist, the resulting gate
+//! list is topologically sorted by construction and the netlist is
+//! guaranteed to be a combinational DAG.
+
+use crate::cells::CellKind;
+use crate::netlist::{Gate, GateId, NetId, NetSource, Netlist};
+
+/// Builder for [`Netlist`]s.
+///
+/// # Examples
+///
+/// Build a 1-bit full adder and check its truth table:
+///
+/// ```
+/// use gatesim::NetlistBuilder;
+///
+/// let mut b = NetlistBuilder::new("fa");
+/// let x = b.input("x");
+/// let y = b.input("y");
+/// let cin = b.input("cin");
+/// let (sum, cout) = b.full_adder(x, y, cin);
+/// b.output(sum);
+/// b.output(cout);
+/// let nl = b.finish();
+///
+/// let out = nl.evaluate_outputs(&[true, true, false]);
+/// assert_eq!(out, vec![false, true]); // 1 + 1 + 0 = 10b
+/// ```
+#[derive(Debug)]
+pub struct NetlistBuilder {
+    name: String,
+    sources: Vec<NetSource>,
+    gates: Vec<Gate>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    const0: Option<NetId>,
+    const1: Option<NetId>,
+    input_names: Vec<String>,
+}
+
+impl NetlistBuilder {
+    /// Creates an empty builder for a netlist with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        NetlistBuilder {
+            name: name.into(),
+            sources: Vec::new(),
+            gates: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            const0: None,
+            const1: None,
+            input_names: Vec::new(),
+        }
+    }
+
+    fn fresh_net(&mut self, source: NetSource) -> NetId {
+        let id = NetId(self.sources.len() as u32);
+        self.sources.push(source);
+        id
+    }
+
+    /// Declares a new primary input net.
+    pub fn input(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.fresh_net(NetSource::Input);
+        self.inputs.push(id);
+        self.input_names.push(name.into());
+        id
+    }
+
+    /// Declares `width` primary inputs named `name[0..width]`, LSB first.
+    pub fn input_bus(&mut self, name: &str, width: usize) -> Vec<NetId> {
+        (0..width).map(|i| self.input(format!("{name}[{i}]"))).collect()
+    }
+
+    /// The constant-0 net (created on first use).
+    pub fn const0(&mut self) -> NetId {
+        if let Some(id) = self.const0 {
+            return id;
+        }
+        let id = self.fresh_net(NetSource::Const0);
+        self.const0 = Some(id);
+        id
+    }
+
+    /// The constant-1 net (created on first use).
+    pub fn const1(&mut self) -> NetId {
+        if let Some(id) = self.const1 {
+            return id;
+        }
+        let id = self.fresh_net(NetSource::Const1);
+        self.const1 = Some(id);
+        id
+    }
+
+    /// Marks a net as a primary output. A net may be marked repeatedly;
+    /// outputs appear in marking order.
+    pub fn output(&mut self, net: NetId) {
+        self.outputs.push(net);
+    }
+
+    /// Instantiates a gate of the given kind and returns its output net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input net id does not exist yet (which would break
+    /// the topological-order invariant).
+    pub fn gate(&mut self, kind: CellKind, inputs: &[NetId]) -> NetId {
+        assert_eq!(inputs.len(), kind.arity(), "{kind} expects {} inputs", kind.arity());
+        for &n in inputs {
+            assert!(
+                n.index() < self.sources.len(),
+                "gate input {n} does not exist yet"
+            );
+        }
+        let a = inputs[0];
+        let b = *inputs.get(1).unwrap_or(&a);
+        let c = *inputs.get(2).unwrap_or(&a);
+        let out = self.fresh_net(NetSource::Gate(GateId(self.gates.len() as u32)));
+        self.gates.push(Gate {
+            kind,
+            inputs: [a, b, c],
+            output: out,
+        });
+        out
+    }
+
+    /// Inverter.
+    pub fn inv(&mut self, a: NetId) -> NetId {
+        self.gate(CellKind::Inv, &[a])
+    }
+
+    /// Buffer.
+    pub fn buf(&mut self, a: NetId) -> NetId {
+        self.gate(CellKind::Buf, &[a])
+    }
+
+    /// 2-input NAND.
+    pub fn nand2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(CellKind::Nand2, &[a, b])
+    }
+
+    /// 2-input NOR.
+    pub fn nor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(CellKind::Nor2, &[a, b])
+    }
+
+    /// 2-input AND.
+    pub fn and2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(CellKind::And2, &[a, b])
+    }
+
+    /// 2-input OR.
+    pub fn or2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(CellKind::Or2, &[a, b])
+    }
+
+    /// 2-input XOR.
+    pub fn xor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(CellKind::Xor2, &[a, b])
+    }
+
+    /// 2-input XNOR.
+    pub fn xnor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(CellKind::Xnor2, &[a, b])
+    }
+
+    /// 2:1 mux, `sel ? b : a`.
+    pub fn mux2(&mut self, a: NetId, b: NetId, sel: NetId) -> NetId {
+        self.gate(CellKind::Mux2, &[a, b, sel])
+    }
+
+    /// 3-input majority (carry) gate.
+    pub fn maj3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        self.gate(CellKind::Maj3, &[a, b, c])
+    }
+
+    /// 3-input XOR (sum) gate.
+    pub fn xor3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        self.gate(CellKind::Xor3, &[a, b, c])
+    }
+
+    /// Full adder built from a [`CellKind::Xor3`] sum gate and a
+    /// [`CellKind::Maj3`] carry gate, the usual standard-cell mapping.
+    ///
+    /// Returns `(sum, carry_out)`.
+    pub fn full_adder(&mut self, a: NetId, b: NetId, cin: NetId) -> (NetId, NetId) {
+        let sum = self.xor3(a, b, cin);
+        let cout = self.maj3(a, b, cin);
+        (sum, cout)
+    }
+
+    /// Half adder; returns `(sum, carry_out)`.
+    pub fn half_adder(&mut self, a: NetId, b: NetId) -> (NetId, NetId) {
+        let sum = self.xor2(a, b);
+        let cout = self.and2(a, b);
+        (sum, cout)
+    }
+
+    /// Finalizes the netlist, computing fanout lists.
+    #[must_use]
+    pub fn finish(self) -> Netlist {
+        let mut fanout = vec![Vec::new(); self.sources.len()];
+        for (gid, gate) in self.gates.iter().enumerate() {
+            for &input in gate.active_inputs() {
+                fanout[input.index()].push(GateId(gid as u32));
+            }
+        }
+        Netlist {
+            gates: self.gates,
+            sources: self.sources,
+            inputs: self.inputs,
+            outputs: self.outputs,
+            fanout,
+            name: self.name,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_adder_truth_table() {
+        for bits in 0..8u8 {
+            let av = bits & 1 != 0;
+            let bv = bits & 2 != 0;
+            let cv = bits & 4 != 0;
+            let mut b = NetlistBuilder::new("fa");
+            let a = b.input("a");
+            let bb = b.input("b");
+            let c = b.input("c");
+            let (s, co) = b.full_adder(a, bb, c);
+            b.output(s);
+            b.output(co);
+            let nl = b.finish();
+            let out = nl.evaluate_outputs(&[av, bv, cv]);
+            let total = av as u8 + bv as u8 + cv as u8;
+            assert_eq!(out[0], total & 1 == 1);
+            assert_eq!(out[1], total >= 2);
+        }
+    }
+
+    #[test]
+    fn half_adder_truth_table() {
+        for bits in 0..4u8 {
+            let av = bits & 1 != 0;
+            let bv = bits & 2 != 0;
+            let mut b = NetlistBuilder::new("ha");
+            let a = b.input("a");
+            let bb = b.input("b");
+            let (s, co) = b.half_adder(a, bb);
+            b.output(s);
+            b.output(co);
+            let nl = b.finish();
+            let out = nl.evaluate_outputs(&[av, bv]);
+            assert_eq!(out[0], av ^ bv);
+            assert_eq!(out[1], av && bv);
+        }
+    }
+
+    #[test]
+    fn constants_are_shared() {
+        let mut b = NetlistBuilder::new("c");
+        let z1 = b.const0();
+        let z2 = b.const0();
+        let o1 = b.const1();
+        let o2 = b.const1();
+        assert_eq!(z1, z2);
+        assert_eq!(o1, o2);
+        assert_ne!(z1, o1);
+    }
+
+    #[test]
+    fn constants_evaluate_correctly() {
+        let mut b = NetlistBuilder::new("c");
+        let z = b.const0();
+        let o = b.const1();
+        let x = b.or2(z, o);
+        b.output(x);
+        let nl = b.finish();
+        assert_eq!(nl.evaluate_outputs(&[]), vec![true]);
+    }
+
+    #[test]
+    fn fanout_lists_are_complete() {
+        let mut b = NetlistBuilder::new("f");
+        let a = b.input("a");
+        let x = b.inv(a);
+        let y = b.inv(a);
+        let z = b.and2(x, y);
+        b.output(z);
+        let nl = b.finish();
+        assert_eq!(nl.fanout(a).len(), 2);
+        assert_eq!(nl.fanout(x).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn gate_rejects_future_nets() {
+        let mut b = NetlistBuilder::new("bad");
+        let _a = b.input("a");
+        let bogus = NetId(99);
+        let _ = b.inv(bogus);
+    }
+
+    #[test]
+    fn input_bus_orders_lsb_first() {
+        let mut b = NetlistBuilder::new("bus");
+        let bus = b.input_bus("a", 4);
+        assert_eq!(bus.len(), 4);
+        for w in bus.windows(2) {
+            assert!(w[0].index() < w[1].index());
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Generators for the arithmetic circuits characterized by PowerPruning.
+//!
+//! * [`adder`] — ripple-carry and group-carry-lookahead adders.
+//! * [`multiplier`] — Baugh-Wooley signed array multiplier (also the
+//!   signed×unsigned variant used for int8 weights × uint8 activations).
+//! * [`booth`] — radix-4 Booth-encoded multiplier, the hardware
+//!   ablation for the per-weight power ranking.
+//! * [`mac`] — the complete multiply-accumulate unit of a
+//!   weight-stationary systolic array: `sum = psum + weight · activation`.
+
+pub mod adder;
+pub mod booth;
+pub mod mac;
+pub mod multiplier;
+
+pub use adder::{AdderCircuit, AdderKind};
+pub use booth::BoothMultiplierCircuit;
+pub use mac::{MacCircuit, MultiplierKind};
+pub use multiplier::MultiplierCircuit;

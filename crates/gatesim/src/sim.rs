@@ -1,0 +1,398 @@
+//! Event-driven timed simulation with switching-energy accounting.
+//!
+//! The simulator uses a transport-delay model: when a gate input changes
+//! at time *t*, the output value computed from the inputs visible at *t*
+//! is scheduled at *t + delay(cell)*. Events are applied in time order;
+//! an event that would re-apply the net's current value is dropped.
+//! Every *actual* output toggle is charged the driving cell's switching
+//! energy, so glitch power — the effect PowerPruning exploits — is
+//! captured naturally.
+//!
+//! The settle time of the latest-toggling primary output is the measured
+//! dynamic delay of the transition (dynamic timing analysis).
+
+use crate::cells::CellLibrary;
+use crate::netlist::{NetId, NetSource, Netlist};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Femtoseconds per picosecond — event times are integer femtoseconds
+/// for deterministic ordering.
+const FS_PER_PS: f64 = 1000.0;
+
+/// Result of simulating one input transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitionStats {
+    /// Total switching energy dissipated, in femtojoules.
+    pub energy_fj: f64,
+    /// Arrival time of the last primary-output toggle, in picoseconds.
+    /// Zero if no output toggled.
+    pub delay_ps: f64,
+    /// Number of net toggles (including glitches).
+    pub toggles: u64,
+    /// Arrival time of the last toggle of each primary output, in
+    /// picoseconds (0 for outputs that did not change), in port order.
+    pub output_arrival_ps: Vec<f64>,
+    /// Last-toggle arrival of each net registered via
+    /// [`Simulator::observe`], accessed through
+    /// [`TransitionStats::observed_arrival_ps`].
+    observed_arrival_ps: Vec<f64>,
+}
+
+impl TransitionStats {
+    fn new(outputs: usize, observed: usize) -> Self {
+        TransitionStats {
+            energy_fj: 0.0,
+            delay_ps: 0.0,
+            toggles: 0,
+            output_arrival_ps: vec![0.0; outputs],
+            observed_arrival_ps: vec![0.0; observed],
+        }
+    }
+
+    /// Arrival time (ps) of the last toggle of the `slot`-th net
+    /// registered via [`Simulator::observe`].
+    ///
+    /// Returns 0.0 for nets that did not toggle or unknown slots.
+    #[must_use]
+    pub fn observed_arrival_ps(&self, slot: usize) -> f64 {
+        self.observed_arrival_ps.get(slot).copied().unwrap_or(0.0)
+    }
+}
+
+/// Event-driven timed simulator over a borrowed netlist.
+///
+/// # Examples
+///
+/// ```
+/// use gatesim::{CellLibrary, NetlistBuilder, Simulator};
+///
+/// let mut b = NetlistBuilder::new("inv_chain");
+/// let a = b.input("a");
+/// let x = b.inv(a);
+/// let y = b.inv(x);
+/// b.output(y);
+/// let nl = b.finish();
+///
+/// let lib = CellLibrary::nangate15_like();
+/// let mut sim = Simulator::new(&nl, &lib);
+/// sim.settle(&[false]);
+/// let stats = sim.transition(&[true]);
+/// assert_eq!(stats.toggles, 3); // input + two inverter outputs
+/// assert!(stats.delay_ps > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    values: Vec<bool>,
+    current_inputs: Vec<bool>,
+    settled: bool,
+    /// Per-gate delay in femtoseconds.
+    gate_delay_fs: Vec<u64>,
+    /// Per-gate switching energy in femtojoules.
+    gate_energy_fj: Vec<f64>,
+    /// Output slot of each net (usize::MAX if not an output).
+    output_slot: Vec<usize>,
+    /// Observation slot of each net (usize::MAX if not observed).
+    observe_slot: Vec<usize>,
+    observed_count: usize,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator for `netlist` with electrical data from `lib`.
+    #[must_use]
+    pub fn new(netlist: &'a Netlist, lib: &CellLibrary) -> Self {
+        let gate_delay_fs = netlist
+            .gates()
+            .iter()
+            .map(|g| (lib.params(g.kind).delay_ps * FS_PER_PS).round() as u64)
+            .collect();
+        let gate_energy_fj = netlist
+            .gates()
+            .iter()
+            .map(|g| lib.params(g.kind).energy_fj)
+            .collect();
+        let mut output_slot = vec![usize::MAX; netlist.net_count()];
+        for (slot, net) in netlist.outputs().iter().enumerate() {
+            // first slot wins if a net is listed twice
+            if output_slot[net.index()] == usize::MAX {
+                output_slot[net.index()] = slot;
+            }
+        }
+        Simulator {
+            netlist,
+            values: vec![false; netlist.net_count()],
+            current_inputs: vec![false; netlist.inputs().len()],
+            settled: false,
+            gate_delay_fs,
+            gate_energy_fj,
+            output_slot,
+            observe_slot: vec![usize::MAX; netlist.net_count()],
+            observed_count: 0,
+        }
+    }
+
+    /// Registers nets whose last-toggle arrival times should be recorded
+    /// by subsequent transitions (e.g. multiplier product bits).
+    ///
+    /// Slot `i` of [`TransitionStats::observed_arrival_ps`] corresponds
+    /// to `nets[i]`.
+    pub fn observe(&mut self, nets: &[NetId]) {
+        self.observe_slot = vec![usize::MAX; self.netlist.net_count()];
+        for (slot, net) in nets.iter().enumerate() {
+            self.observe_slot[net.index()] = slot;
+        }
+        self.observed_count = nets.len();
+    }
+
+    /// The netlist being simulated.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// Settles the circuit combinationally at the given input vector.
+    /// Must be called before the first [`Simulator::transition`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input vector length does not match the netlist.
+    pub fn settle(&mut self, inputs: &[bool]) {
+        self.values = self.netlist.evaluate(inputs);
+        self.current_inputs = inputs.to_vec();
+        self.settled = true;
+    }
+
+    /// Current value of a net (after settle/transition).
+    #[must_use]
+    pub fn value(&self, net: NetId) -> bool {
+        self.values[net.index()]
+    }
+
+    /// Current primary-output values in port order.
+    #[must_use]
+    pub fn output_values(&self) -> Vec<bool> {
+        self.netlist
+            .outputs()
+            .iter()
+            .map(|n| self.values[n.index()])
+            .collect()
+    }
+
+    /// Applies a new input vector at time zero and propagates all events.
+    ///
+    /// Returns the transition's switching energy, dynamic delay and
+    /// toggle count. After the call the simulator is settled at
+    /// `new_inputs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Simulator::settle`] has not been called or the input
+    /// length mismatches.
+    pub fn transition(&mut self, new_inputs: &[bool]) -> TransitionStats {
+        assert!(self.settled, "call settle() before transition()");
+        assert_eq!(
+            new_inputs.len(),
+            self.current_inputs.len(),
+            "input vector length mismatch"
+        );
+        let mut stats =
+            TransitionStats::new(self.netlist.outputs().len(), self.observed_count);
+
+        // Min-heap of (time_fs, seq, net, value).
+        let mut heap: BinaryHeap<Reverse<(u64, u64, u32, bool)>> = BinaryHeap::new();
+        let mut seq: u64 = 0;
+
+        for (pos, (&old, &new)) in self
+            .current_inputs
+            .iter()
+            .zip(new_inputs)
+            .enumerate()
+        {
+            if old != new {
+                let net = self.netlist.inputs()[pos];
+                heap.push(Reverse((0, seq, net.0, new)));
+                seq += 1;
+            }
+        }
+
+        let mut last_output_toggle_fs: u64 = 0;
+        while let Some(Reverse((t, _s, net_raw, value))) = heap.pop() {
+            let net = NetId(net_raw);
+            if self.values[net.index()] == value {
+                continue; // no toggle: value already current
+            }
+            self.values[net.index()] = value;
+            stats.toggles += 1;
+            if let NetSource::Gate(gid) = self.netlist.source(net) {
+                stats.energy_fj += self.gate_energy_fj[gid.index()];
+            }
+            let oslot = self.output_slot[net.index()];
+            if oslot != usize::MAX {
+                stats.output_arrival_ps[oslot] = t as f64 / FS_PER_PS;
+                last_output_toggle_fs = last_output_toggle_fs.max(t);
+            }
+            let wslot = self.observe_slot[net.index()];
+            if wslot != usize::MAX {
+                stats.observed_arrival_ps[wslot] = t as f64 / FS_PER_PS;
+            }
+            for &gid in self.netlist.fanout(net) {
+                let gate = &self.netlist.gates()[gid.index()];
+                let a = self.values[gate.inputs[0].index()];
+                let b = self.values[gate.inputs[1].index()];
+                let c = self.values[gate.inputs[2].index()];
+                let out = gate.kind.eval(a, b, c);
+                heap.push(Reverse((
+                    t + self.gate_delay_fs[gid.index()],
+                    seq,
+                    gate.output.0,
+                    out,
+                )));
+                seq += 1;
+            }
+        }
+
+        stats.delay_ps = last_output_toggle_fs as f64 / FS_PER_PS;
+        self.current_inputs = new_inputs.to_vec();
+        stats
+    }
+
+    /// Convenience wrapper: settles at `from`, then measures the
+    /// transition to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input-length mismatch.
+    pub fn measure(&mut self, from: &[bool], to: &[bool]) -> TransitionStats {
+        self.settle(from);
+        self.transition(to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::cells::CellLibrary;
+    use crate::circuits::{MacCircuit, MultiplierCircuit};
+    use crate::sta::Sta;
+
+    fn xor_tree() -> Netlist {
+        let mut b = NetlistBuilder::new("xt");
+        let ins = b.input_bus("a", 4);
+        let x1 = b.xor2(ins[0], ins[1]);
+        let x2 = b.xor2(ins[2], ins[3]);
+        let x3 = b.xor2(x1, x2);
+        b.output(x3);
+        b.finish()
+    }
+
+    #[test]
+    fn no_change_no_energy() {
+        let nl = xor_tree();
+        let lib = CellLibrary::nangate15_like();
+        let mut sim = Simulator::new(&nl, &lib);
+        sim.settle(&[true, false, true, true]);
+        let stats = sim.transition(&[true, false, true, true]);
+        assert_eq!(stats.energy_fj, 0.0);
+        assert_eq!(stats.toggles, 0);
+        assert_eq!(stats.delay_ps, 0.0);
+    }
+
+    #[test]
+    fn single_input_change_propagates() {
+        let nl = xor_tree();
+        let lib = CellLibrary::uniform(2.0, 1.0, 0.0);
+        let mut sim = Simulator::new(&nl, &lib);
+        sim.settle(&[false, false, false, false]);
+        let stats = sim.transition(&[true, false, false, false]);
+        // input toggles, x1 toggles, x3 toggles => 3 toggles, 2 gate energies
+        assert_eq!(stats.toggles, 3);
+        assert!((stats.energy_fj - 2.0).abs() < 1e-9);
+        assert!((stats.delay_ps - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn functional_result_matches_evaluate_after_transition() {
+        let mult = MultiplierCircuit::new(4, 4);
+        let lib = CellLibrary::nangate15_like();
+        let mut sim = Simulator::new(mult.netlist(), &lib);
+        sim.settle(&mult.encode(3, 5));
+        let _ = sim.transition(&mult.encode(-7, 12));
+        let expected = mult.netlist().evaluate_outputs(&mult.encode(-7, 12));
+        assert_eq!(sim.output_values(), expected);
+    }
+
+    #[test]
+    fn dynamic_delay_never_exceeds_sta_bound() {
+        let mac = MacCircuit::new(4, 4, 10);
+        let lib = CellLibrary::nangate15_like();
+        let bound = Sta::new(mac.netlist(), &lib).critical_path_ps();
+        let mut sim = Simulator::new(mac.netlist(), &lib);
+        let mut x: u64 = 7;
+        sim.settle(&mac.encode(0, 0, 0));
+        for _ in 0..100 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let w = ((x & 0xf) as i64) - 8;
+            let a = (x >> 4) & 0xf;
+            let p = (((x >> 8) & 0x3ff) as i64) - 512;
+            let stats = sim.transition(&mac.encode(w, a, p));
+            assert!(
+                stats.delay_ps <= bound + 1e-6,
+                "dynamic {} > STA {}",
+                stats.delay_ps,
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_mac_transitions_are_cheap() {
+        // With weight fixed at 0 the multiplier output never moves, so
+        // only adder activity from psum changes remains — much less
+        // energy than a full-swing weight like -105. This is the paper's
+        // core observation.
+        let mac = MacCircuit::new(8, 8, 22);
+        let lib = CellLibrary::nangate15_like();
+        let mut sim = Simulator::new(mac.netlist(), &lib);
+
+        let mut energy_zero = 0.0;
+        let mut energy_heavy = 0.0;
+        let acts = [13u64, 200, 77, 255, 0, 129];
+        let psums = [0i64, 5000, -300, 100_000, -70_000, 42];
+
+        for (weight, total) in [(0i64, &mut energy_zero), (-105, &mut energy_heavy)] {
+            sim.settle(&mac.encode(weight, acts[0], psums[0]));
+            for i in 1..acts.len() {
+                let stats = sim.transition(&mac.encode(weight, acts[i], psums[i]));
+                *total += stats.energy_fj;
+            }
+        }
+        assert!(
+            energy_zero < energy_heavy,
+            "zero-weight energy {energy_zero} should undercut weight=-105 energy {energy_heavy}"
+        );
+    }
+
+    #[test]
+    fn observed_product_arrivals_are_recorded() {
+        let mac = MacCircuit::new(4, 4, 10);
+        let lib = CellLibrary::nangate15_like();
+        let mut sim = Simulator::new(mac.netlist(), &lib);
+        sim.observe(mac.product_nets());
+        sim.settle(&mac.encode(3, 0, 0));
+        let stats = sim.transition(&mac.encode(3, 15, 0));
+        // product changed 0 -> 45, some product bits must have toggled
+        let any = (0..mac.product_nets().len()).any(|i| stats.observed_arrival_ps(i) > 0.0);
+        assert!(any, "expected some product-bit arrivals");
+    }
+
+    #[test]
+    #[should_panic(expected = "settle")]
+    fn transition_requires_settle() {
+        let nl = xor_tree();
+        let lib = CellLibrary::nangate15_like();
+        let mut sim = Simulator::new(&nl, &lib);
+        let _ = sim.transition(&[true, false, false, false]);
+    }
+}

@@ -1,0 +1,264 @@
+//! Static timing analysis.
+//!
+//! Longest-structural-path analysis over the topologically ordered
+//! netlist. Used for the accumulator adder of the MAC unit (the paper
+//! runs Design Compiler's STA on the adder because enumerating its input
+//! transitions is infeasible) and as a conservative bound checked against
+//! dynamic simulation.
+
+use crate::cells::CellLibrary;
+use crate::netlist::{NetId, NetSource, Netlist};
+
+/// Static timing analyzer over a borrowed netlist.
+///
+/// # Examples
+///
+/// ```
+/// use gatesim::circuits::{AdderCircuit, AdderKind};
+/// use gatesim::{CellLibrary, Sta};
+///
+/// let adder = AdderCircuit::new(AdderKind::Ripple, 8);
+/// let lib = CellLibrary::nangate15_like();
+/// let sta = Sta::new(adder.netlist(), &lib);
+/// assert!(sta.critical_path_ps() > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct Sta<'a> {
+    netlist: &'a Netlist,
+    /// Per-gate delay in ps.
+    gate_delay_ps: Vec<f64>,
+}
+
+impl<'a> Sta<'a> {
+    /// Creates an analyzer for `netlist` under `lib`.
+    #[must_use]
+    pub fn new(netlist: &'a Netlist, lib: &CellLibrary) -> Self {
+        let gate_delay_ps = netlist
+            .gates()
+            .iter()
+            .map(|g| lib.params(g.kind).delay_ps)
+            .collect();
+        Sta {
+            netlist,
+            gate_delay_ps,
+        }
+    }
+
+    /// Longest path (ps) from *any* primary input to each net.
+    ///
+    /// `None` for nets unreachable from any input (e.g. constants and
+    /// logic fed only by constants).
+    #[must_use]
+    pub fn arrivals_from_inputs(&self) -> Vec<Option<f64>> {
+        let mut arrival: Vec<Option<f64>> = vec![None; self.netlist.net_count()];
+        for &input in self.netlist.inputs() {
+            arrival[input.index()] = Some(0.0);
+        }
+        self.propagate(&mut arrival);
+        arrival
+    }
+
+    /// Longest path (ps) from the single net `source` to each net.
+    ///
+    /// `None` for nets not in the transitive fanout of `source`.
+    #[must_use]
+    pub fn arrivals_from(&self, source: NetId) -> Vec<Option<f64>> {
+        let mut arrival: Vec<Option<f64>> = vec![None; self.netlist.net_count()];
+        arrival[source.index()] = Some(0.0);
+        self.propagate(&mut arrival);
+        arrival
+    }
+
+    fn propagate(&self, arrival: &mut [Option<f64>]) {
+        for (gid, gate) in self.netlist.gates().iter().enumerate() {
+            let mut best: Option<f64> = None;
+            for &input in gate.active_inputs() {
+                if let Some(t) = arrival[input.index()] {
+                    best = Some(best.map_or(t, |b: f64| b.max(t)));
+                }
+            }
+            if let Some(t) = best {
+                let out_t = t + self.gate_delay_ps[gid];
+                let slot = &mut arrival[gate.output.index()];
+                *slot = Some(slot.map_or(out_t, |cur| cur.max(out_t)));
+            }
+        }
+    }
+
+    /// Critical path delay (ps): the longest input→output path.
+    #[must_use]
+    pub fn critical_path_ps(&self) -> f64 {
+        let arrival = self.arrivals_from_inputs();
+        self.netlist
+            .outputs()
+            .iter()
+            .filter_map(|n| arrival[n.index()])
+            .fold(0.0, f64::max)
+    }
+
+    /// Longest path (ps) from `source` to any primary output, or `None`
+    /// if no output is reachable from `source`.
+    #[must_use]
+    pub fn max_delay_to_outputs_from(&self, source: NetId) -> Option<f64> {
+        let arrival = self.arrivals_from(source);
+        self.netlist
+            .outputs()
+            .iter()
+            .filter_map(|n| arrival[n.index()])
+            .fold(None, |acc: Option<f64>, t| {
+                Some(acc.map_or(t, |a| a.max(t)))
+            })
+    }
+
+    /// Longest path from each of the given source nets to any primary
+    /// output, in ps (`None` per source when no output is reachable).
+    ///
+    /// This is the per-product-bit adder table of the paper's Fig. 5.
+    #[must_use]
+    pub fn output_delay_table(&self, sources: &[NetId]) -> Vec<Option<f64>> {
+        sources
+            .iter()
+            .map(|&s| self.max_delay_to_outputs_from(s))
+            .collect()
+    }
+
+    /// Nets on (one of) the critical paths, as a chain from an input to
+    /// an output. Useful for reporting.
+    #[must_use]
+    pub fn critical_path_nets(&self) -> Vec<NetId> {
+        let arrival = self.arrivals_from_inputs();
+        // Find the output with the max arrival.
+        let mut end: Option<NetId> = None;
+        let mut best = f64::NEG_INFINITY;
+        for &out in self.netlist.outputs() {
+            if let Some(t) = arrival[out.index()] {
+                if t > best {
+                    best = t;
+                    end = Some(out);
+                }
+            }
+        }
+        let mut path = Vec::new();
+        let mut cursor = match end {
+            Some(n) => n,
+            None => return path,
+        };
+        loop {
+            path.push(cursor);
+            match self.netlist.source(cursor) {
+                NetSource::Gate(gid) => {
+                    let gate = &self.netlist.gates()[gid.index()];
+                    let target =
+                        arrival[cursor.index()].expect("on path") - self.gate_delay_ps[gid.index()];
+                    // Pick the input whose arrival equals the target.
+                    let mut next = None;
+                    for &input in gate.active_inputs() {
+                        if let Some(t) = arrival[input.index()] {
+                            if (t - target).abs() < 1e-9 {
+                                next = Some(input);
+                                break;
+                            }
+                        }
+                    }
+                    match next {
+                        Some(n) => cursor = n,
+                        None => break,
+                    }
+                }
+                _ => break,
+            }
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::cells::CellLibrary;
+    use crate::circuits::{AdderCircuit, AdderKind, MacCircuit};
+
+    #[test]
+    fn chain_delay_adds_up() {
+        let mut b = NetlistBuilder::new("chain");
+        let a = b.input("a");
+        let x = b.inv(a);
+        let y = b.inv(x);
+        let z = b.inv(y);
+        b.output(z);
+        let nl = b.finish();
+        let lib = CellLibrary::uniform(3.0, 0.0, 0.0);
+        let sta = Sta::new(&nl, &lib);
+        assert!((sta.critical_path_ps() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_nets_have_no_arrival() {
+        let mut b = NetlistBuilder::new("cst");
+        let a = b.input("a");
+        let one = b.const1();
+        let dead = b.inv(one);
+        let live = b.inv(a);
+        b.output(dead);
+        b.output(live);
+        let nl = b.finish();
+        let lib = CellLibrary::uniform(1.0, 0.0, 0.0);
+        let sta = Sta::new(&nl, &lib);
+        let arr = sta.arrivals_from_inputs();
+        assert!(arr[dead.index()].is_none());
+        assert!(arr[live.index()].is_some());
+    }
+
+    #[test]
+    fn per_source_delay_is_bounded_by_global() {
+        let mac = MacCircuit::new(4, 4, 10);
+        let lib = CellLibrary::nangate15_like();
+        let sta = Sta::new(mac.netlist(), &lib);
+        let global = sta.critical_path_ps();
+        for &p in mac.product_nets() {
+            if let Some(d) = sta.max_delay_to_outputs_from(p) {
+                assert!(d <= global + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn ripple_critical_path_grows_with_width() {
+        let lib = CellLibrary::nangate15_like();
+        let small = AdderCircuit::new(AdderKind::Ripple, 4);
+        let large = AdderCircuit::new(AdderKind::Ripple, 16);
+        let d_small = Sta::new(small.netlist(), &lib).critical_path_ps();
+        let d_large = Sta::new(large.netlist(), &lib).critical_path_ps();
+        assert!(d_large > d_small * 2.0);
+    }
+
+    #[test]
+    fn critical_path_nets_form_a_connected_chain() {
+        let lib = CellLibrary::nangate15_like();
+        let adder = AdderCircuit::new(AdderKind::Ripple, 8);
+        let sta = Sta::new(adder.netlist(), &lib);
+        let path = sta.critical_path_nets();
+        assert!(path.len() >= 2, "critical path should traverse gates");
+        // Every consecutive pair must be (input-of-gate, output-of-gate).
+        for w in path.windows(2) {
+            let ok = adder
+                .netlist()
+                .fanout(w[0])
+                .iter()
+                .any(|&g| adder.netlist().gates()[g.index()].output == w[1]);
+            assert!(ok, "path edge {} -> {} is not a gate", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn output_delay_table_covers_all_sources() {
+        let mac = MacCircuit::new(4, 4, 10);
+        let lib = CellLibrary::nangate15_like();
+        let sta = Sta::new(mac.netlist(), &lib);
+        let table = sta.output_delay_table(mac.product_nets());
+        assert_eq!(table.len(), mac.product_nets().len());
+        assert!(table.iter().all(|d| d.is_some()));
+    }
+}

@@ -1,0 +1,374 @@
+//! Netlist specialization: constant propagation and simplification.
+//!
+//! Fixing an input (e.g. the weight bus of a MAC) to a constant value
+//! removes every combinational path that can no longer be sensitized —
+//! the structural fact behind the paper's §II observation that "if the
+//! weight is fixed to a given value, some combinational paths in the MAC
+//! unit cannot be sensitized". Running STA on the specialized netlist
+//! yields a per-weight *conservative* maximum delay that sits between
+//! the exact dynamic analysis and the full-netlist STA bound.
+
+use crate::builder::NetlistBuilder;
+use crate::cells::CellKind;
+use crate::netlist::{NetId, NetSource, Netlist};
+
+/// How an original net maps into the specialized netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mapped {
+    /// Became a compile-time constant.
+    Const(bool),
+    /// Maps to this net of the new netlist.
+    Net(NetId),
+}
+
+/// Result of specializing a netlist.
+#[derive(Debug, Clone)]
+pub struct Specialized {
+    /// The simplified netlist (assigned inputs removed from the ports).
+    pub netlist: Netlist,
+    /// For each original primary-input position: its position in the new
+    /// input list, or `None` if it was assigned a constant.
+    pub input_map: Vec<Option<usize>>,
+    /// For each original primary-output position: the constant it
+    /// collapsed to, if it did.
+    pub const_outputs: Vec<Option<bool>>,
+}
+
+/// Specializes `netlist` by fixing the given primary inputs to constants
+/// and propagating/simplifying.
+///
+/// Simplifications applied per gate: full constant folding, identity and
+/// dominance rules (`AND(x,0)=0`, `OR(x,1)=1`, `XOR(x,0)=x`, mux select
+/// folding, majority/AOI/OAI reductions to 2-input forms), and buffer
+/// aliasing. The output port list is preserved (constant outputs are
+/// materialized via tie cells).
+///
+/// # Panics
+///
+/// Panics if an assigned net is not a primary input.
+#[must_use]
+pub fn specialize(netlist: &Netlist, assignments: &[(NetId, bool)]) -> Specialized {
+    let mut fixed: Vec<Option<bool>> = vec![None; netlist.net_count()];
+    for &(net, value) in assignments {
+        assert!(
+            matches!(netlist.source(net), NetSource::Input),
+            "assignment target {net} is not a primary input"
+        );
+        fixed[net.index()] = Some(value);
+    }
+
+    let mut b = NetlistBuilder::new(format!("{}_spec", netlist.name()));
+    let mut map: Vec<Option<Mapped>> = vec![None; netlist.net_count()];
+    let mut input_map = Vec::with_capacity(netlist.inputs().len());
+
+    for (pos, &input) in netlist.inputs().iter().enumerate() {
+        if let Some(v) = fixed[input.index()] {
+            map[input.index()] = Some(Mapped::Const(v));
+            input_map.push(None);
+        } else {
+            let new = b.input(format!("i{pos}"));
+            map[input.index()] = Some(Mapped::Net(new));
+            input_map.push(Some(input_map.iter().filter(|m| m.is_some()).count()));
+        }
+    }
+    // Constants of the original netlist.
+    for idx in 0..netlist.net_count() {
+        match netlist.source(NetId(idx as u32)) {
+            NetSource::Const0 => map[idx] = Some(Mapped::Const(false)),
+            NetSource::Const1 => map[idx] = Some(Mapped::Const(true)),
+            _ => {}
+        }
+    }
+
+    for gate in netlist.gates() {
+        let get = |n: NetId, map: &Vec<Option<Mapped>>| -> Mapped {
+            map[n.index()].expect("topological order guarantees mapped inputs")
+        };
+        let a = get(gate.inputs[0], &map);
+        let bb = get(gate.inputs[1], &map);
+        let c = get(gate.inputs[2], &map);
+        let out = simplify_gate(&mut b, gate.kind, a, bb, c);
+        map[gate.output.index()] = Some(out);
+    }
+
+    let mut const_outputs = Vec::with_capacity(netlist.outputs().len());
+    for &out in netlist.outputs() {
+        match map[out.index()].expect("outputs are mapped") {
+            Mapped::Const(v) => {
+                const_outputs.push(Some(v));
+                let tie = if v { b.const1() } else { b.const0() };
+                b.output(tie);
+            }
+            Mapped::Net(n) => {
+                const_outputs.push(None);
+                b.output(n);
+            }
+        }
+    }
+
+    Specialized {
+        netlist: b.finish(),
+        input_map,
+        const_outputs,
+    }
+}
+
+fn simplify_gate(
+    b: &mut NetlistBuilder,
+    kind: CellKind,
+    a: Mapped,
+    bb: Mapped,
+    c: Mapped,
+) -> Mapped {
+    use Mapped::{Const, Net};
+    // Fully constant inputs: fold.
+    if let (Const(av), Const(bv), Const(cv)) = (a, bb, c) {
+        return Const(kind.eval(av, bv, cv));
+    }
+    match kind {
+        CellKind::Inv => match a {
+            Const(v) => Const(!v),
+            Net(n) => Net(b.inv(n)),
+        },
+        CellKind::Buf => a,
+        CellKind::Nand2 => match (a, bb) {
+            (Const(false), _) | (_, Const(false)) => Const(true),
+            (Const(true), Net(n)) | (Net(n), Const(true)) => Net(b.inv(n)),
+            (Net(x), Net(y)) => Net(b.nand2(x, y)),
+            _ => unreachable!("covered by constant fold"),
+        },
+        CellKind::Nor2 => match (a, bb) {
+            (Const(true), _) | (_, Const(true)) => Const(false),
+            (Const(false), Net(n)) | (Net(n), Const(false)) => Net(b.inv(n)),
+            (Net(x), Net(y)) => Net(b.nor2(x, y)),
+            _ => unreachable!("covered by constant fold"),
+        },
+        CellKind::And2 => match (a, bb) {
+            (Const(false), _) | (_, Const(false)) => Const(false),
+            (Const(true), other) | (other, Const(true)) => other,
+            (Net(x), Net(y)) => Net(b.and2(x, y)),
+        },
+        CellKind::Or2 => match (a, bb) {
+            (Const(true), _) | (_, Const(true)) => Const(true),
+            (Const(false), other) | (other, Const(false)) => other,
+            (Net(x), Net(y)) => Net(b.or2(x, y)),
+        },
+        CellKind::Xor2 => match (a, bb) {
+            (Const(false), other) | (other, Const(false)) => other,
+            (Const(true), Net(n)) | (Net(n), Const(true)) => Net(b.inv(n)),
+            (Net(x), Net(y)) => Net(b.xor2(x, y)),
+            _ => unreachable!("covered by constant fold"),
+        },
+        CellKind::Xnor2 => match (a, bb) {
+            (Const(true), other) | (other, Const(true)) => other,
+            (Const(false), Net(n)) | (Net(n), Const(false)) => Net(b.inv(n)),
+            (Net(x), Net(y)) => Net(b.xnor2(x, y)),
+            _ => unreachable!("covered by constant fold"),
+        },
+        CellKind::Mux2 => match (a, bb, c) {
+            (x, y, Const(sel)) => {
+                if sel {
+                    y
+                } else {
+                    x
+                }
+            }
+            (Const(false), Const(true), Net(sel)) => Net(sel),
+            (Const(true), Const(false), Net(sel)) => Net(b.inv(sel)),
+            (Const(true), Const(true), Net(_)) => Const(true),
+            (Const(false), Const(false), Net(_)) => Const(false),
+            (Const(false), Net(y), Net(sel)) => Net(b.and2(y, sel)),
+            (Const(true), Net(y), Net(sel)) => {
+                let nsel = b.inv(sel);
+                Net(b.or2(y, nsel))
+            }
+            (Net(x), Const(false), Net(sel)) => {
+                let nsel = b.inv(sel);
+                Net(b.and2(x, nsel))
+            }
+            (Net(x), Const(true), Net(sel)) => Net(b.or2(x, sel)),
+            (Net(x), Net(y), Net(sel)) => Net(b.mux2(x, y, sel)),
+        },
+        CellKind::Aoi21 => match (a, bb, c) {
+            // !((a & b) | c)
+            (_, _, Const(true)) => Const(false),
+            (x, y, Const(false)) => match simplify_gate(b, CellKind::And2, x, y, x) {
+                Const(v) => Const(!v),
+                Net(n) => Net(b.inv(n)),
+            },
+            (Const(true), Const(true), Net(n)) => Net(b.inv(n)),
+            (Const(false), _, Net(n)) | (_, Const(false), Net(n)) => Net(b.inv(n)),
+            (Const(true), Net(y), Net(n)) | (Net(y), Const(true), Net(n)) => Net(b.nor2(y, n)),
+            (Net(x), Net(y), Net(n)) => Net(b.gate(CellKind::Aoi21, &[x, y, n])),
+        },
+        CellKind::Oai21 => match (a, bb, c) {
+            // !((a | b) & c)
+            (_, _, Const(false)) => Const(true),
+            (x, y, Const(true)) => match simplify_gate(b, CellKind::Or2, x, y, x) {
+                Const(v) => Const(!v),
+                Net(n) => Net(b.inv(n)),
+            },
+            (Const(false), Const(false), Net(_)) => Const(true),
+            (Const(true), _, Net(n)) | (_, Const(true), Net(n)) => Net(b.inv(n)),
+            (Const(false), Net(y), Net(n)) | (Net(y), Const(false), Net(n)) => Net(b.nand2(y, n)),
+            (Net(x), Net(y), Net(n)) => Net(b.gate(CellKind::Oai21, &[x, y, n])),
+        },
+        CellKind::Maj3 => match (a, bb, c) {
+            (Const(false), y, z) => simplify_gate(b, CellKind::And2, y, z, y),
+            (Const(true), y, z) => simplify_gate(b, CellKind::Or2, y, z, y),
+            (x, Const(false), z) => simplify_gate(b, CellKind::And2, x, z, x),
+            (x, Const(true), z) => simplify_gate(b, CellKind::Or2, x, z, x),
+            (x, y, Const(false)) => simplify_gate(b, CellKind::And2, x, y, x),
+            (x, y, Const(true)) => simplify_gate(b, CellKind::Or2, x, y, x),
+            (Net(x), Net(y), Net(z)) => Net(b.maj3(x, y, z)),
+        },
+        CellKind::Xor3 => match (a, bb, c) {
+            (Const(false), y, z) => simplify_gate(b, CellKind::Xor2, y, z, y),
+            (Const(true), y, z) => simplify_gate(b, CellKind::Xnor2, y, z, y),
+            (x, Const(false), z) => simplify_gate(b, CellKind::Xor2, x, z, x),
+            (x, Const(true), z) => simplify_gate(b, CellKind::Xnor2, x, z, x),
+            (x, y, Const(false)) => simplify_gate(b, CellKind::Xor2, x, y, x),
+            (x, y, Const(true)) => simplify_gate(b, CellKind::Xnor2, x, y, x),
+            (Net(x), Net(y), Net(z)) => Net(b.xor3(x, y, z)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuits::{MacCircuit, MultiplierCircuit};
+    use crate::netlist::to_bits;
+    use crate::{CellLibrary, Sta};
+
+    /// Functional equivalence: for every assignment of the remaining
+    /// inputs, the specialized netlist matches the original with the
+    /// fixed bits substituted.
+    fn check_equivalent(original: &Netlist, fixed_positions: &[(usize, bool)]) {
+        let assignments: Vec<(NetId, bool)> = fixed_positions
+            .iter()
+            .map(|&(pos, v)| (original.inputs()[pos], v))
+            .collect();
+        let spec = specialize(original, &assignments);
+        let free: Vec<usize> = (0..original.inputs().len())
+            .filter(|p| !fixed_positions.iter().any(|&(fp, _)| fp == *p))
+            .collect();
+        let cases = 1u64 << free.len().min(10);
+        for bits in 0..cases {
+            let mut full = vec![false; original.inputs().len()];
+            for &(pos, v) in fixed_positions {
+                full[pos] = v;
+            }
+            let mut spec_inputs = Vec::new();
+            for (i, &pos) in free.iter().enumerate() {
+                let v = (bits >> i) & 1 == 1;
+                full[pos] = v;
+                spec_inputs.push(v);
+            }
+            assert_eq!(
+                original.evaluate_outputs(&full),
+                spec.netlist.evaluate_outputs(&spec_inputs),
+                "mismatch at case {bits:b}"
+            );
+        }
+    }
+
+    #[test]
+    fn specialized_multiplier_is_equivalent() {
+        let mult = MultiplierCircuit::new(4, 4);
+        for weight in [-8i64, -3, 0, 1, 5, 7] {
+            let bits = to_bits(weight, 4);
+            let fixed: Vec<(usize, bool)> =
+                bits.iter().enumerate().map(|(i, &v)| (i, v)).collect();
+            check_equivalent(mult.netlist(), &fixed);
+        }
+    }
+
+    #[test]
+    fn zero_weight_multiplier_collapses_to_constants() {
+        let mult = MultiplierCircuit::new(4, 4);
+        let fixed: Vec<(NetId, bool)> = (0..4).map(|i| (mult.netlist().inputs()[i], false)).collect();
+        let spec = specialize(mult.netlist(), &fixed);
+        // 0 × a = 0: every product bit is constant zero.
+        assert!(spec.const_outputs.iter().all(|c| *c == Some(false)));
+        assert_eq!(spec.netlist.gate_count(), 0, "no logic should remain");
+    }
+
+    #[test]
+    fn specialization_reduces_gate_count() {
+        let mac = MacCircuit::new(4, 4, 12);
+        let bits = to_bits(3, 4);
+        let fixed: Vec<(NetId, bool)> = bits
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (mac.netlist().inputs()[i], v))
+            .collect();
+        let spec = specialize(mac.netlist(), &fixed);
+        assert!(
+            spec.netlist.gate_count() < mac.netlist().gate_count(),
+            "{} !< {}",
+            spec.netlist.gate_count(),
+            mac.netlist().gate_count()
+        );
+    }
+
+    #[test]
+    fn per_weight_sta_is_between_dta_and_full_sta() {
+        // Paper §II: fixing the weight desensitizes paths, so the
+        // specialized STA bound can only shrink — and stays above any
+        // dynamic delay for that weight.
+        let lib = CellLibrary::nangate15_like();
+        let mult = MultiplierCircuit::new(4, 4);
+        let full_sta = Sta::new(mult.netlist(), &lib).critical_path_ps();
+        for weight in [-8i64, -5, 1, 3, 7] {
+            let bits = to_bits(weight, 4);
+            let fixed: Vec<(NetId, bool)> = bits
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (mult.netlist().inputs()[i], v))
+                .collect();
+            let spec = specialize(mult.netlist(), &fixed);
+            let spec_sta = Sta::new(&spec.netlist, &lib).critical_path_ps();
+            assert!(
+                spec_sta <= full_sta + 1e-9,
+                "weight {weight}: specialized STA {spec_sta} exceeds full {full_sta}"
+            );
+            // Dynamic check: sampled transitions never exceed the bound.
+            use crate::Simulator;
+            let mut sim = Simulator::new(&spec.netlist, &lib);
+            let mut x: u64 = 5;
+            sim.settle(&vec![false; spec.netlist.inputs().len()]);
+            for _ in 0..50 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let inputs: Vec<bool> = (0..spec.netlist.inputs().len())
+                    .map(|i| (x >> i) & 1 == 1)
+                    .collect();
+                let stats = sim.transition(&inputs);
+                assert!(stats.delay_ps <= spec_sta + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn input_map_tracks_remaining_positions() {
+        let mult = MultiplierCircuit::new(4, 4);
+        let fixed: Vec<(NetId, bool)> =
+            vec![(mult.netlist().inputs()[1], true), (mult.netlist().inputs()[3], false)];
+        let spec = specialize(mult.netlist(), &fixed);
+        assert_eq!(spec.input_map.len(), 8);
+        assert_eq!(spec.input_map[0], Some(0));
+        assert_eq!(spec.input_map[1], None);
+        assert_eq!(spec.input_map[2], Some(1));
+        assert_eq!(spec.input_map[3], None);
+        assert_eq!(spec.input_map[4], Some(2));
+        assert_eq!(spec.netlist.inputs().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a primary input")]
+    fn assigning_internal_net_panics() {
+        let mult = MultiplierCircuit::new(4, 4);
+        let internal = mult.netlist().gates()[0].output;
+        let _ = specialize(mult.netlist(), &[(internal, true)]);
+    }
+}

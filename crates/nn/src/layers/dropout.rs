@@ -1,0 +1,133 @@
+//! Inverted dropout.
+
+use crate::layers::{Context, Layer};
+use crate::tensor::Tensor;
+
+/// Inverted dropout: during training each element is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`; inference is
+/// the identity.
+///
+/// The mask stream is deterministic per layer instance (seeded counter),
+/// keeping training runs reproducible without threading an RNG through
+/// the `Layer` trait.
+#[derive(Debug)]
+pub struct Dropout {
+    name: String,
+    p: f32,
+    state: u64,
+    mask: Vec<bool>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Dropout {
+            name: name.into(),
+            p,
+            state: seed ^ 0x9e3779b97f4a7c15,
+            mask: Vec::new(),
+        }
+    }
+
+    fn next(&mut self) -> f32 {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((self.state >> 33) as f32) / (1u64 << 31) as f32
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, ctx: &mut Context) -> Tensor {
+        if !ctx.training || self.p == 0.0 {
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mut mask = Vec::with_capacity(input.len());
+        let data = input
+            .data()
+            .iter()
+            .map(|&v| {
+                let alive = self.next() >= self.p;
+                mask.push(alive);
+                if alive {
+                    v * scale
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        self.mask = mask;
+        Tensor::from_vec(input.shape(), data)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        if self.mask.is_empty() {
+            return grad.clone();
+        }
+        let scale = 1.0 / (1.0 - self.p);
+        let data = grad
+            .data()
+            .iter()
+            .zip(&self.mask)
+            .map(|(&g, &alive)| if alive { g * scale } else { 0.0 })
+            .collect();
+        Tensor::from_vec(grad.shape(), data)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_is_identity() {
+        let mut d = Dropout::new("d", 0.5, 1);
+        let x = Tensor::from_vec(&[4], vec![1.0, 2.0, 3.0, 4.0]);
+        let mut ctx = Context::inference();
+        assert_eq!(d.forward(&x, &mut ctx).data(), x.data());
+    }
+
+    #[test]
+    fn training_drops_roughly_p_fraction() {
+        let mut d = Dropout::new("d", 0.5, 2);
+        let x = Tensor::full(&[10_000], 1.0);
+        let mut ctx = Context::train();
+        let y = d.forward(&x, &mut ctx);
+        let dropped = y.data().iter().filter(|&&v| v == 0.0).count();
+        assert!((4000..6000).contains(&dropped), "dropped {dropped}");
+        // Survivors are scaled by 2.
+        assert!(y.data().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new("d", 0.3, 3);
+        let x = Tensor::full(&[64], 1.0);
+        let mut ctx = Context::train();
+        let y = d.forward(&x, &mut ctx);
+        let g = Tensor::full(&[64], 1.0);
+        let gx = d.backward(&g);
+        for (yv, gv) in y.data().iter().zip(gx.data()) {
+            assert_eq!(*yv == 0.0, *gv == 0.0, "mask mismatch");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_p_of_one() {
+        let _ = Dropout::new("d", 1.0, 0);
+    }
+}

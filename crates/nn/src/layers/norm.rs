@@ -1,0 +1,225 @@
+//! Batch normalization over NCHW tensors.
+
+use crate::layers::{Context, Layer, Param};
+use crate::tensor::Tensor;
+
+/// Per-channel batch normalization.
+///
+/// Training uses batch statistics and updates exponential running
+/// estimates; inference uses the running estimates. The backward pass
+/// implements the full batch-norm gradient (including the statistic
+/// terms).
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    name: String,
+    channels: usize,
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    // caches for backward
+    cached_norm: Option<Tensor>,
+    cached_invstd: Vec<f32>,
+    cached_shape: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    #[must_use]
+    pub fn new(name: impl Into<String>, channels: usize) -> Self {
+        assert!(channels > 0);
+        let name = name.into();
+        BatchNorm2d {
+            gamma: Param::new(format!("{name}.gamma"), Tensor::full(&[channels], 1.0), false),
+            beta: Param::new(format!("{name}.beta"), Tensor::zeros(&[channels]), false),
+            name,
+            channels,
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            cached_norm: None,
+            cached_invstd: Vec::new(),
+            cached_shape: Vec::new(),
+        }
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor, ctx: &mut Context) -> Tensor {
+        let [b, c, h, w]: [usize; 4] = input.shape()[..].try_into().expect("NCHW input");
+        assert_eq!(c, self.channels, "channel mismatch");
+        let per_ch = b * h * w;
+        let mut out = Tensor::zeros(input.shape());
+
+        if ctx.training {
+            let mut norm = Tensor::zeros(input.shape());
+            let mut invstds = vec![0.0f32; c];
+            for ch in 0..c {
+                let mut mean = 0.0f32;
+                for bi in 0..b {
+                    let base = (bi * c + ch) * h * w;
+                    mean += input.data()[base..base + h * w].iter().sum::<f32>();
+                }
+                mean /= per_ch as f32;
+                let mut var = 0.0f32;
+                for bi in 0..b {
+                    let base = (bi * c + ch) * h * w;
+                    var += input.data()[base..base + h * w]
+                        .iter()
+                        .map(|v| (v - mean) * (v - mean))
+                        .sum::<f32>();
+                }
+                var /= per_ch as f32;
+                let invstd = 1.0 / (var + self.eps).sqrt();
+                invstds[ch] = invstd;
+                self.running_mean[ch] =
+                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
+                self.running_var[ch] =
+                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
+                let g = self.gamma.value.data()[ch];
+                let be = self.beta.value.data()[ch];
+                for bi in 0..b {
+                    let base = (bi * c + ch) * h * w;
+                    for p in 0..h * w {
+                        let xn = (input.data()[base + p] - mean) * invstd;
+                        norm.data_mut()[base + p] = xn;
+                        out.data_mut()[base + p] = g * xn + be;
+                    }
+                }
+            }
+            self.cached_norm = Some(norm);
+            self.cached_invstd = invstds;
+            self.cached_shape = input.shape().to_vec();
+        } else {
+            for ch in 0..c {
+                let invstd = 1.0 / (self.running_var[ch] + self.eps).sqrt();
+                let mean = self.running_mean[ch];
+                let g = self.gamma.value.data()[ch];
+                let be = self.beta.value.data()[ch];
+                for bi in 0..b {
+                    let base = (bi * c + ch) * h * w;
+                    for p in 0..h * w {
+                        out.data_mut()[base + p] =
+                            g * (input.data()[base + p] - mean) * invstd + be;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let norm = self.cached_norm.as_ref().expect("training forward required");
+        let [b, c, h, w]: [usize; 4] = self.cached_shape[..].try_into().unwrap();
+        let per_ch = (b * h * w) as f32;
+        let mut gx = Tensor::zeros(&self.cached_shape);
+        for ch in 0..c {
+            let g = self.gamma.value.data()[ch];
+            let invstd = self.cached_invstd[ch];
+            // sums over the channel
+            let mut sum_g = 0.0f32;
+            let mut sum_gx = 0.0f32;
+            for bi in 0..b {
+                let base = (bi * c + ch) * h * w;
+                for p in 0..h * w {
+                    let go = grad.data()[base + p];
+                    sum_g += go;
+                    sum_gx += go * norm.data()[base + p];
+                }
+            }
+            self.beta.grad.data_mut()[ch] += sum_g;
+            self.gamma.grad.data_mut()[ch] += sum_gx;
+            for bi in 0..b {
+                let base = (bi * c + ch) * h * w;
+                for p in 0..h * w {
+                    let go = grad.data()[base + p];
+                    let xn = norm.data()[base + p];
+                    gx.data_mut()[base + p] =
+                        g * invstd * (go - sum_g / per_ch - xn * sum_gx / per_ch);
+                }
+            }
+        }
+        gx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::testutil::check_input_gradient;
+
+    fn sample() -> Tensor {
+        Tensor::from_vec(
+            &[2, 2, 2, 2],
+            (0..16).map(|i| (i as f32) * 0.5 - 3.0).collect(),
+        )
+    }
+
+    #[test]
+    fn training_output_is_normalized() {
+        let mut bn = BatchNorm2d::new("bn", 2);
+        let mut ctx = Context::train();
+        let out = bn.forward(&sample(), &mut ctx);
+        // Per-channel mean ~0, var ~1.
+        for ch in 0..2 {
+            let mut vals = Vec::new();
+            for bi in 0..2 {
+                let base = (bi * 2 + ch) * 4;
+                vals.extend_from_slice(&out.data()[base..base + 4]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-5, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+    }
+
+    #[test]
+    fn inference_uses_running_stats() {
+        let mut bn = BatchNorm2d::new("bn", 2);
+        // A few training passes to move the running stats.
+        for _ in 0..20 {
+            let mut ctx = Context::train();
+            let _ = bn.forward(&sample(), &mut ctx);
+        }
+        let mut ctx = Context::inference();
+        let out = bn.forward(&sample(), &mut ctx);
+        // Output should be roughly normalized using converged stats.
+        let mean: f32 = out.data().iter().sum::<f32>() / out.len() as f32;
+        assert!(mean.abs() < 0.5, "inference mean {mean}");
+    }
+
+    #[test]
+    fn input_gradient_is_correct() {
+        let mut bn = BatchNorm2d::new("bn", 2);
+        check_input_gradient(&mut bn, &sample(), 5e-2);
+    }
+
+    #[test]
+    fn gamma_beta_gradients_accumulate() {
+        let mut bn = BatchNorm2d::new("bn", 2);
+        let mut ctx = Context::train();
+        let out = bn.forward(&sample(), &mut ctx);
+        let g = Tensor::from_vec(out.shape(), vec![1.0; out.len()]);
+        let _ = bn.backward(&g);
+        // beta grad = sum of grads per channel = 8 each.
+        assert_eq!(bn.beta.grad.data(), &[8.0, 8.0]);
+    }
+}

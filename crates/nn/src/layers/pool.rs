@@ -1,0 +1,334 @@
+//! Pooling and reshaping layers.
+
+use crate::layers::{Context, Layer};
+use crate::tensor::Tensor;
+
+/// 2-D max pooling over NCHW tensors (non-overlapping when
+/// `stride == k`).
+#[derive(Debug)]
+pub struct MaxPool2d {
+    name: String,
+    k: usize,
+    stride: usize,
+    argmax: Vec<usize>,
+    input_shape: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool with window `k` and the given stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `stride` is zero.
+    #[must_use]
+    pub fn new(name: impl Into<String>, k: usize, stride: usize) -> Self {
+        assert!(k > 0 && stride > 0);
+        MaxPool2d {
+            name: name.into(),
+            k,
+            stride,
+            argmax: Vec::new(),
+            input_shape: Vec::new(),
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, ctx: &mut Context) -> Tensor {
+        let [b, c, h, w]: [usize; 4] = input.shape()[..].try_into().expect("NCHW input");
+        let oh = (h - self.k) / self.stride + 1;
+        let ow = (w - self.k) / self.stride + 1;
+        let mut out = Tensor::zeros(&[b, c, oh, ow]);
+        let mut argmax = vec![0usize; out.len()];
+        let data = input.data();
+        let out_data = out.data_mut();
+        for bc in 0..b * c {
+            let plane = bc * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for ki in 0..self.k {
+                        for kj in 0..self.k {
+                            let idx = plane + (oy * self.stride + ki) * w + ox * self.stride + kj;
+                            if data[idx] > best {
+                                best = data[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let o = bc * oh * ow + oy * ow + ox;
+                    out_data[o] = best;
+                    argmax[o] = best_idx;
+                }
+            }
+        }
+        if ctx.training {
+            self.argmax = argmax;
+            self.input_shape = input.shape().to_vec();
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let mut gx = Tensor::zeros(&self.input_shape);
+        let gxd = gx.data_mut();
+        for (g, &idx) in grad.data().iter().zip(&self.argmax) {
+            gxd[idx] += g;
+        }
+        gx
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// 2-D average pooling over NCHW tensors.
+#[derive(Debug)]
+pub struct AvgPool2d {
+    name: String,
+    k: usize,
+    stride: usize,
+    input_shape: Vec<usize>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool with window `k` and the given stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `stride` is zero.
+    #[must_use]
+    pub fn new(name: impl Into<String>, k: usize, stride: usize) -> Self {
+        assert!(k > 0 && stride > 0);
+        AvgPool2d {
+            name: name.into(),
+            k,
+            stride,
+            input_shape: Vec::new(),
+        }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor, ctx: &mut Context) -> Tensor {
+        let [b, c, h, w]: [usize; 4] = input.shape()[..].try_into().expect("NCHW input");
+        let oh = (h - self.k) / self.stride + 1;
+        let ow = (w - self.k) / self.stride + 1;
+        let norm = 1.0 / (self.k * self.k) as f32;
+        let mut out = Tensor::zeros(&[b, c, oh, ow]);
+        let data = input.data();
+        let out_data = out.data_mut();
+        for bc in 0..b * c {
+            let plane = bc * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for ki in 0..self.k {
+                        for kj in 0..self.k {
+                            acc += data
+                                [plane + (oy * self.stride + ki) * w + ox * self.stride + kj];
+                        }
+                    }
+                    out_data[bc * oh * ow + oy * ow + ox] = acc * norm;
+                }
+            }
+        }
+        if ctx.training {
+            self.input_shape = input.shape().to_vec();
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let [b, c, h, w]: [usize; 4] = self.input_shape[..].try_into().unwrap();
+        let oh = (h - self.k) / self.stride + 1;
+        let ow = (w - self.k) / self.stride + 1;
+        let norm = 1.0 / (self.k * self.k) as f32;
+        let mut gx = Tensor::zeros(&self.input_shape);
+        let gxd = gx.data_mut();
+        for bc in 0..b * c {
+            let plane = bc * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = grad.data()[bc * oh * ow + oy * ow + ox] * norm;
+                    for ki in 0..self.k {
+                        for kj in 0..self.k {
+                            gxd[plane + (oy * self.stride + ki) * w + ox * self.stride + kj] += g;
+                        }
+                    }
+                }
+            }
+        }
+        gx
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Global average pooling: `[B, C, H, W] → [B, C]`.
+#[derive(Debug)]
+pub struct GlobalAvgPool {
+    name: String,
+    input_shape: Vec<usize>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pool.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        GlobalAvgPool {
+            name: name.into(),
+            input_shape: Vec::new(),
+        }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, ctx: &mut Context) -> Tensor {
+        let [b, c, h, w]: [usize; 4] = input.shape()[..].try_into().expect("NCHW input");
+        let norm = 1.0 / (h * w) as f32;
+        let mut out = Tensor::zeros(&[b, c]);
+        for bc in 0..b * c {
+            let sum: f32 = input.data()[bc * h * w..(bc + 1) * h * w].iter().sum();
+            out.data_mut()[bc] = sum * norm;
+        }
+        if ctx.training {
+            self.input_shape = input.shape().to_vec();
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let [b, c, h, w]: [usize; 4] = self.input_shape[..].try_into().unwrap();
+        let norm = 1.0 / (h * w) as f32;
+        let mut gx = Tensor::zeros(&self.input_shape);
+        for bc in 0..b * c {
+            let g = grad.data()[bc] * norm;
+            for v in &mut gx.data_mut()[bc * h * w..(bc + 1) * h * w] {
+                *v = g;
+            }
+        }
+        gx
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Flattens `[B, ...] → [B, F]`.
+#[derive(Debug)]
+pub struct Flatten {
+    name: String,
+    input_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Flatten {
+            name: name.into(),
+            input_shape: Vec::new(),
+        }
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, ctx: &mut Context) -> Tensor {
+        let b = input.shape()[0];
+        let f: usize = input.shape()[1..].iter().product();
+        if ctx.training {
+            self.input_shape = input.shape().to_vec();
+        }
+        input.clone().reshape(&[b, f])
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        grad.clone().reshape(&self.input_shape)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input_2x2x4x4() -> Tensor {
+        Tensor::from_vec(&[1, 1, 4, 4], (0..16).map(|i| i as f32).collect())
+    }
+
+    #[test]
+    fn maxpool_picks_maxima() {
+        let mut p = MaxPool2d::new("mp", 2, 2);
+        let mut ctx = Context::inference();
+        let out = p.forward(&input_2x2x4x4(), &mut ctx);
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut p = MaxPool2d::new("mp", 2, 2);
+        let mut ctx = Context::train();
+        let _ = p.forward(&input_2x2x4x4(), &mut ctx);
+        let g = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let gx = p.backward(&g);
+        assert_eq!(gx.data()[5], 1.0);
+        assert_eq!(gx.data()[7], 2.0);
+        assert_eq!(gx.data()[13], 3.0);
+        assert_eq!(gx.data()[15], 4.0);
+        assert_eq!(gx.data().iter().sum::<f32>(), 10.0);
+    }
+
+    #[test]
+    fn avgpool_averages() {
+        let mut p = AvgPool2d::new("ap", 2, 2);
+        let mut ctx = Context::inference();
+        let out = p.forward(&input_2x2x4x4(), &mut ctx);
+        assert_eq!(out.data(), &[2.5, 4.5, 10.5, 12.5]);
+    }
+
+    #[test]
+    fn avgpool_backward_spreads_evenly() {
+        let mut p = AvgPool2d::new("ap", 2, 2);
+        let mut ctx = Context::train();
+        let _ = p.forward(&input_2x2x4x4(), &mut ctx);
+        let g = Tensor::from_vec(&[1, 1, 2, 2], vec![4.0, 0.0, 0.0, 0.0]);
+        let gx = p.backward(&g);
+        assert_eq!(gx.data()[0], 1.0);
+        assert_eq!(gx.data()[1], 1.0);
+        assert_eq!(gx.data()[4], 1.0);
+        assert_eq!(gx.data()[5], 1.0);
+        assert_eq!(gx.data().iter().sum::<f32>(), 4.0);
+    }
+
+    #[test]
+    fn global_avg_pool_round_trip() {
+        let mut p = GlobalAvgPool::new("gap");
+        let mut ctx = Context::train();
+        let out = p.forward(&input_2x2x4x4(), &mut ctx);
+        assert_eq!(out.shape(), &[1, 1]);
+        assert_eq!(out.data(), &[7.5]);
+        let g = Tensor::from_vec(&[1, 1], vec![16.0]);
+        let gx = p.backward(&g);
+        assert!(gx.data().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut fl = Flatten::new("fl");
+        let mut ctx = Context::train();
+        let out = fl.forward(&input_2x2x4x4(), &mut ctx);
+        assert_eq!(out.shape(), &[1, 16]);
+        let gx = fl.backward(&out);
+        assert_eq!(gx.shape(), &[1, 1, 4, 4]);
+    }
+}

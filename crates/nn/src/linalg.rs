@@ -1,0 +1,233 @@
+//! Dense matrix kernels used by the convolution and dense layers.
+//!
+//! The GEMMs are plain row-major triple loops with an `ikj` ordering (so
+//! the inner loop streams contiguously) and optional std-thread row
+//! parallelism — enough throughput to train the mini model zoo on a CPU
+//! without any external BLAS.
+
+/// Threshold (in multiply-accumulates) above which GEMMs fan out to
+/// threads.
+const PARALLEL_FLOP_THRESHOLD: usize = 1 << 22;
+
+/// `C[m×n] = A[m×k] · B[k×n]` (row-major, overwrite).
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions.
+pub fn matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A size mismatch");
+    assert_eq!(b.len(), k * n, "B size mismatch");
+    assert_eq!(c.len(), m * n, "C size mismatch");
+    c.fill(0.0);
+    if m * k * n >= PARALLEL_FLOP_THRESHOLD {
+        parallel_rows(c, m, n, |row_i, c_row| {
+            row_kernel(&a[row_i * k..(row_i + 1) * k], b, c_row, k, n);
+        });
+    } else {
+        for i in 0..m {
+            row_kernel(&a[i * k..(i + 1) * k], b, &mut c[i * n..(i + 1) * n], k, n);
+        }
+    }
+}
+
+/// `C[m×n] += Aᵀ·B` where `A` is `k×m` row-major (i.e. C = A'B with A
+/// stored transposed). Used for input gradients.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions.
+pub fn matmul_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), k * m, "A size mismatch");
+    assert_eq!(b.len(), k * n, "B size mismatch");
+    assert_eq!(c.len(), m * n, "C size mismatch");
+    c.fill(0.0);
+    // C[i,j] = sum_l A[l,i] * B[l,j]
+    if m * k * n >= PARALLEL_FLOP_THRESHOLD {
+        parallel_rows(c, m, n, |i, c_row| {
+            for l in 0..k {
+                let aval = a[l * m + i];
+                if aval != 0.0 {
+                    let b_row = &b[l * n..(l + 1) * n];
+                    for (cj, bj) in c_row.iter_mut().zip(b_row) {
+                        *cj += aval * bj;
+                    }
+                }
+            }
+        });
+    } else {
+        for l in 0..k {
+            for i in 0..m {
+                let aval = a[l * m + i];
+                if aval != 0.0 {
+                    let b_row = &b[l * n..(l + 1) * n];
+                    let c_row = &mut c[i * n..(i + 1) * n];
+                    for (cj, bj) in c_row.iter_mut().zip(b_row) {
+                        *cj += aval * bj;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `C[m×n] = A[m×k] · Bᵀ` where `B` is `n×k` row-major. Used for weight
+/// gradients (`grad_w = grad_out · im2colᵀ`).
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions.
+pub fn matmul_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A size mismatch");
+    assert_eq!(b.len(), n * k, "B size mismatch");
+    assert_eq!(c.len(), m * n, "C size mismatch");
+    c.fill(0.0);
+    if m * k * n >= PARALLEL_FLOP_THRESHOLD {
+        parallel_rows(c, m, n, |i, c_row| {
+            let a_row = &a[i * k..(i + 1) * k];
+            for (j, cj) in c_row.iter_mut().enumerate() {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (av, bv) in a_row.iter().zip(b_row) {
+                    acc += av * bv;
+                }
+                *cj = acc;
+            }
+        });
+    } else {
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (av, bv) in a_row.iter().zip(b_row) {
+                    acc += av * bv;
+                }
+                c[i * n + j] = acc;
+            }
+        }
+    }
+}
+
+fn row_kernel(a_row: &[f32], b: &[f32], c_row: &mut [f32], k: usize, n: usize) {
+    for (l, &aval) in a_row.iter().enumerate().take(k) {
+        if aval != 0.0 {
+            let b_row = &b[l * n..(l + 1) * n];
+            for (cj, bj) in c_row.iter_mut().zip(b_row) {
+                *cj += aval * bj;
+            }
+        }
+    }
+}
+
+/// Splits `c` into row chunks and runs `f(row_index, row_slice)` on a
+/// scoped thread per chunk.
+fn parallel_rows(c: &mut [f32], m: usize, n: usize, f: impl Fn(usize, &mut [f32]) + Sync) {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(m.max(1));
+    if threads <= 1 {
+        for (i, row) in c.chunks_mut(n).enumerate() {
+            f(i, row);
+        }
+        return;
+    }
+    let rows_per = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (chunk_idx, chunk) in c.chunks_mut(rows_per * n).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (off, row) in chunk.chunks_mut(n).enumerate() {
+                    f(chunk_idx * rows_per + off, row);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for l in 0..k {
+                    c[i * n + j] += a[i * k + l] * b[l * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn test_matrices(m: usize, k: usize, n: usize) -> (Vec<f32>, Vec<f32>) {
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 7 + 3) % 11) as f32 - 5.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 5 + 1) % 13) as f32 - 6.0).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let (m, k, n) = (7, 5, 9);
+        let (a, b) = test_matrices(m, k, n);
+        let mut c = vec![0.0; m * n];
+        matmul(&a, &b, &mut c, m, k, n);
+        assert_eq!(c, naive(&a, &b, m, k, n));
+    }
+
+    #[test]
+    fn matmul_tn_matches_naive() {
+        let (m, k, n) = (6, 4, 8);
+        // A stored as k×m, B as k×n.
+        let a_t: Vec<f32> = (0..k * m).map(|i| ((i * 7 + 3) % 11) as f32 - 5.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 5 + 1) % 13) as f32 - 6.0).collect();
+        let mut c = vec![0.0; m * n];
+        matmul_tn(&a_t, &b, &mut c, m, k, n);
+        // naive: C[i,j] = sum_l A_t[l*m+i] * B[l*n+j]
+        let mut expected = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for l in 0..k {
+                    expected[i * n + j] += a_t[l * m + i] * b[l * n + j];
+                }
+            }
+        }
+        assert_eq!(c, expected);
+    }
+
+    #[test]
+    fn matmul_nt_matches_naive() {
+        let (m, k, n) = (5, 6, 4);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 7 + 3) % 11) as f32 - 5.0).collect();
+        let b_t: Vec<f32> = (0..n * k).map(|i| ((i * 3 + 2) % 9) as f32 - 4.0).collect();
+        let mut c = vec![0.0; m * n];
+        matmul_nt(&a, &b_t, &mut c, m, k, n);
+        let mut expected = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for l in 0..k {
+                    expected[i * n + j] += a[i * k + l] * b_t[j * k + l];
+                }
+            }
+        }
+        assert_eq!(c, expected);
+    }
+
+    #[test]
+    fn large_parallel_matmul_matches_naive() {
+        // Force the parallel path.
+        let (m, k, n) = (64, 64, 1100);
+        let (a, b) = test_matrices(m, k, n);
+        let mut c = vec![0.0; m * n];
+        matmul(&a, &b, &mut c, m, k, n);
+        assert_eq!(c, naive(&a, &b, m, k, n));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn dimension_mismatch_panics() {
+        let mut c = vec![0.0; 4];
+        matmul(&[1.0; 3], &[1.0; 4], &mut c, 2, 2, 2);
+    }
+}

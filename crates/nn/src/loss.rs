@@ -1,0 +1,123 @@
+//! Softmax cross-entropy loss.
+
+use crate::tensor::Tensor;
+
+/// Computes the mean softmax cross-entropy over a batch of logits and
+/// the gradient with respect to the logits.
+///
+/// `logits` has shape `[B, C]`; `labels` holds one class index per row.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or a label is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use nn::loss::cross_entropy;
+/// use nn::Tensor;
+///
+/// let logits = Tensor::from_vec(&[1, 3], vec![2.0, 0.0, -2.0]);
+/// let (loss, grad) = cross_entropy(&logits, &[0]);
+/// assert!(loss < 0.2); // confident and correct
+/// assert_eq!(grad.shape(), &[1, 3]);
+/// ```
+#[must_use]
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let [b, c]: [usize; 2] = logits.shape()[..].try_into().expect("[B, C] logits");
+    assert_eq!(labels.len(), b, "one label per batch row");
+    let mut grad = Tensor::zeros(logits.shape());
+    let mut loss = 0.0f32;
+    for bi in 0..b {
+        let row = &logits.data()[bi * c..(bi + 1) * c];
+        let label = labels[bi];
+        assert!(label < c, "label {label} out of range for {c} classes");
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        loss += sum.ln() - (row[label] - max);
+        let grow = &mut grad.data_mut()[bi * c..(bi + 1) * c];
+        for (j, g) in grow.iter_mut().enumerate() {
+            let p = exps[j] / sum;
+            *g = (p - if j == label { 1.0 } else { 0.0 }) / b as f32;
+        }
+    }
+    (loss / b as f32, grad)
+}
+
+/// Top-1 accuracy of `logits` against `labels`.
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+#[must_use]
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    let [b, c]: [usize; 2] = logits.shape()[..].try_into().expect("[B, C] logits");
+    assert_eq!(labels.len(), b);
+    let mut correct = 0usize;
+    for bi in 0..b {
+        let row = &logits.data()[bi * c..(bi + 1) * c];
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        if pred == labels[bi] {
+            correct += 1;
+        }
+    }
+    correct as f64 / b as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_is_ln_c_for_uniform_logits() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let (loss, _) = cross_entropy(&logits, &[0, 3]);
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec(&[1, 3], vec![1.0, -2.0, 0.5]);
+        let (_, grad) = cross_entropy(&logits, &[1]);
+        let sum: f32 = grad.data().iter().sum();
+        assert!(sum.abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(&[1, 3], vec![0.3, -0.7, 1.2]);
+        let (_, grad) = cross_entropy(&logits, &[2]);
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut plus = logits.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = logits.clone();
+            minus.data_mut()[i] -= eps;
+            let (lp, _) = cross_entropy(&plus, &[2]);
+            let (lm, _) = cross_entropy(&minus, &[2]);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - grad.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_matches() {
+        let logits = Tensor::from_vec(&[2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
+        assert_eq!(accuracy(&logits, &[1, 0]), 0.0);
+        assert_eq!(accuracy(&logits, &[0, 0]), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        let logits = Tensor::zeros(&[1, 2]);
+        let _ = cross_entropy(&logits, &[5]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Classification metrics beyond plain top-1 accuracy.
+
+use crate::tensor::Tensor;
+
+/// A confusion matrix over `classes` labels.
+///
+/// # Examples
+///
+/// ```
+/// use nn::metrics::ConfusionMatrix;
+/// use nn::Tensor;
+///
+/// let logits = Tensor::from_vec(&[2, 2], vec![2.0, 0.0, 0.0, 2.0]);
+/// let mut cm = ConfusionMatrix::new(2);
+/// cm.update(&logits, &[0, 0]);
+/// assert_eq!(cm.count(0, 0), 1); // one correct
+/// assert_eq!(cm.count(0, 1), 1); // one confused 0 -> 1
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    /// counts[truth * classes + predicted]
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// An empty matrix for `classes` labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is zero.
+    #[must_use]
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "need at least one class");
+        ConfusionMatrix {
+            classes,
+            counts: vec![0; classes * classes],
+        }
+    }
+
+    /// Accumulates a batch of logits against true labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or out-of-range labels.
+    pub fn update(&mut self, logits: &Tensor, labels: &[usize]) {
+        let [b, c]: [usize; 2] = logits.shape()[..].try_into().expect("[B, C] logits");
+        assert_eq!(c, self.classes, "class count mismatch");
+        assert_eq!(labels.len(), b);
+        for (bi, &truth) in labels.iter().enumerate() {
+            assert!(truth < self.classes, "label out of range");
+            let row = &logits.data()[bi * c..(bi + 1) * c];
+            let pred = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            self.counts[truth * self.classes + pred] += 1;
+        }
+    }
+
+    /// Number of samples with true label `truth` predicted as `pred`.
+    #[must_use]
+    pub fn count(&self, truth: usize, pred: usize) -> u64 {
+        self.counts[truth * self.classes + pred]
+    }
+
+    /// Total samples accumulated.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        let correct: u64 = (0..self.classes).map(|c| self.count(c, c)).sum();
+        if self.total() == 0 {
+            0.0
+        } else {
+            correct as f64 / self.total() as f64
+        }
+    }
+
+    /// Per-class recall (correct / occurrences of the class); `None` for
+    /// classes never seen.
+    #[must_use]
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let row: u64 = (0..self.classes).map(|p| self.count(class, p)).sum();
+        if row == 0 {
+            None
+        } else {
+            Some(self.count(class, class) as f64 / row as f64)
+        }
+    }
+
+    /// Per-class precision (correct / predictions of the class); `None`
+    /// for classes never predicted.
+    #[must_use]
+    pub fn precision(&self, class: usize) -> Option<f64> {
+        let col: u64 = (0..self.classes).map(|t| self.count(t, class)).sum();
+        if col == 0 {
+            None
+        } else {
+            Some(self.count(class, class) as f64 / col as f64)
+        }
+    }
+}
+
+/// Top-k accuracy: fraction of rows whose true label is among the k
+/// highest logits.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or `k == 0`.
+#[must_use]
+pub fn top_k_accuracy(logits: &Tensor, labels: &[usize], k: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    let [b, c]: [usize; 2] = logits.shape()[..].try_into().expect("[B, C] logits");
+    assert_eq!(labels.len(), b);
+    let k = k.min(c);
+    let mut hits = 0usize;
+    for (bi, &truth) in labels.iter().enumerate() {
+        let row = &logits.data()[bi * c..(bi + 1) * c];
+        let mut idx: Vec<usize> = (0..c).collect();
+        idx.sort_by(|&i, &j| row[j].partial_cmp(&row[i]).expect("finite logits"));
+        if idx[..k].contains(&truth) {
+            hits += 1;
+        }
+    }
+    hits as f64 / b as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logits() -> Tensor {
+        // 3 samples, 3 classes
+        Tensor::from_vec(
+            &[3, 3],
+            vec![
+                3.0, 2.0, 1.0, // pred 0
+                1.0, 3.0, 2.0, // pred 1
+                1.0, 2.0, 3.0, // pred 2
+            ],
+        )
+    }
+
+    #[test]
+    fn confusion_counts_and_accuracy() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.update(&logits(), &[0, 1, 1]);
+        assert_eq!(cm.count(0, 0), 1);
+        assert_eq!(cm.count(1, 1), 1);
+        assert_eq!(cm.count(1, 2), 1);
+        assert!((cm.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_and_precision() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.update(&logits(), &[0, 1, 1]);
+        assert_eq!(cm.recall(0), Some(1.0));
+        assert_eq!(cm.recall(1), Some(0.5));
+        assert_eq!(cm.recall(2), None);
+        assert_eq!(cm.precision(2), Some(0.0));
+    }
+
+    #[test]
+    fn top_k_widens_with_k() {
+        let l = logits();
+        let labels = [1usize, 0, 0];
+        let t1 = top_k_accuracy(&l, &labels, 1);
+        let t2 = top_k_accuracy(&l, &labels, 2);
+        let t3 = top_k_accuracy(&l, &labels, 3);
+        assert!(t1 <= t2 && t2 <= t3);
+        assert_eq!(t3, 1.0);
+    }
+}

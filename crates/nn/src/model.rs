@@ -1,0 +1,455 @@
+//! Model composition: sequential chains, residual blocks and the
+//! [`Network`] wrapper that exposes the PowerPruning hooks.
+
+use crate::layers::{Context, GemmCapture, Layer, Param};
+use crate::quant::{ActQuantizer, ValueSet, WeightQuantizer};
+use crate::tensor::Tensor;
+
+/// A chain of layers executed in order.
+#[derive(Debug, Default)]
+pub struct Sequential {
+    name: String,
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// An empty chain.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Sequential {
+            name: name.into(),
+            layers: Vec::new(),
+        }
+    }
+
+    /// Appends a layer (builder style).
+    #[must_use]
+    pub fn with(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of direct child layers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the chain is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, ctx: &mut Context) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, ctx);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let mut g = grad.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    fn visit_weight_quant(&mut self, f: &mut dyn FnMut(&mut WeightQuantizer)) {
+        for layer in &mut self.layers {
+            layer.visit_weight_quant(f);
+        }
+    }
+
+    fn visit_act_quant(&mut self, f: &mut dyn FnMut(&mut ActQuantizer)) {
+        for layer in &mut self.layers {
+            layer.visit_act_quant(f);
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A residual block: `out = main(x) + shortcut(x)`.
+///
+/// An empty shortcut chain acts as the identity. The output shapes of
+/// the two branches must match.
+#[derive(Debug)]
+pub struct Residual {
+    name: String,
+    main: Sequential,
+    shortcut: Sequential,
+}
+
+impl Residual {
+    /// Creates a residual block with an identity shortcut.
+    #[must_use]
+    pub fn new(name: impl Into<String>, main: Sequential) -> Self {
+        let name = name.into();
+        Residual {
+            shortcut: Sequential::new(format!("{name}.shortcut")),
+            name,
+            main,
+        }
+    }
+
+    /// Creates a residual block with a projection shortcut.
+    #[must_use]
+    pub fn with_shortcut(name: impl Into<String>, main: Sequential, shortcut: Sequential) -> Self {
+        Residual {
+            name: name.into(),
+            main,
+            shortcut,
+        }
+    }
+}
+
+impl Layer for Residual {
+    fn forward(&mut self, input: &Tensor, ctx: &mut Context) -> Tensor {
+        let mut main_out = self.main.forward(input, ctx);
+        let short_out = if self.shortcut.is_empty() {
+            input.clone()
+        } else {
+            self.shortcut.forward(input, ctx)
+        };
+        assert_eq!(
+            main_out.shape(),
+            short_out.shape(),
+            "residual branch shapes must match"
+        );
+        main_out.add_assign(&short_out);
+        main_out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let mut gx = self.main.backward(grad);
+        if self.shortcut.is_empty() {
+            gx.add_assign(grad);
+        } else {
+            let gs = self.shortcut.backward(grad);
+            gx.add_assign(&gs);
+        }
+        gx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.main.visit_params(f);
+        self.shortcut.visit_params(f);
+    }
+
+    fn visit_weight_quant(&mut self, f: &mut dyn FnMut(&mut WeightQuantizer)) {
+        self.main.visit_weight_quant(f);
+        self.shortcut.visit_weight_quant(f);
+    }
+
+    fn visit_act_quant(&mut self, f: &mut dyn FnMut(&mut ActQuantizer)) {
+        self.main.visit_act_quant(f);
+        self.shortcut.visit_act_quant(f);
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A point-in-time copy of a network's trainable parameters.
+#[derive(Debug, Clone)]
+pub struct NetworkState {
+    params: Vec<Tensor>,
+}
+
+/// A complete network: a root layer plus PowerPruning configuration.
+///
+/// # Examples
+///
+/// ```
+/// use nn::layers::Dense;
+/// use nn::model::{Network, Sequential};
+/// use nn::Tensor;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let root = Sequential::new("mlp").with(Dense::new("fc", 4, 2, &mut rng));
+/// let mut net = Network::new(root);
+/// let x = Tensor::zeros(&[1, 4]);
+/// let y = net.predict(&x);
+/// assert_eq!(y.shape(), &[1, 2]);
+/// ```
+#[derive(Debug)]
+pub struct Network {
+    root: Sequential,
+    /// Whether forward passes are quantization-aware.
+    pub quantize: bool,
+}
+
+impl Network {
+    /// Wraps a root chain.
+    #[must_use]
+    pub fn new(root: Sequential) -> Self {
+        Network {
+            root,
+            quantize: false,
+        }
+    }
+
+    /// The network name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        self.root.name()
+    }
+
+    /// Inference forward pass (respecting the quantize flag).
+    pub fn predict(&mut self, input: &Tensor) -> Tensor {
+        let mut ctx = Context::inference();
+        ctx.quantize = self.quantize;
+        self.root.forward(input, &mut ctx)
+    }
+
+    /// Training forward pass.
+    pub fn forward_train(&mut self, input: &Tensor) -> Tensor {
+        let mut ctx = Context::train();
+        ctx.quantize = self.quantize;
+        self.root.forward(input, &mut ctx)
+    }
+
+    /// Backward pass; returns the input gradient.
+    pub fn backward(&mut self, grad: &Tensor) -> Tensor {
+        self.root.backward(grad)
+    }
+
+    /// Forward pass that records every quantized GEMM (weights as int8
+    /// codes, streamed activations as uint8 codes) for systolic replay.
+    pub fn forward_capture(&mut self, input: &Tensor) -> (Tensor, Vec<GemmCapture>) {
+        let mut ctx = Context::inference().capturing();
+        let out = self.root.forward(input, &mut ctx);
+        (out, ctx.capture.unwrap_or_default())
+    }
+
+    /// Visits every trainable parameter.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.root.visit_params(f);
+    }
+
+    /// Zeroes all gradients.
+    pub fn zero_grads(&mut self) {
+        self.root.visit_params(&mut |p| p.grad.zero());
+    }
+
+    /// Installs (or clears) the allowed weight-code set on every
+    /// conv/dense layer.
+    pub fn set_weight_restriction(&mut self, allowed: Option<ValueSet>) {
+        self.root.visit_weight_quant(&mut |wq| {
+            wq.allowed = allowed.clone();
+        });
+    }
+
+    /// Installs (or clears) the allowed activation-code set on every
+    /// activation layer.
+    pub fn set_activation_restriction(&mut self, allowed: Option<ValueSet>) {
+        self.root.visit_act_quant(&mut |aq| {
+            aq.allowed = allowed.clone();
+        });
+    }
+
+    /// Total number of trainable scalars.
+    #[must_use]
+    pub fn param_count(&mut self) -> usize {
+        let mut count = 0;
+        self.root.visit_params(&mut |p| count += p.value.len());
+        count
+    }
+
+    /// Captures the current values of every trainable parameter.
+    ///
+    /// Use with [`Network::restore`] to roll back to an earlier training
+    /// state (e.g. when a threshold sweep overshoots).
+    #[must_use]
+    pub fn snapshot(&mut self) -> NetworkState {
+        let mut params = Vec::new();
+        self.root.visit_params(&mut |p| params.push(p.value.clone()));
+        NetworkState { params }
+    }
+
+    /// Restores parameter values captured by [`Network::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot does not match the network's structure.
+    pub fn restore(&mut self, state: &NetworkState) {
+        let mut idx = 0usize;
+        self.root.visit_params(&mut |p| {
+            assert!(idx < state.params.len(), "snapshot has too few parameters");
+            assert_eq!(
+                p.value.shape(),
+                state.params[idx].shape(),
+                "snapshot shape mismatch at parameter {idx}"
+            );
+            p.value = state.params[idx].clone();
+            idx += 1;
+        });
+        assert_eq!(idx, state.params.len(), "snapshot has too many parameters");
+    }
+
+    /// Fraction of weights whose quantized code is zero, over all
+    /// conv/dense weight tensors (paper-style sparsity metric).
+    #[must_use]
+    pub fn zero_weight_fraction(&mut self) -> f64 {
+        let mut zeros = 0usize;
+        let mut total = 0usize;
+        self.root.visit_params(&mut |p| {
+            if p.decay {
+                // weight tensors only
+                let scale = (p.value.max_abs() / 127.0).max(1e-8);
+                for &v in p.value.data() {
+                    let code = (v / scale).round().clamp(-127.0, 127.0) as i32;
+                    if code == 0 {
+                        zeros += 1;
+                    }
+                    total += 1;
+                }
+            }
+        });
+        if total == 0 {
+            0.0
+        } else {
+            zeros as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, QuantReLU};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    fn mlp() -> Network {
+        let mut r = rng();
+        let root = Sequential::new("mlp")
+            .with(Dense::new("fc1", 4, 8, &mut r))
+            .with(QuantReLU::new("relu1", 6.0))
+            .with(Dense::new("fc2", 8, 3, &mut r));
+        Network::new(root)
+    }
+
+    #[test]
+    fn sequential_forward_backward_round_trip() {
+        let mut net = mlp();
+        let x = Tensor::from_vec(&[2, 4], vec![0.1; 8]);
+        let out = net.forward_train(&x);
+        assert_eq!(out.shape(), &[2, 3]);
+        let g = Tensor::from_vec(&[2, 3], vec![1.0; 6]);
+        let gx = net.backward(&g);
+        assert_eq!(gx.shape(), &[2, 4]);
+    }
+
+    #[test]
+    fn residual_identity_adds_input() {
+        let main = Sequential::new("empty-main");
+        let mut res = Residual::new("res", main);
+        let x = Tensor::from_vec(&[1, 4], vec![1.0, 2.0, 3.0, 4.0]);
+        let mut ctx = Context::inference();
+        let y = res.forward(&x, &mut ctx);
+        // empty main = identity, identity shortcut => out = 2x
+        assert_eq!(y.data(), &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn residual_backward_sums_branches() {
+        let main = Sequential::new("m");
+        let mut res = Residual::new("res", main);
+        let x = Tensor::from_vec(&[1, 2], vec![1.0, 1.0]);
+        let mut ctx = Context::train();
+        let _ = res.forward(&x, &mut ctx);
+        let g = Tensor::from_vec(&[1, 2], vec![1.0, 2.0]);
+        let gx = res.backward(&g);
+        assert_eq!(gx.data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn weight_restriction_propagates_to_all_layers() {
+        let mut net = mlp();
+        net.quantize = true;
+        net.set_weight_restriction(Some(ValueSet::new([-127, 0, 127])));
+        let mut count = 0;
+        net.root.visit_weight_quant(&mut |wq| {
+            assert!(wq.allowed.is_some());
+            count += 1;
+        });
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn capture_collects_one_gemm_per_dense() {
+        let mut net = mlp();
+        let x = Tensor::from_vec(&[2, 4], vec![0.2; 8]);
+        let (_, captures) = net.forward_capture(&x);
+        assert_eq!(captures.len(), 2);
+        assert_eq!(captures[0].m, 8);
+        assert_eq!(captures[1].m, 3);
+    }
+
+    #[test]
+    fn zero_weight_fraction_is_a_fraction() {
+        let mut net = mlp();
+        let f = net.zero_weight_fraction();
+        assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn param_count_is_positive() {
+        let mut net = mlp();
+        assert_eq!(net.param_count(), 4 * 8 + 8 + 8 * 3 + 3);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let mut net = mlp();
+        let x = Tensor::from_vec(&[1, 4], vec![0.4, -0.2, 0.9, 0.1]);
+        let before = net.predict(&x);
+        let state = net.snapshot();
+        // Perturb every parameter.
+        net.visit_params(&mut |p| {
+            for v in p.value.data_mut() {
+                *v += 1.0;
+            }
+        });
+        assert_ne!(net.predict(&x).data(), before.data());
+        net.restore(&state);
+        assert_eq!(net.predict(&x).data(), before.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot")]
+    fn restore_rejects_wrong_structure() {
+        let mut a = mlp();
+        let state = a.snapshot();
+        let mut rng = rng();
+        let other = Sequential::new("other").with(Dense::new("fc", 2, 2, &mut rng));
+        let mut b = Network::new(other);
+        b.restore(&state);
+    }
+}

@@ -1,0 +1,122 @@
+//! Stochastic gradient descent with momentum and decoupled weight decay.
+
+use crate::model::Network;
+use crate::tensor::Tensor;
+
+/// SGD optimizer with classical momentum.
+///
+/// Velocity buffers are matched to parameters by traversal order, which
+/// is stable for a fixed network structure.
+#[derive(Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    /// L2 weight decay applied to decaying parameters.
+    pub weight_decay: f32,
+    velocities: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an optimizer.
+    #[must_use]
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocities: Vec::new(),
+        }
+    }
+
+    /// Applies one update step from the accumulated gradients, then
+    /// leaves the gradients untouched (call [`Network::zero_grads`]
+    /// before the next accumulation).
+    pub fn step(&mut self, net: &mut Network) {
+        let mut idx = 0usize;
+        let lr = self.lr;
+        let momentum = self.momentum;
+        let wd = self.weight_decay;
+        let velocities = &mut self.velocities;
+        net.visit_params(&mut |p| {
+            if velocities.len() <= idx {
+                velocities.push(Tensor::zeros(p.value.shape()));
+            }
+            let v = &mut velocities[idx];
+            debug_assert_eq!(v.shape(), p.value.shape(), "parameter order changed");
+            let decay = if p.decay { wd } else { 0.0 };
+            for ((vi, gi), wi) in v
+                .data_mut()
+                .iter_mut()
+                .zip(p.grad.data())
+                .zip(p.value.data_mut())
+            {
+                *vi = momentum * *vi + gi + decay * *wi;
+                *wi -= lr * *vi;
+            }
+            idx += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Dense;
+    use crate::loss::cross_entropy;
+    use crate::model::{Network, Sequential};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sgd_reduces_loss_on_a_separable_problem() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let root = Sequential::new("lin").with(Dense::new("fc", 2, 2, &mut rng));
+        let mut net = Network::new(root);
+        let mut opt = Sgd::new(0.5, 0.9, 0.0);
+
+        let x = Tensor::from_vec(&[4, 2], vec![1., 0., 0., 1., -1., 0., 0., -1.]);
+        let labels = [0usize, 0, 1, 1];
+
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..50 {
+            net.zero_grads();
+            let out = net.forward_train(&x);
+            let (loss, grad) = cross_entropy(&out, &labels);
+            let _ = net.backward(&grad);
+            opt.step(&mut net);
+            first_loss.get_or_insert(loss);
+            last_loss = loss;
+        }
+        assert!(
+            last_loss < first_loss.unwrap() * 0.2,
+            "loss {last_loss} did not drop from {:?}",
+            first_loss
+        );
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let root = Sequential::new("lin").with(Dense::new("fc", 2, 2, &mut rng));
+        let mut net = Network::new(root);
+        let mut before = 0.0f32;
+        net.visit_params(&mut |p| {
+            if p.decay {
+                before = p.value.max_abs();
+            }
+        });
+        let mut opt = Sgd::new(0.1, 0.0, 0.5);
+        net.zero_grads();
+        opt.step(&mut net);
+        let mut after = 0.0f32;
+        net.visit_params(&mut |p| {
+            if p.decay {
+                after = p.value.max_abs();
+            }
+        });
+        assert!(after < before);
+    }
+}

@@ -1,0 +1,348 @@
+//! Int8 quantization with restricted value sets.
+//!
+//! Matches the paper's setup: weights are quantized symmetrically to
+//! **255** codes (−127..=127, keeping the distribution symmetric as
+//! TensorFlow does), activations asymmetrically to **256** codes
+//! (0..=255). PowerPruning then *restricts* which codes a network may
+//! use: [`ValueSet`] holds the allowed codes and projection onto the
+//! nearest allowed code happens in the forward pass, with the
+//! straight-through estimator in the backward pass (the projection is
+//! simply ignored when propagating gradients).
+
+use crate::tensor::Tensor;
+use std::fmt;
+
+/// A sorted set of allowed quantized codes.
+///
+/// # Examples
+///
+/// ```
+/// use nn::quant::ValueSet;
+///
+/// let set = ValueSet::new([0, -2, 4, 4]);
+/// assert_eq!(set.codes(), &[-2, 0, 4]);
+/// assert_eq!(set.project(3), 4);
+/// assert_eq!(set.project(-100), -2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueSet {
+    codes: Vec<i32>,
+}
+
+impl ValueSet {
+    /// Builds a set from arbitrary codes (sorted and deduplicated).
+    #[must_use]
+    pub fn new(codes: impl IntoIterator<Item = i32>) -> Self {
+        let mut codes: Vec<i32> = codes.into_iter().collect();
+        codes.sort_unstable();
+        codes.dedup();
+        ValueSet { codes }
+    }
+
+    /// All 255 symmetric int8 weight codes (−127..=127).
+    #[must_use]
+    pub fn all_weight_codes() -> Self {
+        ValueSet::new(-127..=127)
+    }
+
+    /// All 256 uint8 activation codes (0..=255).
+    #[must_use]
+    pub fn all_activation_codes() -> Self {
+        ValueSet::new(0..=255)
+    }
+
+    /// The sorted allowed codes.
+    #[must_use]
+    pub fn codes(&self) -> &[i32] {
+        &self.codes
+    }
+
+    /// Number of allowed codes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Whether `code` is allowed.
+    #[must_use]
+    pub fn contains(&self, code: i32) -> bool {
+        self.codes.binary_search(&code).is_ok()
+    }
+
+    /// Nearest allowed code (ties resolve toward the smaller code).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is empty.
+    #[must_use]
+    pub fn project(&self, code: i32) -> i32 {
+        assert!(!self.codes.is_empty(), "cannot project onto an empty ValueSet");
+        match self.codes.binary_search(&code) {
+            Ok(_) => code,
+            Err(pos) => {
+                if pos == 0 {
+                    self.codes[0]
+                } else if pos == self.codes.len() {
+                    self.codes[pos - 1]
+                } else {
+                    let lo = self.codes[pos - 1];
+                    let hi = self.codes[pos];
+                    if (code - lo) <= (hi - code) {
+                        lo
+                    } else {
+                        hi
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes a code, returning whether it was present.
+    pub fn remove(&mut self, code: i32) -> bool {
+        match self.codes.binary_search(&code) {
+            Ok(pos) => {
+                self.codes.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Keeps only codes satisfying the predicate.
+    pub fn retain(&mut self, f: impl FnMut(&i32) -> bool) {
+        self.codes.retain(f);
+    }
+}
+
+impl fmt::Display for ValueSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ValueSet({} codes)", self.codes.len())
+    }
+}
+
+impl FromIterator<i32> for ValueSet {
+    fn from_iter<T: IntoIterator<Item = i32>>(iter: T) -> Self {
+        ValueSet::new(iter)
+    }
+}
+
+/// Symmetric per-tensor int8 weight quantizer with an optional
+/// restriction set.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WeightQuantizer {
+    /// When set, quantized codes are projected onto this set.
+    pub allowed: Option<ValueSet>,
+}
+
+/// Result of quantizing a weight tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedWeights {
+    /// Scale such that `value ≈ code · scale`.
+    pub scale: f32,
+    /// Integer codes, one per weight (−127..=127).
+    pub codes: Vec<i8>,
+    /// Dequantized (fake-quantized) weights used in the forward pass.
+    pub dequant: Tensor,
+}
+
+impl WeightQuantizer {
+    /// An unrestricted quantizer.
+    #[must_use]
+    pub fn new() -> Self {
+        WeightQuantizer::default()
+    }
+
+    /// Quantizes `w` symmetrically: `scale = max|w| / 127`,
+    /// `code = clamp(round(w / scale), −127, 127)`, projected onto the
+    /// allowed set when one is configured.
+    #[must_use]
+    pub fn quantize(&self, w: &Tensor) -> QuantizedWeights {
+        let scale = (w.max_abs() / 127.0).max(1e-8);
+        let mut codes = Vec::with_capacity(w.len());
+        let mut dequant = Vec::with_capacity(w.len());
+        for &v in w.data() {
+            let mut code = (v / scale).round().clamp(-127.0, 127.0) as i32;
+            if let Some(set) = &self.allowed {
+                code = set.project(code);
+            }
+            codes.push(code as i8);
+            dequant.push(code as f32 * scale);
+        }
+        QuantizedWeights {
+            scale,
+            codes,
+            dequant: Tensor::from_vec(w.shape(), dequant),
+        }
+    }
+}
+
+/// Asymmetric uint8 activation quantizer over a fixed clipping range
+/// `[0, range]` (ReLU-style), with an optional restriction set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActQuantizer {
+    /// Upper clipping bound of the representable range.
+    pub range: f32,
+    /// When set, quantized codes are projected onto this set.
+    pub allowed: Option<ValueSet>,
+}
+
+/// Result of quantizing an activation tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedActs {
+    /// Scale such that `value ≈ code · scale`.
+    pub scale: f32,
+    /// Integer codes, one per activation (0..=255).
+    pub codes: Vec<u8>,
+    /// Dequantized (fake-quantized) activations.
+    pub dequant: Tensor,
+}
+
+impl ActQuantizer {
+    /// A quantizer for the `[0, range]` interval with all 256 codes.
+    #[must_use]
+    pub fn new(range: f32) -> Self {
+        ActQuantizer {
+            range,
+            allowed: None,
+        }
+    }
+
+    /// Quantizes `x`: `scale = range / 255`,
+    /// `code = clamp(round(x / scale), 0, 255)`, projected onto the
+    /// allowed set when one is configured.
+    #[must_use]
+    pub fn quantize(&self, x: &Tensor) -> QuantizedActs {
+        let scale = (self.range / 255.0).max(1e-8);
+        let mut codes = Vec::with_capacity(x.len());
+        let mut dequant = Vec::with_capacity(x.len());
+        for &v in x.data() {
+            let mut code = (v / scale).round().clamp(0.0, 255.0) as i32;
+            if let Some(set) = &self.allowed {
+                code = set.project(code);
+            }
+            codes.push(code as u8);
+            dequant.push(code as f32 * scale);
+        }
+        QuantizedActs {
+            scale,
+            codes,
+            dequant: Tensor::from_vec(x.shape(), dequant),
+        }
+    }
+}
+
+impl Default for ActQuantizer {
+    fn default() -> Self {
+        ActQuantizer::new(6.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_set_sorts_and_dedups() {
+        let s = ValueSet::new([5, -3, 5, 0]);
+        assert_eq!(s.codes(), &[-3, 0, 5]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn projection_is_nearest_with_tie_to_smaller() {
+        let s = ValueSet::new([-4, 0, 4]);
+        assert_eq!(s.project(-4), -4);
+        assert_eq!(s.project(1), 0);
+        assert_eq!(s.project(2), 0); // tie: 0 and 4 both distance 2
+        assert_eq!(s.project(3), 4);
+        assert_eq!(s.project(100), 4);
+        assert_eq!(s.project(-100), -4);
+    }
+
+    #[test]
+    fn projection_is_idempotent() {
+        let s = ValueSet::new([-7, -1, 3, 9]);
+        for code in -20..20 {
+            let p = s.project(code);
+            assert_eq!(s.project(p), p);
+            assert!(s.contains(p));
+        }
+    }
+
+    #[test]
+    fn full_code_sets_have_paper_cardinalities() {
+        assert_eq!(ValueSet::all_weight_codes().len(), 255);
+        assert_eq!(ValueSet::all_activation_codes().len(), 256);
+    }
+
+    #[test]
+    fn weight_quantization_round_trips_within_half_step() {
+        let w = Tensor::from_vec(&[5], vec![-1.0, -0.5, 0.0, 0.3, 1.0]);
+        let q = WeightQuantizer::new().quantize(&w);
+        for (orig, deq) in w.data().iter().zip(q.dequant.data()) {
+            assert!((orig - deq).abs() <= q.scale * 0.5 + 1e-6);
+        }
+        assert_eq!(q.codes[2], 0);
+        assert_eq!(q.codes[4], 127);
+        assert_eq!(q.codes[0], -127);
+    }
+
+    #[test]
+    fn restricted_weight_quantization_uses_only_allowed_codes() {
+        let allowed = ValueSet::new([-64, -16, 0, 16, 64]);
+        let quant = WeightQuantizer {
+            allowed: Some(allowed.clone()),
+        };
+        let w = Tensor::from_vec(&[6], vec![-1.0, -0.2, -0.05, 0.1, 0.4, 1.0]);
+        let q = quant.quantize(&w);
+        for &code in &q.codes {
+            assert!(allowed.contains(code as i32), "code {code} not allowed");
+        }
+    }
+
+    #[test]
+    fn act_quantization_clamps_to_range() {
+        let x = Tensor::from_vec(&[4], vec![-1.0, 0.0, 3.0, 10.0]);
+        let q = ActQuantizer::new(6.0).quantize(&x);
+        assert_eq!(q.codes[0], 0);
+        assert_eq!(q.codes[1], 0);
+        assert_eq!(q.codes[3], 255);
+        assert!((q.dequant.data()[2] - 3.0).abs() < q.scale);
+    }
+
+    #[test]
+    fn restricted_act_quantization_projects() {
+        let allowed = ValueSet::new([0, 100, 200]);
+        let quant = ActQuantizer {
+            range: 6.0,
+            allowed: Some(allowed.clone()),
+        };
+        let x = Tensor::from_vec(&[3], vec![0.1, 2.5, 5.9]);
+        let q = quant.quantize(&x);
+        for &code in &q.codes {
+            assert!(allowed.contains(code as i32));
+        }
+    }
+
+    #[test]
+    fn remove_and_retain() {
+        let mut s = ValueSet::new(0..10);
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        s.retain(|&c| c % 2 == 0);
+        assert_eq!(s.codes(), &[0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty ValueSet")]
+    fn projecting_on_empty_set_panics() {
+        let s = ValueSet::new([]);
+        let _ = s.project(0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Network weight persistence.
+//!
+//! A deliberately simple binary container (magic, version, per-tensor
+//! shape + little-endian `f32` payloads) so trained baselines can be
+//! reused across experiment runs without re-training. Works through any
+//! `Read`/`Write`, so callers can target files, buffers or pipes; note
+//! that a `&mut` reference to a reader/writer also implements the trait
+//! and can be passed here.
+
+use crate::model::Network;
+use crate::tensor::Tensor;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"PPNNWTS1";
+
+/// Writes every trainable parameter of `net` to `w`.
+///
+/// # Errors
+///
+/// Returns any I/O error from the underlying writer.
+pub fn save_weights<W: Write>(net: &mut Network, mut w: W) -> io::Result<()> {
+    let mut tensors: Vec<(Vec<usize>, Vec<f32>)> = Vec::new();
+    net.visit_params(&mut |p| {
+        tensors.push((p.value.shape().to_vec(), p.value.data().to_vec()));
+    });
+    w.write_all(MAGIC)?;
+    w.write_all(&(tensors.len() as u64).to_le_bytes())?;
+    for (shape, data) in &tensors {
+        w.write_all(&(shape.len() as u64).to_le_bytes())?;
+        for &dim in shape {
+            w.write_all(&(dim as u64).to_le_bytes())?;
+        }
+        for &v in data {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads parameters written by [`save_weights`] into `net`, which must
+/// have the identical structure.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure, bad magic, or structure mismatch.
+pub fn load_weights<R: Read>(net: &mut Network, mut r: R) -> io::Result<()> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a PowerPruning weight file",
+        ));
+    }
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u64buf)?;
+    let count = u64::from_le_bytes(u64buf) as usize;
+
+    let mut tensors: Vec<Tensor> = Vec::with_capacity(count);
+    for _ in 0..count {
+        r.read_exact(&mut u64buf)?;
+        let rank = u64::from_le_bytes(u64buf) as usize;
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            r.read_exact(&mut u64buf)?;
+            shape.push(u64::from_le_bytes(u64buf) as usize);
+        }
+        let len: usize = shape.iter().product();
+        let mut data = vec![0f32; len];
+        let mut f32buf = [0u8; 4];
+        for v in &mut data {
+            r.read_exact(&mut f32buf)?;
+            *v = f32::from_le_bytes(f32buf);
+        }
+        tensors.push(Tensor::from_vec(&shape, data));
+    }
+
+    let mut idx = 0usize;
+    let mut mismatch: Option<String> = None;
+    net.visit_params(&mut |p| {
+        if mismatch.is_some() {
+            return;
+        }
+        match tensors.get(idx) {
+            Some(t) if t.shape() == p.value.shape() => {
+                p.value = t.clone();
+            }
+            Some(t) => {
+                mismatch = Some(format!(
+                    "parameter {idx} shape {:?} != file shape {:?}",
+                    p.value.shape(),
+                    t.shape()
+                ));
+            }
+            None => mismatch = Some(format!("file has only {count} tensors")),
+        }
+        idx += 1;
+    });
+    if let Some(msg) = mismatch {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, msg));
+    }
+    if idx != count {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("file has {count} tensors, network has {idx} parameters"),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn save_load_round_trips() {
+        let mut net = models::tiny_cnn("s", 1, 8, 3, &mut StdRng::seed_from_u64(4));
+        let x = Tensor::full(&[1, 1, 8, 8], 0.3);
+        let before = net.predict(&x);
+
+        let mut buf = Vec::new();
+        save_weights(&mut net, &mut buf).expect("save");
+
+        let mut other = models::tiny_cnn("s", 1, 8, 3, &mut StdRng::seed_from_u64(99));
+        assert_ne!(other.predict(&x).data(), before.data());
+        load_weights(&mut other, buf.as_slice()).expect("load");
+        assert_eq!(other.predict(&x).data(), before.data());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut net = models::tiny_cnn("s", 1, 8, 3, &mut StdRng::seed_from_u64(4));
+        let err = load_weights(&mut net, &b"NOTMAGIC"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn structure_mismatch_is_rejected() {
+        let mut a = models::tiny_cnn("a", 1, 8, 3, &mut StdRng::seed_from_u64(4));
+        let mut buf = Vec::new();
+        save_weights(&mut a, &mut buf).expect("save");
+        let mut b = models::tiny_cnn("b", 1, 8, 5, &mut StdRng::seed_from_u64(4));
+        assert!(load_weights(&mut b, buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let mut a = models::tiny_cnn("a", 1, 8, 3, &mut StdRng::seed_from_u64(4));
+        let mut buf = Vec::new();
+        save_weights(&mut a, &mut buf).expect("save");
+        buf.truncate(buf.len() / 2);
+        assert!(load_weights(&mut a, buf.as_slice()).is_err());
+    }
+}

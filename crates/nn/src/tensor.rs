@@ -1,0 +1,240 @@
+//! A minimal dense tensor of `f32` values.
+//!
+//! Layout is row-major (C order) over an arbitrary-rank shape. The type
+//! deliberately stays small: the layers in this crate implement their own
+//! loops, so `Tensor` only provides storage, shape bookkeeping, and a few
+//! elementwise helpers.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt;
+
+/// Dense row-major `f32` tensor.
+///
+/// # Examples
+///
+/// ```
+/// use nn::Tensor;
+///
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.len(), 6);
+/// assert_eq!(t.shape(), &[2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A tensor filled with zeros.
+    #[must_use]
+    pub fn zeros(shape: &[usize]) -> Self {
+        let len = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; len],
+        }
+    }
+
+    /// A tensor filled with a constant.
+    #[must_use]
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let len = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; len],
+        }
+    }
+
+    /// A tensor from raw data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    #[must_use]
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        let len: usize = shape.iter().product();
+        assert_eq!(data.len(), len, "data length {} != shape product {len}", data.len());
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Kaiming/He-normal initialization for a weight tensor with the
+    /// given fan-in, using the provided RNG for reproducibility.
+    #[must_use]
+    pub fn he_normal(shape: &[usize], fan_in: usize, rng: &mut StdRng) -> Self {
+        let std = (2.0 / fan_in.max(1) as f32).sqrt();
+        let len: usize = shape.iter().product();
+        let data = (0..len)
+            .map(|_| {
+                // Box-Muller from two uniforms.
+                let u1: f32 = rng.random::<f32>().max(1e-7);
+                let u2: f32 = rng.random();
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos() * std
+            })
+            .collect();
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// The tensor's shape.
+    #[must_use]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying data.
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its data buffer.
+    #[must_use]
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    #[must_use]
+    pub fn reshape(mut self, shape: &[usize]) -> Self {
+        let len: usize = shape.iter().product();
+        assert_eq!(self.data.len(), len, "reshape to incompatible size");
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Elementwise addition into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add_assign");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Scales every element in place.
+    pub fn scale(&mut self, factor: f32) {
+        for v in &mut self.data {
+            *v *= factor;
+        }
+    }
+
+    /// Sets every element to zero (for gradient buffers).
+    pub fn zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Maximum absolute value, or 0.0 for empty tensors.
+    #[must_use]
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+
+    /// Returns a new tensor with `f` applied elementwise.
+    #[must_use]
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?} ({} elems)", self.shape, self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Tensor::zeros(&[3, 4]);
+        assert_eq!(z.len(), 12);
+        assert!(z.data().iter().all(|&v| v == 0.0));
+        let f = Tensor::full(&[2], 7.0);
+        assert_eq!(f.data(), &[7.0, 7.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let r = t.clone().reshape(&[3, 2]);
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.data(), t.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn reshape_rejects_bad_size() {
+        let t = Tensor::zeros(&[2, 3]);
+        let _ = t.reshape(&[4, 2]);
+    }
+
+    #[test]
+    fn he_normal_has_plausible_spread() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Tensor::he_normal(&[1000], 100, &mut rng);
+        let mean: f32 = t.data().iter().sum::<f32>() / 1000.0;
+        let var: f32 = t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 1000.0;
+        let expected = 2.0 / 100.0;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - expected).abs() < expected, "var {var} vs {expected}");
+    }
+
+    #[test]
+    fn add_assign_and_scale() {
+        let mut a = Tensor::from_vec(&[2], vec![1.0, 2.0]);
+        let b = Tensor::from_vec(&[2], vec![3.0, 4.0]);
+        a.add_assign(&b);
+        a.scale(2.0);
+        assert_eq!(a.data(), &[8.0, 12.0]);
+    }
+
+    #[test]
+    fn max_abs_handles_negatives() {
+        let t = Tensor::from_vec(&[3], vec![-5.0, 2.0, 4.0]);
+        assert_eq!(t.max_abs(), 5.0);
+    }
+
+    #[test]
+    fn map_applies_function() {
+        let t = Tensor::from_vec(&[2], vec![-1.0, 2.0]);
+        let r = t.map(|v| v.max(0.0));
+        assert_eq!(r.data(), &[0.0, 2.0]);
+    }
+}

@@ -1,0 +1,351 @@
+//! Array configuration, tiling and the two hardware variants.
+
+use crate::energy::{GemmEnergyReport, MacEnergyModel, NetworkEnergyReport};
+use crate::stats::TransitionStats;
+use nn::layers::GemmCapture;
+use std::fmt;
+
+/// Hardware power-management variant (paper Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HwVariant {
+    /// No power-saving features: every PE clocks every cycle and the
+    /// whole array leaks for the whole run.
+    Standard,
+    /// Zero-weight PEs are clock-gated (no dynamic power) and entirely
+    /// unused columns are power-gated (no dynamic or leakage power).
+    Optimized,
+}
+
+impl fmt::Display for HwVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwVariant::Standard => f.write_str("Standard HW"),
+            HwVariant::Optimized => f.write_str("Optimized HW"),
+        }
+    }
+}
+
+/// Dimensions and clocking of the systolic array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayConfig {
+    /// Number of PE rows (the reduction/K dimension).
+    pub rows: usize,
+    /// Number of PE columns (the output/M dimension).
+    pub cols: usize,
+    /// Clock period in picoseconds (paper: ~5 GHz → 200 ps).
+    pub clock_ps: f64,
+    /// Accumulator width in bits (22 for the paper's 64×64 array).
+    pub acc_bits: usize,
+}
+
+impl ArrayConfig {
+    /// The paper's 64×64 array at ~5 GHz with 22-bit accumulators.
+    #[must_use]
+    pub fn paper_64x64() -> Self {
+        ArrayConfig {
+            rows: 64,
+            cols: 64,
+            clock_ps: 200.0,
+            acc_bits: 22,
+        }
+    }
+
+    /// A small array for fast tests.
+    #[must_use]
+    pub fn small(rows: usize, cols: usize) -> Self {
+        ArrayConfig {
+            rows,
+            cols,
+            clock_ps: 200.0,
+            acc_bits: 22,
+        }
+    }
+
+    /// Clock frequency in GHz.
+    #[must_use]
+    pub fn freq_ghz(&self) -> f64 {
+        1000.0 / self.clock_ps
+    }
+}
+
+impl Default for ArrayConfig {
+    fn default() -> Self {
+        ArrayConfig::paper_64x64()
+    }
+}
+
+/// A weight-stationary systolic array simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystolicArray {
+    config: ArrayConfig,
+}
+
+impl SystolicArray {
+    /// Creates a simulator for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows/cols are zero or the clock period is not positive.
+    #[must_use]
+    pub fn new(config: ArrayConfig) -> Self {
+        assert!(config.rows > 0 && config.cols > 0, "array must be non-empty");
+        assert!(config.clock_ps > 0.0, "clock period must be positive");
+        SystolicArray { config }
+    }
+
+    /// The array configuration.
+    #[must_use]
+    pub fn config(&self) -> &ArrayConfig {
+        &self.config
+    }
+
+    /// Number of tiles a GEMM needs: `(k_tiles, m_tiles)`.
+    #[must_use]
+    pub fn tile_counts(&self, gemm: &GemmCapture) -> (usize, usize) {
+        (
+            gemm.k.div_ceil(self.config.rows),
+            gemm.m.div_ceil(self.config.cols),
+        )
+    }
+
+    /// Total cycles to execute a GEMM: per tile, `rows` cycles of weight
+    /// load plus `n` streaming cycles plus `rows + cols` pipeline
+    /// fill/drain.
+    #[must_use]
+    pub fn cycles(&self, gemm: &GemmCapture) -> u64 {
+        let (kt, mt) = self.tile_counts(gemm);
+        let per_tile = self.config.rows as u64
+            + gemm.n as u64
+            + (self.config.rows + self.config.cols) as u64;
+        (kt * mt) as u64 * per_tile
+    }
+
+    /// Streams a GEMM through the array collecting exact activation and
+    /// partial-sum transition statistics (paper Fig. 4 inputs).
+    ///
+    /// The per-PE operand sequences are reconstructed exactly: PE `(r,c)`
+    /// of tile `(kt, mt)` holds weight `W[c_glob, r_glob]`, sees the
+    /// activation stream `A[r_glob, 0..n]` and the partial-sum stream
+    /// `P_t = Σ_{r'<r_glob within tile} W[c_glob, r'] · A[r', t]`.
+    pub fn run_gemm_stats(&self, gemm: &GemmCapture, stats: &mut TransitionStats) {
+        let rows = self.config.rows;
+        let cols = self.config.cols;
+        let (k_tiles, m_tiles) = self.tile_counts(gemm);
+
+        // Activation transitions: every row stream is seen (skewed) by
+        // each column; the transition distribution per row is counted
+        // once per resident column to weight it like the hardware does.
+        for kt in 0..k_tiles {
+            let k_lo = kt * rows;
+            let k_hi = ((kt + 1) * rows).min(gemm.k);
+            for mt in 0..m_tiles {
+                let m_lo = mt * cols;
+                let m_hi = ((mt + 1) * cols).min(gemm.m);
+                let resident_cols = (m_hi - m_lo) as u64;
+                for r in k_lo..k_hi {
+                    let row = &gemm.act_codes[r * gemm.n..(r + 1) * gemm.n];
+                    let mut prev = 0u8; // pipeline fill starts from idle zero
+                    for &a in row {
+                        stats.record_activation(prev, a, resident_cols);
+                        prev = a;
+                    }
+                }
+                // Partial-sum streams per column: prefix sums down rows.
+                // P for the PE at tile-row r is the accumulated sum of
+                // rows strictly above it (what flows *into* the PE).
+                for c in m_lo..m_hi {
+                    let w_row = &gemm.weight_codes[c * gemm.k..(c + 1) * gemm.k];
+                    for t in 0..gemm.n {
+                        let mut acc: i64 = 0;
+                        let mut prev_acc: i64;
+                        for r in k_lo..k_hi {
+                            prev_acc = acc;
+                            acc += w_row[r] as i64 * gemm.act_codes[r * gemm.n + t] as i64;
+                            // The PE at row r sees incoming psum
+                            // transition from the previous step's value
+                            // at this position.
+                            stats.record_psum(prev_acc, acc, self.config.acc_bits);
+                        }
+                    }
+                }
+            }
+        }
+        stats.note_macs(gemm.mac_ops());
+    }
+
+    /// Integrates per-weight MAC energies over the exact weight
+    /// residency of the array, producing the GEMM's energy report for
+    /// the chosen hardware variant.
+    #[must_use]
+    pub fn run_gemm_energy(
+        &self,
+        gemm: &GemmCapture,
+        model: &MacEnergyModel,
+        hw: HwVariant,
+    ) -> GemmEnergyReport {
+        let rows = self.config.rows;
+        let cols = self.config.cols;
+        let (k_tiles, m_tiles) = self.tile_counts(gemm);
+        let per_tile_cycles = rows as u64 + gemm.n as u64 + (rows + cols) as u64;
+        let active_cycles_per_pe = gemm.n as f64;
+
+        let mut dynamic_fj = 0.0f64;
+        let mut leakage_pe_cycles = 0.0f64; // (PEs leaking) × cycles
+
+        for kt in 0..k_tiles {
+            let k_lo = kt * rows;
+            let k_hi = ((kt + 1) * rows).min(gemm.k);
+            let resident_rows = k_hi - k_lo;
+            for mt in 0..m_tiles {
+                let m_lo = mt * cols;
+                let m_hi = ((mt + 1) * cols).min(gemm.m);
+                let resident_cols = m_hi - m_lo;
+
+                // Dynamic energy of resident PEs.
+                for c in m_lo..m_hi {
+                    let w_row = &gemm.weight_codes[c * gemm.k..(c + 1) * gemm.k];
+                    for &w in &w_row[k_lo..k_hi] {
+                        let gated = hw == HwVariant::Optimized && w == 0;
+                        if !gated {
+                            dynamic_fj += model.energy_fj(w) * active_cycles_per_pe;
+                        }
+                    }
+                }
+                // Idle PEs inside used columns (rows beyond k) still
+                // clock on Standard HW.
+                if hw == HwVariant::Standard {
+                    let idle_in_cols = (rows - resident_rows) * resident_cols;
+                    dynamic_fj += model.idle_fj() * idle_in_cols as f64 * active_cycles_per_pe;
+                    // Unused columns also clock idly on Standard HW.
+                    let unused_cols = cols - resident_cols;
+                    dynamic_fj += model.idle_fj() * (unused_cols * rows) as f64 * active_cycles_per_pe;
+                }
+
+                // Leakage: Standard leaks everywhere; Optimized power-
+                // gates entirely unused columns (their PEs stop leaking).
+                let leaking_pes = match hw {
+                    HwVariant::Standard => rows * cols,
+                    HwVariant::Optimized => rows * resident_cols,
+                };
+                leakage_pe_cycles += leaking_pes as f64 * per_tile_cycles as f64;
+            }
+        }
+
+        let cycles = (k_tiles * m_tiles) as u64 * per_tile_cycles;
+        let time_ns = cycles as f64 * self.config.clock_ps * 1e-3;
+        // leakage power per PE is in nW; energy = nW × ns = 1e-9W × 1e-9s = 1e-18 J = aJ.
+        let leakage_fj =
+            model.leakage_nw_per_pe() * leakage_pe_cycles * self.config.clock_ps * 1e-3 * 1e-3;
+        GemmEnergyReport {
+            layer: gemm.layer.clone(),
+            dynamic_fj,
+            leakage_fj,
+            cycles,
+            time_ns,
+            mac_ops: gemm.mac_ops(),
+        }
+    }
+
+    /// Runs a whole network (list of captured GEMMs) and aggregates the
+    /// per-layer reports.
+    #[must_use]
+    pub fn run_network_energy(
+        &self,
+        gemms: &[GemmCapture],
+        model: &MacEnergyModel,
+        hw: HwVariant,
+    ) -> NetworkEnergyReport {
+        let layers: Vec<GemmEnergyReport> = gemms
+            .iter()
+            .map(|g| self.run_gemm_energy(g, model, hw))
+            .collect();
+        NetworkEnergyReport::from_layers(layers)
+    }
+
+    /// Runs a whole network collecting transition statistics.
+    #[must_use]
+    pub fn run_network_stats(&self, gemms: &[GemmCapture]) -> TransitionStats {
+        let mut stats = TransitionStats::new();
+        for g in gemms {
+            self.run_gemm_stats(g, &mut stats);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gemm(m: usize, k: usize, n: usize) -> GemmCapture {
+        GemmCapture {
+            layer: "t".into(),
+            weight_codes: (0..m * k).map(|i| ((i % 11) as i8) - 5).collect(),
+            act_codes: (0..k * n).map(|i| (i % 251) as u8).collect(),
+            m,
+            k,
+            n,
+        }
+    }
+
+    #[test]
+    fn tiling_covers_all_elements() {
+        let array = SystolicArray::new(ArrayConfig::small(4, 4));
+        let g = gemm(10, 9, 3);
+        let (kt, mt) = array.tile_counts(&g);
+        assert_eq!(kt, 3);
+        assert_eq!(mt, 3);
+    }
+
+    #[test]
+    fn cycles_grow_with_tiles() {
+        let array = SystolicArray::new(ArrayConfig::small(4, 4));
+        assert!(array.cycles(&gemm(8, 8, 16)) > array.cycles(&gemm(4, 4, 16)));
+    }
+
+    #[test]
+    fn optimized_uses_no_more_power_than_standard() {
+        let array = SystolicArray::new(ArrayConfig::small(8, 8));
+        let model = MacEnergyModel::analytic_default();
+        let g = gemm(6, 6, 32);
+        let std = array.run_gemm_energy(&g, &model, HwVariant::Standard);
+        let opt = array.run_gemm_energy(&g, &model, HwVariant::Optimized);
+        assert!(opt.dynamic_fj <= std.dynamic_fj);
+        assert!(opt.leakage_fj <= std.leakage_fj);
+        assert_eq!(opt.cycles, std.cycles);
+    }
+
+    #[test]
+    fn zero_weights_save_energy_on_optimized_only_dynamic() {
+        let array = SystolicArray::new(ArrayConfig::small(4, 4));
+        let model = MacEnergyModel::analytic_default();
+        let mut g = gemm(4, 4, 64);
+        let dense = array.run_gemm_energy(&g, &model, HwVariant::Optimized);
+        for w in &mut g.weight_codes {
+            *w = 0;
+        }
+        let sparse = array.run_gemm_energy(&g, &model, HwVariant::Optimized);
+        assert!(sparse.dynamic_fj < dense.dynamic_fj * 0.1);
+        assert_eq!(sparse.leakage_fj, dense.leakage_fj);
+    }
+
+    #[test]
+    fn stats_collect_transitions() {
+        let array = SystolicArray::new(ArrayConfig::small(4, 4));
+        let g = gemm(4, 8, 16);
+        let stats = array.run_network_stats(std::slice::from_ref(&g));
+        assert!(stats.total_activation_transitions() > 0);
+        assert!(!stats.psum_samples().is_empty());
+    }
+
+    #[test]
+    fn report_power_is_consistent() {
+        let array = SystolicArray::new(ArrayConfig::small(8, 8));
+        let model = MacEnergyModel::analytic_default();
+        let g = gemm(8, 8, 100);
+        let rep = array.run_gemm_energy(&g, &model, HwVariant::Standard);
+        let total_mw = rep.total_power_mw();
+        assert!(total_mw > 0.0);
+        assert!((rep.dynamic_power_mw() + rep.leakage_power_mw() - total_mw).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,279 @@
+//! MAC energy models and energy/power reports.
+
+use std::fmt;
+
+/// Per-weight-value MAC energy table.
+///
+/// Index is the int8 weight code; `energy_fj(w)` is the average energy
+/// one MAC unit dissipates per active cycle while holding weight `w`,
+/// averaged over realistic activation/partial-sum transitions. The
+/// PowerPruning core crate fills this table from gate-level
+/// characterization; [`MacEnergyModel::analytic_default`] provides a
+/// cheap stand-in for tests with the same qualitative shape (energy
+/// grows with the number of set bits / magnitude of the weight, zero is
+/// cheapest).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacEnergyModel {
+    /// Energy per active cycle, indexed by `code + 128` (256 slots).
+    per_weight_fj: Vec<f64>,
+    /// Energy per idle (clocked but weightless) cycle.
+    idle_fj: f64,
+    /// Leakage power per PE in nanowatts.
+    leakage_nw_per_pe: f64,
+}
+
+impl MacEnergyModel {
+    /// Builds a model from a per-code table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table does not have 256 entries.
+    #[must_use]
+    pub fn from_table(per_weight_fj: Vec<f64>, idle_fj: f64, leakage_nw_per_pe: f64) -> Self {
+        assert_eq!(per_weight_fj.len(), 256, "need one entry per int8 code");
+        MacEnergyModel {
+            per_weight_fj,
+            idle_fj,
+            leakage_nw_per_pe,
+        }
+    }
+
+    /// A qualitative analytic model: energy grows with the weight's bit
+    /// activity (popcount of the magnitude) and magnitude, zero weight
+    /// is cheapest. Calibrated to the same hundreds-of-µW-per-MAC range
+    /// as the paper's Fig. 2 at 5 GHz.
+    #[must_use]
+    pub fn analytic_default() -> Self {
+        let mut table = vec![0.0f64; 256];
+        for code in -128i32..=127 {
+            let mag = code.unsigned_abs();
+            let pop = mag.count_ones() as f64;
+            let magf = mag as f64 / 127.0;
+            // ~120 fJ base (600 µW at 5 GHz) up to ~215 fJ (1075 µW).
+            let fj = 118.0 + 55.0 * (pop / 7.0) + 42.0 * magf;
+            let fj = if code == 0 { 62.0 } else { fj };
+            table[(code + 128) as usize] = fj;
+        }
+        MacEnergyModel::from_table(table, 20.0, 150.0)
+    }
+
+    /// Average energy per active cycle for a weight code, in fJ.
+    #[must_use]
+    pub fn energy_fj(&self, code: i8) -> f64 {
+        self.per_weight_fj[(code as i32 + 128) as usize]
+    }
+
+    /// Energy per idle clocked cycle, in fJ.
+    #[must_use]
+    pub fn idle_fj(&self) -> f64 {
+        self.idle_fj
+    }
+
+    /// Leakage power per PE, in nW.
+    #[must_use]
+    pub fn leakage_nw_per_pe(&self) -> f64 {
+        self.leakage_nw_per_pe
+    }
+
+    /// Returns a copy with dynamic energies scaled by `dyn_factor` and
+    /// leakage scaled by `leak_factor` (used for voltage scaling).
+    #[must_use]
+    pub fn scaled(&self, dyn_factor: f64, leak_factor: f64) -> Self {
+        MacEnergyModel {
+            per_weight_fj: self.per_weight_fj.iter().map(|e| e * dyn_factor).collect(),
+            idle_fj: self.idle_fj * dyn_factor,
+            leakage_nw_per_pe: self.leakage_nw_per_pe * leak_factor,
+        }
+    }
+
+    /// Average power (µW) a MAC holding `code` dissipates at the given
+    /// clock period — convenience for plotting Fig. 2-style series.
+    #[must_use]
+    pub fn power_uw(&self, code: i8, clock_ps: f64) -> f64 {
+        // fJ per cycle / ps per cycle = mW; ×1000 = µW.
+        self.energy_fj(code) / clock_ps * 1000.0
+    }
+}
+
+/// Energy report for one GEMM on the array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GemmEnergyReport {
+    /// Producing layer name.
+    pub layer: String,
+    /// Dynamic switching energy, fJ.
+    pub dynamic_fj: f64,
+    /// Leakage energy, fJ.
+    pub leakage_fj: f64,
+    /// Execution cycles.
+    pub cycles: u64,
+    /// Wall-clock time, ns.
+    pub time_ns: f64,
+    /// MAC operations executed.
+    pub mac_ops: u64,
+}
+
+impl GemmEnergyReport {
+    /// Dynamic power in mW.
+    #[must_use]
+    pub fn dynamic_power_mw(&self) -> f64 {
+        // fJ / ns = µW; /1000 = mW.
+        self.dynamic_fj / self.time_ns / 1000.0
+    }
+
+    /// Leakage power in mW.
+    #[must_use]
+    pub fn leakage_power_mw(&self) -> f64 {
+        self.leakage_fj / self.time_ns / 1000.0
+    }
+
+    /// Total power in mW.
+    #[must_use]
+    pub fn total_power_mw(&self) -> f64 {
+        self.dynamic_power_mw() + self.leakage_power_mw()
+    }
+}
+
+/// Aggregated energy report for a whole network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkEnergyReport {
+    /// Per-layer reports, in execution order.
+    pub layers: Vec<GemmEnergyReport>,
+}
+
+impl NetworkEnergyReport {
+    /// Aggregates per-layer reports.
+    #[must_use]
+    pub fn from_layers(layers: Vec<GemmEnergyReport>) -> Self {
+        NetworkEnergyReport { layers }
+    }
+
+    /// Total dynamic energy, fJ.
+    #[must_use]
+    pub fn dynamic_fj(&self) -> f64 {
+        self.layers.iter().map(|l| l.dynamic_fj).sum()
+    }
+
+    /// Total leakage energy, fJ.
+    #[must_use]
+    pub fn leakage_fj(&self) -> f64 {
+        self.layers.iter().map(|l| l.leakage_fj).sum()
+    }
+
+    /// Total execution time, ns.
+    #[must_use]
+    pub fn time_ns(&self) -> f64 {
+        self.layers.iter().map(|l| l.time_ns).sum()
+    }
+
+    /// Total cycles.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.cycles).sum()
+    }
+
+    /// Total MAC operations.
+    #[must_use]
+    pub fn mac_ops(&self) -> u64 {
+        self.layers.iter().map(|l| l.mac_ops).sum()
+    }
+
+    /// Time-averaged dynamic power, mW.
+    #[must_use]
+    pub fn dynamic_power_mw(&self) -> f64 {
+        if self.time_ns() == 0.0 {
+            return 0.0;
+        }
+        self.dynamic_fj() / self.time_ns() / 1000.0
+    }
+
+    /// Time-averaged leakage power, mW.
+    #[must_use]
+    pub fn leakage_power_mw(&self) -> f64 {
+        if self.time_ns() == 0.0 {
+            return 0.0;
+        }
+        self.leakage_fj() / self.time_ns() / 1000.0
+    }
+
+    /// Time-averaged total power, mW.
+    #[must_use]
+    pub fn total_power_mw(&self) -> f64 {
+        self.dynamic_power_mw() + self.leakage_power_mw()
+    }
+}
+
+impl fmt::Display for NetworkEnergyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} layers, {} MACs, {} cycles, {:.3} mW total ({:.3} dyn + {:.3} leak)",
+            self.layers.len(),
+            self.mac_ops(),
+            self.cycles(),
+            self.total_power_mw(),
+            self.dynamic_power_mw(),
+            self.leakage_power_mw()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_model_has_paper_shape() {
+        let m = MacEnergyModel::analytic_default();
+        // Zero is cheapest.
+        for code in -127i8..=127 {
+            if code != 0 {
+                assert!(m.energy_fj(0) < m.energy_fj(code), "code {code}");
+            }
+        }
+        // Powers of two are cheaper than dense-bit neighbours.
+        assert!(m.energy_fj(64) < m.energy_fj(-105));
+        // Paper-like magnitudes at 5 GHz (200 ps): hundreds of µW.
+        let p = m.power_uw(-105, 200.0);
+        assert!((400.0..2000.0).contains(&p), "power {p} µW out of range");
+    }
+
+    #[test]
+    fn scaled_model_scales_both_components() {
+        let m = MacEnergyModel::analytic_default();
+        let s = m.scaled(0.5, 0.25);
+        assert!((s.energy_fj(7) - 0.5 * m.energy_fj(7)).abs() < 1e-12);
+        assert!((s.leakage_nw_per_pe() - 0.25 * m.leakage_nw_per_pe()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_aggregation_is_additive() {
+        let l1 = GemmEnergyReport {
+            layer: "a".into(),
+            dynamic_fj: 100.0,
+            leakage_fj: 10.0,
+            cycles: 50,
+            time_ns: 10.0,
+            mac_ops: 1000,
+        };
+        let l2 = GemmEnergyReport {
+            layer: "b".into(),
+            dynamic_fj: 200.0,
+            leakage_fj: 30.0,
+            cycles: 150,
+            time_ns: 30.0,
+            mac_ops: 3000,
+        };
+        let net = NetworkEnergyReport::from_layers(vec![l1, l2]);
+        assert_eq!(net.dynamic_fj(), 300.0);
+        assert_eq!(net.cycles(), 200);
+        assert_eq!(net.mac_ops(), 4000);
+        // 300 fJ / 40 ns = 7.5 µW = 0.0075 mW.
+        assert!((net.dynamic_power_mw() - 0.0075).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "256")]
+    fn bad_table_size_rejected() {
+        let _ = MacEnergyModel::from_table(vec![0.0; 10], 0.0, 0.0);
+    }
+}

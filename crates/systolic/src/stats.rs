@@ -1,0 +1,244 @@
+//! Transition statistics collected from systolic execution.
+//!
+//! These are exactly the inputs of the paper's power characterization:
+//! the 256×256 activation transition histogram (Fig. 4a) and a sample
+//! of partial-sum transitions used to build the 50-bin transition
+//! distribution (Fig. 4b).
+
+use std::fmt;
+
+/// Maximum number of partial-sum transition samples retained (reservoir
+/// sampling keeps the sample unbiased).
+const PSUM_RESERVOIR: usize = 400_000;
+
+/// Activation and partial-sum transition statistics.
+#[derive(Debug, Clone)]
+pub struct TransitionStats {
+    /// 256×256 histogram: `act_hist[from * 256 + to]`.
+    act_hist: Vec<u64>,
+    act_total: u64,
+    /// Reservoir of (from, to) partial-sum value transitions.
+    psum_samples: Vec<(i32, i32)>,
+    psum_seen: u64,
+    macs: u64,
+    /// Deterministic reservoir counter state.
+    lcg: u64,
+}
+
+impl TransitionStats {
+    /// An empty statistics collector.
+    #[must_use]
+    pub fn new() -> Self {
+        TransitionStats {
+            act_hist: vec![0u64; 256 * 256],
+            act_total: 0,
+            psum_samples: Vec::new(),
+            psum_seen: 0,
+            macs: 0,
+            lcg: 0x9e3779b97f4a7c15,
+        }
+    }
+
+    /// Records an activation transition observed by `weight` PEs.
+    pub fn record_activation(&mut self, from: u8, to: u8, weight: u64) {
+        self.act_hist[from as usize * 256 + to as usize] += weight;
+        self.act_total += weight;
+    }
+
+    /// Records a partial-sum transition (values wrapped to `acc_bits`).
+    pub fn record_psum(&mut self, from: i64, to: i64, acc_bits: usize) {
+        let wrap = |v: i64| -> i32 {
+            let m = 1i64 << acc_bits;
+            let w = ((v % m) + m) % m;
+            (if w >= m / 2 { w - m } else { w }) as i32
+        };
+        self.psum_seen += 1;
+        let sample = (wrap(from), wrap(to));
+        if self.psum_samples.len() < PSUM_RESERVOIR {
+            self.psum_samples.push(sample);
+        } else {
+            // Deterministic reservoir sampling.
+            self.lcg = self
+                .lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let slot = self.lcg % self.psum_seen;
+            if (slot as usize) < PSUM_RESERVOIR {
+                self.psum_samples[slot as usize] = sample;
+            }
+        }
+    }
+
+    /// Notes executed MAC operations (bookkeeping for reports).
+    pub fn note_macs(&mut self, macs: u64) {
+        self.macs += macs;
+    }
+
+    /// Total recorded activation transitions.
+    #[must_use]
+    pub fn total_activation_transitions(&self) -> u64 {
+        self.act_total
+    }
+
+    /// Total MAC operations noted.
+    #[must_use]
+    pub fn mac_ops(&self) -> u64 {
+        self.macs
+    }
+
+    /// The raw 256×256 activation transition histogram
+    /// (`hist[from * 256 + to]`).
+    #[must_use]
+    pub fn activation_histogram(&self) -> &[u64] {
+        &self.act_hist
+    }
+
+    /// Probability of the activation transition `from → to`.
+    #[must_use]
+    pub fn activation_probability(&self, from: u8, to: u8) -> f64 {
+        if self.act_total == 0 {
+            return 0.0;
+        }
+        self.act_hist[from as usize * 256 + to as usize] as f64 / self.act_total as f64
+    }
+
+    /// The sampled partial-sum transitions.
+    #[must_use]
+    pub fn psum_samples(&self) -> &[(i32, i32)] {
+        &self.psum_samples
+    }
+
+    /// Total partial-sum transitions observed (before reservoir capping).
+    #[must_use]
+    pub fn psum_transitions_seen(&self) -> u64 {
+        self.psum_seen
+    }
+
+    /// Draws `count` activation transitions according to the histogram,
+    /// using the provided RNG. Returns `(from, to)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transitions have been recorded.
+    #[must_use]
+    pub fn sample_activation_transitions(
+        &self,
+        count: usize,
+        rng: &mut rand::rngs::StdRng,
+    ) -> Vec<(u8, u8)> {
+        use rand::Rng;
+        assert!(self.act_total > 0, "no activation transitions recorded");
+        // Build a cumulative table over non-zero entries.
+        let mut entries: Vec<(u64, u32)> = Vec::new(); // (cumulative, packed from/to)
+        let mut acc = 0u64;
+        for (idx, &c) in self.act_hist.iter().enumerate() {
+            if c > 0 {
+                acc += c;
+                entries.push((acc, idx as u32));
+            }
+        }
+        (0..count)
+            .map(|_| {
+                let r = rng.random_range(0..acc);
+                let pos = entries.partition_point(|&(cum, _)| cum <= r);
+                let packed = entries[pos.min(entries.len() - 1)].1;
+                ((packed / 256) as u8, (packed % 256) as u8)
+            })
+            .collect()
+    }
+
+    /// Merges another collector into this one (psum samples are
+    /// concatenated up to the reservoir cap).
+    pub fn merge(&mut self, other: &TransitionStats) {
+        for (a, b) in self.act_hist.iter_mut().zip(&other.act_hist) {
+            *a += b;
+        }
+        self.act_total += other.act_total;
+        self.psum_seen += other.psum_seen;
+        self.macs += other.macs;
+        for &s in &other.psum_samples {
+            if self.psum_samples.len() < PSUM_RESERVOIR {
+                self.psum_samples.push(s);
+            }
+        }
+    }
+}
+
+impl Default for TransitionStats {
+    fn default() -> Self {
+        TransitionStats::new()
+    }
+}
+
+impl fmt::Display for TransitionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TransitionStats: {} activation transitions, {} psum transitions ({} sampled), {} MACs",
+            self.act_total,
+            self.psum_seen,
+            self.psum_samples.len(),
+            self.macs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn histogram_accumulates() {
+        let mut s = TransitionStats::new();
+        s.record_activation(3, 5, 2);
+        s.record_activation(3, 5, 1);
+        assert_eq!(s.activation_histogram()[3 * 256 + 5], 3);
+        assert_eq!(s.total_activation_transitions(), 3);
+        assert!((s.activation_probability(3, 5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psum_wrapping_is_twos_complement() {
+        let mut s = TransitionStats::new();
+        s.record_psum((1 << 21) + 5, -(1 << 21) - 5, 22);
+        let (from, to) = s.psum_samples()[0];
+        // (1<<21)+5 wraps to -(1<<21)+5 in 22-bit two's complement.
+        assert_eq!(from, -(1 << 21) + 5);
+        assert_eq!(to, (1 << 21) - 5);
+    }
+
+    #[test]
+    fn sampling_respects_distribution() {
+        let mut s = TransitionStats::new();
+        s.record_activation(10, 20, 90);
+        s.record_activation(30, 40, 10);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let draws = s.sample_activation_transitions(1000, &mut rng);
+        let majority = draws.iter().filter(|&&(f, t)| (f, t) == (10, 20)).count();
+        assert!(
+            (820..=980).contains(&majority),
+            "expected ~900 majority draws, got {majority}"
+        );
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = TransitionStats::new();
+        a.record_activation(1, 2, 5);
+        let mut b = TransitionStats::new();
+        b.record_activation(1, 2, 7);
+        b.record_psum(10, 20, 22);
+        a.merge(&b);
+        assert_eq!(a.total_activation_transitions(), 12);
+        assert_eq!(a.psum_samples().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no activation transitions")]
+    fn sampling_from_empty_panics() {
+        let s = TransitionStats::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let _ = s.sample_activation_transitions(1, &mut rng);
+    }
+}

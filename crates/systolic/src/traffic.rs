@@ -1,0 +1,142 @@
+//! On-chip memory traffic and energy (an extension beyond the paper).
+//!
+//! The paper's power numbers cover the MAC array itself; real
+//! accelerators also pay for moving operands between SRAM buffers and
+//! the array. This module counts the bytes a tiled weight-stationary
+//! execution moves and converts them to energy with per-byte SRAM
+//! costs, so the examples can report how array-level savings dilute at
+//! system level (they do not vanish: weight/activation traffic is
+//! value-independent, so PowerPruning's *relative* array saving remains).
+
+use crate::array::SystolicArray;
+use nn::layers::GemmCapture;
+
+/// Bytes moved by one tiled GEMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryTraffic {
+    /// Weight bytes loaded into the array (once per tile residency).
+    pub weight_bytes: u64,
+    /// Activation bytes streamed (re-read once per m-tile).
+    pub act_bytes: u64,
+    /// Partial-sum bytes written back + re-read across k-tiles.
+    pub psum_bytes: u64,
+}
+
+impl MemoryTraffic {
+    /// Total bytes moved.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.weight_bytes + self.act_bytes + self.psum_bytes
+    }
+}
+
+/// Per-byte SRAM access energies, fJ (15 nm-class on-chip buffers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryModel {
+    /// Energy per weight byte read, fJ.
+    pub weight_fj_per_byte: f64,
+    /// Energy per activation byte read, fJ.
+    pub act_fj_per_byte: f64,
+    /// Energy per partial-sum byte moved, fJ.
+    pub psum_fj_per_byte: f64,
+}
+
+impl Default for MemoryModel {
+    fn default() -> Self {
+        MemoryModel {
+            weight_fj_per_byte: 25.0,
+            act_fj_per_byte: 25.0,
+            psum_fj_per_byte: 30.0,
+        }
+    }
+}
+
+impl MemoryModel {
+    /// Energy for the given traffic, fJ.
+    #[must_use]
+    pub fn energy_fj(&self, traffic: &MemoryTraffic) -> f64 {
+        traffic.weight_bytes as f64 * self.weight_fj_per_byte
+            + traffic.act_bytes as f64 * self.act_fj_per_byte
+            + traffic.psum_bytes as f64 * self.psum_fj_per_byte
+    }
+}
+
+/// Counts the bytes a weight-stationary tiled execution of `gemm` moves
+/// on `array`.
+///
+/// Tiling: weights load once per `(k_tile, m_tile)` residency;
+/// activation rows stream once per m-tile; partial sums spill/refill at
+/// every k-tile boundary except the first (4-byte accumulators).
+#[must_use]
+pub fn gemm_traffic(array: &SystolicArray, gemm: &GemmCapture) -> MemoryTraffic {
+    let (k_tiles, m_tiles) = array.tile_counts(gemm);
+    let weight_bytes = (gemm.m * gemm.k) as u64; // each weight resident exactly once overall
+    let act_bytes = (gemm.k * gemm.n) as u64 * m_tiles as u64;
+    let psum_bytes = if k_tiles > 1 {
+        // spill + refill per extra k-tile: m × n accumulators, 4 bytes.
+        (gemm.m * gemm.n * 4) as u64 * (2 * (k_tiles as u64 - 1))
+    } else {
+        0
+    };
+    MemoryTraffic {
+        weight_bytes,
+        act_bytes,
+        psum_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::ArrayConfig;
+
+    fn gemm(m: usize, k: usize, n: usize) -> GemmCapture {
+        GemmCapture {
+            layer: "t".into(),
+            weight_codes: vec![1; m * k],
+            act_codes: vec![1; k * n],
+            m,
+            k,
+            n,
+        }
+    }
+
+    #[test]
+    fn single_tile_has_no_psum_traffic() {
+        let array = SystolicArray::new(ArrayConfig::small(8, 8));
+        let t = gemm_traffic(&array, &gemm(8, 8, 10));
+        assert_eq!(t.psum_bytes, 0);
+        assert_eq!(t.weight_bytes, 64);
+        assert_eq!(t.act_bytes, 80);
+    }
+
+    #[test]
+    fn k_tiling_spills_partial_sums() {
+        let array = SystolicArray::new(ArrayConfig::small(4, 8));
+        let t = gemm_traffic(&array, &gemm(8, 8, 10)); // 2 k-tiles
+        assert_eq!(t.psum_bytes, (8 * 10 * 4 * 2) as u64);
+    }
+
+    #[test]
+    fn m_tiling_rereads_activations() {
+        let array = SystolicArray::new(ArrayConfig::small(8, 4));
+        let t = gemm_traffic(&array, &gemm(8, 8, 10)); // 2 m-tiles
+        assert_eq!(t.act_bytes, 160);
+    }
+
+    #[test]
+    fn memory_energy_is_linear() {
+        let traffic = MemoryTraffic {
+            weight_bytes: 10,
+            act_bytes: 20,
+            psum_bytes: 30,
+        };
+        let model = MemoryModel {
+            weight_fj_per_byte: 1.0,
+            act_fj_per_byte: 2.0,
+            psum_fj_per_byte: 3.0,
+        };
+        assert_eq!(model.energy_fj(&traffic), 10.0 + 40.0 + 90.0);
+        assert_eq!(traffic.total_bytes(), 60);
+    }
+}

@@ -1,0 +1,104 @@
+//! Hardware-only characterization walk-through (no training).
+//!
+//! Reproduces the *mechanics* behind the paper's Figs. 2, 3 and 5 on a
+//! synthetic transition workload: per-weight power, per-weight delay
+//! profiles with the DTA×STA composition, and a structural Verilog dump
+//! of the characterized MAC for external cross-checking.
+//!
+//! Run with: `cargo run --example characterize_mac --release`
+
+use gatesim::export::to_verilog;
+use powerpruning::chars::{
+    characterize_power, characterize_timing, MacHardware, PowerConfig, PsumBinning, TimingConfig,
+};
+use systolic::stats::TransitionStats;
+
+fn main() {
+    let hw = MacHardware::paper_default();
+    println!("Characterizing: {}", hw.mac().netlist());
+
+    // A synthetic but realistic workload: activations mostly make small
+    // moves (the bright diagonal of the paper's Fig. 4a), partial sums
+    // wander across the 22-bit range.
+    let mut stats = TransitionStats::new();
+    for a in 0..255u8 {
+        stats.record_activation(a, a.saturating_add(1), 30);
+        stats.record_activation(a.saturating_add(1), a, 30);
+        stats.record_activation(a, a ^ 0x0f, 2);
+    }
+    let psums: Vec<(i32, i32)> = (0..5000)
+        .map(|i| {
+            let x = (i as i64 * 2654435761) % (1 << 22) - (1 << 21);
+            let y = (i as i64 * 40503 + 977) % (1 << 22) - (1 << 21);
+            (x as i32, y as i32)
+        })
+        .collect();
+    let binning = PsumBinning::from_samples(&psums, 50, 22, 7);
+
+    // --- Fig. 2 mechanics: power per weight value. ---
+    let profile = characterize_power(
+        &hw,
+        &stats,
+        &binning,
+        &PowerConfig {
+            samples_per_weight: 600,
+            ..PowerConfig::default()
+        },
+    );
+    let series = profile.series();
+    let mut sorted = series.clone();
+    sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+    println!("\nCheapest weight values (µW):");
+    for (code, p) in sorted.iter().take(8) {
+        println!("  {code:>5}: {p:>7.1}");
+    }
+    println!("Most expensive weight values (µW):");
+    for (code, p) in sorted.iter().rev().take(8) {
+        println!("  {code:>5}: {p:>7.1}");
+    }
+
+    // --- Fig. 3 mechanics: delay profiles of two weights. ---
+    let timing = characterize_timing(
+        &hw,
+        &TimingConfig {
+            exhaustive: false,
+            samples: 4000,
+            ..TimingConfig::default()
+        },
+    );
+    for code in [-105i32, 64] {
+        let t = timing.timing(code);
+        println!(
+            "\nWeight {code}: max composed MAC delay {:.0} ps (adder psum floor {:.0} ps)",
+            t.max_delay_ps, timing.psum_floor_ps
+        );
+        // Compact histogram: 20 buckets over the observed range.
+        let max_bucket = t
+            .histogram
+            .iter()
+            .rposition(|&c| c > 0)
+            .unwrap_or(0)
+            .max(1);
+        let width = max_bucket.div_ceil(20);
+        print!("  delay histogram: ");
+        for chunk in t.histogram[..=max_bucket].chunks(width) {
+            let total: u64 = chunk.iter().sum();
+            let glyph = match total {
+                0 => '.',
+                1..=99 => '_',
+                100..=999 => 'o',
+                _ => '#',
+            };
+            print!("{glyph}");
+        }
+        println!("  (0..{max_bucket} ps)");
+    }
+
+    // --- Structural export for external EDA cross-checks. ---
+    let verilog = to_verilog(hw.mult_netlist());
+    println!(
+        "\nStructural Verilog of the multiplier: {} lines (module {})",
+        verilog.lines().count(),
+        hw.mult_netlist().name()
+    );
+}

@@ -1,0 +1,41 @@
+//! Edge-deployment scenario: the full PowerPruning flow on one network.
+//!
+//! Models the paper's motivating use case (power-constrained edge
+//! inference, e.g. plant-disease detection or wearable diagnostics):
+//! train a small CNN, characterize the accelerator, select cheap weight
+//! and fast weight/activation values, retrain, and report the power
+//! budget before and after — the LeNet-5 row of Table I.
+//!
+//! Run with: `cargo run --example edge_deployment --release`
+//! (set `POWERPRUNING_SCALE=micro` for a quick smoke run)
+
+use powerpruning::pipeline::{NetworkKind, Pipeline, PipelineConfig, Scale};
+use powerpruning::report::table1_header;
+
+fn main() {
+    let scale = match std::env::var("POWERPRUNING_SCALE").as_deref() {
+        Ok("micro") => Scale::Micro,
+        Ok("full") => Scale::Full,
+        _ => Scale::Mini,
+    };
+    println!("Running the full PowerPruning flow at {scale:?} scale...\n");
+
+    let pipeline = Pipeline::new(PipelineConfig::for_scale(scale));
+    let row = pipeline.run_table1_row(NetworkKind::LeNet5);
+
+    println!("{}", table1_header());
+    println!("{row}");
+    println!();
+    println!(
+        "Edge budget: {:.1} mW -> {:.1} mW on the Optimized accelerator ({:.1}% saved),",
+        row.opt_orig_mw,
+        row.opt_prop_mw,
+        row.opt_reduction_pct()
+    );
+    println!(
+        "with accuracy {:.1}% -> {:.1}% and VDD scaled to {}.",
+        100.0 * row.acc_orig,
+        100.0 * row.acc_prop,
+        row.vdd_label
+    );
+}

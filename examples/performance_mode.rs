@@ -1,0 +1,73 @@
+//! Performance mode: spend the timing slack on clock frequency instead
+//! of supply voltage.
+//!
+//! The paper (§II, §V) notes the selected weight/activation sets leave
+//! two options: lower VDD at the same clock (Table I), or keep VDD and
+//! raise the clock. This example runs the characterization + selection
+//! front-end once and prints both conversions side by side.
+//!
+//! Run with: `cargo run --example performance_mode --release`
+//! (set `POWERPRUNING_SCALE=micro` for a quick smoke run)
+
+use powerpruning::pipeline::{NetworkKind, Pipeline, PipelineConfig, Scale};
+use powerpruning::select::delay::{select_by_delay, DelaySelectionConfig};
+use powerpruning::select::power::{select_by_power, threshold_for_count};
+use powerpruning::voltage::{FrequencyBoost, VoltageModel, VoltageScaling};
+
+fn main() {
+    let scale = match std::env::var("POWERPRUNING_SCALE").as_deref() {
+        Ok("micro") => Scale::Micro,
+        Ok("full") => Scale::Full,
+        _ => Scale::Mini,
+    };
+    let pipeline = Pipeline::new(PipelineConfig::for_scale(scale));
+
+    // Characterize power on a trained workload, select a weight set.
+    let mut prepared = pipeline.prepare(NetworkKind::LeNet5);
+    let captures = pipeline.capture(&mut prepared);
+    let chars = pipeline.characterize(&captures);
+    let threshold = threshold_for_count(
+        &chars.power_profile,
+        48.min(chars.power_profile.codes().len()),
+    );
+    let power_sel = select_by_power(&chars.power_profile, threshold);
+
+    // Timing: how much slack does a moderately aggressive selection buy?
+    let probe = pipeline.characterize_timing(f64::MAX);
+    let base_max = probe.max_delay_ps().max(probe.psum_floor_ps);
+    let base_rounded = (base_max / 5.0).ceil() * 5.0;
+    let target = (base_rounded - 15.0).max(probe.psum_floor_ps);
+    let timing = pipeline.characterize_timing(target - 5.0);
+    let sel = select_by_delay(
+        &timing,
+        &power_sel.weights,
+        256,
+        &DelaySelectionConfig {
+            threshold_ps: target,
+            ..DelaySelectionConfig::default()
+        },
+    );
+
+    println!(
+        "Max MAC delay: {base_max:.0} ps -> {target:.0} ps with {} weight and {} activation values\n",
+        sel.weight_count(),
+        sel.activation_count()
+    );
+
+    // Option A: voltage scaling at the original clock.
+    let vm = VoltageModel::finfet15();
+    let vs = VoltageScaling::from_delays(&vm, base_rounded, target);
+    println!("Option A — lower VDD, same clock:");
+    println!("  VDD {} (dynamic x{:.2}, leakage x{:.2})", vs.label(), vs.dynamic_factor, vs.leakage_factor);
+
+    // Option B: same VDD, faster clock.
+    let clock = pipeline.array().config().clock_ps;
+    let boost = FrequencyBoost::from_delays(clock, base_rounded, target);
+    println!("Option B — same VDD, faster clock:");
+    println!(
+        "  {:.2} GHz -> {:.2} GHz ({:.1}% more throughput)",
+        1000.0 / boost.original_clock_ps,
+        boost.boosted_freq_ghz(),
+        100.0 * (boost.speedup() - 1.0)
+    );
+}

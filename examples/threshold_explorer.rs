@@ -1,0 +1,36 @@
+//! Interactive-style exploration of the power-threshold tradeoff.
+//!
+//! The paper's Fig. 8 asks: how few weight values can a network live
+//! with before accuracy collapses? This example trains one network and
+//! walks the threshold ladder, printing the accuracy/power frontier so
+//! a deployment engineer can pick an operating point.
+//!
+//! Run with: `cargo run --example threshold_explorer --release`
+
+use powerpruning::pipeline::{NetworkKind, Pipeline, PipelineConfig, Scale};
+
+fn main() {
+    let pipeline = Pipeline::new(PipelineConfig::for_scale(Scale::Micro));
+    let series = pipeline.power_threshold_sweep(NetworkKind::ResNet20);
+
+    println!("{series}");
+
+    // Frontier summary: best power at <2% accuracy loss.
+    let baseline_acc = series.points.first().map(|p| p.4).unwrap_or(0.0);
+    let ok: Vec<_> = series
+        .points
+        .iter()
+        .filter(|p| p.4 >= baseline_acc - 0.02)
+        .collect();
+    if let Some(best) = ok
+        .iter()
+        .min_by(|a, b| (a.2 + a.3).partial_cmp(&(b.2 + b.3)).expect("finite"))
+    {
+        println!(
+            "Recommended operating point: {} weight values, {:.2} mW total, {:.1}% accuracy",
+            best.1,
+            best.2 + best.3,
+            100.0 * best.4
+        );
+    }
+}

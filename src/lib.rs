@@ -1,0 +1,18 @@
+//! Workspace facade for the PowerPruning reproduction.
+//!
+//! Re-exports the four crates so examples and integration tests can use
+//! one import root:
+//!
+//! * [`gatesim`] — gate-level netlists, timed simulation, STA.
+//! * [`nn`] — quantization-aware NN training with restricted value sets.
+//! * [`systolic`] — weight-stationary systolic array simulator.
+//! * [`powerpruning`] — the paper's characterization/selection/retrain/
+//!   voltage-scaling flow.
+//!
+//! See `README.md` for the quickstart and `DESIGN.md` for the system
+//! inventory.
+
+pub use gatesim;
+pub use nn;
+pub use powerpruning;
+pub use systolic;

@@ -1,0 +1,146 @@
+//! Cross-crate consistency tests: the seams between nn capture,
+//! systolic replay, gate-level characterization and selection.
+
+use gatesim::circuits::MacCircuit;
+use gatesim::{CellLibrary, Simulator, Sta};
+use nn::data::SyntheticSpec;
+use nn::models;
+use nn::quant::ValueSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use systolic::{ArrayConfig, HwVariant, MacEnergyModel, SystolicArray};
+
+/// Captured GEMM results must equal the float network's quantized math:
+/// replaying the integer codes through exact integer MACs reproduces the
+/// layer output (up to the dequantization scales).
+#[test]
+fn captured_codes_replay_to_correct_products() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut net = models::tiny_cnn("replay", 1, 8, 4, &mut rng);
+    let data = SyntheticSpec {
+        classes: 4,
+        size: 8,
+        channels: 1,
+        samples: 4,
+        noise: 0.0,
+        seed: 3,
+    }
+    .generate();
+    let (x, _) = data.head(2);
+    let (_, captures) = net.forward_capture(&x);
+    assert!(!captures.is_empty());
+
+    // Spot-check integer GEMM against the gate-level MAC: accumulate
+    // one output column through the netlist and through i64 math.
+    let mac = MacCircuit::new(8, 8, 22);
+    let lib = CellLibrary::nangate15_like();
+    let mut sim = Simulator::new(mac.netlist(), &lib);
+    let g = &captures[0];
+    let col = 0usize;
+    let row = 0usize;
+    let mut acc: i64 = 0;
+    for kk in 0..g.k.min(16) {
+        let w = g.weight_codes[row * g.k + kk] as i64;
+        let a = g.act_codes[kk * g.n + col] as u64;
+        sim.settle(&mac.encode(w, a, acc));
+        let out = sim.output_values();
+        let gate_sum = gatesim::netlist::from_bits_signed(&out);
+        acc += w * a as i64;
+        assert_eq!(gate_sum, acc, "gate-level MAC diverged at k={kk}");
+    }
+}
+
+/// The systolic array's energy accounting must be consistent with the
+/// per-weight model: an all-zero-weight GEMM on Optimized HW consumes
+/// (almost) no dynamic energy, and restricting weights to cheap codes
+/// reduces energy.
+#[test]
+fn restricted_weights_reduce_systolic_energy() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut net = models::tiny_cnn("sys", 1, 8, 4, &mut rng);
+    let data = SyntheticSpec {
+        classes: 4,
+        size: 8,
+        channels: 1,
+        samples: 8,
+        noise: 0.05,
+        seed: 4,
+    }
+    .generate();
+    let (x, _) = data.head(8);
+
+    let array = SystolicArray::new(ArrayConfig::small(8, 8));
+    let model = MacEnergyModel::analytic_default();
+
+    let (_, captures_free) = net.forward_capture(&x);
+    let free = array.run_network_energy(&captures_free, &model, HwVariant::Optimized);
+
+    // Restrict to a cheap set (powers of two and zero).
+    net.set_weight_restriction(Some(ValueSet::new([
+        -64, -32, -16, -8, -4, -2, -1, 0, 1, 2, 4, 8, 16, 32, 64,
+    ])));
+    let (_, captures_cheap) = net.forward_capture(&x);
+    let cheap = array.run_network_energy(&captures_cheap, &model, HwVariant::Optimized);
+
+    assert!(
+        cheap.dynamic_fj() < free.dynamic_fj(),
+        "cheap codes {} fJ should undercut free codes {} fJ",
+        cheap.dynamic_fj(),
+        free.dynamic_fj()
+    );
+}
+
+/// STA across the gatesim crate must upper-bound every dynamic delay the
+/// timing characterization composes (the composition may only tighten).
+#[test]
+fn composed_delays_never_exceed_mac_sta() {
+    use powerpruning::chars::{characterize_timing, MacHardware, TimingConfig};
+    let hw = MacHardware::small();
+    let sta_bound = Sta::new(hw.mac().netlist(), hw.lib()).critical_path_ps();
+    let profile = characterize_timing(
+        &hw,
+        &TimingConfig {
+            exhaustive: true,
+            samples: 0,
+            seed: 0,
+            slow_floor_ps: 0.0,
+            weight_stride: 1,
+        },
+    );
+    for t in &profile.per_weight {
+        assert!(
+            t.max_delay_ps <= sta_bound + 1e-6,
+            "weight {} composed delay {} exceeds STA bound {}",
+            t.code,
+            t.max_delay_ps,
+            sta_bound
+        );
+    }
+    assert!(profile.psum_floor_ps <= sta_bound + 1e-6);
+}
+
+/// Standard HW must never consume less power than Optimized HW for the
+/// same captured network, across capture batches.
+#[test]
+fn hardware_variant_ordering_holds_for_real_captures() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut net = models::tiny_cnn("hw", 3, 8, 4, &mut rng);
+    let data = SyntheticSpec {
+        classes: 4,
+        size: 8,
+        channels: 3,
+        samples: 6,
+        noise: 0.05,
+        seed: 9,
+    }
+    .generate();
+    let (x, _) = data.head(6);
+    let (_, captures) = net.forward_capture(&x);
+
+    let array = SystolicArray::new(ArrayConfig::small(16, 16));
+    let model = MacEnergyModel::analytic_default();
+    let std_hw = array.run_network_energy(&captures, &model, HwVariant::Standard);
+    let opt_hw = array.run_network_energy(&captures, &model, HwVariant::Optimized);
+    assert!(opt_hw.total_power_mw() <= std_hw.total_power_mw());
+    assert_eq!(opt_hw.cycles(), std_hw.cycles(), "gating must not change timing");
+}

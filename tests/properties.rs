@@ -1,0 +1,198 @@
+//! Workspace-level property-based tests (proptest) on the invariants
+//! the PowerPruning flow relies on.
+
+use gatesim::circuits::{AdderCircuit, AdderKind, MacCircuit, MultiplierCircuit};
+use gatesim::{CellLibrary, Simulator, Sta};
+use nn::quant::{ActQuantizer, ValueSet, WeightQuantizer};
+use nn::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    /// The Baugh-Wooley multiplier netlist implements integer
+    /// multiplication for every (weight, activation) pair.
+    #[test]
+    fn multiplier_matches_integer_semantics(w in -128i64..=127, a in 0u64..=255) {
+        let mult = MultiplierCircuit::new(8, 8);
+        prop_assert_eq!(mult.compute(w, a), w * a as i64);
+    }
+
+    /// The MAC netlist implements psum + w·a in 22-bit wrap-around
+    /// arithmetic for in-range operands.
+    #[test]
+    fn mac_matches_integer_semantics(
+        w in -127i64..=127,
+        a in 0u64..=255,
+        p in -1_000_000i64..=1_000_000,
+    ) {
+        let mac = MacCircuit::new(8, 8, 22);
+        let expected = {
+            let raw = p + w * a as i64;
+            let m = 1i64 << 22;
+            let wrapped = ((raw % m) + m) % m;
+            if wrapped >= m / 2 { wrapped - m } else { wrapped }
+        };
+        prop_assert_eq!(mac.compute(w, a, p), expected);
+    }
+
+    /// Both adder architectures agree with each other and with integer
+    /// addition.
+    #[test]
+    fn adders_agree(a in 0u64..(1 << 22), b in 0u64..(1 << 22)) {
+        let ripple = AdderCircuit::new(AdderKind::Ripple, 22);
+        let cla = AdderCircuit::new(AdderKind::Cla4, 22);
+        let mask = (1u64 << 22) - 1;
+        prop_assert_eq!(ripple.compute(a, b), (a + b) & mask);
+        prop_assert_eq!(cla.compute(a, b), (a + b) & mask);
+    }
+
+    /// Event-driven settle time never exceeds the STA bound.
+    #[test]
+    fn dynamic_delay_below_sta(
+        w1 in -8i64..=7, a1 in 0u64..=15, p1 in -64i64..=63,
+        w2 in -8i64..=7, a2 in 0u64..=15, p2 in -64i64..=63,
+    ) {
+        let mac = MacCircuit::new(4, 4, 10);
+        let lib = CellLibrary::nangate15_like();
+        let bound = Sta::new(mac.netlist(), &lib).critical_path_ps();
+        let mut sim = Simulator::new(mac.netlist(), &lib);
+        let stats = sim.measure(&mac.encode(w1, a1, p1), &mac.encode(w2, a2, p2));
+        prop_assert!(stats.delay_ps <= bound + 1e-6);
+    }
+
+    /// Identical input vectors produce zero energy and zero delay.
+    #[test]
+    fn no_transition_no_energy(w in -8i64..=7, a in 0u64..=15, p in -64i64..=63) {
+        let mac = MacCircuit::new(4, 4, 10);
+        let lib = CellLibrary::nangate15_like();
+        let mut sim = Simulator::new(mac.netlist(), &lib);
+        let v = mac.encode(w, a, p);
+        let stats = sim.measure(&v, &v);
+        prop_assert_eq!(stats.energy_fj, 0.0);
+        prop_assert_eq!(stats.toggles, 0);
+    }
+
+    /// ValueSet projection is idempotent and lands inside the set.
+    #[test]
+    fn projection_idempotent(codes in prop::collection::btree_set(-127i32..=127, 1..40), probe in -127i32..=127) {
+        let set = ValueSet::new(codes);
+        let p = set.project(probe);
+        prop_assert!(set.contains(p));
+        prop_assert_eq!(set.project(p), p);
+        // Projection is the nearest member.
+        for &c in set.codes() {
+            prop_assert!((probe - p).abs() <= (probe - c).abs());
+        }
+    }
+
+    /// Weight quantization with a restricted set only produces allowed
+    /// codes, and dequantized values stay within the tensor's range.
+    #[test]
+    fn restricted_quantization_stays_in_set(
+        values in prop::collection::vec(-2.0f32..2.0, 1..64),
+        codes in prop::collection::btree_set(-127i32..=127, 1..16),
+    ) {
+        let allowed = ValueSet::new(codes);
+        let quant = WeightQuantizer { allowed: Some(allowed.clone()) };
+        let t = Tensor::from_vec(&[values.len()], values);
+        let q = quant.quantize(&t);
+        for &c in &q.codes {
+            prop_assert!(allowed.contains(c as i32));
+        }
+    }
+
+    /// Activation quantization always produces codes in 0..=255 and
+    /// respects the clipping range.
+    #[test]
+    fn act_quantization_is_bounded(values in prop::collection::vec(-10.0f32..10.0, 1..64)) {
+        let quant = ActQuantizer::new(6.0);
+        let t = Tensor::from_vec(&[values.len()], values);
+        let q = quant.quantize(&t);
+        for &v in q.dequant.data() {
+            prop_assert!((0.0..=6.0 + 1e-4).contains(&v));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Systolic energy accounting is monotone in the energy model:
+    /// scaling every per-weight energy up scales the dynamic energy up.
+    #[test]
+    fn systolic_energy_is_monotone_in_model(factor in 1.1f64..4.0) {
+        use nn::layers::GemmCapture;
+        use systolic::{ArrayConfig, HwVariant, MacEnergyModel, SystolicArray};
+        let gemm = GemmCapture {
+            layer: "p".into(),
+            weight_codes: (0..64).map(|i| (i % 17) as i8 - 8).collect(),
+            act_codes: (0..8 * 16).map(|i| (i % 251) as u8).collect(),
+            m: 8,
+            k: 8,
+            n: 16,
+        };
+        let array = SystolicArray::new(ArrayConfig::small(4, 4));
+        let base = MacEnergyModel::analytic_default();
+        let scaled = base.scaled(factor, 1.0);
+        let e1 = array.run_gemm_energy(&gemm, &base, HwVariant::Standard).dynamic_fj;
+        let e2 = array.run_gemm_energy(&gemm, &scaled, HwVariant::Standard).dynamic_fj;
+        prop_assert!(e2 > e1 * (factor - 0.01));
+    }
+
+    /// Delay selection output always satisfies the threshold invariant.
+    #[test]
+    fn delay_selection_respects_threshold(seed in 0u64..1000) {
+        use powerpruning::chars::{WeightTiming, WeightTimingProfile};
+        use powerpruning::select::delay::{select_by_delay, DelaySelectionConfig};
+
+        // Random small profile.
+        let mut x = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        let mut next = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        let per_weight: Vec<WeightTiming> = (-4i32..=4)
+            .map(|code| {
+                let slow: Vec<(u8, u8, f32)> = (0..(next() % 6))
+                    .map(|_| {
+                        (
+                            (next() % 16) as u8,
+                            (next() % 16) as u8,
+                            90.0 + (next() % 30) as f32,
+                        )
+                    })
+                    .collect();
+                WeightTiming {
+                    code,
+                    max_delay_ps: slow.iter().map(|s| f64::from(s.2)).fold(80.0, f64::max),
+                    histogram: vec![0; 8],
+                    slow,
+                }
+            })
+            .collect();
+        let profile = WeightTimingProfile {
+            per_weight,
+            psum_floor_ps: 50.0,
+            adder_from_product_ps: vec![5.0; 4],
+            slow_floor_ps: 85.0,
+        };
+        let cfg = DelaySelectionConfig {
+            threshold_ps: 100.0,
+            restarts: 5,
+            seed,
+            protected_weights: vec![0],
+            activation_bias: 4,
+        };
+        let candidates: Vec<i32> = (-4..=4).collect();
+        let sel = select_by_delay(&profile, &candidates, 16, &cfg);
+        // Every surviving slow combination is within the threshold.
+        for &w in &sel.weights {
+            let idx = profile.per_weight.binary_search_by_key(&w, |t| t.code).unwrap();
+            for &(f, t, d) in &profile.per_weight[idx].slow {
+                let alive = sel.activations.contains(&(f as i32))
+                    && sel.activations.contains(&(t as i32));
+                prop_assert!(!alive || f64::from(d) <= 100.0);
+            }
+        }
+        prop_assert!(sel.weights.contains(&0));
+    }
+}
