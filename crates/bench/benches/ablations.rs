@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use powerpruning::chars::{characterize_power, MacHardware, PowerConfig, PsumBinning};
-use powerpruning::select::delay::{select_by_delay, DelaySelectionConfig};
 use powerpruning::chars::{WeightTiming, WeightTimingProfile};
+use powerpruning::select::delay::{select_by_delay, DelaySelectionConfig};
 use std::hint::black_box;
 use systolic::stats::TransitionStats;
 

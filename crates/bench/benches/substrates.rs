@@ -24,12 +24,21 @@ fn bench_gatesim(c: &mut Criterion) {
         let mut flip = false;
         b.iter(|| {
             flip = !flip;
-            let (w, a, p) = if flip { (-105, 213, 12345) } else { (64, 10, -777) };
+            let (w, a, p) = if flip {
+                (-105, 213, 12345)
+            } else {
+                (64, 10, -777)
+            };
             black_box(sim.transition(&mac.encode(w, a, p)))
         });
     });
     group.bench_function("mac_settle", |b| {
-        b.iter(|| black_box(mac.netlist().evaluate_outputs(&mac.encode(-105, 213, 12345))));
+        b.iter(|| {
+            black_box(
+                mac.netlist()
+                    .evaluate_outputs(&mac.encode(-105, 213, 12345)),
+            )
+        });
     });
     group.bench_function("mac_sta", |b| {
         b.iter(|| black_box(Sta::new(mac.netlist(), &lib).critical_path_ps()));

@@ -45,7 +45,10 @@ fn main() {
     }
 
     println!("\nArray energy (Optimized HW, PowerPruned workload):");
-    for (i, name) in ["weight-stationary", "output-stationary"].iter().enumerate() {
+    for (i, name) in ["weight-stationary", "output-stationary"]
+        .iter()
+        .enumerate()
+    {
         println!(
             "  {name:<18}: dynamic {:.1} nJ + leakage {:.1} nJ",
             totals[i].0 / 1e6,
@@ -53,7 +56,9 @@ fn main() {
         );
     }
     let overhead = 100.0 * (totals[1].0 - totals[0].0) / totals[0].0;
-    println!("  -> output-stationary pays {overhead:.1}% extra dynamic energy for weight streaming,");
+    println!(
+        "  -> output-stationary pays {overhead:.1}% extra dynamic energy for weight streaming,"
+    );
     println!("     and zero-weight residency gating no longer idles whole PEs.");
 
     let mem = MemoryModel::default();

@@ -12,9 +12,7 @@
 
 use gatesim::circuits::MultiplierKind;
 use gatesim::CellLibrary;
-use powerpruning::chars::{
-    characterize_power, MacHardware, PowerConfig, PsumBinning,
-};
+use powerpruning::chars::{characterize_power, MacHardware, PowerConfig, PsumBinning};
 use powerpruning::select::power::threshold_for_count;
 use powerpruning_bench::banner;
 use systolic::stats::TransitionStats;
@@ -56,7 +54,10 @@ fn main() {
         let threshold = threshold_for_count(&profile, 32);
         let selected = profile.codes_below(threshold);
         println!("  32-value threshold: {threshold:.1} µW");
-        println!("  cheapest 16 codes: {:?}", &selected[..16.min(selected.len())]);
+        println!(
+            "  cheapest 16 codes: {:?}",
+            &selected[..16.min(selected.len())]
+        );
         println!(
             "  spot powers (µW): w=0 {:.0}, w=3 {:.0}, w=-86 (101010..) {:.0}, w=-105 {:.0}, w=127 {:.0}",
             profile.power_uw(0),

@@ -1,0 +1,182 @@
+//! Characterization-throughput bench: batched `BatchSim` engine vs the
+//! scalar `settle`/`transition` baseline, at `Scale::Mini` sample
+//! budgets.
+//!
+//! Emits machine-readable JSON (also written to
+//! `BENCH_CHARACTERIZATION.json`) with samples/sec for power and timing
+//! characterization on both engines, the speedup, and a bit-identical
+//! cross-check of the produced profiles — so future PRs can track the
+//! perf trajectory.
+//!
+//! Run: `cargo run -p powerpruning-bench --bin bench_characterization --release`
+//!
+//! Environment knobs:
+//! * `POWERPRUNING_BENCH_STRIDE` — weight stride (default 16; 1 =
+//!   every code, Mini-faithful but slow on one core).
+//! * `POWERPRUNING_BENCH_POWER_SAMPLES` — per-weight power samples
+//!   (default 2500, the `Scale::Mini` budget).
+//! * `POWERPRUNING_BENCH_TIMING_SAMPLES` — per-weight timing samples
+//!   (default 12288, the `Scale::Mini` budget).
+
+use powerpruning::chars::{
+    characterize_power, characterize_power_scalar, characterize_timing, characterize_timing_scalar,
+    strided_codes, MacHardware, PowerConfig, PsumBinning, TimingConfig,
+};
+use std::time::Instant;
+use systolic::stats::TransitionStats;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A Mini-shaped workload: realistic small-step activation transitions
+/// plus a spread of partial-sum transitions.
+fn workload() -> (TransitionStats, PsumBinning) {
+    let mut stats = TransitionStats::new();
+    for a in 0..255u8 {
+        stats.record_activation(a, a.saturating_add(1), 25);
+        stats.record_activation(a.saturating_add(1), a, 25);
+        stats.record_activation(a, a ^ 0x0f, 2);
+    }
+    let psums: Vec<(i32, i32)> = (0..4000)
+        .map(|i| {
+            let x = (i as i64 * 2654435761) % (1 << 22) - (1 << 21);
+            let y = (i as i64 * 40503 + 977) % (1 << 22) - (1 << 21);
+            (x as i32, y as i32)
+        })
+        .collect();
+    let binning = PsumBinning::from_samples(&psums, 50, 22, 1);
+    (stats, binning)
+}
+
+struct Measurement {
+    samples: usize,
+    batched_s: f64,
+    scalar_s: f64,
+    identical: bool,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.scalar_s / self.batched_s
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"samples\": {}, ",
+                "\"batched_s\": {:.3}, \"scalar_s\": {:.3}, ",
+                "\"batched_samples_per_s\": {:.1}, \"scalar_samples_per_s\": {:.1}, ",
+                "\"speedup\": {:.3}, \"identical\": {}}}"
+            ),
+            self.samples,
+            self.batched_s,
+            self.scalar_s,
+            self.samples as f64 / self.batched_s,
+            self.samples as f64 / self.scalar_s,
+            self.speedup(),
+            self.identical,
+        )
+    }
+}
+
+fn main() {
+    let hw = MacHardware::paper_default();
+    let stride = env_usize("POWERPRUNING_BENCH_STRIDE", 16);
+    let power_samples = env_usize("POWERPRUNING_BENCH_POWER_SAMPLES", 2500);
+    let timing_samples = env_usize("POWERPRUNING_BENCH_TIMING_SAMPLES", 12_288);
+    let (stats, binning) = workload();
+
+    // Number of weight codes actually simulated under the stride.
+    let codes = strided_codes(&hw.weight_codes(), stride).len();
+
+    eprintln!(
+        "characterization throughput @ Mini budgets: {codes} weight codes, \
+         {power_samples} power samples/code, {timing_samples} timing samples/code"
+    );
+
+    // --- Power characterization ---
+    let power_cfg = PowerConfig {
+        samples_per_weight: power_samples,
+        seed: 0xbe7c_0001,
+        clock_ps: 200.0,
+        weight_stride: stride,
+        baseline_fj_per_cycle: 90.0,
+    };
+    let t = Instant::now();
+    let batched = characterize_power(&hw, &stats, &binning, &power_cfg);
+    let batched_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let scalar = characterize_power_scalar(&hw, &stats, &binning, &power_cfg);
+    let scalar_s = t.elapsed().as_secs_f64();
+    let power = Measurement {
+        samples: codes * power_samples,
+        batched_s,
+        scalar_s,
+        identical: batched == scalar,
+    };
+    eprintln!(
+        "power:  batched {batched_s:.2}s, scalar {scalar_s:.2}s -> {:.2}x, identical: {}",
+        power.speedup(),
+        power.identical
+    );
+
+    // --- Timing characterization ---
+    let timing_cfg = TimingConfig {
+        exhaustive: false,
+        samples: timing_samples,
+        seed: 0xbe7c_0002,
+        slow_floor_ps: f64::MAX,
+        weight_stride: stride,
+    };
+    let t = Instant::now();
+    let batched_t = characterize_timing(&hw, &timing_cfg);
+    let batched_ts = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let scalar_t = characterize_timing_scalar(&hw, &timing_cfg);
+    let scalar_ts = t.elapsed().as_secs_f64();
+    let timing = Measurement {
+        samples: codes * timing_samples,
+        batched_s: batched_ts,
+        scalar_s: scalar_ts,
+        identical: batched_t == scalar_t,
+    };
+    eprintln!(
+        "timing: batched {batched_ts:.2}s, scalar {scalar_ts:.2}s -> {:.2}x, identical: {}",
+        timing.speedup(),
+        timing.identical
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"characterization_throughput\",\n",
+            "  \"scale\": \"mini\",\n",
+            "  \"weight_codes\": {},\n",
+            "  \"weight_stride\": {},\n",
+            "  \"power\": {},\n",
+            "  \"timing\": {}\n",
+            "}}"
+        ),
+        codes,
+        stride,
+        power.json(),
+        timing.json(),
+    );
+    println!("{json}");
+    if let Err(e) = std::fs::write("BENCH_CHARACTERIZATION.json", format!("{json}\n")) {
+        eprintln!("could not write BENCH_CHARACTERIZATION.json: {e}");
+    }
+
+    assert!(
+        power.identical,
+        "batched power profile diverged from scalar"
+    );
+    assert!(
+        timing.identical,
+        "batched timing profile diverged from scalar"
+    );
+}

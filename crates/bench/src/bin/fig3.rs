@@ -52,6 +52,12 @@ fn main() {
     println!("maximum delay than weight -105 (dense bit pattern):");
     let d64 = profile.timing(64).max_delay_ps;
     let d105 = profile.timing(-105).max_delay_ps;
-    println!("  max_delay(64) = {d64:.0} ps, max_delay(-105) = {d105:.0} ps -> {}",
-        if d64 < d105 { "HOLDS" } else { "INVERTED (see EXPERIMENTS.md)" });
+    println!(
+        "  max_delay(64) = {d64:.0} ps, max_delay(-105) = {d105:.0} ps -> {}",
+        if d64 < d105 {
+            "HOLDS"
+        } else {
+            "INVERTED (see EXPERIMENTS.md)"
+        }
+    );
 }

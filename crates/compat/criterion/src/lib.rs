@@ -1,0 +1,170 @@
+//! Minimal offline stand-in for the Criterion benchmark harness.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be vendored. This crate implements just enough of its API for
+//! the workspace's `benches/` to compile and produce useful wall-clock
+//! numbers: [`Criterion::benchmark_group`], [`BenchmarkGroup`] with
+//! `sample_size` / `bench_function` / `bench_with_input` / `finish`,
+//! [`Bencher::iter`], [`BenchmarkId`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurements are medians over `sample_size` timed runs after one
+//! warm-up run — far simpler than real Criterion, but deterministic in
+//! shape and good enough to compare kernels on one machine.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// Identifier of one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a parameter value.
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId { id: p.to_string() }
+    }
+
+    /// An id with an explicit function name and parameter.
+    pub fn new(name: impl Into<String>, p: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), p),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        self.run(&id.to_string(), &mut f);
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.run(&id.id, &mut |b| f(b, input));
+    }
+
+    /// Finishes the group (kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn run(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher { elapsed_ns: 0 };
+        // Warm-up run.
+        f(&mut bencher);
+        let mut samples: Vec<u128> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.elapsed_ns = 0;
+            f(&mut bencher);
+            samples.push(bencher.elapsed_ns);
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        println!("{}/{id}: median {} per run", self.name, format_ns(median));
+    }
+}
+
+/// Times closures for one benchmark sample.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times one execution of `f` (real Criterion runs many iterations
+    /// per sample; one is enough for the coarse workloads benched here).
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed_ns += start.elapsed().as_nanos();
+        drop(out);
+    }
+}
+
+fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares a group function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary (requires `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        let mut runs = 0;
+        group.sample_size(3).bench_function("count", |b| {
+            b.iter(|| 1 + 1);
+            runs += 1;
+        });
+        group.finish();
+        assert_eq!(runs, 4); // warm-up + 3 samples
+    }
+}

@@ -42,21 +42,13 @@ impl PsumBinning {
     ///
     /// Panics if `samples` is empty or `num_bins` is zero.
     #[must_use]
-    pub fn from_samples(
-        samples: &[(i32, i32)],
-        num_bins: usize,
-        bits: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn from_samples(samples: &[(i32, i32)], num_bins: usize, bits: usize, seed: u64) -> Self {
         assert!(!samples.is_empty(), "need partial-sum samples to bin");
         assert!(num_bins > 0, "need at least one bin");
         let mut rng = StdRng::seed_from_u64(seed);
 
         // Distinct observed values.
-        let mut values: Vec<i32> = samples
-            .iter()
-            .flat_map(|&(a, b)| [a, b])
-            .collect();
+        let mut values: Vec<i32> = samples.iter().flat_map(|&(a, b)| [a, b]).collect();
         values.sort_unstable();
         values.dedup();
         let num_bins = num_bins.min(values.len());
@@ -235,7 +227,9 @@ mod tests {
         let mut x: u64 = 99;
         (0..2000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let a = ((x & 0x3fffff) as i64 - (1 << 21)) as i32;
                 let b = (((x >> 22) & 0x3fffff) as i64 - (1 << 21)) as i32;
                 (a, b)
@@ -301,8 +295,8 @@ mod tests {
         // together: craft clusters around two very different patterns.
         let mut samples = Vec::new();
         for i in 0..200 {
-            let base1 = 0b101010_1010_1010_1010_1010i64 as i32;
-            let base2 = 0b010101_0101_0101_0101_0101i64 as i32;
+            let base1 = 0b10_1010_1010_1010_1010_1010_i64 as i32;
+            let base2 = 0b01_0101_0101_0101_0101_0101_i64 as i32;
             samples.push((base1 ^ (i & 3), base2 ^ ((i >> 2) & 3)));
         }
         let binning = PsumBinning::from_samples(&samples, 2, 22, 9);

@@ -11,11 +11,19 @@ pub mod power;
 pub mod timing;
 
 pub use bins::PsumBinning;
-pub use power::{characterize_power, PowerConfig, WeightPowerProfile};
-pub use timing::{characterize_timing, sta_bound_per_weight, TimingConfig, WeightTiming, WeightTimingProfile};
+pub use power::{
+    characterize_power, characterize_power_scalar, characterize_power_with_threads, strided_codes,
+    PowerConfig, WeightPowerProfile,
+};
+pub use timing::{
+    characterize_timing, characterize_timing_scalar, characterize_timing_with_threads,
+    sta_bound_per_weight, TimingConfig, WeightTiming, WeightTimingProfile,
+};
 
-use gatesim::circuits::{AdderKind, BoothMultiplierCircuit, MacCircuit, MultiplierCircuit, MultiplierKind};
-use gatesim::netlist::to_bits;
+use gatesim::circuits::{
+    AdderKind, BoothMultiplierCircuit, MacCircuit, MultiplierCircuit, MultiplierKind,
+};
+use gatesim::netlist::to_bits_into;
 use gatesim::{CellLibrary, Netlist};
 
 /// The characterized hardware: a MAC unit netlist, the standalone
@@ -80,12 +88,12 @@ impl MacHardware {
         multiplier: MultiplierKind,
     ) -> Self {
         let mult_netlist = match multiplier {
-            MultiplierKind::BaughWooley => {
-                MultiplierCircuit::new(weight_bits, act_bits).netlist().clone()
-            }
-            MultiplierKind::Booth => {
-                BoothMultiplierCircuit::new(weight_bits, act_bits).netlist().clone()
-            }
+            MultiplierKind::BaughWooley => MultiplierCircuit::new(weight_bits, act_bits)
+                .netlist()
+                .clone(),
+            MultiplierKind::Booth => BoothMultiplierCircuit::new(weight_bits, act_bits)
+                .netlist()
+                .clone(),
         };
         MacHardware {
             mac: MacCircuit::with_architecture(
@@ -127,9 +135,18 @@ impl MacHardware {
     /// input vector (weight bus then activation bus, LSB first).
     #[must_use]
     pub fn encode_mult(&self, weight: i64, act: u64) -> Vec<bool> {
-        let mut v = to_bits(weight, self.weight_bits);
-        v.extend(to_bits(act as i64, self.act_bits));
+        let mut v = Vec::with_capacity(self.weight_bits + self.act_bits);
+        self.encode_mult_into(weight, act, &mut v);
         v
+    }
+
+    /// Packs `(weight, activation)` into a reused buffer — the
+    /// allocation-free companion of [`MacHardware::encode_mult`] used by
+    /// the batched timing characterization.
+    pub fn encode_mult_into(&self, weight: i64, act: u64, out: &mut Vec<bool>) {
+        out.clear();
+        to_bits_into(weight, self.weight_bits, out);
+        to_bits_into(act as i64, self.act_bits, out);
     }
 
     /// The cell library.

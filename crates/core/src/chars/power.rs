@@ -8,7 +8,7 @@
 //! weight's average power — the quantity plotted in the paper's Fig. 2.
 
 use crate::chars::{MacHardware, PsumBinning};
-use gatesim::Simulator;
+use gatesim::{BatchAccumulator, BatchSim, Simulator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use systolic::stats::TransitionStats;
@@ -153,12 +153,39 @@ impl WeightPowerProfile {
     }
 }
 
+/// The weight codes actually simulated under a stride configuration:
+/// every `stride`-th code plus the two extremes. Shared by the batched
+/// and scalar characterization paths, and by the throughput bench to
+/// count simulated codes.
+///
+/// # Panics
+///
+/// Panics if `all_codes` is empty.
+#[must_use]
+pub fn strided_codes(all_codes: &[i32], stride: usize) -> Vec<i32> {
+    let stride = stride.max(1) as i32;
+    let min_code = *all_codes.first().expect("non-empty code range");
+    let max_code = *all_codes.last().expect("non-empty code range");
+    all_codes
+        .iter()
+        .copied()
+        .filter(|&c| c % stride == 0 || c == min_code || c == max_code)
+        .collect()
+}
+
+/// The per-code RNG for power characterization. Derived from the
+/// *global* code index only, never from chunk geometry, so results are
+/// identical at any thread count.
+fn code_rng(cfg: &PowerConfig, code_idx: usize) -> StdRng {
+    StdRng::seed_from_u64(cfg.seed ^ ((code_idx as u64) << 8))
+}
+
 /// Characterizes the average power of every weight value.
 ///
 /// The weight input is fixed per run; activation transitions are drawn
 /// from `act_stats` and partial-sum transitions from `binning`, so the
 /// sampled input stream reflects real network execution. Weights are
-/// characterized in parallel.
+/// characterized in parallel on the batched [`BatchSim`] engine.
 ///
 /// # Panics
 ///
@@ -171,55 +198,120 @@ pub fn characterize_power(
     binning: &PsumBinning,
     cfg: &PowerConfig,
 ) -> WeightPowerProfile {
+    characterize_power_with_threads(hw, act_stats, binning, cfg, None)
+}
+
+/// [`characterize_power`] with an explicit worker-thread count (`None`
+/// uses the machine's available parallelism). Exposed so the test suite
+/// can prove the profile is identical at any thread count.
+///
+/// # Panics
+///
+/// Panics if `act_stats` has no recorded transitions or
+/// `cfg.samples_per_weight` is zero.
+#[must_use]
+pub fn characterize_power_with_threads(
+    hw: &MacHardware,
+    act_stats: &TransitionStats,
+    binning: &PsumBinning,
+    cfg: &PowerConfig,
+    threads: Option<usize>,
+) -> WeightPowerProfile {
     assert!(cfg.samples_per_weight > 0, "need at least one sample");
     let all_codes = hw.weight_codes();
-    let stride = cfg.weight_stride.max(1) as i32;
-    let min_code = *all_codes.first().expect("non-empty code range");
-    let max_code = *all_codes.last().expect("non-empty code range");
-    let codes: Vec<i32> = all_codes
-        .iter()
-        .copied()
-        .filter(|&c| c % stride == 0 || c == min_code || c == max_code)
-        .collect();
+    let codes = strided_codes(&all_codes, cfg.weight_stride);
     let mut energy_fj = vec![0.0f64; codes.len()];
 
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(codes.len());
-    let chunk = codes.len().div_ceil(threads);
+    parallel::par_rows_mut_with_threads(
+        threads.unwrap_or_else(parallel::max_threads),
+        &mut energy_fj,
+        1,
+        || {
+            (
+                BatchSim::new(hw.mac().netlist(), hw.lib()),
+                Vec::new(),
+                Vec::new(),
+            )
+        },
+        |(sim, from, to), idx, slot| {
+            let code = codes[idx];
+            let mut rng = code_rng(cfg, idx);
+            let acts = act_stats.sample_activation_transitions(cfg.samples_per_weight, &mut rng);
+            let psums = binning.sample_transitions(cfg.samples_per_weight, &mut rng);
+            let mut acc = BatchAccumulator::new(sim.netlist().outputs().len());
+            for ((af, at), (pf, pt)) in acts.iter().zip(&psums) {
+                hw.mac()
+                    .encode_into(code as i64, *af as u64, *pf as i64, from);
+                hw.mac()
+                    .encode_into(code as i64, *at as u64, *pt as i64, to);
+                sim.settle(from);
+                acc.record(&sim.transition(to));
+            }
+            slot[0] =
+                acc.total_energy_fj() / cfg.samples_per_weight as f64 + cfg.baseline_fj_per_cycle;
+        },
+    );
 
-    std::thread::scope(|scope| {
-        for (slice_idx, (code_chunk, energy_chunk)) in codes
-            .chunks(chunk)
-            .zip(energy_fj.chunks_mut(chunk))
-            .enumerate()
-        {
-            scope.spawn(move || {
-                let mut sim = Simulator::new(hw.mac().netlist(), hw.lib());
-                for (i, &code) in code_chunk.iter().enumerate() {
-                    let mut rng =
-                        StdRng::seed_from_u64(cfg.seed ^ ((slice_idx * chunk + i) as u64) << 8);
-                    let acts =
-                        act_stats.sample_activation_transitions(cfg.samples_per_weight, &mut rng);
-                    let psums = binning.sample_transitions(cfg.samples_per_weight, &mut rng);
-                    let mut total = 0.0f64;
-                    for ((af, at), (pf, pt)) in acts.iter().zip(&psums) {
-                        let from = hw.mac().encode(code as i64, *af as u64, *pf as i64);
-                        let to = hw.mac().encode(code as i64, *at as u64, *pt as i64);
-                        sim.settle(&from);
-                        let stats = sim.transition(&to);
-                        total += stats.energy_fj;
-                    }
-                    energy_chunk[i] =
-                        total / cfg.samples_per_weight as f64 + cfg.baseline_fj_per_cycle;
-                }
-            });
-        }
-    });
+    expand_profile(cfg, &all_codes, &codes, &energy_fj)
+}
 
-    // Expand back to the full code list: skipped codes inherit the
-    // nearest characterized energy.
+/// Reference implementation of the characterization loop on the scalar
+/// [`Simulator`]: one allocation-heavy `settle`/`transition` round-trip
+/// per sample, exactly as the flow ran before the batched engine
+/// existed. Kept for differential testing and as the baseline of the
+/// characterization-throughput bench.
+///
+/// Produces **bit-identical** profiles to [`characterize_power`].
+///
+/// # Panics
+///
+/// Panics if `act_stats` has no recorded transitions or
+/// `cfg.samples_per_weight` is zero.
+#[must_use]
+pub fn characterize_power_scalar(
+    hw: &MacHardware,
+    act_stats: &TransitionStats,
+    binning: &PsumBinning,
+    cfg: &PowerConfig,
+) -> WeightPowerProfile {
+    assert!(cfg.samples_per_weight > 0, "need at least one sample");
+    let all_codes = hw.weight_codes();
+    let codes = strided_codes(&all_codes, cfg.weight_stride);
+    let mut energy_fj = vec![0.0f64; codes.len()];
+
+    parallel::par_rows_mut(
+        &mut energy_fj,
+        1,
+        || Simulator::new(hw.mac().netlist(), hw.lib()),
+        |sim, idx, slot| {
+            let code = codes[idx];
+            let mut rng = code_rng(cfg, idx);
+            let acts = act_stats.sample_activation_transitions(cfg.samples_per_weight, &mut rng);
+            let psums = binning.sample_transitions(cfg.samples_per_weight, &mut rng);
+            let mut total = 0.0f64;
+            for ((af, at), (pf, pt)) in acts.iter().zip(&psums) {
+                let from = hw.mac().encode(code as i64, *af as u64, *pf as i64);
+                let to = hw.mac().encode(code as i64, *at as u64, *pt as i64);
+                sim.settle(&from);
+                let stats = sim.transition(&to);
+                total += stats.energy_fj;
+            }
+            slot[0] = total / cfg.samples_per_weight as f64 + cfg.baseline_fj_per_cycle;
+        },
+    );
+
+    expand_profile(cfg, &all_codes, &codes, &energy_fj)
+}
+
+/// Expands strided per-code energies back to the full code list (skipped
+/// codes inherit the nearest characterized energy) and converts to
+/// power.
+fn expand_profile(
+    cfg: &PowerConfig,
+    all_codes: &[i32],
+    codes: &[i32],
+    energy_fj: &[f64],
+) -> WeightPowerProfile {
     let full_energy: Vec<f64> = all_codes
         .iter()
         .map(|&c| {
@@ -245,7 +337,7 @@ pub fn characterize_power(
         .map(|e| e / cfg.clock_ps * 1000.0)
         .collect();
     WeightPowerProfile {
-        codes: all_codes,
+        codes: all_codes.to_vec(),
         energy_fj: full_energy,
         power_uw,
         clock_ps: cfg.clock_ps,
@@ -324,11 +416,46 @@ mod tests {
     }
 
     #[test]
+    fn profile_is_identical_at_any_thread_count() {
+        // The per-code RNG is derived from the global code index, so
+        // chunk geometry must never leak into the results.
+        let hw = MacHardware::small();
+        let (stats, binning) = fake_stats();
+        let cfg = quick_cfg();
+        let reference = characterize_power_with_threads(&hw, &stats, &binning, &cfg, Some(1));
+        for threads in [2, 3, 5, 16] {
+            let p = characterize_power_with_threads(&hw, &stats, &binning, &cfg, Some(threads));
+            assert_eq!(p, reference, "thread count {threads} changed the profile");
+        }
+        let auto = characterize_power(&hw, &stats, &binning, &cfg);
+        assert_eq!(auto, reference);
+    }
+
+    #[test]
+    fn batched_profile_matches_scalar_reference() {
+        // The BatchSim engine must be bit-identical to the scalar
+        // Simulator path, energies included.
+        let hw = MacHardware::small();
+        let (stats, binning) = fake_stats();
+        let cfg = PowerConfig {
+            weight_stride: 2,
+            ..quick_cfg()
+        };
+        let batched = characterize_power(&hw, &stats, &binning, &cfg);
+        let scalar = characterize_power_scalar(&hw, &stats, &binning, &cfg);
+        assert_eq!(batched, scalar);
+    }
+
+    #[test]
     fn threshold_selection_keeps_cheap_codes_and_zero() {
         let hw = MacHardware::small();
         let (stats, binning) = fake_stats();
         let profile = characterize_power(&hw, &stats, &binning, &quick_cfg());
-        let powers: Vec<f64> = profile.codes().iter().map(|&c| profile.power_uw(c)).collect();
+        let powers: Vec<f64> = profile
+            .codes()
+            .iter()
+            .map(|&c| profile.power_uw(c))
+            .collect();
         let median = {
             let mut p = powers.clone();
             p.sort_by(|a, b| a.partial_cmp(b).unwrap());

@@ -14,7 +14,7 @@
 //! partial-sum STA path as a weight-independent floor.
 
 use crate::chars::MacHardware;
-use gatesim::{Simulator, Sta};
+use gatesim::{BatchSim, Simulator, Sta};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -116,22 +116,9 @@ impl WeightTimingProfile {
     }
 }
 
-/// Runs the split DTA/STA timing characterization.
-///
-/// The standalone multiplier netlist is structurally identical to the
-/// multiplier embedded in the MAC (both come from the same generator),
-/// so product-bit arrival times measured on it compose exactly with the
-/// MAC-adder STA table.
-///
-/// # Panics
-///
-/// Panics if sampled mode is requested with zero samples.
-#[must_use]
-pub fn characterize_timing(hw: &MacHardware, cfg: &TimingConfig) -> WeightTimingProfile {
-    assert!(
-        cfg.exhaustive || cfg.samples > 0,
-        "sampled mode needs at least one sample"
-    );
+/// Adder-side STA facts shared by the batched and scalar paths: the
+/// product-bit → output delay table and the psum-path floor.
+fn adder_sta(hw: &MacHardware) -> (Vec<f64>, f64) {
     // STA on the MAC netlist: product bits and psum ports only feed the
     // adder, so these are adder-side delays.
     let sta = Sta::new(hw.mac().netlist(), hw.lib());
@@ -146,16 +133,112 @@ pub fn characterize_timing(hw: &MacHardware, cfg: &TimingConfig) -> WeightTiming
         .iter()
         .filter_map(|&p| sta.max_delay_to_outputs_from(p))
         .fold(0.0, f64::max);
+    (adder_from_product_ps, psum_floor_ps)
+}
 
+/// The per-code RNG for sampled timing characterization. Derived from
+/// the *global* code index only, never from chunk geometry, so results
+/// are identical at any thread count.
+fn code_rng(cfg: &TimingConfig, code_idx: usize) -> StdRng {
+    StdRng::seed_from_u64(cfg.seed ^ ((code_idx as u64) << 10))
+}
+
+/// Folds one measured transition into a weight's profile. `arrival` maps
+/// a product-bit slot to its last-toggle arrival in ps.
+#[allow(clippy::too_many_arguments)]
+fn fold_transition(
+    cfg: &TimingConfig,
+    adder_table: &[f64],
+    arrival: impl Fn(usize) -> f64,
+    from: u32,
+    to: u32,
+    hist: &mut [u64],
+    max_delay: &mut f64,
+    slow: &mut Vec<(u8, u8, f32)>,
+) {
+    let mut composed = 0.0f64;
+    for (j, &adder_d) in adder_table.iter().enumerate() {
+        let arr = arrival(j);
+        if arr > 0.0 {
+            composed = composed.max(arr + adder_d);
+        }
+    }
+    let bucket = (composed.round() as usize).min(hist.len() - 1);
+    hist[bucket] += 1;
+    if composed > *max_delay {
+        *max_delay = composed;
+    }
+    if composed > cfg.slow_floor_ps && composed > 0.0 {
+        slow.push((from as u8, to as u8, composed as f32));
+    }
+}
+
+/// Feeds the `(from, to)` activation pairs analysed for one weight code
+/// to `f`: either the full off-diagonal square or `cfg.samples` draws
+/// from the code's RNG stream. Callback-driven so the hot loops stay
+/// allocation-free.
+fn for_each_transition_pair(
+    cfg: &TimingConfig,
+    levels: u32,
+    code_idx: usize,
+    mut f: impl FnMut(u32, u32),
+) {
+    if cfg.exhaustive {
+        for from in 0..levels {
+            for to in 0..levels {
+                if from != to {
+                    f(from, to);
+                }
+            }
+        }
+    } else {
+        let mut rng = code_rng(cfg, code_idx);
+        for _ in 0..cfg.samples {
+            let from = rng.random_range(0..levels);
+            let to = rng.random_range(0..levels);
+            if from != to {
+                f(from, to);
+            }
+        }
+    }
+}
+
+/// Runs the split DTA/STA timing characterization.
+///
+/// The standalone multiplier netlist is structurally identical to the
+/// multiplier embedded in the MAC (both come from the same generator),
+/// so product-bit arrival times measured on it compose exactly with the
+/// MAC-adder STA table. Per-weight dynamic timing runs on the batched
+/// [`BatchSim`] engine.
+///
+/// # Panics
+///
+/// Panics if sampled mode is requested with zero samples.
+#[must_use]
+pub fn characterize_timing(hw: &MacHardware, cfg: &TimingConfig) -> WeightTimingProfile {
+    characterize_timing_with_threads(hw, cfg, None)
+}
+
+/// [`characterize_timing`] with an explicit worker-thread count (`None`
+/// uses the machine's available parallelism). Exposed so the test suite
+/// can prove the profile is identical at any thread count.
+///
+/// # Panics
+///
+/// Panics if sampled mode is requested with zero samples.
+#[must_use]
+pub fn characterize_timing_with_threads(
+    hw: &MacHardware,
+    cfg: &TimingConfig,
+    threads: Option<usize>,
+) -> WeightTimingProfile {
+    assert!(
+        cfg.exhaustive || cfg.samples > 0,
+        "sampled mode needs at least one sample"
+    );
+    let (adder_from_product_ps, psum_floor_ps) = adder_sta(hw);
     let all_codes = hw.weight_codes();
-    let stride = cfg.weight_stride.max(1) as i32;
-    let min_code = *all_codes.first().expect("non-empty code range");
-    let max_code = *all_codes.last().expect("non-empty code range");
-    let codes: Vec<i32> = all_codes
-        .iter()
-        .copied()
-        .filter(|&c| c % stride == 0 || c == min_code || c == max_code)
-        .collect();
+    let codes = super::power::strided_codes(&all_codes, cfg.weight_stride);
     let levels = hw.act_levels() as u32;
     let mut per_weight: Vec<WeightTiming> = codes
         .iter()
@@ -166,84 +249,140 @@ pub fn characterize_timing(hw: &MacHardware, cfg: &TimingConfig) -> WeightTiming
             slow: Vec::new(),
         })
         .collect();
-
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(codes.len());
-    let chunk = codes.len().div_ceil(threads);
     let product_nets = hw.mult_netlist().outputs().to_vec();
+    let adder_table = &adder_from_product_ps;
 
-    std::thread::scope(|scope| {
-        for (chunk_idx, slot_chunk) in per_weight.chunks_mut(chunk).enumerate() {
-            let adder_table = &adder_from_product_ps;
-            let product_nets = &product_nets;
-            scope.spawn(move || {
-                let mut sim = Simulator::new(hw.mult_netlist(), hw.lib());
-                sim.observe(product_nets);
-                for (i, slot) in slot_chunk.iter_mut().enumerate() {
-                    let code = slot.code;
-                    let mut hist = vec![0u64; 512];
-                    let mut max_delay = 0.0f64;
-                    let mut slow = Vec::new();
-
-                    let analyse = |sim: &mut Simulator,
-                                       from: u32,
-                                       to: u32,
-                                       hist: &mut Vec<u64>,
-                                       max_delay: &mut f64,
-                                       slow: &mut Vec<(u8, u8, f32)>| {
-                        sim.settle(&hw.encode_mult(code as i64, from as u64));
-                        let stats = sim.transition(&hw.encode_mult(code as i64, to as u64));
-                        let mut composed = 0.0f64;
-                        for (j, &adder_d) in adder_table.iter().enumerate() {
-                            let arr = stats.observed_arrival_ps(j);
-                            if arr > 0.0 {
-                                composed = composed.max(arr + adder_d);
-                            }
-                        }
-                        let bucket = (composed.round() as usize).min(hist.len() - 1);
-                        hist[bucket] += 1;
-                        if composed > *max_delay {
-                            *max_delay = composed;
-                        }
-                        if composed > cfg.slow_floor_ps && composed > 0.0 {
-                            slow.push((from as u8, to as u8, composed as f32));
-                        }
-                    };
-
-                    if cfg.exhaustive {
-                        for from in 0..levels {
-                            for to in 0..levels {
-                                if from == to {
-                                    continue;
-                                }
-                                analyse(&mut sim, from, to, &mut hist, &mut max_delay, &mut slow);
-                            }
-                        }
-                    } else {
-                        let mut rng = StdRng::seed_from_u64(
-                            cfg.seed ^ (((chunk_idx * chunk + i) as u64) << 10),
-                        );
-                        for _ in 0..cfg.samples {
-                            let from = rng.random_range(0..levels);
-                            let to = rng.random_range(0..levels);
-                            if from == to {
-                                continue;
-                            }
-                            analyse(&mut sim, from, to, &mut hist, &mut max_delay, &mut slow);
-                        }
-                    }
-                    slot.histogram = hist;
-                    slot.max_delay_ps = max_delay;
-                    slot.slow = slow;
-                }
+    parallel::par_rows_mut_with_threads(
+        threads.unwrap_or_else(parallel::max_threads),
+        &mut per_weight,
+        1,
+        || {
+            let mut sim = BatchSim::new(hw.mult_netlist(), hw.lib());
+            sim.observe(&product_nets);
+            (sim, Vec::new(), Vec::new())
+        },
+        |(sim, from_buf, to_buf), idx, slot| {
+            let code = slot[0].code;
+            let mut hist = vec![0u64; 512];
+            let mut max_delay = 0.0f64;
+            let mut slow = Vec::new();
+            for_each_transition_pair(cfg, levels, idx, |from, to| {
+                hw.encode_mult_into(code as i64, from as u64, from_buf);
+                hw.encode_mult_into(code as i64, to as u64, to_buf);
+                sim.settle(from_buf);
+                let view = sim.transition(to_buf);
+                fold_transition(
+                    cfg,
+                    adder_table,
+                    |j| view.observed_arrival_ps(j),
+                    from,
+                    to,
+                    &mut hist,
+                    &mut max_delay,
+                    &mut slow,
+                );
             });
-        }
-    });
+            slot[0].histogram = hist;
+            slot[0].max_delay_ps = max_delay;
+            slot[0].slow = slow;
+        },
+    );
 
-    // Expand back to the full code list: skipped codes inherit the
-    // nearest characterized profile (re-labelled with their own code).
+    expand_timing(
+        &all_codes,
+        &codes,
+        &per_weight,
+        psum_floor_ps,
+        adder_from_product_ps,
+        cfg,
+    )
+}
+
+/// Reference implementation of the timing characterization on the
+/// scalar [`Simulator`], kept for differential testing and as the
+/// baseline of the characterization-throughput bench.
+///
+/// Produces **bit-identical** profiles to [`characterize_timing`].
+///
+/// # Panics
+///
+/// Panics if sampled mode is requested with zero samples.
+#[must_use]
+pub fn characterize_timing_scalar(hw: &MacHardware, cfg: &TimingConfig) -> WeightTimingProfile {
+    assert!(
+        cfg.exhaustive || cfg.samples > 0,
+        "sampled mode needs at least one sample"
+    );
+    let (adder_from_product_ps, psum_floor_ps) = adder_sta(hw);
+    let all_codes = hw.weight_codes();
+    let codes = super::power::strided_codes(&all_codes, cfg.weight_stride);
+    let levels = hw.act_levels() as u32;
+    let mut per_weight: Vec<WeightTiming> = codes
+        .iter()
+        .map(|&code| WeightTiming {
+            code,
+            max_delay_ps: 0.0,
+            histogram: Vec::new(),
+            slow: Vec::new(),
+        })
+        .collect();
+    let product_nets = hw.mult_netlist().outputs().to_vec();
+    let adder_table = &adder_from_product_ps;
+
+    parallel::par_rows_mut(
+        &mut per_weight,
+        1,
+        || {
+            let mut sim = Simulator::new(hw.mult_netlist(), hw.lib());
+            sim.observe(&product_nets);
+            sim
+        },
+        |sim, idx, slot| {
+            let code = slot[0].code;
+            let mut hist = vec![0u64; 512];
+            let mut max_delay = 0.0f64;
+            let mut slow = Vec::new();
+            for_each_transition_pair(cfg, levels, idx, |from, to| {
+                sim.settle(&hw.encode_mult(code as i64, from as u64));
+                let stats = sim.transition(&hw.encode_mult(code as i64, to as u64));
+                fold_transition(
+                    cfg,
+                    adder_table,
+                    |j| stats.observed_arrival_ps(j),
+                    from,
+                    to,
+                    &mut hist,
+                    &mut max_delay,
+                    &mut slow,
+                );
+            });
+            slot[0].histogram = hist;
+            slot[0].max_delay_ps = max_delay;
+            slot[0].slow = slow;
+        },
+    );
+
+    expand_timing(
+        &all_codes,
+        &codes,
+        &per_weight,
+        psum_floor_ps,
+        adder_from_product_ps,
+        cfg,
+    )
+}
+
+/// Expands strided per-weight profiles back to the full code list
+/// (skipped codes inherit the nearest characterized profile, re-labelled
+/// with their own code).
+fn expand_timing(
+    all_codes: &[i32],
+    codes: &[i32],
+    per_weight: &[WeightTiming],
+    psum_floor_ps: f64,
+    adder_from_product_ps: Vec<f64>,
+    cfg: &TimingConfig,
+) -> WeightTimingProfile {
     let expanded: Vec<WeightTiming> = all_codes
         .iter()
         .map(|&c| {
@@ -386,6 +525,41 @@ mod tests {
             profile.timing(5).max_delay_ps,
             profile.timing(4).max_delay_ps
         );
+    }
+
+    #[test]
+    fn profile_is_identical_at_any_thread_count() {
+        let hw = MacHardware::small();
+        let cfg = TimingConfig {
+            exhaustive: false,
+            samples: 64,
+            slow_floor_ps: 100.0,
+            ..quick_cfg()
+        };
+        let reference = characterize_timing_with_threads(&hw, &cfg, Some(1));
+        for threads in [2, 3, 7] {
+            let p = characterize_timing_with_threads(&hw, &cfg, Some(threads));
+            assert_eq!(p, reference, "thread count {threads} changed the profile");
+        }
+    }
+
+    #[test]
+    fn batched_profile_matches_scalar_reference() {
+        let hw = MacHardware::small();
+        for cfg in [
+            quick_cfg(),
+            TimingConfig {
+                exhaustive: false,
+                samples: 128,
+                slow_floor_ps: 50.0,
+                weight_stride: 3,
+                ..quick_cfg()
+            },
+        ] {
+            let batched = characterize_timing(&hw, &cfg);
+            let scalar = characterize_timing_scalar(&hw, &cfg);
+            assert_eq!(batched, scalar);
+        }
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! Pipeline configuration: experiment scale, per-stage budgets and the
+//! four evaluation networks.
+
+use crate::retrain::RetrainConfig;
+use nn::train::TrainConfig;
+use systolic::ArrayConfig;
+
+/// The four network/dataset combinations of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetworkKind {
+    /// LeNet-5 on the CIFAR-10 stand-in.
+    LeNet5,
+    /// ResNet-20 on the CIFAR-10 stand-in.
+    ResNet20,
+    /// ResNet-50-style bottleneck net on the CIFAR-100 stand-in.
+    ResNet50,
+    /// EfficientNet-B0-Lite-style net on the ImageNet stand-in.
+    EfficientNetLite,
+}
+
+impl NetworkKind {
+    /// All four evaluation networks, in Table I order.
+    #[must_use]
+    pub fn all() -> [NetworkKind; 4] {
+        [
+            NetworkKind::LeNet5,
+            NetworkKind::ResNet20,
+            NetworkKind::ResNet50,
+            NetworkKind::EfficientNetLite,
+        ]
+    }
+
+    /// Paper-style label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            NetworkKind::LeNet5 => "LeNet-5-CIFAR-10 (synthetic)",
+            NetworkKind::ResNet20 => "ResNet-20-CIFAR-10 (synthetic)",
+            NetworkKind::ResNet50 => "ResNet-50-CIFAR-100 (synthetic)",
+            NetworkKind::EfficientNetLite => "EfficientNet-B0-Lite-ImageNet (synthetic)",
+        }
+    }
+
+    /// The paper's Table I target for "#selected weight values".
+    #[must_use]
+    pub fn paper_weight_target(self) -> usize {
+        match self {
+            NetworkKind::LeNet5 | NetworkKind::ResNet20 => 32,
+            NetworkKind::ResNet50 => 40,
+            NetworkKind::EfficientNetLite => 76,
+        }
+    }
+}
+
+/// Experiment scale: how much compute each pipeline stage spends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Seconds-level smoke runs for tests (tiny nets, strided
+    /// characterization, sampled timing).
+    Micro,
+    /// The default for benches: faithful topologies at reduced size,
+    /// full 255-code characterization, exhaustive timing.
+    Mini,
+    /// Paper-sized topologies and sample counts (long-running).
+    Full,
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Master seed; every stage derives its own stream.
+    pub seed: u64,
+    /// Accuracy-drop tolerance for the delay sweep (paper: ~5%).
+    pub accuracy_drop_tolerance: f64,
+    /// Delay sweep granularity, ps (paper: 10 ps).
+    pub delay_step_ps: f64,
+    /// Maximum number of delay-sweep steps.
+    pub max_delay_steps: usize,
+    /// Magnitude-pruning sparsity for the conventional baseline.
+    pub prune_sparsity: f64,
+}
+
+impl PipelineConfig {
+    /// Configuration for a scale with paper-like defaults elsewhere.
+    #[must_use]
+    pub fn for_scale(scale: Scale) -> Self {
+        PipelineConfig {
+            scale,
+            seed: 0xdac2023,
+            accuracy_drop_tolerance: 0.05,
+            // The paper uses a 10 ps search granularity and notes it
+            // "can be lowered if necessary"; our composed-delay
+            // distribution is tighter than the paper's synthesized
+            // netlist, so Mini sweeps at 5 ps resolution.
+            delay_step_ps: match scale {
+                Scale::Mini => 5.0,
+                _ => 10.0,
+            },
+            max_delay_steps: match scale {
+                Scale::Micro => 2,
+                Scale::Mini => 5,
+                Scale::Full => 5,
+            },
+            prune_sparsity: 0.5,
+        }
+    }
+
+    pub(crate) fn img_size(&self) -> usize {
+        match self.scale {
+            Scale::Micro => 8,
+            // 20 px keeps LeNet-5's flatten stage at 2×2×16 (16 px would
+            // starve it to a single spatial position).
+            Scale::Mini => 20,
+            Scale::Full => 32,
+        }
+    }
+
+    pub(crate) fn train_samples(&self) -> usize {
+        match self.scale {
+            Scale::Micro => 240,
+            Scale::Mini => 480,
+            Scale::Full => 4000,
+        }
+    }
+
+    pub(crate) fn test_samples(&self) -> usize {
+        match self.scale {
+            Scale::Micro => 48,
+            Scale::Mini => 160,
+            Scale::Full => 1000,
+        }
+    }
+
+    pub(crate) fn baseline_epochs(&self) -> usize {
+        match self.scale {
+            Scale::Micro => 5,
+            Scale::Mini => 8,
+            Scale::Full => 30,
+        }
+    }
+
+    pub(crate) fn retrain_epochs(&self) -> usize {
+        match self.scale {
+            Scale::Micro => 1,
+            Scale::Mini => 3,
+            Scale::Full => 10,
+        }
+    }
+
+    pub(crate) fn capture_batch(&self) -> usize {
+        match self.scale {
+            Scale::Micro => 6,
+            Scale::Mini => 16,
+            Scale::Full => 64,
+        }
+    }
+
+    pub(crate) fn power_samples(&self) -> usize {
+        match self.scale {
+            Scale::Micro => 24,
+            Scale::Mini => 2500,
+            Scale::Full => 10_000,
+        }
+    }
+
+    pub(crate) fn weight_stride(&self) -> usize {
+        match self.scale {
+            Scale::Micro => 16,
+            _ => 1,
+        }
+    }
+
+    pub(crate) fn timing_exhaustive(&self) -> (bool, usize) {
+        match self.scale {
+            Scale::Micro => (false, 192),
+            Scale::Mini => (false, 12_288),
+            Scale::Full => (true, 0),
+        }
+    }
+
+    pub(crate) fn bins(&self) -> usize {
+        match self.scale {
+            Scale::Micro => 8,
+            _ => 50,
+        }
+    }
+
+    pub(crate) fn array_config(&self) -> ArrayConfig {
+        match self.scale {
+            Scale::Micro => ArrayConfig::small(16, 16),
+            Scale::Mini => ArrayConfig::small(32, 32),
+            Scale::Full => ArrayConfig::paper_64x64(),
+        }
+    }
+
+    pub(crate) fn restarts(&self) -> usize {
+        match self.scale {
+            Scale::Micro => 4,
+            _ => 20,
+        }
+    }
+
+    pub(crate) fn train_config(&self, epochs: usize) -> TrainConfig {
+        TrainConfig {
+            epochs,
+            batch_size: 16,
+            // The batch-norm-free LeNet-5 needs the lower rate at
+            // Mini/Full scale; the tiny Micro net converges faster at
+            // the higher one.
+            lr: match self.scale {
+                Scale::Micro => 0.05,
+                _ => 0.02,
+            },
+            momentum: 0.9,
+            weight_decay: 5e-4,
+            lr_decay: 0.9,
+            clip_norm: Some(5.0),
+        }
+    }
+
+    pub(crate) fn retrain_config(&self) -> RetrainConfig {
+        RetrainConfig {
+            train: TrainConfig {
+                lr: match self.scale {
+                    Scale::Micro => 0.02,
+                    _ => 0.01,
+                },
+                ..self.train_config(self.retrain_epochs())
+            },
+            eval_batch: 64,
+        }
+    }
+
+    /// Pixel-noise amplitude of the synthetic datasets: hard enough at
+    /// Mini/Full scale that accuracy responds to value-set restriction
+    /// (the paper's baselines sit at 74–92%, not at 100%).
+    pub(crate) fn noise(&self) -> f32 {
+        match self.scale {
+            Scale::Micro => 0.08,
+            Scale::Mini | Scale::Full => 0.55,
+        }
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig::for_scale(Scale::Mini)
+    }
+}

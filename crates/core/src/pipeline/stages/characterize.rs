@@ -1,0 +1,194 @@
+//! Preparation and characterization stages: baseline QAT training, GEMM
+//! capture, statistics collection, per-weight power characterization
+//! (Fig. 2) and per-weight timing characterization (Fig. 3).
+
+use super::{PipelineCtx, Stage};
+use crate::chars::{
+    characterize_power, characterize_timing, PowerConfig, PsumBinning, TimingConfig,
+    WeightTimingProfile,
+};
+use crate::pipeline::{Characterization, NetworkKind, Prepared, Scale};
+use nn::data::SyntheticSpec;
+use nn::layers::GemmCapture;
+use nn::model::Network;
+use nn::models;
+use nn::train::{evaluate, train};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Synthetic dataset specification for a network kind and split.
+pub(crate) fn dataset_spec(ctx: &PipelineCtx<'_>, kind: NetworkKind, train: bool) -> SyntheticSpec {
+    let cfg = ctx.cfg;
+    let samples = if train {
+        cfg.train_samples()
+    } else {
+        cfg.test_samples()
+    };
+    let seed = cfg.seed ^ if train { 0x11 } else { 0x22 } ^ (kind as u64) << 4;
+    let size = cfg.img_size();
+    let mut spec = match kind {
+        NetworkKind::LeNet5 | NetworkKind::ResNet20 => {
+            SyntheticSpec::cifar10_like(size, samples, seed)
+        }
+        NetworkKind::ResNet50 => {
+            let mut spec = SyntheticSpec::cifar100_like(size, samples, seed);
+            if cfg.scale != Scale::Full {
+                // 100 classes are not learnable at mini sample
+                // counts; keep the class structure but narrower.
+                spec.classes = 20;
+            }
+            spec
+        }
+        NetworkKind::EfficientNetLite => SyntheticSpec::imagenet_like(size, samples, seed),
+    };
+    spec.noise = cfg.noise();
+    spec
+}
+
+fn build_network(
+    ctx: &PipelineCtx<'_>,
+    kind: NetworkKind,
+    classes: usize,
+    rng: &mut StdRng,
+) -> Network {
+    let size = ctx.cfg.img_size();
+    match ctx.cfg.scale {
+        Scale::Micro => models::tiny_cnn("micro", 3, size, classes, rng),
+        Scale::Mini => match kind {
+            NetworkKind::LeNet5 => models::lenet5(3, size, classes, rng),
+            NetworkKind::ResNet20 => models::resnet("resnet20-mini", 3, classes, 1, 8, rng),
+            NetworkKind::ResNet50 => models::resnet50_mini(3, classes, 1, 8, rng),
+            NetworkKind::EfficientNetLite => models::efficientnet_lite_mini(3, classes, rng),
+        },
+        Scale::Full => match kind {
+            NetworkKind::LeNet5 => models::lenet5(3, size, classes, rng),
+            NetworkKind::ResNet20 => models::resnet20(3, classes, rng),
+            NetworkKind::ResNet50 => models::resnet50_mini(3, classes, 2, 16, rng),
+            NetworkKind::EfficientNetLite => models::efficientnet_lite_mini(3, classes, rng),
+        },
+    }
+}
+
+/// Trains the quantization-aware baseline for a network kind.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrepareStage;
+
+impl Stage<NetworkKind> for PrepareStage {
+    type Output = Prepared;
+
+    fn name(&self) -> &'static str {
+        "prepare"
+    }
+
+    fn run(&self, ctx: &PipelineCtx<'_>, kind: NetworkKind) -> Prepared {
+        let train_data = dataset_spec(ctx, kind, true).generate();
+        let test_data = dataset_spec(ctx, kind, false).generate();
+        let mut rng = StdRng::seed_from_u64(ctx.cfg.seed ^ (kind as u64));
+        let mut net = build_network(ctx, kind, train_data.classes(), &mut rng);
+        net.quantize = true;
+        let _ = train(
+            &mut net,
+            &train_data,
+            &ctx.cfg.train_config(ctx.cfg.baseline_epochs()),
+            &mut rng,
+        );
+        let accuracy = evaluate(&mut net, &test_data, 64);
+        Prepared {
+            net,
+            train_data,
+            test_data,
+            accuracy,
+        }
+    }
+}
+
+/// Captures the quantized GEMMs of a forward pass over a fixed
+/// evaluation batch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CaptureStage;
+
+impl Stage<&mut Prepared> for CaptureStage {
+    type Output = Vec<GemmCapture>;
+
+    fn name(&self) -> &'static str {
+        "capture"
+    }
+
+    fn run(&self, ctx: &PipelineCtx<'_>, prepared: &mut Prepared) -> Vec<GemmCapture> {
+        let (x, _) = prepared.test_data.head(ctx.cfg.capture_batch());
+        let (_, captures) = prepared.net.forward_capture(&x);
+        captures
+    }
+}
+
+/// Statistics collection + per-weight power characterization from
+/// captured GEMMs (paper Figs. 2 and 4), batched on
+/// [`gatesim::BatchSim`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CharacterizeStage;
+
+impl Stage<&[GemmCapture]> for CharacterizeStage {
+    type Output = Characterization;
+
+    fn name(&self) -> &'static str {
+        "characterize"
+    }
+
+    fn run(&self, ctx: &PipelineCtx<'_>, captures: &[GemmCapture]) -> Characterization {
+        let cfg = ctx.cfg;
+        let stats = ctx.array.run_network_stats(captures);
+        let binning = PsumBinning::from_samples(
+            stats.psum_samples(),
+            cfg.bins(),
+            ctx.array.config().acc_bits,
+            cfg.seed ^ 0xb135,
+        );
+        let power_profile = characterize_power(
+            ctx.hw,
+            &stats,
+            &binning,
+            &PowerConfig {
+                samples_per_weight: cfg.power_samples(),
+                seed: cfg.seed ^ 0x909,
+                clock_ps: ctx.array.config().clock_ps,
+                weight_stride: cfg.weight_stride(),
+                baseline_fj_per_cycle: 90.0,
+            },
+        );
+        let leakage = ctx.hw.mac().netlist().leakage_nw(ctx.hw.lib());
+        let energy_model = power_profile.to_energy_model(0.3, leakage);
+        Characterization {
+            stats,
+            binning,
+            power_profile,
+            energy_model,
+        }
+    }
+}
+
+/// Per-weight timing characterization with a slow-combination floor
+/// (paper Fig. 3), batched on [`gatesim::BatchSim`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TimingStage;
+
+impl Stage<f64> for TimingStage {
+    type Output = WeightTimingProfile;
+
+    fn name(&self) -> &'static str {
+        "timing"
+    }
+
+    fn run(&self, ctx: &PipelineCtx<'_>, slow_floor_ps: f64) -> WeightTimingProfile {
+        let (exhaustive, samples) = ctx.cfg.timing_exhaustive();
+        characterize_timing(
+            ctx.hw,
+            &TimingConfig {
+                exhaustive,
+                samples,
+                seed: ctx.cfg.seed ^ 0x7171,
+                slow_floor_ps,
+                weight_stride: ctx.cfg.weight_stride(),
+            },
+        )
+    }
+}

@@ -1,0 +1,54 @@
+//! Pipeline stages: each step of the PowerPruning flow as a small,
+//! independently invokable unit over a shared [`PipelineCtx`].
+//!
+//! The [`Pipeline`](crate::pipeline::Pipeline) driver composes these
+//! stages into the paper's experiments; future work can cache, shard or
+//! distribute individual stages without touching the others because
+//! every stage only sees the context and its explicit input.
+//!
+//! * [`characterize`] — baseline training, GEMM capture, power/timing
+//!   characterization (paper Figs. 2–4).
+//! * [`select`] — weight selection by power, joint weight/activation
+//!   selection by delay, and the shared retraining helpers (Figs. 8–9).
+//! * [`scale`] — systolic power measurement and supply-voltage scaling
+//!   of freed timing slack (Table I).
+
+pub mod characterize;
+pub mod scale;
+pub mod select;
+
+use crate::chars::MacHardware;
+use crate::pipeline::PipelineConfig;
+use crate::voltage::VoltageModel;
+use systolic::SystolicArray;
+
+/// Shared, read-only context handed to every stage: the configuration
+/// plus the long-lived hardware models of the run.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineCtx<'a> {
+    /// Experiment configuration.
+    pub cfg: &'a PipelineConfig,
+    /// The characterized MAC hardware.
+    pub hw: &'a MacHardware,
+    /// The systolic array simulator.
+    pub array: &'a SystolicArray,
+    /// The supply-voltage model used for slack conversion.
+    pub voltage: &'a VoltageModel,
+}
+
+/// One step of the flow: a pure-ish function from `Input` to `Output`
+/// over the shared context.
+///
+/// The input type is a trait parameter (not an associated type) so
+/// stages can borrow their input (`&[GemmCapture]`, `&WeightPowerProfile`,
+/// …) without generic-associated-type machinery.
+pub trait Stage<Input> {
+    /// The stage's result.
+    type Output;
+
+    /// Stable name for logs and progress reporting.
+    fn name(&self) -> &'static str;
+
+    /// Runs the stage.
+    fn run(&self, ctx: &PipelineCtx<'_>, input: Input) -> Self::Output;
+}

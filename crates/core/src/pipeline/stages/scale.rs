@@ -1,0 +1,59 @@
+//! Measurement and voltage-scaling stages: total systolic power on both
+//! hardware variants and the conversion of freed timing slack into
+//! supply-voltage savings (Table I).
+
+use super::{PipelineCtx, Stage};
+use crate::voltage::VoltageScaling;
+use nn::layers::GemmCapture;
+use systolic::{HwVariant, MacEnergyModel, NetworkEnergyReport};
+
+/// Measures total power on both hardware variants.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeasurePowerStage;
+
+/// Input of [`MeasurePowerStage`].
+#[derive(Debug, Clone, Copy)]
+pub struct MeasureInput<'a> {
+    /// Captured GEMMs of the network under measurement.
+    pub captures: &'a [GemmCapture],
+    /// The per-weight energy model to integrate.
+    pub model: &'a MacEnergyModel,
+}
+
+impl Stage<MeasureInput<'_>> for MeasurePowerStage {
+    type Output = (NetworkEnergyReport, NetworkEnergyReport);
+
+    fn name(&self) -> &'static str {
+        "measure-power"
+    }
+
+    fn run(
+        &self,
+        ctx: &PipelineCtx<'_>,
+        input: MeasureInput<'_>,
+    ) -> (NetworkEnergyReport, NetworkEnergyReport) {
+        (
+            ctx.array
+                .run_network_energy(input.captures, input.model, HwVariant::Standard),
+            ctx.array
+                .run_network_energy(input.captures, input.model, HwVariant::Optimized),
+        )
+    }
+}
+
+/// Converts achieved delay slack into a supply-voltage operating point.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VoltageScaleStage;
+
+impl Stage<(f64, f64)> for VoltageScaleStage {
+    type Output = VoltageScaling;
+
+    fn name(&self) -> &'static str {
+        "voltage-scale"
+    }
+
+    /// `input` is `(baseline_delay_ps, achieved_delay_ps)`.
+    fn run(&self, ctx: &PipelineCtx<'_>, input: (f64, f64)) -> VoltageScaling {
+        VoltageScaling::from_delays(ctx.voltage, input.0, input.1)
+    }
+}

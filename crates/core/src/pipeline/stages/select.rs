@@ -1,0 +1,143 @@
+//! Selection stages: weight selection by power threshold (Fig. 8) and
+//! the joint weight/activation delay sweep (Fig. 9), plus the shared
+//! retraining helper both sweeps use.
+
+use super::{PipelineCtx, Stage};
+use crate::chars::{WeightPowerProfile, WeightTimingProfile};
+use crate::pipeline::Prepared;
+use crate::retrain::restricted_retrain;
+use crate::select::delay::{select_by_delay, DelaySelectionConfig};
+use crate::select::power::{select_by_power, threshold_for_count};
+use crate::select::{DelaySelection, PowerSelection};
+use rand::rngs::StdRng;
+
+/// Weight selection by power threshold, targeting a weight-value count.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PowerSelectStage;
+
+/// Input of [`PowerSelectStage`]: the power profile and the target
+/// number of weight values to keep.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerSelectInput<'a> {
+    /// The characterized per-weight power profile.
+    pub profile: &'a WeightPowerProfile,
+    /// Target number of kept weight values (clamped to the profile).
+    pub target: usize,
+}
+
+impl Stage<PowerSelectInput<'_>> for PowerSelectStage {
+    type Output = PowerSelection;
+
+    fn name(&self) -> &'static str {
+        "select-power"
+    }
+
+    fn run(&self, _ctx: &PipelineCtx<'_>, input: PowerSelectInput<'_>) -> PowerSelection {
+        let target = input.target.min(input.profile.codes().len());
+        let threshold = threshold_for_count(input.profile, target);
+        select_by_power(input.profile, threshold)
+    }
+}
+
+/// Joint weight/activation selection at one delay threshold.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DelaySelectStage;
+
+/// Input of [`DelaySelectStage`].
+#[derive(Debug, Clone, Copy)]
+pub struct DelaySelectInput<'a> {
+    /// The timing profile to select against.
+    pub timing: &'a WeightTimingProfile,
+    /// Candidate weight codes (the power-selected set).
+    pub candidates: &'a [i32],
+    /// Delay threshold, ps.
+    pub threshold_ps: f64,
+}
+
+impl Stage<DelaySelectInput<'_>> for DelaySelectStage {
+    type Output = DelaySelection;
+
+    fn name(&self) -> &'static str {
+        "select-delay"
+    }
+
+    fn run(&self, ctx: &PipelineCtx<'_>, input: DelaySelectInput<'_>) -> DelaySelection {
+        select_by_delay(
+            input.timing,
+            input.candidates,
+            ctx.hw.act_levels(),
+            &DelaySelectionConfig {
+                threshold_ps: input.threshold_ps,
+                restarts: ctx.cfg.restarts(),
+                seed: ctx.cfg.seed ^ 0x5e1ec7,
+                protected_weights: vec![0],
+                activation_bias: 4,
+            },
+        )
+    }
+}
+
+/// The delay-sweep search window derived from an unfloored probe
+/// characterization: the rounded baseline maximum delay and the lowest
+/// threshold the sweep may visit.
+#[derive(Debug, Clone, Copy)]
+pub struct DelayWindow {
+    /// Baseline maximum composed delay, rounded up to the sweep step.
+    pub base_max_rounded_ps: f64,
+    /// Lowest candidate threshold (never below the psum STA floor).
+    pub floor_ps: f64,
+}
+
+/// Computes the sweep window from a probe profile (one characterized
+/// with `slow_floor_ps = f64::MAX`, i.e. histogram-only).
+#[must_use]
+pub fn delay_window(ctx: &PipelineCtx<'_>, probe: &WeightTimingProfile) -> DelayWindow {
+    let base_max = probe
+        .max_delay_over(&ctx.hw.weight_codes())
+        .max(probe.psum_floor_ps);
+    let step = ctx.cfg.delay_step_ps;
+    let base_max_rounded_ps = (base_max / step).ceil() * step;
+    let floor_ps = (base_max_rounded_ps - (ctx.cfg.max_delay_steps as f64 + 1.0) * step)
+        .max(probe.psum_floor_ps);
+    DelayWindow {
+        base_max_rounded_ps,
+        floor_ps,
+    }
+}
+
+/// Retrains with the given restriction sets, giving the selection one
+/// extra retraining round if accuracy lands below the tolerance —
+/// restricted retraining oscillates on the BN networks at small epoch
+/// budgets (the paper retrains to convergence at each point).
+#[allow(clippy::too_many_arguments)]
+pub fn retrain_with_retry(
+    ctx: &PipelineCtx<'_>,
+    prepared: &mut Prepared,
+    weights: Option<&[i32]>,
+    activations: Option<&[i32]>,
+    reference_acc: f64,
+    rng: &mut StdRng,
+) -> f64 {
+    let retrain_cfg = ctx.cfg.retrain_config();
+    let mut acc = restricted_retrain(
+        &mut prepared.net,
+        &prepared.train_data,
+        &prepared.test_data,
+        weights,
+        activations,
+        &retrain_cfg,
+        rng,
+    );
+    if acc + ctx.cfg.accuracy_drop_tolerance < reference_acc {
+        acc = restricted_retrain(
+            &mut prepared.net,
+            &prepared.train_data,
+            &prepared.test_data,
+            weights,
+            activations,
+            &retrain_cfg,
+            rng,
+        );
+    }
+    acc
+}

@@ -183,7 +183,10 @@ impl fmt::Display for Fig9Series {
             writeln!(
                 f,
                 "  {:>5.0} ps  activations {:>3}  weights {:>3}  acc {:>5.1}%",
-                thr, acts, weights, 100.0 * acc
+                thr,
+                acts,
+                weights,
+                100.0 * acc
             )?;
         }
         Ok(())

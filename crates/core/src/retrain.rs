@@ -81,7 +81,12 @@ pub fn magnitude_prune(net: &mut Network, sparsity: f64) -> Vec<Vec<bool>> {
         mags.sort_by(|a, b| a.partial_cmp(b).expect("finite weights"));
         let cut = ((mags.len() as f64 * sparsity) as usize).min(mags.len().saturating_sub(1));
         let threshold = if mags.is_empty() { 0.0 } else { mags[cut] };
-        let mask: Vec<bool> = p.value.data().iter().map(|v| v.abs() <= threshold).collect();
+        let mask: Vec<bool> = p
+            .value
+            .data()
+            .iter()
+            .map(|v| v.abs() <= threshold)
+            .collect();
         for (v, &m) in p.value.data_mut().iter_mut().zip(&mask) {
             if m {
                 *v = 0.0;
@@ -195,9 +200,19 @@ mod tests {
         let (train_data, test_data) = datasets();
         let mut rng = StdRng::seed_from_u64(1);
         let mut net = models::tiny_cnn("p", 1, 8, 3, &mut rng);
-        let _ = prune_retrain(&mut net, &train_data, &test_data, 0.6, &quick_cfg(), &mut rng);
+        let _ = prune_retrain(
+            &mut net,
+            &train_data,
+            &test_data,
+            0.6,
+            &quick_cfg(),
+            &mut rng,
+        );
         let frac = net.zero_weight_fraction();
-        assert!(frac >= 0.55, "sparsity {frac} not maintained through training");
+        assert!(
+            frac >= 0.55,
+            "sparsity {frac} not maintained through training"
+        );
     }
 
     #[test]

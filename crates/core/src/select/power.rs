@@ -76,7 +76,9 @@ mod tests {
         for a in 0..15u8 {
             stats.record_activation(a, a + 1, 5);
         }
-        let samples: Vec<(i32, i32)> = (0..200).map(|i| (i % 100 - 50, (i * 3) % 100 - 50)).collect();
+        let samples: Vec<(i32, i32)> = (0..200)
+            .map(|i| (i % 100 - 50, (i * 3) % 100 - 50))
+            .collect();
         let binning = PsumBinning::from_samples(&samples, 6, 12, 0);
         characterize_power(
             &hw,

@@ -73,7 +73,9 @@ impl NetlistBuilder {
 
     /// Declares `width` primary inputs named `name[0..width]`, LSB first.
     pub fn input_bus(&mut self, name: &str, width: usize) -> Vec<NetId> {
-        (0..width).map(|i| self.input(format!("{name}[{i}]"))).collect()
+        (0..width)
+            .map(|i| self.input(format!("{name}[{i}]")))
+            .collect()
     }
 
     /// The constant-0 net (created on first use).
@@ -109,7 +111,12 @@ impl NetlistBuilder {
     /// Panics if any input net id does not exist yet (which would break
     /// the topological-order invariant).
     pub fn gate(&mut self, kind: CellKind, inputs: &[NetId]) -> NetId {
-        assert_eq!(inputs.len(), kind.arity(), "{kind} expects {} inputs", kind.arity());
+        assert_eq!(
+            inputs.len(),
+            kind.arity(),
+            "{kind} expects {} inputs",
+            kind.arity()
+        );
         for &n in inputs {
             assert!(
                 n.index() < self.sources.len(),
@@ -200,13 +207,29 @@ impl NetlistBuilder {
         (sum, cout)
     }
 
-    /// Finalizes the netlist, computing fanout lists.
+    /// Finalizes the netlist, computing the CSR fanout arrays.
     #[must_use]
     pub fn finish(self) -> Netlist {
-        let mut fanout = vec![Vec::new(); self.sources.len()];
+        // Counting sort into compressed-sparse-row form: degree count,
+        // exclusive prefix sum, then a fill pass. Gates are visited in
+        // id order, so each net's edge list stays sorted by gate id.
+        let nets = self.sources.len();
+        let mut fanout_offsets = vec![0u32; nets + 1];
+        for gate in &self.gates {
+            for &input in gate.active_inputs() {
+                fanout_offsets[input.index() + 1] += 1;
+            }
+        }
+        for i in 0..nets {
+            fanout_offsets[i + 1] += fanout_offsets[i];
+        }
+        let mut cursor: Vec<u32> = fanout_offsets[..nets].to_vec();
+        let mut fanout_edges = vec![GateId(0); fanout_offsets[nets] as usize];
         for (gid, gate) in self.gates.iter().enumerate() {
             for &input in gate.active_inputs() {
-                fanout[input.index()].push(GateId(gid as u32));
+                let slot = &mut cursor[input.index()];
+                fanout_edges[*slot as usize] = GateId(gid as u32);
+                *slot += 1;
             }
         }
         Netlist {
@@ -214,7 +237,8 @@ impl NetlistBuilder {
             sources: self.sources,
             inputs: self.inputs,
             outputs: self.outputs,
-            fanout,
+            fanout_offsets,
+            fanout_edges,
             name: self.name,
         }
     }

@@ -59,9 +59,11 @@ impl CellKind {
             | CellKind::Or2
             | CellKind::Xor2
             | CellKind::Xnor2 => 2,
-            CellKind::Mux2 | CellKind::Aoi21 | CellKind::Oai21 | CellKind::Maj3 | CellKind::Xor3 => {
-                3
-            }
+            CellKind::Mux2
+            | CellKind::Aoi21
+            | CellKind::Oai21
+            | CellKind::Maj3
+            | CellKind::Xor3 => 3,
         }
     }
 
@@ -89,7 +91,7 @@ impl CellKind {
             }
             CellKind::Aoi21 => !((a && b) || c),
             CellKind::Oai21 => !((a || b) && c),
-            CellKind::Maj3 => (a && b) || (a && c) || (b && c),
+            CellKind::Maj3 => (a && (b || c)) || (b && c),
             CellKind::Xor3 => a ^ b ^ c,
         }
     }

@@ -223,7 +223,9 @@ mod tests {
             let mut x: u64 = 0x12345;
             for _ in 0..200 {
                 // simple LCG-style test pattern
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let a = x & mask;
                 let b = (x >> 22) & mask;
                 assert_eq!(adder.compute(a, b), (a + b) & mask);

@@ -14,7 +14,7 @@
 //! order, so the two are drop-in interchangeable.
 
 use crate::builder::NetlistBuilder;
-use crate::netlist::{from_bits_signed, to_bits, NetId, Netlist};
+use crate::netlist::{from_bits_signed, to_bits_into, NetId, Netlist};
 
 /// Emits one Booth partial product row for digit `i` (weight bits
 /// `w[2i-1], w[2i], w[2i+1]`), returning the row bits (LSB first, width
@@ -44,7 +44,11 @@ fn booth_row(
     let mut row = Vec::with_capacity(m + 2);
     for j in 0..m + 2 {
         let a_j = if j < m { act[j] } else { zero };
-        let a_jm1 = if j >= 1 && j - 1 < m { act[j - 1] } else { zero };
+        let a_jm1 = if j >= 1 && j - 1 < m {
+            act[j - 1]
+        } else {
+            zero
+        };
         let s_term = b.and2(single, a_j);
         let d_term = b.and2(double, a_jm1);
         let val = b.or2(s_term, d_term);
@@ -68,7 +72,10 @@ pub fn booth_multiplier(
     w_bits: &[NetId],
     a_unsigned: &[NetId],
 ) -> Vec<NetId> {
-    assert!(w_bits.len() >= 2 && a_unsigned.len() >= 2, "operands must be >= 2 bits");
+    assert!(
+        w_bits.len() >= 2 && a_unsigned.len() >= 2,
+        "operands must be >= 2 bits"
+    );
     let n = w_bits.len();
     let m = a_unsigned.len();
     let width = n + m + 1;
@@ -136,7 +143,10 @@ impl BoothMultiplierCircuit {
     /// Panics if either width is below 2.
     #[must_use]
     pub fn new(weight_bits: usize, act_bits: usize) -> Self {
-        assert!(weight_bits >= 2 && act_bits >= 2, "operand widths must be >= 2");
+        assert!(
+            weight_bits >= 2 && act_bits >= 2,
+            "operand widths must be >= 2"
+        );
         let mut b = NetlistBuilder::new(format!("booth_mult_{weight_bits}x{act_bits}"));
         let w = b.input_bus("w", weight_bits);
         let a = b.input_bus("a", act_bits);
@@ -172,9 +182,18 @@ impl BoothMultiplierCircuit {
     /// Packs `(weight, activation)` into the input vector.
     #[must_use]
     pub fn encode(&self, weight: i64, act: u64) -> Vec<bool> {
-        let mut v = to_bits(weight, self.weight_bits);
-        v.extend(to_bits(act as i64, self.act_bits));
+        let mut v = Vec::with_capacity(self.weight_bits + self.act_bits);
+        self.encode_into(weight, act, &mut v);
         v
+    }
+
+    /// Packs `(weight, activation)` into a reused buffer — the
+    /// allocation-free companion of [`BoothMultiplierCircuit::encode`] used
+    /// by the batched characterization loops.
+    pub fn encode_into(&self, weight: i64, act: u64, out: &mut Vec<bool>) {
+        out.clear();
+        to_bits_into(weight, self.weight_bits, out);
+        to_bits_into(act as i64, self.act_bits, out);
     }
 
     /// Evaluates the multiplier functionally.
@@ -214,7 +233,9 @@ mod tests {
         let mult = BoothMultiplierCircuit::new(8, 8);
         let mut x: u64 = 0xabcdef;
         for _ in 0..600 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let w = ((x & 0xff) as i64) - 128;
             let a = (x >> 8) & 0xff;
             assert_eq!(mult.compute(w, a), w * a as i64, "failed {w}*{a}");

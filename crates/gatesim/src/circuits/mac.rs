@@ -14,7 +14,7 @@ use crate::builder::NetlistBuilder;
 use crate::circuits::adder::{add_buses, AdderKind};
 use crate::circuits::booth::booth_multiplier;
 use crate::circuits::multiplier::signed_unsigned_multiplier;
-use crate::netlist::{from_bits_signed, to_bits, NetId, Netlist};
+use crate::netlist::{from_bits_signed, to_bits_into, NetId, Netlist};
 
 /// Multiplier micro-architecture of the MAC unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -95,7 +95,10 @@ impl MacCircuit {
         adder: AdderKind,
         multiplier: MultiplierKind,
     ) -> Self {
-        assert!(weight_bits >= 2 && act_bits >= 2, "operand widths must be >= 2");
+        assert!(
+            weight_bits >= 2 && act_bits >= 2,
+            "operand widths must be >= 2"
+        );
         let product_bits = weight_bits + act_bits + 1;
         assert!(
             acc_bits >= product_bits,
@@ -175,17 +178,28 @@ impl MacCircuit {
     /// Packs `(weight, activation, partial sum)` into the input vector.
     #[must_use]
     pub fn encode(&self, weight: i64, act: u64, psum: i64) -> Vec<bool> {
-        let mut v = to_bits(weight, self.weight_bits);
-        v.extend(to_bits(act as i64, self.act_bits));
-        v.extend(to_bits(psum, self.acc_bits));
+        let mut v = Vec::with_capacity(self.weight_bits + self.act_bits + self.acc_bits);
+        self.encode_into(weight, act, psum, &mut v);
         v
+    }
+
+    /// Packs `(weight, activation, partial sum)` into a reused buffer —
+    /// the allocation-free companion of [`MacCircuit::encode`] used by
+    /// the batched characterization loops.
+    pub fn encode_into(&self, weight: i64, act: u64, psum: i64, out: &mut Vec<bool>) {
+        out.clear();
+        to_bits_into(weight, self.weight_bits, out);
+        to_bits_into(act as i64, self.act_bits, out);
+        to_bits_into(psum, self.acc_bits, out);
     }
 
     /// Evaluates the MAC functionally: `psum + weight·act`, wrapping in
     /// `acc_bits`-bit two's complement.
     #[must_use]
     pub fn compute(&self, weight: i64, act: u64, psum: i64) -> i64 {
-        let out = self.netlist.evaluate_outputs(&self.encode(weight, act, psum));
+        let out = self
+            .netlist
+            .evaluate_outputs(&self.encode(weight, act, psum));
         from_bits_signed(&out)
     }
 }
@@ -221,7 +235,9 @@ mod tests {
         let mac = MacCircuit::new(8, 8, 22);
         let mut x: u64 = 42;
         for _ in 0..300 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let w = ((x & 0xff) as i64) - 128;
             let a = (x >> 8) & 0xff;
             let p = (((x >> 16) & 0xfffff) as i64) - (1 << 19); // fits comfortably in 22b
@@ -260,13 +276,7 @@ mod tests {
     #[test]
     fn booth_mac_matches_baugh_wooley_mac() {
         let bw = MacCircuit::new(4, 4, 10);
-        let booth = MacCircuit::with_architecture(
-            4,
-            4,
-            10,
-            AdderKind::Cla4,
-            MultiplierKind::Booth,
-        );
+        let booth = MacCircuit::with_architecture(4, 4, 10, AdderKind::Cla4, MultiplierKind::Booth);
         for w in -8i64..8 {
             for a in [0u64, 3, 7, 12, 15] {
                 for p in [-512i64, -31, 0, 100, 511] {
@@ -281,7 +291,9 @@ mod tests {
         let mac = MacCircuit::with_architecture(8, 8, 22, AdderKind::Cla4, MultiplierKind::Booth);
         let mut x: u64 = 99;
         for _ in 0..200 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let w = ((x & 0xff) as i64) - 128;
             let a = (x >> 8) & 0xff;
             let p = (((x >> 16) & 0xfffff) as i64) - (1 << 19);

@@ -21,7 +21,7 @@
 //! is realized by zero-extending the activation to m+1 signed bits.
 
 use crate::builder::NetlistBuilder;
-use crate::netlist::{from_bits_signed, to_bits, NetId, Netlist};
+use crate::netlist::{from_bits_signed, to_bits_into, NetId, Netlist};
 
 /// Emits the Baugh-Wooley partial-product columns for signed `a` ×
 /// signed `b` into `columns[pos]` lists (LSB-first positions).
@@ -111,11 +111,7 @@ fn reduce_columns(b: &mut NetlistBuilder, mut columns: Vec<Vec<NetId>>) -> Vec<N
 
 /// Emits a full signed×signed Baugh-Wooley multiplier; returns the
 /// product bus (n+m bits, two's complement).
-pub fn signed_multiplier(
-    b: &mut NetlistBuilder,
-    a_bits: &[NetId],
-    b_bits: &[NetId],
-) -> Vec<NetId> {
+pub fn signed_multiplier(b: &mut NetlistBuilder, a_bits: &[NetId], b_bits: &[NetId]) -> Vec<NetId> {
     assert!(
         a_bits.len() >= 2 && b_bits.len() >= 2,
         "multiplier operands must be at least 2 bits"
@@ -168,7 +164,10 @@ impl MultiplierCircuit {
     /// Panics if either width is below 2.
     #[must_use]
     pub fn new(weight_bits: usize, act_bits: usize) -> Self {
-        assert!(weight_bits >= 2 && act_bits >= 2, "operand widths must be >= 2");
+        assert!(
+            weight_bits >= 2 && act_bits >= 2,
+            "operand widths must be >= 2"
+        );
         let mut b = NetlistBuilder::new(format!("bw_mult_{weight_bits}x{act_bits}"));
         let w = b.input_bus("w", weight_bits);
         let a = b.input_bus("a", act_bits);
@@ -210,9 +209,18 @@ impl MultiplierCircuit {
     /// Packs `(weight, activation)` into the netlist's input vector.
     #[must_use]
     pub fn encode(&self, weight: i64, act: u64) -> Vec<bool> {
-        let mut v = to_bits(weight, self.weight_bits);
-        v.extend(to_bits(act as i64, self.act_bits));
+        let mut v = Vec::with_capacity(self.weight_bits + self.act_bits);
+        self.encode_into(weight, act, &mut v);
         v
+    }
+
+    /// Packs `(weight, activation)` into a reused buffer — the
+    /// allocation-free companion of [`MultiplierCircuit::encode`] used
+    /// by the batched characterization loops.
+    pub fn encode_into(&self, weight: i64, act: u64, out: &mut Vec<bool>) {
+        out.clear();
+        to_bits_into(weight, self.weight_bits, out);
+        to_bits_into(act as i64, self.act_bits, out);
     }
 
     /// Evaluates the multiplier functionally.
@@ -226,7 +234,7 @@ impl MultiplierCircuit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::netlist::from_bits_signed;
+    use crate::netlist::{from_bits_signed, to_bits};
 
     #[test]
     fn signed_signed_4x4_exhaustive() {
@@ -283,7 +291,9 @@ mod tests {
         let mult = MultiplierCircuit::new(8, 8);
         let mut x: u64 = 0xdeadbeef;
         for _ in 0..500 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let w = ((x & 0xff) as i64) - 128;
             let a = (x >> 8) & 0xff;
             assert_eq!(mult.compute(w, a), w * a as i64, "failed {w}*{a}");

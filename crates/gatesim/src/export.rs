@@ -26,13 +26,23 @@ use std::fmt::Write as _;
 #[must_use]
 pub fn to_verilog(netlist: &Netlist) -> String {
     let mut out = String::new();
-    let inputs: Vec<String> = (0..netlist.inputs().len()).map(|i| format!("i{i}")).collect();
-    let outputs: Vec<String> = (0..netlist.outputs().len()).map(|i| format!("o{i}")).collect();
+    let inputs: Vec<String> = (0..netlist.inputs().len())
+        .map(|i| format!("i{i}"))
+        .collect();
+    let outputs: Vec<String> = (0..netlist.outputs().len())
+        .map(|i| format!("o{i}"))
+        .collect();
 
     let module_name: String = netlist
         .name()
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
 
     let _ = writeln!(

@@ -14,6 +14,11 @@
 //! * [`sim`] — an event-driven, transport-delay timed simulator that
 //!   reports switching energy (including glitches) and the settle time of
 //!   every transition, i.e. dynamic timing analysis (DTA).
+//! * [`engine`] — the batched simulation engine ([`BatchSim`]): same
+//!   semantics as [`sim`], but allocation-free with incremental settles,
+//!   a reusable lane-based event queue and streaming aggregation — the
+//!   hot path of the characterization loops (2.5×+ the scalar
+//!   throughput, bit-identical results).
 //! * [`sta`] — static timing analysis: longest structural path from any
 //!   net to any net, used for the accumulator adder exactly as the paper
 //!   describes (Fig. 5).
@@ -45,6 +50,7 @@
 pub mod builder;
 pub mod cells;
 pub mod circuits;
+pub mod engine;
 pub mod export;
 pub mod netlist;
 pub mod sim;
@@ -53,6 +59,7 @@ pub mod transform;
 
 pub use builder::NetlistBuilder;
 pub use cells::{CellKind, CellLibrary, CellParams};
+pub use engine::{BatchAccumulator, BatchSim, TransitionView};
 pub use netlist::{Gate, GateId, NetId, Netlist};
 pub use sim::{Simulator, TransitionStats};
 pub use sta::Sta;

@@ -88,8 +88,12 @@ pub struct Netlist {
     pub(crate) sources: Vec<NetSource>,
     pub(crate) inputs: Vec<NetId>,
     pub(crate) outputs: Vec<NetId>,
-    /// fanout[net] = gates reading this net.
-    pub(crate) fanout: Vec<Vec<GateId>>,
+    /// Fanout in compressed-sparse-row form: the gates reading net `n`
+    /// are `fanout_edges[fanout_offsets[n] .. fanout_offsets[n + 1]]`.
+    /// One contiguous allocation instead of a `Vec<GateId>` per net
+    /// keeps the event-propagation hot loop on one cache stream.
+    pub(crate) fanout_offsets: Vec<u32>,
+    pub(crate) fanout_edges: Vec<GateId>,
     pub(crate) name: String,
 }
 
@@ -140,10 +144,24 @@ impl Netlist {
         self.sources[net.index()]
     }
 
+    /// Sources of all nets, indexed by net id.
+    #[must_use]
+    pub fn sources(&self) -> &[NetSource] {
+        &self.sources
+    }
+
     /// Gates that read `net`.
     #[must_use]
     pub fn fanout(&self, net: NetId) -> &[GateId] {
-        &self.fanout[net.index()]
+        let start = self.fanout_offsets[net.index()] as usize;
+        let end = self.fanout_offsets[net.index() + 1] as usize;
+        &self.fanout_edges[start..end]
+    }
+
+    /// Total number of net → gate fanout edges.
+    #[must_use]
+    pub fn fanout_edge_count(&self) -> usize {
+        self.fanout_edges.len()
     }
 
     /// Number of instances of each cell kind, in [`CellKind::all`] order.
@@ -243,6 +261,13 @@ impl fmt::Display for Netlist {
 #[must_use]
 pub fn to_bits(value: i64, width: usize) -> Vec<bool> {
     (0..width).map(|i| (value >> i) & 1 == 1).collect()
+}
+
+/// Appends the little-endian bits of `value` to `out` — the
+/// allocation-free companion of [`to_bits`] used by the batched
+/// simulation hot paths.
+pub fn to_bits_into(value: i64, width: usize, out: &mut Vec<bool>) {
+    out.extend((0..width).map(|i| (value >> i) & 1 == 1));
 }
 
 /// Interprets a little-endian bit slice as an unsigned integer.

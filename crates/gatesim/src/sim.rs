@@ -17,8 +17,9 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Femtoseconds per picosecond — event times are integer femtoseconds
-/// for deterministic ordering.
-const FS_PER_PS: f64 = 1000.0;
+/// for deterministic ordering. Shared with [`crate::engine`] so both
+/// paths convert arrivals with the same arithmetic.
+pub(crate) const FS_PER_PS: f64 = 1000.0;
 
 /// Result of simulating one input transition.
 #[derive(Debug, Clone, PartialEq)]
@@ -196,19 +197,13 @@ impl<'a> Simulator<'a> {
             self.current_inputs.len(),
             "input vector length mismatch"
         );
-        let mut stats =
-            TransitionStats::new(self.netlist.outputs().len(), self.observed_count);
+        let mut stats = TransitionStats::new(self.netlist.outputs().len(), self.observed_count);
 
         // Min-heap of (time_fs, seq, net, value).
         let mut heap: BinaryHeap<Reverse<(u64, u64, u32, bool)>> = BinaryHeap::new();
         let mut seq: u64 = 0;
 
-        for (pos, (&old, &new)) in self
-            .current_inputs
-            .iter()
-            .zip(new_inputs)
-            .enumerate()
-        {
+        for (pos, (&old, &new)) in self.current_inputs.iter().zip(new_inputs).enumerate() {
             if old != new {
                 let net = self.netlist.inputs()[pos];
                 heap.push(Reverse((0, seq, net.0, new)));
@@ -332,7 +327,9 @@ mod tests {
         let mut x: u64 = 7;
         sim.settle(&mac.encode(0, 0, 0));
         for _ in 0..100 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let w = ((x & 0xf) as i64) - 8;
             let a = (x >> 4) & 0xf;
             let p = (((x >> 8) & 0x3ff) as i64) - 512;

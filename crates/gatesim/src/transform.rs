@@ -278,8 +278,7 @@ mod tests {
         let mult = MultiplierCircuit::new(4, 4);
         for weight in [-8i64, -3, 0, 1, 5, 7] {
             let bits = to_bits(weight, 4);
-            let fixed: Vec<(usize, bool)> =
-                bits.iter().enumerate().map(|(i, &v)| (i, v)).collect();
+            let fixed: Vec<(usize, bool)> = bits.iter().enumerate().map(|(i, &v)| (i, v)).collect();
             check_equivalent(mult.netlist(), &fixed);
         }
     }
@@ -287,7 +286,9 @@ mod tests {
     #[test]
     fn zero_weight_multiplier_collapses_to_constants() {
         let mult = MultiplierCircuit::new(4, 4);
-        let fixed: Vec<(NetId, bool)> = (0..4).map(|i| (mult.netlist().inputs()[i], false)).collect();
+        let fixed: Vec<(NetId, bool)> = (0..4)
+            .map(|i| (mult.netlist().inputs()[i], false))
+            .collect();
         let spec = specialize(mult.netlist(), &fixed);
         // 0 × a = 0: every product bit is constant zero.
         assert!(spec.const_outputs.iter().all(|c| *c == Some(false)));
@@ -339,7 +340,9 @@ mod tests {
             let mut x: u64 = 5;
             sim.settle(&vec![false; spec.netlist.inputs().len()]);
             for _ in 0..50 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let inputs: Vec<bool> = (0..spec.netlist.inputs().len())
                     .map(|i| (x >> i) & 1 == 1)
                     .collect();
@@ -352,8 +355,10 @@ mod tests {
     #[test]
     fn input_map_tracks_remaining_positions() {
         let mult = MultiplierCircuit::new(4, 4);
-        let fixed: Vec<(NetId, bool)> =
-            vec![(mult.netlist().inputs()[1], true), (mult.netlist().inputs()[3], false)];
+        let fixed: Vec<(NetId, bool)> = vec![
+            (mult.netlist().inputs()[1], true),
+            (mult.netlist().inputs()[3], false),
+        ];
         let spec = specialize(mult.netlist(), &fixed);
         assert_eq!(spec.input_map.len(), 8);
         assert_eq!(spec.input_map[0], Some(0));

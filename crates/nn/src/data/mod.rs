@@ -92,7 +92,9 @@ impl Dataset {
     pub fn epoch_batches(&self, batch_size: usize, rng: &mut StdRng) -> Vec<Vec<usize>> {
         let mut idx: Vec<usize> = (0..self.len()).collect();
         idx.shuffle(rng);
-        idx.chunks(batch_size.max(1)).map(<[usize]>::to_vec).collect()
+        idx.chunks(batch_size.max(1))
+            .map(<[usize]>::to_vec)
+            .collect()
     }
 }
 

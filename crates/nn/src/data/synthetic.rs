@@ -98,9 +98,8 @@ impl SyntheticSpec {
             let cy: f32 = 0.3 + 0.4 * rng.random::<f32>();
             for ch in 0..self.channels {
                 // Class-deterministic texture parameters.
-                let mut crng = StdRng::seed_from_u64(
-                    0x5eed_0000 + (class as u64) * 131 + (ch as u64) * 7,
-                );
+                let mut crng =
+                    StdRng::seed_from_u64(0x5eed_0000 + (class as u64) * 131 + (ch as u64) * 7);
                 let angle: f32 = crng.random::<f32>() * std::f32::consts::PI;
                 let freq: f32 = 1.5 + 4.0 * crng.random::<f32>();
                 let angle2: f32 = crng.random::<f32>() * std::f32::consts::PI;
@@ -114,9 +113,9 @@ impl SyntheticSpec {
                         let u = x as f32 / s as f32;
                         let v = y as f32 / s as f32;
                         let g1 = (freq * std::f32::consts::TAU * (u * ca + v * sa) + phase).sin();
-                        let g2 =
-                            (freq2 * std::f32::consts::TAU * (u * ca2 + v * sa2) + 0.5 * phase)
-                                .sin();
+                        let g2 = (freq2 * std::f32::consts::TAU * (u * ca2 + v * sa2)
+                            + 0.5 * phase)
+                            .sin();
                         let d2 = (u - cx) * (u - cx) + (v - cy) * (v - cy);
                         let blob = blob_gain * (-d2 / (blob_w * blob_w)).exp();
                         let noise = self.noise * (rng.random::<f32>() - 0.5);

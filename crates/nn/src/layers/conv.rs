@@ -37,7 +37,7 @@ pub struct Conv2d {
     pub input_range: f32,
     // --- caches ---
     cached_input_shape: Vec<usize>,
-    cached_cols: Vec<Vec<f32>>, // one im2col matrix per group
+    cached_cols: Vec<Vec<f32>>,     // one im2col matrix per group
     cached_weights: Option<Tensor>, // effective (possibly quantized) weights
     out_hw: (usize, usize),
 }
@@ -114,7 +114,8 @@ impl Conv2d {
         for bi in 0..b {
             for c in 0..cg {
                 let ch = group * cg + c;
-                let plane = &data[(bi * self.in_ch + ch) * h * w..(bi * self.in_ch + ch + 1) * h * w];
+                let plane =
+                    &data[(bi * self.in_ch + ch) * h * w..(bi * self.in_ch + ch + 1) * h * w];
                 for ki in 0..self.k {
                     for kj in 0..self.k {
                         let row = (c * kk + ki * self.k + kj) * n;
@@ -129,7 +130,8 @@ impl Conv2d {
                                 if x < 0 || x >= w as isize {
                                     continue;
                                 }
-                                col[row + bi * oh * ow + oy * ow + ox] = plane[src_row + x as usize];
+                                col[row + bi * oh * ow + oy * ow + ox] =
+                                    plane[src_row + x as usize];
                             }
                         }
                     }
@@ -228,8 +230,7 @@ impl Layer for Conv2d {
                 for bi in 0..b {
                     let dst = (bi * self.out_ch + ch) * oh * ow;
                     let src = oc * n + bi * oh * ow;
-                    for p in 0..oh * ow
-                    {
+                    for p in 0..oh * ow {
                         out_data[dst + p] = c[src + p] + bias;
                     }
                 }
@@ -352,8 +353,7 @@ mod tests {
                                     }
                                     let iv = input.data()
                                         [((bi * ic + ch) * h + y as usize) * w + x as usize];
-                                    let wv =
-                                        weight.data()[((o * cg + c) * k + ki) * k + kj];
+                                    let wv = weight.data()[((o * cg + c) * k + ki) * k + kj];
                                     acc += iv * wv;
                                 }
                             }
@@ -371,7 +371,9 @@ mod tests {
         let mut x = seed;
         let data = (0..len)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((x >> 33) as f32 / (1u64 << 31) as f32) - 1.0
             })
             .collect();
@@ -384,14 +386,7 @@ mod tests {
         let input = rand_tensor(&[2, 3, 6, 6], 1);
         let mut ctx = Context::inference();
         let out = conv.forward(&input, &mut ctx);
-        let expected = naive_conv(
-            &input,
-            &conv.weight.value,
-            conv.bias.value.data(),
-            1,
-            1,
-            1,
-        );
+        let expected = naive_conv(&input, &conv.weight.value, conv.bias.value.data(), 1, 1, 1);
         assert_eq!(out.shape(), expected.shape());
         for (a, b) in out.data().iter().zip(expected.data()) {
             assert!((a - b).abs() < 1e-4, "{a} vs {b}");
@@ -435,7 +430,9 @@ mod tests {
         let input = rand_tensor(&[1, 2, 5, 5], 13);
         let mut ctx = Context::train();
         let out = conv.forward(&input, &mut ctx);
-        let coeff: Vec<f32> = (0..out.len()).map(|i| ((i % 5) as f32 - 2.0) * 0.1).collect();
+        let coeff: Vec<f32> = (0..out.len())
+            .map(|i| ((i % 5) as f32 - 2.0) * 0.1)
+            .collect();
         let grad_out = Tensor::from_vec(out.shape(), coeff.clone());
         let _ = conv.backward(&grad_out);
 

@@ -46,7 +46,11 @@ impl Dense {
         let weight = Tensor::he_normal(&[out_features, in_features], in_features, rng);
         Dense {
             weight: Param::new(format!("{name}.weight"), weight, true),
-            bias: Param::new(format!("{name}.bias"), Tensor::zeros(&[out_features]), false),
+            bias: Param::new(
+                format!("{name}.bias"),
+                Tensor::zeros(&[out_features]),
+                false,
+            ),
             name,
             in_features,
             out_features,
@@ -120,8 +124,14 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let input = self.cached_input.as_ref().expect("training forward required");
-        let w_eff = self.cached_weights.as_ref().expect("training forward required");
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("training forward required");
+        let w_eff = self
+            .cached_weights
+            .as_ref()
+            .expect("training forward required");
         let b = input.shape()[0];
 
         // grad_w[O×F] = gradᵀ[O×B] · x[B×F]  (grad stored B×O).

@@ -26,7 +26,10 @@ impl Dropout {
     /// Panics unless `0 <= p < 1`.
     #[must_use]
     pub fn new(name: impl Into<String>, p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
         Dropout {
             name: name.into(),
             p,

@@ -158,7 +158,9 @@ pub(crate) mod testutil {
     pub fn check_input_gradient(layer: &mut dyn Layer, input: &Tensor, tol: f32) {
         let mut ctx = Context::train();
         let out = layer.forward(input, &mut ctx);
-        let coeff: Vec<f32> = (0..out.len()).map(|i| ((i % 7) as f32 - 3.0) * 0.1).collect();
+        let coeff: Vec<f32> = (0..out.len())
+            .map(|i| ((i % 7) as f32 - 3.0) * 0.1)
+            .collect();
         let grad_out = Tensor::from_vec(out.shape(), coeff.clone());
         let grad_in = layer.backward(&grad_out);
 

@@ -36,7 +36,11 @@ impl BatchNorm2d {
         assert!(channels > 0);
         let name = name.into();
         BatchNorm2d {
-            gamma: Param::new(format!("{name}.gamma"), Tensor::full(&[channels], 1.0), false),
+            gamma: Param::new(
+                format!("{name}.gamma"),
+                Tensor::full(&[channels], 1.0),
+                false,
+            ),
             beta: Param::new(format!("{name}.beta"), Tensor::zeros(&[channels]), false),
             name,
             channels,
@@ -116,7 +120,10 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let norm = self.cached_norm.as_ref().expect("training forward required");
+        let norm = self
+            .cached_norm
+            .as_ref()
+            .expect("training forward required");
         let [b, c, h, w]: [usize; 4] = self.cached_shape[..].try_into().unwrap();
         let per_ch = (b * h * w) as f32;
         let mut gx = Tensor::zeros(&self.cached_shape);

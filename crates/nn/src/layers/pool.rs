@@ -127,8 +127,8 @@ impl Layer for AvgPool2d {
                     let mut acc = 0.0;
                     for ki in 0..self.k {
                         for kj in 0..self.k {
-                            acc += data
-                                [plane + (oy * self.stride + ki) * w + ox * self.stride + kj];
+                            acc +=
+                                data[plane + (oy * self.stride + ki) * w + ox * self.stride + kj];
                         }
                     }
                     out_data[bc * oh * ow + oy * ow + ox] = acc * norm;

@@ -1,9 +1,9 @@
 //! Dense matrix kernels used by the convolution and dense layers.
 //!
 //! The GEMMs are plain row-major triple loops with an `ikj` ordering (so
-//! the inner loop streams contiguously) and optional std-thread row
-//! parallelism — enough throughput to train the mini model zoo on a CPU
-//! without any external BLAS.
+//! the inner loop streams contiguously) and optional row parallelism via
+//! the shared [`parallel`] work splitter — enough throughput to train
+//! the mini model zoo on a CPU without any external BLAS.
 
 /// Threshold (in multiply-accumulates) above which GEMMs fan out to
 /// threads.
@@ -20,7 +20,7 @@ pub fn matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize)
     assert_eq!(c.len(), m * n, "C size mismatch");
     c.fill(0.0);
     if m * k * n >= PARALLEL_FLOP_THRESHOLD {
-        parallel_rows(c, m, n, |row_i, c_row| {
+        parallel_rows(c, n, |row_i, c_row| {
             row_kernel(&a[row_i * k..(row_i + 1) * k], b, c_row, k, n);
         });
     } else {
@@ -43,7 +43,7 @@ pub fn matmul_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
     c.fill(0.0);
     // C[i,j] = sum_l A[l,i] * B[l,j]
     if m * k * n >= PARALLEL_FLOP_THRESHOLD {
-        parallel_rows(c, m, n, |i, c_row| {
+        parallel_rows(c, n, |i, c_row| {
             for l in 0..k {
                 let aval = a[l * m + i];
                 if aval != 0.0 {
@@ -82,7 +82,7 @@ pub fn matmul_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
     assert_eq!(c.len(), m * n, "C size mismatch");
     c.fill(0.0);
     if m * k * n >= PARALLEL_FLOP_THRESHOLD {
-        parallel_rows(c, m, n, |i, c_row| {
+        parallel_rows(c, n, |i, c_row| {
             let a_row = &a[i * k..(i + 1) * k];
             for (j, cj) in c_row.iter_mut().enumerate() {
                 let b_row = &b[j * k..(j + 1) * k];
@@ -119,30 +119,11 @@ fn row_kernel(a_row: &[f32], b: &[f32], c_row: &mut [f32], k: usize, n: usize) {
     }
 }
 
-/// Splits `c` into row chunks and runs `f(row_index, row_slice)` on a
-/// scoped thread per chunk.
-fn parallel_rows(c: &mut [f32], m: usize, n: usize, f: impl Fn(usize, &mut [f32]) + Sync) {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(m.max(1));
-    if threads <= 1 {
-        for (i, row) in c.chunks_mut(n).enumerate() {
-            f(i, row);
-        }
-        return;
-    }
-    let rows_per = m.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (chunk_idx, chunk) in c.chunks_mut(rows_per * n).enumerate() {
-            let f = &f;
-            scope.spawn(move || {
-                for (off, row) in chunk.chunks_mut(n).enumerate() {
-                    f(chunk_idx * rows_per + off, row);
-                }
-            });
-        }
-    });
+/// Splits `c` into rows of `n` elements and runs `f(row_index,
+/// row_slice)` across threads via the shared deterministic work
+/// splitter.
+fn parallel_rows(c: &mut [f32], n: usize, f: impl Fn(usize, &mut [f32]) + Sync) {
+    parallel::par_rows_mut(c, n, || (), |(), i, row| f(i, row));
 }
 
 #[cfg(test)]
@@ -162,8 +143,12 @@ mod tests {
     }
 
     fn test_matrices(m: usize, k: usize, n: usize) -> (Vec<f32>, Vec<f32>) {
-        let a: Vec<f32> = (0..m * k).map(|i| ((i * 7 + 3) % 11) as f32 - 5.0).collect();
-        let b: Vec<f32> = (0..k * n).map(|i| ((i * 5 + 1) % 13) as f32 - 6.0).collect();
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 7 + 3) % 11) as f32 - 5.0)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 5 + 1) % 13) as f32 - 6.0)
+            .collect();
         (a, b)
     }
 
@@ -180,8 +165,12 @@ mod tests {
     fn matmul_tn_matches_naive() {
         let (m, k, n) = (6, 4, 8);
         // A stored as k×m, B as k×n.
-        let a_t: Vec<f32> = (0..k * m).map(|i| ((i * 7 + 3) % 11) as f32 - 5.0).collect();
-        let b: Vec<f32> = (0..k * n).map(|i| ((i * 5 + 1) % 13) as f32 - 6.0).collect();
+        let a_t: Vec<f32> = (0..k * m)
+            .map(|i| ((i * 7 + 3) % 11) as f32 - 5.0)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 5 + 1) % 13) as f32 - 6.0)
+            .collect();
         let mut c = vec![0.0; m * n];
         matmul_tn(&a_t, &b, &mut c, m, k, n);
         // naive: C[i,j] = sum_l A_t[l*m+i] * B[l*n+j]
@@ -199,7 +188,9 @@ mod tests {
     #[test]
     fn matmul_nt_matches_naive() {
         let (m, k, n) = (5, 6, 4);
-        let a: Vec<f32> = (0..m * k).map(|i| ((i * 7 + 3) % 11) as f32 - 5.0).collect();
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 7 + 3) % 11) as f32 - 5.0)
+            .collect();
         let b_t: Vec<f32> = (0..n * k).map(|i| ((i * 3 + 2) % 9) as f32 - 4.0).collect();
         let mut c = vec![0.0; m * n];
         matmul_nt(&a, &b_t, &mut c, m, k, n);

@@ -284,7 +284,8 @@ impl Network {
     #[must_use]
     pub fn snapshot(&mut self) -> NetworkState {
         let mut params = Vec::new();
-        self.root.visit_params(&mut |p| params.push(p.value.clone()));
+        self.root
+            .visit_params(&mut |p| params.push(p.value.clone()));
         NetworkState { params }
     }
 

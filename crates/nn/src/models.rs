@@ -11,9 +11,7 @@
 //! (images live in `[0, 1]`); every other conv consumes ReLU6 outputs
 //! (range 6.0, the default).
 
-use crate::layers::{
-    BatchNorm2d, Conv2d, Dense, Flatten, GlobalAvgPool, MaxPool2d, QuantReLU,
-};
+use crate::layers::{BatchNorm2d, Conv2d, Dense, Flatten, GlobalAvgPool, MaxPool2d, QuantReLU};
 use crate::model::{Network, Residual, Sequential};
 use rand::rngs::StdRng;
 
@@ -40,7 +38,13 @@ fn conv(
 ///
 /// Panics if `size` is not a multiple of 4.
 #[must_use]
-pub fn tiny_cnn(name: &str, channels: usize, size: usize, classes: usize, rng: &mut StdRng) -> Network {
+pub fn tiny_cnn(
+    name: &str,
+    channels: usize,
+    size: usize,
+    classes: usize,
+    rng: &mut StdRng,
+) -> Network {
     assert_eq!(size % 4, 0, "tiny_cnn needs size divisible by 4");
     let flat = 16 * (size / 4) * (size / 4);
     let root = Sequential::new(name)
@@ -96,14 +100,44 @@ fn basic_block(
     rng: &mut StdRng,
 ) -> (Residual, QuantReLU) {
     let main = Sequential::new(format!("{name}.main"))
-        .with(conv(&format!("{name}.conv1"), in_ch, out_ch, 3, stride, 1, 1, 6.0, rng))
+        .with(conv(
+            &format!("{name}.conv1"),
+            in_ch,
+            out_ch,
+            3,
+            stride,
+            1,
+            1,
+            6.0,
+            rng,
+        ))
         .with(BatchNorm2d::new(format!("{name}.bn1"), out_ch))
         .with(QuantReLU::new(format!("{name}.relu1"), 6.0))
-        .with(conv(&format!("{name}.conv2"), out_ch, out_ch, 3, 1, 1, 1, 6.0, rng))
+        .with(conv(
+            &format!("{name}.conv2"),
+            out_ch,
+            out_ch,
+            3,
+            1,
+            1,
+            1,
+            6.0,
+            rng,
+        ))
         .with(BatchNorm2d::new(format!("{name}.bn2"), out_ch));
     let res = if stride != 1 || in_ch != out_ch {
         let shortcut = Sequential::new(format!("{name}.short"))
-            .with(conv(&format!("{name}.convs"), in_ch, out_ch, 1, stride, 0, 1, 6.0, rng))
+            .with(conv(
+                &format!("{name}.convs"),
+                in_ch,
+                out_ch,
+                1,
+                stride,
+                0,
+                1,
+                6.0,
+                rng,
+            ))
             .with(BatchNorm2d::new(format!("{name}.bns"), out_ch));
         Residual::with_shortcut(name, main, shortcut)
     } else {
@@ -134,13 +168,7 @@ pub fn resnet(
     for (stage, &out_ch) in widths.iter().enumerate() {
         for block in 0..blocks_per_stage {
             let stride = if stage > 0 && block == 0 { 2 } else { 1 };
-            let (res, relu) = basic_block(
-                &format!("s{stage}b{block}"),
-                in_ch,
-                out_ch,
-                stride,
-                rng,
-            );
+            let (res, relu) = basic_block(&format!("s{stage}b{block}"), in_ch, out_ch, stride, rng);
             root.push(Box::new(res));
             root.push(Box::new(relu));
             in_ch = out_ch;
@@ -169,17 +197,57 @@ fn bottleneck_block(
 ) -> (Residual, QuantReLU) {
     let out_ch = 4 * mid_ch;
     let main = Sequential::new(format!("{name}.main"))
-        .with(conv(&format!("{name}.conv1"), in_ch, mid_ch, 1, 1, 0, 1, 6.0, rng))
+        .with(conv(
+            &format!("{name}.conv1"),
+            in_ch,
+            mid_ch,
+            1,
+            1,
+            0,
+            1,
+            6.0,
+            rng,
+        ))
         .with(BatchNorm2d::new(format!("{name}.bn1"), mid_ch))
         .with(QuantReLU::new(format!("{name}.relu1"), 6.0))
-        .with(conv(&format!("{name}.conv2"), mid_ch, mid_ch, 3, stride, 1, 1, 6.0, rng))
+        .with(conv(
+            &format!("{name}.conv2"),
+            mid_ch,
+            mid_ch,
+            3,
+            stride,
+            1,
+            1,
+            6.0,
+            rng,
+        ))
         .with(BatchNorm2d::new(format!("{name}.bn2"), mid_ch))
         .with(QuantReLU::new(format!("{name}.relu2"), 6.0))
-        .with(conv(&format!("{name}.conv3"), mid_ch, out_ch, 1, 1, 0, 1, 6.0, rng))
+        .with(conv(
+            &format!("{name}.conv3"),
+            mid_ch,
+            out_ch,
+            1,
+            1,
+            0,
+            1,
+            6.0,
+            rng,
+        ))
         .with(BatchNorm2d::new(format!("{name}.bn3"), out_ch));
     let res = if stride != 1 || in_ch != out_ch {
         let shortcut = Sequential::new(format!("{name}.short"))
-            .with(conv(&format!("{name}.convs"), in_ch, out_ch, 1, stride, 0, 1, 6.0, rng))
+            .with(conv(
+                &format!("{name}.convs"),
+                in_ch,
+                out_ch,
+                1,
+                stride,
+                0,
+                1,
+                6.0,
+                rng,
+            ))
             .with(BatchNorm2d::new(format!("{name}.bns"), out_ch));
         Residual::with_shortcut(name, main, shortcut)
     } else {
@@ -208,13 +276,8 @@ pub fn resnet50_mini(
     for (stage, &mid) in mids.iter().enumerate() {
         for block in 0..blocks_per_stage {
             let stride = if stage > 0 && block == 0 { 2 } else { 1 };
-            let (res, relu) = bottleneck_block(
-                &format!("s{stage}b{block}"),
-                in_ch,
-                mid,
-                stride,
-                rng,
-            );
+            let (res, relu) =
+                bottleneck_block(&format!("s{stage}b{block}"), in_ch, mid, stride, rng);
             root.push(Box::new(res));
             root.push(Box::new(relu));
             in_ch = 4 * mid;
@@ -239,13 +302,43 @@ fn mbconv_block(
 ) -> Box<dyn crate::layers::Layer> {
     let mid = in_ch * expand;
     let main = Sequential::new(format!("{name}.main"))
-        .with(conv(&format!("{name}.expand"), in_ch, mid, 1, 1, 0, 1, 6.0, rng))
+        .with(conv(
+            &format!("{name}.expand"),
+            in_ch,
+            mid,
+            1,
+            1,
+            0,
+            1,
+            6.0,
+            rng,
+        ))
         .with(BatchNorm2d::new(format!("{name}.bn1"), mid))
         .with(QuantReLU::new(format!("{name}.relu1"), 6.0))
-        .with(conv(&format!("{name}.dw"), mid, mid, 3, stride, 1, mid, 6.0, rng))
+        .with(conv(
+            &format!("{name}.dw"),
+            mid,
+            mid,
+            3,
+            stride,
+            1,
+            mid,
+            6.0,
+            rng,
+        ))
         .with(BatchNorm2d::new(format!("{name}.bn2"), mid))
         .with(QuantReLU::new(format!("{name}.relu2"), 6.0))
-        .with(conv(&format!("{name}.project"), mid, out_ch, 1, 1, 0, 1, 6.0, rng))
+        .with(conv(
+            &format!("{name}.project"),
+            mid,
+            out_ch,
+            1,
+            1,
+            0,
+            1,
+            6.0,
+            rng,
+        ))
         .with(BatchNorm2d::new(format!("{name}.bn3"), out_ch));
     if stride == 1 && in_ch == out_ch {
         Box::new(Residual::new(name, main))

@@ -82,7 +82,10 @@ impl ValueSet {
     /// Panics if the set is empty.
     #[must_use]
     pub fn project(&self, code: i32) -> i32 {
-        assert!(!self.codes.is_empty(), "cannot project onto an empty ValueSet");
+        assert!(
+            !self.codes.is_empty(),
+            "cannot project onto an empty ValueSet"
+        );
         match self.codes.binary_search(&code) {
             Ok(_) => code,
             Err(pos) => {

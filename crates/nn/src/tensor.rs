@@ -55,7 +55,12 @@ impl Tensor {
     #[must_use]
     pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
         let len: usize = shape.iter().product();
-        assert_eq!(data.len(), len, "data length {} != shape product {len}", data.len());
+        assert_eq!(
+            data.len(),
+            len,
+            "data length {} != shape product {len}",
+            data.len()
+        );
         Tensor {
             shape: shape.to_vec(),
             data,
@@ -210,7 +215,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let t = Tensor::he_normal(&[1000], 100, &mut rng);
         let mean: f32 = t.data().iter().sum::<f32>() / 1000.0;
-        let var: f32 = t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 1000.0;
+        let var: f32 = t
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 1000.0;
         let expected = 2.0 / 100.0;
         assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
         assert!((var - expected).abs() < expected, "var {var} vs {expected}");

@@ -47,7 +47,12 @@ impl Default for TrainConfig {
 pub fn clip_gradients(net: &mut Network, max_norm: f32) -> f32 {
     let mut sq = 0.0f64;
     net.visit_params(&mut |p| {
-        sq += p.grad.data().iter().map(|&g| f64::from(g) * f64::from(g)).sum::<f64>();
+        sq += p
+            .grad
+            .data()
+            .iter()
+            .map(|&g| f64::from(g) * f64::from(g))
+            .sum::<f64>();
     });
     let norm = (sq.sqrt()) as f32;
     if norm > max_norm && norm > 0.0 {

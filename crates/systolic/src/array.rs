@@ -88,7 +88,10 @@ impl SystolicArray {
     /// Panics if rows/cols are zero or the clock period is not positive.
     #[must_use]
     pub fn new(config: ArrayConfig) -> Self {
-        assert!(config.rows > 0 && config.cols > 0, "array must be non-empty");
+        assert!(
+            config.rows > 0 && config.cols > 0,
+            "array must be non-empty"
+        );
         assert!(config.clock_ps > 0.0, "clock period must be positive");
         SystolicArray { config }
     }
@@ -114,9 +117,8 @@ impl SystolicArray {
     #[must_use]
     pub fn cycles(&self, gemm: &GemmCapture) -> u64 {
         let (kt, mt) = self.tile_counts(gemm);
-        let per_tile = self.config.rows as u64
-            + gemm.n as u64
-            + (self.config.rows + self.config.cols) as u64;
+        let per_tile =
+            self.config.rows as u64 + gemm.n as u64 + (self.config.rows + self.config.cols) as u64;
         (kt * mt) as u64 * per_tile
     }
 
@@ -218,7 +220,8 @@ impl SystolicArray {
                     dynamic_fj += model.idle_fj() * idle_in_cols as f64 * active_cycles_per_pe;
                     // Unused columns also clock idly on Standard HW.
                     let unused_cols = cols - resident_cols;
-                    dynamic_fj += model.idle_fj() * (unused_cols * rows) as f64 * active_cycles_per_pe;
+                    dynamic_fj +=
+                        model.idle_fj() * (unused_cols * rows) as f64 * active_cycles_per_pe;
                 }
 
                 // Leakage: Standard leaks everywhere; Optimized power-

@@ -73,12 +73,7 @@ fn main() {
             t.max_delay_ps, timing.psum_floor_ps
         );
         // Compact histogram: 20 buckets over the observed range.
-        let max_bucket = t
-            .histogram
-            .iter()
-            .rposition(|&c| c > 0)
-            .unwrap_or(0)
-            .max(1);
+        let max_bucket = t.histogram.iter().rposition(|&c| c > 0).unwrap_or(0).max(1);
         let width = max_bucket.div_ceil(20);
         print!("  delay histogram: ");
         for chunk in t.histogram[..=max_bucket].chunks(width) {

@@ -58,7 +58,12 @@ fn main() {
     let vm = VoltageModel::finfet15();
     let vs = VoltageScaling::from_delays(&vm, base_rounded, target);
     println!("Option A — lower VDD, same clock:");
-    println!("  VDD {} (dynamic x{:.2}, leakage x{:.2})", vs.label(), vs.dynamic_factor, vs.leakage_factor);
+    println!(
+        "  VDD {} (dynamic x{:.2}, leakage x{:.2})",
+        vs.label(),
+        vs.dynamic_factor,
+        vs.leakage_factor
+    );
 
     // Option B: same VDD, faster clock.
     let clock = pipeline.array().config().clock_ps;

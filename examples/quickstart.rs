@@ -10,9 +10,9 @@
 use gatesim::circuits::MacCircuit;
 use gatesim::{CellLibrary, Simulator, Sta};
 use nn::data::SyntheticSpec;
+use nn::models;
 use nn::quant::ValueSet;
 use nn::train::{evaluate, train, TrainConfig};
-use nn::models;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -33,7 +33,9 @@ fn main() {
         let psums = [0i64, 4000, -250, 90_000, -60_000, 37, 1000, -1];
         sim.settle(&mac.encode(weight, acts[0], psums[0]));
         for i in 1..acts.len() {
-            energy += sim.transition(&mac.encode(weight, acts[i], psums[i])).energy_fj;
+            energy += sim
+                .transition(&mac.encode(weight, acts[i], psums[i]))
+                .energy_fj;
         }
         println!("  weight {weight:>5}: {energy:>7.1} fJ over 7 transitions");
     }
@@ -55,9 +57,9 @@ fn main() {
     // Powers of two (shift-like multiplications) are the classic cheap
     // weights; PowerPruning derives the real set from characterization.
     let cheap: Vec<i32> = vec![
-        -96, -80, -72, -64, -48, -40, -36, -32, -24, -20, -18, -16, -12, -10, -9, -8, -6, -5,
-        -4, -3, -2, -1, 0, 1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 16, 18, 20, 24, 32, 36, 40, 48, 64,
-        72, 80, 96,
+        -96, -80, -72, -64, -48, -40, -36, -32, -24, -20, -18, -16, -12, -10, -9, -8, -6, -5, -4,
+        -3, -2, -1, 0, 1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 16, 18, 20, 24, 32, 36, 40, 48, 64, 72, 80,
+        96,
     ];
     net.set_weight_restriction(Some(ValueSet::new(cheap.iter().copied())));
     let retrain_cfg = TrainConfig {
@@ -68,11 +70,16 @@ fn main() {
     let _ = train(&mut net, &train_data, &retrain_cfg, &mut rng);
     let acc_restricted = evaluate(&mut net, &test_data, 64);
 
-    println!("\nAccuracy with all 255 weight values:  {:.1}%", 100.0 * acc_free);
+    println!(
+        "\nAccuracy with all 255 weight values:  {:.1}%",
+        100.0 * acc_free
+    );
     println!(
         "Accuracy with {} cheap weight values: {:.1}%",
         cheap.len(),
         100.0 * acc_restricted
     );
-    println!("(PowerPruning selects the cheap set from gate-level power data instead of guessing.)");
+    println!(
+        "(PowerPruning selects the cheap set from gate-level power data instead of guessing.)"
+    );
 }

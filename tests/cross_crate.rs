@@ -142,5 +142,9 @@ fn hardware_variant_ordering_holds_for_real_captures() {
     let std_hw = array.run_network_energy(&captures, &model, HwVariant::Standard);
     let opt_hw = array.run_network_energy(&captures, &model, HwVariant::Optimized);
     assert!(opt_hw.total_power_mw() <= std_hw.total_power_mw());
-    assert_eq!(opt_hw.cycles(), std_hw.cycles(), "gating must not change timing");
+    assert_eq!(
+        opt_hw.cycles(),
+        std_hw.cycles(),
+        "gating must not change timing"
+    );
 }

@@ -59,7 +59,10 @@ fn fig7_pruned_and_proposed_reduce_power_in_order() {
     // Proposed (power-selected weights on top of pruning) should not
     // exceed the plain pruned power; both at or below baseline.
     assert!(total(1) <= total(0) * 1.02, "pruning increased power");
-    assert!(total(2) <= total(1) * 1.05, "proposed increased power over pruned");
+    assert!(
+        total(2) <= total(1) * 1.05,
+        "proposed increased power over pruned"
+    );
 }
 
 #[test]

@@ -133,9 +133,10 @@ fn end_to_end_energy_accounting_rewards_cheap_codes() {
     let mut prepared = pipeline.prepare(NetworkKind::LeNet5);
     let captures = pipeline.capture(&mut prepared);
     let chars = pipeline.characterize(&captures);
-    let before = pipeline
-        .array()
-        .run_network_energy(&captures, &chars.energy_model, HwVariant::Optimized);
+    let before =
+        pipeline
+            .array()
+            .run_network_energy(&captures, &chars.energy_model, HwVariant::Optimized);
 
     let threshold = threshold_for_count(&chars.power_profile, 36);
     let sel = select_by_power(&chars.power_profile, threshold);
@@ -143,9 +144,11 @@ fn end_to_end_energy_accounting_rewards_cheap_codes() {
         .net
         .set_weight_restriction(Some(nn::ValueSet::new(sel.weights.iter().copied())));
     let captures_cheap = pipeline.capture(&mut prepared);
-    let after = pipeline
-        .array()
-        .run_network_energy(&captures_cheap, &chars.energy_model, HwVariant::Optimized);
+    let after = pipeline.array().run_network_energy(
+        &captures_cheap,
+        &chars.energy_model,
+        HwVariant::Optimized,
+    );
 
     assert!(
         after.dynamic_fj() < before.dynamic_fj(),
