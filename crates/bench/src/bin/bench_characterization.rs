@@ -4,9 +4,10 @@
 //!
 //! Emits machine-readable JSON (also written to
 //! `BENCH_CHARACTERIZATION.json`) with samples/sec for power and timing
-//! characterization on both engines, the speedup, and a bit-identical
-//! cross-check of the produced profiles — so future PRs can track the
-//! perf trajectory.
+//! characterization on both engines, the speedup, a bit-identical
+//! cross-check of the produced profiles, and cold-vs-warm pipeline
+//! characterization timings against a fresh charstore — so future PRs
+//! can track the perf trajectory.
 //!
 //! Run: `cargo run -p powerpruning-bench --bin bench_characterization --release`
 //!
@@ -22,6 +23,7 @@ use powerpruning::chars::{
     characterize_power, characterize_power_scalar, characterize_timing, characterize_timing_scalar,
     strided_codes, MacHardware, PowerConfig, PsumBinning, TimingConfig,
 };
+use powerpruning::pipeline::{NetworkKind, Pipeline, PipelineConfig, Scale};
 use std::time::Instant;
 use systolic::stats::TransitionStats;
 
@@ -80,6 +82,80 @@ impl Measurement {
             self.speedup(),
             self.identical,
         )
+    }
+}
+
+struct WarmStart {
+    cold_s: f64,
+    warm_s: f64,
+    /// Store hits of the *warm* pipeline run (expected: both stages).
+    warm_hits: u64,
+    /// Store misses of the *cold* pipeline run (expected: both stages).
+    cold_misses: u64,
+}
+
+impl WarmStart {
+    fn speedup(&self) -> f64 {
+        self.cold_s / self.warm_s
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"cold_s\": {:.4}, \"warm_s\": {:.6}, \"speedup\": {:.1}, ",
+                "\"cold_misses\": {}, \"warm_hits\": {}}}"
+            ),
+            self.cold_s,
+            self.warm_s,
+            self.speedup(),
+            self.cold_misses,
+            self.warm_hits,
+        )
+    }
+}
+
+/// Times the Micro-scale pipeline characterization stages cold (empty
+/// charstore) and warm: the warm run uses a *fresh* pipeline sharing
+/// only the store directory, so it exercises the persistent disk tier
+/// (not the first pipeline's in-memory tier) and answers with zero
+/// `BatchSim` transitions.
+fn measure_warm_start() -> WarmStart {
+    let dir = std::env::temp_dir().join(format!("charstore-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cold = Pipeline::with_cache_dir(PipelineConfig::for_scale(Scale::Micro), &dir);
+    let mut prepared = cold.prepare(NetworkKind::LeNet5);
+    let captures = cold.capture(&mut prepared);
+
+    let t = Instant::now();
+    let cold_chars = cold.characterize(&captures);
+    let cold_timing = cold.characterize_timing(f64::MAX);
+    let cold_s = t.elapsed().as_secs_f64();
+
+    let warm = Pipeline::with_cache_dir(PipelineConfig::for_scale(Scale::Micro), &dir);
+    let t = Instant::now();
+    let warm_chars = warm.characterize(&captures);
+    let warm_timing = warm.characterize_timing(f64::MAX);
+    let warm_s = t.elapsed().as_secs_f64();
+
+    assert_eq!(
+        cold_chars.power_profile, warm_chars.power_profile,
+        "warm power profile diverged from cold"
+    );
+    assert_eq!(cold_timing, warm_timing, "warm timing diverged from cold");
+    let cold_counters = cold
+        .cache()
+        .expect("cache enabled (unset POWERPRUNING_CACHE to run the warm-start bench)")
+        .counters();
+    let warm_counters = warm
+        .cache()
+        .expect("cache enabled (unset POWERPRUNING_CACHE to run the warm-start bench)")
+        .counters();
+    let _ = std::fs::remove_dir_all(&dir);
+    WarmStart {
+        cold_s,
+        warm_s: warm_s.max(1e-9),
+        warm_hits: warm_counters.hits,
+        cold_misses: cold_counters.misses,
     }
 }
 
@@ -150,6 +226,17 @@ fn main() {
         timing.identical
     );
 
+    // --- Pipeline warm start (charstore) ---
+    let warm = measure_warm_start();
+    eprintln!(
+        "warm-start: cold {:.2}s ({} misses), warm {:.4}s ({} hits) -> {:.0}x",
+        warm.cold_s,
+        warm.cold_misses,
+        warm.warm_s,
+        warm.warm_hits,
+        warm.speedup(),
+    );
+
     let json = format!(
         concat!(
             "{{\n",
@@ -158,13 +245,15 @@ fn main() {
             "  \"weight_codes\": {},\n",
             "  \"weight_stride\": {},\n",
             "  \"power\": {},\n",
-            "  \"timing\": {}\n",
+            "  \"timing\": {},\n",
+            "  \"pipeline_warm_start\": {}\n",
             "}}"
         ),
         codes,
         stride,
         power.json(),
         timing.json(),
+        warm.json(),
     );
     println!("{json}");
     if let Err(e) = std::fs::write("BENCH_CHARACTERIZATION.json", format!("{json}\n")) {
@@ -178,5 +267,12 @@ fn main() {
     assert!(
         timing.identical,
         "batched timing profile diverged from scalar"
+    );
+    assert_eq!(warm.cold_misses, 2, "cold run should miss both artifacts");
+    assert_eq!(warm.warm_hits, 2, "warm run should hit both artifacts");
+    assert!(
+        warm.speedup() >= 10.0,
+        "warm characterization only {:.1}x faster than cold",
+        warm.speedup()
     );
 }

@@ -1,0 +1,203 @@
+//! Management CLI for the characterization artifact store.
+//!
+//! ```text
+//! charstore [--dir DIR] ls                     list stored artifacts
+//! charstore [--dir DIR] stat [KEY-PREFIX]      store totals, or one artifact's provenance
+//! charstore [--dir DIR] warm [--scale S] [--all-networks]
+//!                                              run the pipeline characterization stages
+//!                                              against the store and report hits/misses
+//! charstore [--dir DIR] gc --max-bytes N       delete oldest artifacts over the budget
+//! ```
+//!
+//! `--dir` falls back to `POWERPRUNING_CACHE_DIR`, then to the default
+//! `.powerpruning-cache`. `warm` run twice against the same store must
+//! report `misses=0` on the second run — the CI cache-smoke job asserts
+//! exactly that.
+
+use charstore::Store;
+use powerpruning::cache::{decode_provenance, CharCache, DEFAULT_CACHE_DIR};
+use powerpruning::pipeline::{NetworkKind, Pipeline, PipelineConfig, Scale};
+use std::process::ExitCode;
+use std::time::SystemTime;
+
+struct Args {
+    dir: String,
+    command: String,
+    rest: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut dir =
+        std::env::var("POWERPRUNING_CACHE_DIR").unwrap_or_else(|_| DEFAULT_CACHE_DIR.to_string());
+    let mut command = None;
+    let mut rest = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--dir" => {
+                dir = argv.next().ok_or("--dir needs a value")?;
+            }
+            _ if command.is_none() => command = Some(arg),
+            _ => rest.push(arg),
+        }
+    }
+    Ok(Args {
+        dir,
+        command: command.ok_or("missing command (ls | stat | warm | gc)")?,
+        rest,
+    })
+}
+
+fn open_store(dir: &str) -> Result<Store, String> {
+    Store::open(dir).map_err(|e| format!("cannot open store at `{dir}`: {e}"))
+}
+
+fn age(modified: SystemTime) -> String {
+    match modified.elapsed() {
+        Ok(d) if d.as_secs() < 120 => format!("{}s ago", d.as_secs()),
+        Ok(d) if d.as_secs() < 7200 => format!("{}m ago", d.as_secs() / 60),
+        Ok(d) => format!("{}h ago", d.as_secs() / 3600),
+        Err(_) => "future".to_string(),
+    }
+}
+
+fn cmd_ls(dir: &str) -> Result<(), String> {
+    let store = open_store(dir)?;
+    let mut entries = store.entries().map_err(|e| e.to_string())?;
+    entries.sort_by_key(|e| e.modified);
+    println!("store {dir}: {} artifacts", entries.len());
+    for e in &entries {
+        println!("  {}  {:>9} bytes  {}", e.key, e.bytes, age(e.modified));
+    }
+    Ok(())
+}
+
+fn cmd_stat(dir: &str, rest: &[String]) -> Result<(), String> {
+    let store = open_store(dir)?;
+    let entries = store.entries().map_err(|e| e.to_string())?;
+    if let Some(prefix) = rest.first() {
+        let matches: Vec<_> = entries
+            .iter()
+            .filter(|e| e.key.to_hex().starts_with(prefix.as_str()))
+            .collect();
+        match matches.as_slice() {
+            [] => return Err(format!("no artifact matches prefix `{prefix}`")),
+            [e] => {
+                let sections = store
+                    .get(e.key)
+                    .ok_or_else(|| format!("artifact {} is corrupted", e.key))?;
+                println!("{}  {} bytes, {} sections", e.key, e.bytes, sections.len());
+                for (k, v) in decode_provenance(&sections) {
+                    println!("  {k}: {v}");
+                }
+            }
+            many => {
+                return Err(format!(
+                    "prefix `{prefix}` is ambiguous ({} matches)",
+                    many.len()
+                ))
+            }
+        }
+        return Ok(());
+    }
+    let total: u64 = entries.iter().map(|e| e.bytes).sum();
+    println!(
+        "store {dir}: {} artifacts, {total} bytes on disk",
+        entries.len()
+    );
+    Ok(())
+}
+
+fn cmd_warm(dir: &str, rest: &[String]) -> Result<(), String> {
+    let mut scale = Scale::Micro;
+    let mut all_networks = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = match it.next().map(String::as_str) {
+                    Some("micro") => Scale::Micro,
+                    Some("mini") => Scale::Mini,
+                    Some("full") => Scale::Full,
+                    other => return Err(format!("bad --scale {other:?}")),
+                }
+            }
+            "--all-networks" => all_networks = true,
+            other => return Err(format!("unknown warm option `{other}`")),
+        }
+    }
+    let cfg = PipelineConfig::for_scale(scale);
+    let pipeline = Pipeline::with_cache_dir(cfg, dir);
+    let cache: &CharCache = pipeline
+        .cache()
+        .ok_or("cache disabled (POWERPRUNING_CACHE=off?) — nothing to warm")?;
+    let all = NetworkKind::all();
+    let kinds: &[NetworkKind] = if all_networks {
+        &all
+    } else {
+        &[NetworkKind::LeNet5]
+    };
+    for &kind in kinds {
+        eprintln!("warming {} at {scale:?} scale...", kind.label());
+        let mut prepared = pipeline.prepare(kind);
+        let captures = pipeline.capture(&mut prepared);
+        let chars = pipeline.characterize(&captures);
+        let probe = pipeline.characterize_timing(f64::MAX);
+        eprintln!(
+            "  {} power codes, timing floor {:.1} ps",
+            chars.power_profile.codes().len(),
+            probe.psum_floor_ps
+        );
+    }
+    let c = cache.counters();
+    println!(
+        "warm complete: scale={scale:?} networks={} hits={} misses={}",
+        kinds.len(),
+        c.hits,
+        c.misses
+    );
+    Ok(())
+}
+
+fn cmd_gc(dir: &str, rest: &[String]) -> Result<(), String> {
+    let mut max_bytes = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--max-bytes" => {
+                max_bytes = Some(
+                    it.next()
+                        .ok_or("--max-bytes needs a value")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("bad --max-bytes: {e}"))?,
+                )
+            }
+            other => return Err(format!("unknown gc option `{other}`")),
+        }
+    }
+    let max_bytes = max_bytes.ok_or("gc requires --max-bytes N")?;
+    let store = open_store(dir)?;
+    let report = store.gc(max_bytes).map_err(|e| e.to_string())?;
+    println!(
+        "gc: deleted {} artifacts ({} bytes), kept {} ({} bytes)",
+        report.deleted, report.freed_bytes, report.kept, report.kept_bytes
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let result = parse_args().and_then(|args| match args.command.as_str() {
+        "ls" => cmd_ls(&args.dir),
+        "stat" => cmd_stat(&args.dir, &args.rest),
+        "warm" => cmd_warm(&args.dir, &args.rest),
+        "gc" => cmd_gc(&args.dir, &args.rest),
+        other => Err(format!("unknown command `{other}` (ls | stat | warm | gc)")),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("charstore: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Stable 128-bit content digests.
+//!
+//! [`Hasher128`] is a streaming hash in the MurmurHash3-x64-128 family:
+//! two 64-bit lanes mixed per 16-byte block, with strong avalanche
+//! finalization. It is **not** cryptographic — it keys a cache of
+//! deterministic recomputable artifacts, so the threat model is
+//! accidental collision, not an adversary. What matters instead is
+//! *stability*: digests are persisted on disk as artifact keys, so the
+//! byte-for-byte output of this hash is a compatibility promise, pinned
+//! by test vectors below. Any change to the mixing constants or the
+//! encoding helpers is a store-format break and must bump
+//! [`crate::container::FORMAT_VERSION`].
+
+use std::fmt;
+
+/// A 128-bit content digest (the key of a stored artifact).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest128(pub [u8; 16]);
+
+impl Digest128 {
+    /// The digest as a lowercase 32-character hex string (the on-disk
+    /// object file stem).
+    #[must_use]
+    pub fn to_hex(self) -> String {
+        let mut s = String::with_capacity(32);
+        for b in self.0 {
+            use fmt::Write as _;
+            let _ = write!(s, "{b:02x}");
+        }
+        s
+    }
+
+    /// Parses a 32-character hex string produced by [`Digest128::to_hex`].
+    #[must_use]
+    pub fn from_hex(s: &str) -> Option<Digest128> {
+        if s.len() != 32 || !s.is_ascii() {
+            return None;
+        }
+        let mut out = [0u8; 16];
+        for (i, chunk) in s.as_bytes().chunks_exact(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16)?;
+            let lo = (chunk[1] as char).to_digit(16)?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Some(Digest128(out))
+    }
+
+    /// A short human-facing prefix (first 12 hex chars) for listings.
+    #[must_use]
+    pub fn short(self) -> String {
+        self.to_hex()[..12].to_string()
+    }
+
+    /// The low 64 bits, used as the container checksum word.
+    #[must_use]
+    pub fn lo64(self) -> u64 {
+        u64::from_le_bytes(self.0[..8].try_into().expect("8 bytes"))
+    }
+}
+
+impl fmt::Display for Digest128 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+const C1: u64 = 0x87c3_7b91_1142_53d5;
+const C2: u64 = 0x4cf5_ad43_2745_937f;
+
+#[inline]
+fn fmix64(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^= x >> 33;
+    x
+}
+
+/// Streaming 128-bit hasher with typed little-endian write helpers.
+///
+/// The typed helpers (`write_u64`, `write_f64`, `write_str`, …) define
+/// the *canonical encoding* of hashed inputs: every caller building a
+/// cache key goes through them, so two call sites hashing the same
+/// logical inputs produce the same digest. Strings and slices are
+/// length-prefixed, so concatenation ambiguity ("ab"+"c" vs "a"+"bc")
+/// cannot produce colliding keys.
+#[derive(Debug, Clone)]
+pub struct Hasher128 {
+    h1: u64,
+    h2: u64,
+    buf: [u8; 16],
+    buf_len: usize,
+    total: u64,
+}
+
+impl Hasher128 {
+    /// A fresh hasher with a domain-separation tag. Different artifact
+    /// kinds use different tags so their key spaces never overlap.
+    #[must_use]
+    pub fn new(domain: &str) -> Self {
+        let mut h = Hasher128 {
+            h1: 0x9e37_79b9_7f4a_7c15,
+            h2: 0x2545_f491_4f6c_dd1d,
+            buf: [0; 16],
+            buf_len: 0,
+            total: 0,
+        };
+        h.write_str(domain);
+        h
+    }
+
+    #[inline]
+    fn mix_block(&mut self, block: &[u8; 16]) {
+        let mut k1 = u64::from_le_bytes(block[..8].try_into().expect("8 bytes"));
+        let mut k2 = u64::from_le_bytes(block[8..].try_into().expect("8 bytes"));
+        k1 = k1.wrapping_mul(C1).rotate_left(31).wrapping_mul(C2);
+        self.h1 ^= k1;
+        self.h1 = self
+            .h1
+            .rotate_left(27)
+            .wrapping_add(self.h2)
+            .wrapping_mul(5)
+            .wrapping_add(0x52dc_e729);
+        k2 = k2.wrapping_mul(C2).rotate_left(33).wrapping_mul(C1);
+        self.h2 ^= k2;
+        self.h2 = self
+            .h2
+            .rotate_left(31)
+            .wrapping_add(self.h1)
+            .wrapping_mul(5)
+            .wrapping_add(0x3849_5ab5);
+    }
+
+    /// Feeds raw bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total = self.total.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let need = 16 - self.buf_len;
+            let take = need.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 16 {
+                let block = self.buf;
+                self.mix_block(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 16 {
+            let block: [u8; 16] = data[..16].try_into().expect("16 bytes");
+            self.mix_block(&block);
+            data = &data[16..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Feeds one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.update(&[v]);
+    }
+
+    /// Feeds a little-endian `u32`.
+    pub fn write_u32(&mut self, v: u32) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Feeds a little-endian `u64`.
+    pub fn write_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Feeds a little-endian `i64`.
+    pub fn write_i64(&mut self, v: i64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Feeds a `usize` as `u64` (platform-independent key).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feeds an `f64` by bit pattern (exact, including NaN payloads and
+    /// signed zero — two configs differing only in `-0.0` vs `0.0` key
+    /// differently, which is the conservative choice for a cache).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Feeds a bool as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(u8::from(v));
+    }
+
+    /// Feeds a length-prefixed UTF-8 string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.update(s.as_bytes());
+    }
+
+    /// Feeds a length-prefixed byte slice.
+    pub fn write_bytes(&mut self, b: &[u8]) {
+        self.write_u64(b.len() as u64);
+        self.update(b);
+    }
+
+    /// Finalizes the digest. The hasher can keep being fed afterwards
+    /// (finalize is non-destructive), which lets callers derive both a
+    /// prefix digest and a full digest from one stream.
+    #[must_use]
+    pub fn finalize(&self) -> Digest128 {
+        let mut h = self.clone();
+        if h.buf_len > 0 {
+            // Zero-pad the tail block; the total length fed below keeps
+            // padded and unpadded streams distinct.
+            for b in &mut h.buf[h.buf_len..] {
+                *b = 0;
+            }
+            let block = h.buf;
+            h.mix_block(&block);
+        }
+        let (mut h1, mut h2) = (h.h1, h.h2);
+        h1 ^= h.total;
+        h2 ^= h.total;
+        h1 = h1.wrapping_add(h2);
+        h2 = h2.wrapping_add(h1);
+        h1 = fmix64(h1);
+        h2 = fmix64(h2);
+        h1 = h1.wrapping_add(h2);
+        h2 = h2.wrapping_add(h1);
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&h1.to_le_bytes());
+        out[8..].copy_from_slice(&h2.to_le_bytes());
+        Digest128(out)
+    }
+}
+
+/// One-shot digest of a byte slice under a domain tag.
+#[must_use]
+pub fn digest_bytes(domain: &str, data: &[u8]) -> Digest128 {
+    let mut h = Hasher128::new(domain);
+    h.write_bytes(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trips() {
+        let d = digest_bytes("t", b"hello");
+        let hex = d.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(Digest128::from_hex(&hex), Some(d));
+        assert_eq!(Digest128::from_hex("zz"), None);
+        assert_eq!(Digest128::from_hex(&hex[..30]), None);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let mut h = Hasher128::new("t");
+        h.write_u64(5);
+        h.update(b"hello world, this is a long-ish test vector!");
+        let mut g = Hasher128::new("t");
+        g.write_u64(5);
+        for chunk in b"hello world, this is a long-ish test vector!".chunks(3) {
+            g.update(chunk);
+        }
+        assert_eq!(h.finalize(), g.finalize());
+    }
+
+    #[test]
+    fn length_prefix_prevents_concatenation_collisions() {
+        let mut a = Hasher128::new("t");
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Hasher128::new("t");
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finalize(), b.finalize());
+    }
+
+    #[test]
+    fn domains_separate_key_spaces() {
+        assert_ne!(digest_bytes("power", b"x"), digest_bytes("timing", b"x"));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_digest() {
+        let base = b"characterization artifact payload".to_vec();
+        let d0 = digest_bytes("t", &base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(d0, digest_bytes("t", &flipped), "byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_vectors_guard_on_disk_stability() {
+        // These digests are persisted as store keys: changing the hash
+        // silently orphans every existing artifact. If this test fails
+        // you changed the hash — bump the container FORMAT_VERSION and
+        // re-pin.
+        assert_eq!(
+            digest_bytes("charstore", b"").to_hex(),
+            "047cea6c09f0a3a11833ece5cd3e777b"
+        );
+        assert_eq!(
+            digest_bytes("charstore", b"powerpruning").to_hex(),
+            "338a043db813d778468f9d3811e2e069"
+        );
+        let mut h = Hasher128::new("charstore");
+        h.write_u64(0xdac2023);
+        h.write_f64(200.0);
+        h.write_str("micro");
+        assert_eq!(h.finalize().to_hex(), "480d3a0cae5126ebe1c44fe7b9ab87bb");
+    }
+
+    #[test]
+    fn finalize_is_non_destructive() {
+        let mut h = Hasher128::new("t");
+        h.write_u64(1);
+        let a = h.finalize();
+        assert_eq!(a, h.finalize());
+        h.write_u64(2);
+        assert_ne!(a, h.finalize());
+    }
+}

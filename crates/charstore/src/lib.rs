@@ -1,0 +1,37 @@
+//! Persistent content-addressed storage for characterization artifacts.
+//!
+//! The PowerPruning flow's expensive products — per-weight power and
+//! timing profiles — are pure functions of their inputs (cell library,
+//! netlist structure, seeds, sample budgets). This crate provides the
+//! storage discipline that lets the pipeline characterize **once** and
+//! serve every later run from a durable cache:
+//!
+//! * [`digest`] — stable 128-bit input digests ([`Digest128`],
+//!   [`Hasher128`]): artifact keys commit to *everything* that
+//!   determined the artifact, so a key hit is provably the same
+//!   computation.
+//! * [`wire`] — little-endian encoding helpers and a bounds-checked
+//!   [`wire::Reader`] hardened against hostile or truncated input.
+//! * [`container`] — the versioned on-disk format: magic, version,
+//!   section table, per-section and whole-file checksums.
+//! * [`store`] — the two-tier [`Store`]: in-memory LRU over decoded
+//!   sections plus a directory of container files, with advisory file
+//!   locking so concurrent experiment binaries share one store, and an
+//!   oldest-first [`Store::gc`] sweep.
+//!
+//! This crate is domain-agnostic (sections are opaque bytes); the
+//! `powerpruning` crate layers typed characterization artifacts and
+//! cache-key derivation on top, and `gatesim` uses [`Hasher128`] for
+//! netlist structural digests.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod container;
+pub mod digest;
+pub mod store;
+pub mod wire;
+
+pub use container::{Section, FORMAT_VERSION};
+pub use digest::{digest_bytes, Digest128, Hasher128};
+pub use store::{EntryInfo, GcReport, Store, StoreCounters};

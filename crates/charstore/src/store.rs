@@ -1,0 +1,578 @@
+//! The two-tier content-addressed artifact store.
+//!
+//! Tier 1 is an in-memory LRU over decoded section lists (shared
+//! `Arc`s, bounded by a byte budget); tier 2 is a directory of
+//! checksummed container files named by the artifact key:
+//!
+//! ```text
+//! <root>/
+//!   objects/<32-hex-digest>.ppc    one container per artifact
+//!   .lock                          advisory lock file
+//! ```
+//!
+//! Concurrency: writers stage into a writer-unique temp file and
+//! `rename` it into place (atomic on POSIX), so readers never observe a
+//! half-written object. On top of that, every disk mutation takes the
+//! advisory file lock — shared for `put` (concurrent writers are safe
+//! thanks to the atomic rename), exclusive for [`Store::gc`] so it
+//! never deletes an object out from under a concurrent reader holding
+//! the shared lock. Multiple experiment binaries can therefore share
+//! one store.
+//!
+//! A corrupted object file (flipped byte, truncation, version skew) is
+//! reported as a miss — the caller recomputes and overwrites it — never
+//! as an error that kills the pipeline.
+
+use crate::container::{self, Section};
+use crate::digest::Digest128;
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::SystemTime;
+
+/// Default in-memory tier budget: plenty for a full Mini-scale
+/// characterization set while staying irrelevant next to the pipeline's
+/// own footprint.
+pub const DEFAULT_MEM_BUDGET_BYTES: usize = 64 << 20;
+
+const OBJECT_EXT: &str = "ppc";
+
+/// Monotonic hit/miss counters of one [`Store`] instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreCounters {
+    /// Lookups served from the in-memory tier.
+    pub mem_hits: u64,
+    /// Lookups served from disk (and promoted to memory).
+    pub disk_hits: u64,
+    /// Lookups that found nothing (or a corrupted object).
+    pub misses: u64,
+    /// Artifacts written.
+    pub puts: u64,
+}
+
+impl StoreCounters {
+    /// Total lookups served from either tier.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.mem_hits + self.disk_hits
+    }
+}
+
+/// A disk object listed by [`Store::entries`].
+#[derive(Debug, Clone)]
+pub struct EntryInfo {
+    /// Artifact key.
+    pub key: Digest128,
+    /// Container file size in bytes.
+    pub bytes: u64,
+    /// Last-modified time of the container file.
+    pub modified: SystemTime,
+}
+
+/// Result of a [`Store::gc`] sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcReport {
+    /// Objects deleted.
+    pub deleted: usize,
+    /// Bytes freed.
+    pub freed_bytes: u64,
+    /// Objects (and bytes) surviving the sweep.
+    pub kept: usize,
+    /// Bytes still stored after the sweep.
+    pub kept_bytes: u64,
+}
+
+#[derive(Debug)]
+struct MemEntry {
+    sections: Arc<Vec<Section>>,
+    bytes: usize,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct MemTier {
+    map: HashMap<Digest128, MemEntry>,
+    bytes: usize,
+    tick: u64,
+}
+
+impl MemTier {
+    fn touch(&mut self, key: &Digest128) -> Option<Arc<Vec<Section>>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|e| {
+            e.last_used = tick;
+            Arc::clone(&e.sections)
+        })
+    }
+
+    fn insert(&mut self, key: Digest128, sections: Arc<Vec<Section>>, budget: usize) {
+        let bytes: usize = sections.iter().map(|s| s.bytes.len() + 24).sum();
+        if bytes > budget {
+            return; // larger than the whole tier: disk-only
+        }
+        self.tick += 1;
+        if let Some(old) = self.map.insert(
+            key,
+            MemEntry {
+                sections,
+                bytes,
+                last_used: self.tick,
+            },
+        ) {
+            self.bytes -= old.bytes;
+        }
+        self.bytes += bytes;
+        // Evict least-recently-used entries until under budget. Linear
+        // scan per eviction is fine at tens of artifacts.
+        while self.bytes > budget {
+            let Some((&victim, _)) = self.map.iter().min_by_key(|(_, e)| e.last_used) else {
+                break;
+            };
+            if let Some(e) = self.map.remove(&victim) {
+                self.bytes -= e.bytes;
+            }
+        }
+    }
+
+    fn remove(&mut self, key: &Digest128) {
+        if let Some(e) = self.map.remove(key) {
+            self.bytes -= e.bytes;
+        }
+    }
+}
+
+/// The two-tier content-addressed store.
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+    mem_budget: usize,
+    mem: Mutex<MemTier>,
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    puts: AtomicU64,
+}
+
+impl Store {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory layout.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Store> {
+        Store::with_mem_budget(root, DEFAULT_MEM_BUDGET_BYTES)
+    }
+
+    /// [`Store::open`] with an explicit in-memory tier budget in bytes
+    /// (0 disables the memory tier).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory layout.
+    pub fn with_mem_budget(root: impl Into<PathBuf>, mem_budget: usize) -> io::Result<Store> {
+        let root = root.into();
+        fs::create_dir_all(root.join("objects"))?;
+        Ok(Store {
+            root,
+            mem_budget,
+            mem: Mutex::new(MemTier::default()),
+            mem_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Snapshot of this instance's hit/miss counters.
+    #[must_use]
+    pub fn counters(&self) -> StoreCounters {
+        StoreCounters {
+            mem_hits: self.mem_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+        }
+    }
+
+    fn object_path(&self, key: Digest128) -> PathBuf {
+        self.root
+            .join("objects")
+            .join(format!("{}.{OBJECT_EXT}", key.to_hex()))
+    }
+
+    fn lock_file(&self) -> io::Result<fs::File> {
+        fs::OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(self.root.join(".lock"))
+    }
+
+    /// Looks up an artifact: memory tier first, then disk (verifying
+    /// checksums and promoting to memory). A corrupted or unreadable
+    /// object counts as a miss.
+    #[must_use]
+    pub fn get(&self, key: Digest128) -> Option<Arc<Vec<Section>>> {
+        if let Some(hit) = self.mem.lock().expect("mem tier poisoned").touch(&key) {
+            self.mem_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(hit);
+        }
+        let loaded = (|| -> io::Result<Arc<Vec<Section>>> {
+            // Shared lock: a concurrent gc (exclusive) cannot delete the
+            // object between the read and the checksum verification.
+            let lock = self.lock_file()?;
+            lock.lock_shared()?;
+            let bytes = fs::read(self.object_path(key));
+            let _ = lock.unlock();
+            Ok(Arc::new(container::decode(&bytes?)?))
+        })();
+        match loaded {
+            Ok(sections) => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.mem.lock().expect("mem tier poisoned").insert(
+                    key,
+                    Arc::clone(&sections),
+                    self.mem_budget,
+                );
+                Some(sections)
+            }
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Whether an artifact exists (either tier), without promoting it.
+    #[must_use]
+    pub fn contains(&self, key: Digest128) -> bool {
+        self.mem
+            .lock()
+            .expect("mem tier poisoned")
+            .map
+            .contains_key(&key)
+            || self.object_path(key).exists()
+    }
+
+    /// Stores an artifact under `key`, populating both tiers. Safe
+    /// against concurrent writers of the same key: both stage to unique
+    /// temp files and the last atomic rename wins (contents are
+    /// identical by construction — the key commits to the inputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from staging or renaming the object file.
+    pub fn put(&self, key: Digest128, sections: Vec<Section>) -> io::Result<()> {
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let encoded = container::encode(&sections);
+        let final_path = self.object_path(key);
+        // Unique per process *and* per thread: concurrent writers must
+        // never stage into the same temp file.
+        let tmp_path = final_path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let lock = self.lock_file()?;
+        lock.lock_shared()?;
+        let result = (|| -> io::Result<()> {
+            fs::write(&tmp_path, &encoded)?;
+            fs::rename(&tmp_path, &final_path)
+        })();
+        let _ = lock.unlock();
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp_path);
+        }
+        result?;
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        self.mem.lock().expect("mem tier poisoned").insert(
+            key,
+            Arc::new(sections),
+            self.mem_budget,
+        );
+        Ok(())
+    }
+
+    /// Lists all disk objects (unordered).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from reading the objects directory.
+    pub fn entries(&self) -> io::Result<Vec<EntryInfo>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(self.root.join("objects"))? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(OBJECT_EXT) {
+                continue;
+            }
+            let Some(key) = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(Digest128::from_hex)
+            else {
+                continue;
+            };
+            let meta = entry.metadata()?;
+            out.push(EntryInfo {
+                key,
+                bytes: meta.len(),
+                modified: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Total bytes of all disk objects.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from reading the objects directory.
+    pub fn disk_bytes(&self) -> io::Result<u64> {
+        Ok(self.entries()?.iter().map(|e| e.bytes).sum())
+    }
+
+    /// Deletes oldest-first (by modification time) until the disk tier
+    /// is at most `max_bytes`. Takes the exclusive advisory lock, so
+    /// concurrent readers and writers in other processes are excluded
+    /// for the duration of the sweep. Also removes staging temp files
+    /// orphaned by crashed writers: a live writer stages only while
+    /// holding the shared lock, so any `*.tmp.*` file visible under the
+    /// exclusive lock is garbage.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from listing or deleting objects.
+    pub fn gc(&self, max_bytes: u64) -> io::Result<GcReport> {
+        let lock = self.lock_file()?;
+        lock.lock()?;
+        let result = (|| -> io::Result<GcReport> {
+            for entry in fs::read_dir(self.root.join("objects"))? {
+                let path = entry?.path();
+                let is_orphan_tmp = path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.contains(".tmp."));
+                if is_orphan_tmp {
+                    let _ = fs::remove_file(&path);
+                }
+            }
+            let mut entries = self.entries()?;
+            entries.sort_by_key(|e| (e.modified, e.key));
+            let mut total: u64 = entries.iter().map(|e| e.bytes).sum();
+            let mut report = GcReport {
+                deleted: 0,
+                freed_bytes: 0,
+                kept: entries.len(),
+                kept_bytes: total,
+            };
+            let mut mem = self.mem.lock().expect("mem tier poisoned");
+            for e in &entries {
+                if total <= max_bytes {
+                    break;
+                }
+                fs::remove_file(self.object_path(e.key))?;
+                mem.remove(&e.key);
+                total -= e.bytes;
+                report.deleted += 1;
+                report.freed_bytes += e.bytes;
+                report.kept -= 1;
+                report.kept_bytes -= e.bytes;
+            }
+            Ok(report)
+        })();
+        let _ = lock.unlock();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+    fn temp_store() -> (PathBuf, Store) {
+        let dir = std::env::temp_dir().join(format!(
+            "charstore-test-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let store = Store::open(&dir).expect("open store");
+        (dir, store)
+    }
+
+    fn key(n: u8) -> Digest128 {
+        crate::digest::digest_bytes("test-key", &[n])
+    }
+
+    fn artifact(n: u8, len: usize) -> Vec<Section> {
+        vec![
+            Section::new(1, vec![n; len]),
+            Section::new(2, vec![n ^ 0xff; 8]),
+        ]
+    }
+
+    #[test]
+    fn put_get_round_trips_both_tiers() {
+        let (dir, store) = temp_store();
+        store.put(key(1), artifact(1, 100)).unwrap();
+        // Memory tier hit.
+        assert_eq!(*store.get(key(1)).unwrap(), artifact(1, 100));
+        assert_eq!(store.counters().mem_hits, 1);
+        // Fresh instance: disk tier hit, then promoted.
+        let cold = Store::open(&dir).unwrap();
+        assert_eq!(*cold.get(key(1)).unwrap(), artifact(1, 100));
+        assert_eq!(cold.counters().disk_hits, 1);
+        assert_eq!(*cold.get(key(1)).unwrap(), artifact(1, 100));
+        assert_eq!(cold.counters().mem_hits, 1);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn missing_key_counts_as_miss() {
+        let (dir, store) = temp_store();
+        assert!(store.get(key(9)).is_none());
+        assert_eq!(store.counters().misses, 1);
+        assert!(!store.contains(key(9)));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn corrupted_object_is_a_miss_not_an_error() {
+        let (dir, store) = temp_store();
+        store.put(key(2), artifact(2, 64)).unwrap();
+        let path = store.object_path(key(2));
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let cold = Store::open(&dir).unwrap();
+        assert!(cold.get(key(2)).is_none());
+        assert_eq!(cold.counters().misses, 1);
+        // Recompute-and-overwrite heals the store.
+        cold.put(key(2), artifact(2, 64)).unwrap();
+        let healed = Store::open(&dir).unwrap();
+        assert!(healed.get(key(2)).is_some());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn lru_evicts_by_recency_within_budget() {
+        let (dir, _) = temp_store();
+        // Budget fits two ~1 KiB artifacts but not three.
+        let store = Store::with_mem_budget(&dir, 2300).unwrap();
+        store.put(key(1), artifact(1, 1000)).unwrap();
+        store.put(key(2), artifact(2, 1000)).unwrap();
+        let _ = store.get(key(1)); // 1 is now more recent than 2
+        store.put(key(3), artifact(3, 1000)).unwrap(); // evicts 2
+        {
+            let mem = store.mem.lock().unwrap();
+            assert!(mem.map.contains_key(&key(1)));
+            assert!(!mem.map.contains_key(&key(2)));
+            assert!(mem.map.contains_key(&key(3)));
+        }
+        // Evicted entries are still served from disk.
+        assert!(store.get(key(2)).is_some());
+        assert_eq!(store.counters().disk_hits, 1);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn oversized_artifact_bypasses_memory_tier() {
+        let (dir, _) = temp_store();
+        let store = Store::with_mem_budget(&dir, 100).unwrap();
+        store.put(key(4), artifact(4, 1000)).unwrap();
+        assert!(store.mem.lock().unwrap().map.is_empty());
+        assert!(store.get(key(4)).is_some()); // disk
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn entries_and_gc_enforce_byte_budget() {
+        let (dir, store) = temp_store();
+        for n in 0..4 {
+            store.put(key(n), artifact(n, 500)).unwrap();
+        }
+        let entries = store.entries().unwrap();
+        assert_eq!(entries.len(), 4);
+        let per_object = entries[0].bytes;
+        let report = store.gc(2 * per_object).unwrap();
+        assert_eq!(report.deleted, 2);
+        assert_eq!(report.kept, 2);
+        assert!(store.disk_bytes().unwrap() <= 2 * per_object);
+        // gc also dropped the deleted keys from the memory tier.
+        let survivors = store
+            .entries()
+            .unwrap()
+            .iter()
+            .map(|e| e.key)
+            .collect::<Vec<_>>();
+        let mem = store.mem.lock().unwrap();
+        for k in mem.map.keys() {
+            assert!(survivors.contains(k));
+        }
+        drop(mem);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn gc_to_zero_clears_the_store() {
+        let (dir, store) = temp_store();
+        store.put(key(1), artifact(1, 10)).unwrap();
+        let report = store.gc(0).unwrap();
+        assert_eq!(report.kept, 0);
+        assert_eq!(report.kept_bytes, 0);
+        assert!(store.get(key(1)).is_none());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn gc_sweeps_orphaned_staging_files() {
+        let (dir, store) = temp_store();
+        store.put(key(1), artifact(1, 50)).unwrap();
+        // Simulate a writer that crashed between stage and rename.
+        let orphan = dir.join("objects").join("deadbeef.tmp.1234.0");
+        fs::write(&orphan, b"half-written").unwrap();
+        // Orphans are invisible to entries() but reclaimed by gc, even
+        // when the byte budget deletes nothing.
+        assert_eq!(store.entries().unwrap().len(), 1);
+        let report = store.gc(u64::MAX).unwrap();
+        assert_eq!(report.deleted, 0);
+        assert!(!orphan.exists(), "orphaned temp file survived gc");
+        assert!(store.get(key(1)).is_some());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn concurrent_writers_of_same_key_are_safe() {
+        let (dir, _) = temp_store();
+        let dir2 = dir.clone();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let d = dir2.clone();
+                s.spawn(move || {
+                    let store = Store::open(&d).unwrap();
+                    for round in 0..10 {
+                        store.put(key(7), artifact(7, 300)).unwrap();
+                        let got = Store::open(&d).unwrap().get(key(7));
+                        assert!(got.is_some(), "round {round}");
+                    }
+                });
+            }
+        });
+        let _ = fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,267 @@
+//! Little-endian wire encoding with a bounds-checked reader.
+//!
+//! The writer side is a handful of `put_*` helpers appending to a
+//! `Vec<u8>`. The reader side is [`Reader`], which enforces the store's
+//! hardening discipline against hostile or truncated input:
+//!
+//! * every read is bounds-checked against the remaining bytes;
+//! * collection lengths must be validated with [`Reader::bounded_len`]
+//!   **before** any allocation, so a corrupted `u64` count can never
+//!   trigger a huge `Vec::with_capacity`;
+//! * [`Reader::finish`] rejects trailing bytes, so a payload cannot
+//!   smuggle extra data past its decoder.
+
+use std::io;
+
+/// Shorthand for the `InvalidData` errors every decoder returns.
+pub fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Appends a `u8`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `usize` as little-endian `u64` (platform-independent).
+pub fn put_usize(out: &mut Vec<u8>, v: usize) {
+    put_u64(out, v as u64);
+}
+
+/// Appends a little-endian `i32`.
+pub fn put_i32(out: &mut Vec<u8>, v: i32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` by exact bit pattern.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Appends an `f32` by exact bit pattern.
+pub fn put_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked cursor over an untrusted byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over the whole slice.
+    #[must_use]
+    pub fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Consumes exactly `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` if fewer than `len` bytes remain.
+    pub fn take(&mut self, len: usize) -> io::Result<&'a [u8]> {
+        if len > self.remaining() {
+            return Err(invalid(format!(
+                "truncated input: need {len} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let out = &self.data[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(out)
+    }
+
+    /// Reads a `u8`.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on truncation.
+    pub fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on truncation.
+    pub fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on truncation.
+    pub fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Reads a little-endian `i32`.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on truncation.
+    pub fn i32(&mut self) -> io::Result<i32> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Reads an `f64` by exact bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on truncation.
+    pub fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads an `f32` by exact bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on truncation.
+    pub fn f32(&mut self) -> io::Result<f32> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    /// Reads a `u64` count and validates it *before allocation*: the
+    /// declared `count` items of `elem_size` bytes minimum each must fit
+    /// in the remaining input. Returns the count as `usize`.
+    ///
+    /// This is the load-bearing hardening primitive: a hostile length
+    /// field can at most claim `remaining / elem_size` items, so
+    /// `Vec::with_capacity(bounded_len(..)?)` is always bounded by the
+    /// input size actually present.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` if the declared count cannot fit in the remaining
+    /// bytes (`elem_size` of 0 is a caller bug and also rejected).
+    pub fn bounded_len(&mut self, elem_size: usize) -> io::Result<usize> {
+        let count = self.u64()?;
+        if elem_size == 0 {
+            return Err(invalid("zero-size element in bounded_len"));
+        }
+        let max = (self.remaining() / elem_size) as u64;
+        if count > max {
+            return Err(invalid(format!(
+                "implausible count {count}: only {} bytes remain ({} elements of {elem_size} bytes)",
+                self.remaining(),
+                max
+            )));
+        }
+        Ok(count as usize)
+    }
+
+    /// Reads a length-prefixed UTF-8 string (bounded).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on truncation or invalid UTF-8.
+    pub fn str(&mut self) -> io::Result<String> {
+        let len = self.bounded_len(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| invalid("invalid UTF-8 string"))
+    }
+
+    /// Asserts the payload is fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` if trailing bytes remain.
+    pub fn finish(&self) -> io::Result<()> {
+        if self.remaining() != 0 {
+            return Err(invalid(format!(
+                "{} trailing bytes after payload",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u32(&mut buf, 0xdeadbeef);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_i32(&mut buf, -12345);
+        put_f64(&mut buf, -0.0);
+        put_f32(&mut buf, f32::NAN);
+        put_str(&mut buf, "héllo");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xdeadbeef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.i32().unwrap(), -12345);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.f32().unwrap().is_nan());
+        assert_eq!(r.str().unwrap(), "héllo");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn hostile_count_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, u64::MAX); // claims 2^64-1 elements
+        let mut r = Reader::new(&buf);
+        let err = r.bounded_len(8).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncation_is_invalid_data() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        assert_eq!(r.u64().unwrap_err().kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 1);
+        put_u8(&mut buf, 9);
+        let mut r = Reader::new(&buf);
+        let _ = r.u32().unwrap();
+        assert_eq!(r.finish().unwrap_err().kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn bounded_len_accepts_exact_fit() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 3);
+        buf.extend_from_slice(&[0u8; 12]); // 3 elements of 4 bytes
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.bounded_len(4).unwrap(), 3);
+    }
+}

@@ -1,0 +1,431 @@
+//! Warm-start caching of characterization artifacts.
+//!
+//! Power and timing characterization are pure functions of the cell
+//! library, the netlist structure, the RNG seeds, the sample budgets
+//! and (for power) the captured GEMM streams. This module derives
+//! content-addressed keys committing to *all* of those inputs
+//! ([`characterization_key`], [`timing_key`]), encodes the artifacts
+//! into [`charstore`] containers, and wraps a [`charstore::Store`] in
+//! the [`CharCache`] handle the pipeline stages consult before doing
+//! any gate-level work.
+//!
+//! Environment knobs (read by [`CharCache::from_env`]):
+//!
+//! * `POWERPRUNING_CACHE=off|0|false` — disable the cache entirely.
+//! * `POWERPRUNING_CACHE_DIR=<dir>` — store root (default
+//!   `.powerpruning-cache` under the working directory).
+//!
+//! A key hit is provably the same computation, so a warmed store lets a
+//! second pipeline run skip every `BatchSim` settle/transition
+//! round-trip of characterization. Decode failures (corruption, version
+//! skew) degrade to a miss and the artifact is recomputed and
+//! rewritten.
+
+use crate::chars::{MacHardware, PsumBinning, WeightPowerProfile};
+use crate::pipeline::stages::PipelineCtx;
+use crate::pipeline::Characterization;
+use crate::WeightTimingProfile;
+use charstore::container::find;
+use charstore::wire::{self, Reader};
+use charstore::{Digest128, Hasher128, Section, Store};
+use gatesim::{CellKind, CellLibrary};
+use nn::layers::GemmCapture;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use systolic::MacEnergyModel;
+
+/// Default store directory (relative to the working directory).
+pub const DEFAULT_CACHE_DIR: &str = ".powerpruning-cache";
+
+/// Version of the characterization *algorithms* folded into every
+/// cache key. The keys commit to all inputs, but a persistent
+/// default-on cache must also be invalidated when the computation
+/// itself changes: **bump this constant whenever any PR changes the
+/// observable output of the characterize or timing stages for
+/// unchanged inputs** (sampling loops, binning, energy composition,
+/// the hardcoded baseline energy, …). Old artifacts then simply stop
+/// matching and are recomputed.
+pub const ARTIFACT_ALGO_VERSION: u32 = 1;
+
+/// Section ids of the characterization container.
+mod section {
+    pub const PROVENANCE: u32 = 1;
+    pub const STATS: u32 = 2;
+    pub const BINNING: u32 = 3;
+    pub const POWER_PROFILE: u32 = 4;
+    pub const ENERGY_MODEL: u32 = 5;
+    pub const TIMING_PROFILE: u32 = 6;
+}
+
+fn hash_library(h: &mut Hasher128, lib: &CellLibrary) {
+    for &kind in CellKind::all() {
+        let p = lib.params(kind);
+        h.write_u8(kind as u8);
+        h.write_f64(p.delay_ps);
+        h.write_f64(p.energy_fj);
+        h.write_f64(p.leakage_nw);
+    }
+}
+
+fn hash_hardware(h: &mut Hasher128, hw: &MacHardware) {
+    h.write_u32(ARTIFACT_ALGO_VERSION);
+    hash_library(h, hw.lib());
+    h.update(&hw.mac().netlist().structural_digest().0);
+    h.update(&hw.mult_netlist().structural_digest().0);
+    h.write_usize(hw.weight_bits());
+    h.write_usize(hw.act_bits());
+    h.write_usize(hw.acc_bits());
+}
+
+/// The cache key of the combined statistics + power characterization
+/// artifact produced by the pipeline's characterize stage.
+///
+/// Commits to the cell library, the MAC and multiplier netlist
+/// structures, the systolic array geometry, every seed and budget the
+/// stage derives from the configuration, and the full content of the
+/// captured GEMM streams the statistics are collected from.
+#[must_use]
+pub fn characterization_key(ctx: &PipelineCtx<'_>, captures: &[GemmCapture]) -> Digest128 {
+    let mut h = Hasher128::new("powerpruning.characterization.v1");
+    hash_hardware(&mut h, ctx.hw);
+    let array = ctx.array.config();
+    h.write_usize(array.rows);
+    h.write_usize(array.cols);
+    h.write_f64(array.clock_ps);
+    h.write_usize(array.acc_bits);
+    let cfg = ctx.cfg;
+    h.write_u64(cfg.seed);
+    h.write_usize(cfg.bins());
+    h.write_usize(cfg.power_samples());
+    h.write_usize(cfg.weight_stride());
+    h.write_usize(captures.len());
+    let mut scratch = Vec::new();
+    for c in captures {
+        h.write_str(&c.layer);
+        h.write_usize(c.m);
+        h.write_usize(c.k);
+        h.write_usize(c.n);
+        // i8 codes share the u8 byte representation; one reused scratch
+        // buffer instead of an allocation per capture.
+        scratch.clear();
+        scratch.extend(c.weight_codes.iter().map(|&w| w as u8));
+        h.write_bytes(&scratch);
+        h.write_bytes(&c.act_codes);
+    }
+    h.finalize()
+}
+
+/// The cache key of the timing characterization artifact.
+///
+/// Commits to the cell library, both netlist structures, and every
+/// field of the effective timing configuration (including the
+/// slow-combination floor, which changes which transitions are stored
+/// individually).
+#[must_use]
+pub fn timing_key(ctx: &PipelineCtx<'_>, slow_floor_ps: f64) -> Digest128 {
+    let mut h = Hasher128::new("powerpruning.timing.v1");
+    hash_hardware(&mut h, ctx.hw);
+    let (exhaustive, samples) = ctx.cfg.timing_exhaustive();
+    h.write_bool(exhaustive);
+    h.write_usize(samples);
+    h.write_u64(ctx.cfg.seed);
+    h.write_f64(slow_floor_ps);
+    h.write_usize(ctx.cfg.weight_stride());
+    h.finalize()
+}
+
+fn provenance_section(ctx: &PipelineCtx<'_>, kind: &str) -> Section {
+    let mut buf = Vec::new();
+    let created = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    for (k, v) in [
+        ("artifact", kind.to_string()),
+        ("crate_version", env!("CARGO_PKG_VERSION").to_string()),
+        ("scale", format!("{:?}", ctx.cfg.scale)),
+        ("seed", format!("{:#x}", ctx.cfg.seed)),
+        ("mac", ctx.hw.mac().netlist().name().to_string()),
+        ("created_unix", created.to_string()),
+    ] {
+        wire::put_str(&mut buf, k);
+        wire::put_str(&mut buf, &v);
+    }
+    Section::new(section::PROVENANCE, buf)
+}
+
+/// Parses a provenance section into `(key, value)` pairs — the CLI's
+/// `stat` view. Unknown layouts yield an empty list rather than an
+/// error (provenance is informational, never load-bearing).
+#[must_use]
+pub fn decode_provenance(sections: &[Section]) -> Vec<(String, String)> {
+    let Some(s) = find(sections, section::PROVENANCE) else {
+        return Vec::new();
+    };
+    let mut r = Reader::new(&s.bytes);
+    let mut out = Vec::new();
+    while r.remaining() > 0 {
+        let Ok(k) = r.str() else { return Vec::new() };
+        let Ok(v) = r.str() else { return Vec::new() };
+        out.push((k, v));
+    }
+    out
+}
+
+fn encode_characterization(ctx: &PipelineCtx<'_>, chars: &Characterization) -> Vec<Section> {
+    let mut stats = Vec::new();
+    chars.stats.write_to(&mut stats);
+    let mut binning = Vec::new();
+    chars.binning.write_to(&mut binning);
+    let mut power = Vec::new();
+    chars.power_profile.write_to(&mut power);
+    let mut energy = Vec::new();
+    chars.energy_model.write_to(&mut energy);
+    vec![
+        provenance_section(ctx, "characterization"),
+        Section::new(section::STATS, stats),
+        Section::new(section::BINNING, binning),
+        Section::new(section::POWER_PROFILE, power),
+        Section::new(section::ENERGY_MODEL, energy),
+    ]
+}
+
+fn required<'a>(sections: &'a [Section], id: u32) -> io::Result<Reader<'a>> {
+    find(sections, id)
+        .map(|s| Reader::new(&s.bytes))
+        .ok_or_else(|| wire::invalid(format!("artifact is missing section {id}")))
+}
+
+fn decode_characterization(sections: &[Section]) -> io::Result<Characterization> {
+    let mut r = required(sections, section::STATS)?;
+    let stats = systolic::TransitionStats::read_from(&mut r)?;
+    r.finish()?;
+    let mut r = required(sections, section::BINNING)?;
+    let binning = PsumBinning::read_from(&mut r)?;
+    r.finish()?;
+    let mut r = required(sections, section::POWER_PROFILE)?;
+    let power_profile = WeightPowerProfile::read_from(&mut r)?;
+    r.finish()?;
+    let mut r = required(sections, section::ENERGY_MODEL)?;
+    let energy_model = MacEnergyModel::read_from(&mut r)?;
+    r.finish()?;
+    Ok(Characterization {
+        stats,
+        binning,
+        power_profile,
+        energy_model,
+    })
+}
+
+fn encode_timing(ctx: &PipelineCtx<'_>, profile: &WeightTimingProfile) -> Vec<Section> {
+    let mut buf = Vec::new();
+    profile.write_to(&mut buf);
+    vec![
+        provenance_section(ctx, "timing"),
+        Section::new(section::TIMING_PROFILE, buf),
+    ]
+}
+
+fn decode_timing(sections: &[Section]) -> io::Result<WeightTimingProfile> {
+    let mut r = required(sections, section::TIMING_PROFILE)?;
+    let profile = WeightTimingProfile::read_from(&mut r)?;
+    r.finish()?;
+    Ok(profile)
+}
+
+/// Typed hit/miss counters of one [`CharCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheCounters {
+    /// Artifact lookups answered from the store (either tier).
+    pub hits: u64,
+    /// Lookups that had to fall through to gate-level simulation.
+    pub misses: u64,
+}
+
+/// The pipeline-facing artifact cache: typed lookups and stores over a
+/// [`charstore::Store`], plus hit/miss accounting.
+#[derive(Debug)]
+pub struct CharCache {
+    store: Store,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CharCache {
+    /// Opens a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the store layout.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<CharCache> {
+        Ok(CharCache {
+            store: Store::open(dir.as_ref())?,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// Whether `POWERPRUNING_CACHE` is set to `off`/`0`/`false`. The
+    /// env kill switch overrides every configuration path, including
+    /// explicit store directories.
+    #[must_use]
+    pub fn disabled_by_env() -> bool {
+        std::env::var("POWERPRUNING_CACHE")
+            .is_ok_and(|v| matches!(v.to_ascii_lowercase().as_str(), "off" | "0" | "false"))
+    }
+
+    /// Opens the cache described by the environment: `None` when
+    /// `POWERPRUNING_CACHE` is `off`/`0`/`false` or the store directory
+    /// cannot be created (the pipeline silently runs uncached — a cache
+    /// must never turn a runnable experiment into an error).
+    #[must_use]
+    pub fn from_env() -> Option<CharCache> {
+        if CharCache::disabled_by_env() {
+            return None;
+        }
+        let dir = std::env::var("POWERPRUNING_CACHE_DIR")
+            .unwrap_or_else(|_| DEFAULT_CACHE_DIR.to_string());
+        CharCache::open(dir).ok()
+    }
+
+    /// The underlying store (for the CLI and tests).
+    #[must_use]
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Snapshot of the typed hit/miss counters.
+    #[must_use]
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn record<T>(&self, result: Option<T>) -> Option<T> {
+        match result {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Looks up a characterization artifact. Any store miss or decode
+    /// failure is a cache miss.
+    #[must_use]
+    pub fn lookup_characterization(&self, key: Digest128) -> Option<Characterization> {
+        let decoded = self
+            .store
+            .get(key)
+            .and_then(|s| decode_characterization(&s).ok());
+        self.record(decoded)
+    }
+
+    /// Stores a characterization artifact. Failures are swallowed (the
+    /// computed artifact is still returned to the caller; only warm
+    /// starts are lost).
+    pub fn store_characterization(
+        &self,
+        ctx: &PipelineCtx<'_>,
+        key: Digest128,
+        chars: &Characterization,
+    ) {
+        let _ = self.store.put(key, encode_characterization(ctx, chars));
+    }
+
+    /// Looks up a timing artifact. Any store miss or decode failure is
+    /// a cache miss.
+    #[must_use]
+    pub fn lookup_timing(&self, key: Digest128) -> Option<WeightTimingProfile> {
+        let decoded = self.store.get(key).and_then(|s| decode_timing(&s).ok());
+        self.record(decoded)
+    }
+
+    /// Stores a timing artifact (failures swallowed, as above).
+    pub fn store_timing(
+        &self,
+        ctx: &PipelineCtx<'_>,
+        key: Digest128,
+        profile: &WeightTimingProfile,
+    ) {
+        let _ = self.store.put(key, encode_timing(ctx, profile));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Pipeline, PipelineConfig, Scale};
+
+    fn micro_ctx_pipeline() -> Pipeline {
+        let mut cfg = PipelineConfig::for_scale(Scale::Micro);
+        cfg.cache = false;
+        Pipeline::new(cfg)
+    }
+
+    #[test]
+    fn keys_commit_to_configuration() {
+        let p = micro_ctx_pipeline();
+        let ctx = p.ctx();
+        let base = timing_key(&ctx, 100.0);
+        assert_eq!(base, timing_key(&ctx, 100.0));
+        assert_ne!(base, timing_key(&ctx, 101.0));
+
+        let mut cfg2 = *p.ctx().cfg;
+        cfg2.seed ^= 1;
+        let p2 = Pipeline::new(cfg2);
+        assert_ne!(base, timing_key(&p2.ctx(), 100.0));
+    }
+
+    #[test]
+    fn characterization_key_commits_to_captures() {
+        let p = micro_ctx_pipeline();
+        let ctx = p.ctx();
+        let mut capture = GemmCapture {
+            layer: "l0".into(),
+            weight_codes: vec![1, -2, 3, -4],
+            act_codes: vec![9, 8, 7, 6],
+            m: 2,
+            k: 2,
+            n: 2,
+        };
+        let a = characterization_key(&ctx, std::slice::from_ref(&capture));
+        assert_eq!(
+            a,
+            characterization_key(&ctx, std::slice::from_ref(&capture))
+        );
+        capture.weight_codes[0] = 2;
+        assert_ne!(
+            a,
+            characterization_key(&ctx, std::slice::from_ref(&capture))
+        );
+    }
+
+    #[test]
+    fn timing_and_characterization_keys_never_collide() {
+        // Domain separation: even with degenerate inputs the two
+        // artifact kinds key into disjoint spaces.
+        let p = micro_ctx_pipeline();
+        let ctx = p.ctx();
+        assert_ne!(timing_key(&ctx, 0.0), characterization_key(&ctx, &[]));
+    }
+
+    #[test]
+    fn provenance_round_trips() {
+        let p = micro_ctx_pipeline();
+        let sections = vec![provenance_section(&p.ctx(), "unit-test")];
+        let pairs = decode_provenance(&sections);
+        assert!(pairs
+            .iter()
+            .any(|(k, v)| k == "artifact" && v == "unit-test"));
+        assert!(pairs.iter().any(|(k, _)| k == "created_unix"));
+        assert!(decode_provenance(&[]).is_empty());
+    }
+}

@@ -18,7 +18,7 @@ use rand::{Rng, SeedableRng};
 
 /// A partition of partial-sum values into bit-similarity bins, plus the
 /// observed bin-to-bin transition distribution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PsumBinning {
     bits: usize,
     /// Members per bin (sorted).
@@ -205,6 +205,64 @@ impl PsumBinning {
                 (from, to)
             })
             .collect()
+    }
+
+    /// Serializes the binning bit-exactly for the charstore container.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        use charstore::wire;
+        wire::put_usize(out, self.bits);
+        wire::put_usize(out, self.bins.len());
+        for bin in &self.bins {
+            wire::put_usize(out, bin.len());
+            for &v in bin {
+                wire::put_i32(out, v);
+            }
+        }
+        wire::put_usize(out, self.counts.len());
+        for &c in &self.counts {
+            wire::put_u64(out, c);
+        }
+        wire::put_u64(out, self.total);
+    }
+
+    /// Deserializes a binning written by [`PsumBinning::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on truncation, an implausible bin/count length, or
+    /// a count matrix that is not `bins × bins`.
+    pub fn read_from(r: &mut charstore::wire::Reader<'_>) -> std::io::Result<Self> {
+        use charstore::wire;
+        let bits = r.u64()? as usize;
+        if bits > 32 {
+            return Err(wire::invalid(format!("implausible bit width {bits}")));
+        }
+        let num_bins = r.bounded_len(8)?;
+        let mut bins = Vec::with_capacity(num_bins);
+        for _ in 0..num_bins {
+            let len = r.bounded_len(4)?;
+            let mut bin = Vec::with_capacity(len);
+            for _ in 0..len {
+                bin.push(r.i32()?);
+            }
+            bins.push(bin);
+        }
+        let counts_len = r.bounded_len(8)?;
+        if counts_len != num_bins * num_bins {
+            return Err(wire::invalid(format!(
+                "count matrix has {counts_len} entries for {num_bins} bins"
+            )));
+        }
+        let mut counts = Vec::with_capacity(counts_len);
+        for _ in 0..counts_len {
+            counts.push(r.u64()?);
+        }
+        Ok(PsumBinning {
+            bits,
+            bins,
+            counts,
+            total: r.u64()?,
+        })
     }
 
     /// Checks the partition invariant: every observed value is in

@@ -126,6 +126,55 @@ impl WeightPowerProfile {
         out
     }
 
+    /// Serializes the profile bit-exactly for the charstore container.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        use charstore::wire;
+        wire::put_usize(out, self.codes.len());
+        for &c in &self.codes {
+            wire::put_i32(out, c);
+        }
+        for &e in &self.energy_fj {
+            wire::put_f64(out, e);
+        }
+        for &p in &self.power_uw {
+            wire::put_f64(out, p);
+        }
+        wire::put_f64(out, self.clock_ps);
+    }
+
+    /// Deserializes a profile written by [`WeightPowerProfile::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on truncation, an implausible length, or a code
+    /// list that is not strictly ascending (the lookup invariant).
+    pub fn read_from(r: &mut charstore::wire::Reader<'_>) -> std::io::Result<Self> {
+        use charstore::wire;
+        // Each entry needs 4 (code) + 16 (energy, power) bytes.
+        let len = r.bounded_len(20)?;
+        let mut codes = Vec::with_capacity(len);
+        for _ in 0..len {
+            codes.push(r.i32()?);
+        }
+        if !codes.windows(2).all(|w| w[0] < w[1]) {
+            return Err(wire::invalid("power profile codes are not ascending"));
+        }
+        let mut energy_fj = Vec::with_capacity(len);
+        for _ in 0..len {
+            energy_fj.push(r.f64()?);
+        }
+        let mut power_uw = Vec::with_capacity(len);
+        for _ in 0..len {
+            power_uw.push(r.f64()?);
+        }
+        Ok(WeightPowerProfile {
+            codes,
+            energy_fj,
+            power_uw,
+            clock_ps: r.f64()?,
+        })
+    }
+
     /// Builds a [`systolic::MacEnergyModel`] from this profile so the
     /// array simulator can integrate characterized energies.
     ///

@@ -114,6 +114,80 @@ impl WeightTimingProfile {
     pub fn max_delay_ps(&self) -> f64 {
         self.max_delay_over(&self.per_weight.iter().map(|t| t.code).collect::<Vec<_>>())
     }
+
+    /// Serializes the profile bit-exactly for the charstore container.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        use charstore::wire;
+        wire::put_usize(out, self.per_weight.len());
+        for t in &self.per_weight {
+            wire::put_i32(out, t.code);
+            wire::put_f64(out, t.max_delay_ps);
+            wire::put_usize(out, t.histogram.len());
+            for &b in &t.histogram {
+                wire::put_u64(out, b);
+            }
+            wire::put_usize(out, t.slow.len());
+            for &(from, to, d) in &t.slow {
+                wire::put_u8(out, from);
+                wire::put_u8(out, to);
+                wire::put_f32(out, d);
+            }
+        }
+        wire::put_f64(out, self.psum_floor_ps);
+        wire::put_usize(out, self.adder_from_product_ps.len());
+        for &d in &self.adder_from_product_ps {
+            wire::put_f64(out, d);
+        }
+        wire::put_f64(out, self.slow_floor_ps);
+    }
+
+    /// Deserializes a profile written by
+    /// [`WeightTimingProfile::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on truncation or implausible lengths (bounds are
+    /// validated before any allocation).
+    pub fn read_from(r: &mut charstore::wire::Reader<'_>) -> std::io::Result<Self> {
+        let count = r.bounded_len(12)?;
+        let mut per_weight = Vec::with_capacity(count);
+        for _ in 0..count {
+            let code = r.i32()?;
+            let max_delay_ps = r.f64()?;
+            let hist_len = r.bounded_len(8)?;
+            // Histograms are the bulk of the artifact (512 buckets per
+            // weight); decode each as one block.
+            let histogram: Vec<u64> = r
+                .take(hist_len * 8)?
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+                .collect();
+            let slow_len = r.bounded_len(6)?;
+            let mut slow = Vec::with_capacity(slow_len);
+            for _ in 0..slow_len {
+                slow.push((r.u8()?, r.u8()?, r.f32()?));
+            }
+            per_weight.push(WeightTiming {
+                code,
+                max_delay_ps,
+                histogram,
+                slow,
+            });
+        }
+        let psum_floor_ps = r.f64()?;
+        let adder_len = r.bounded_len(8)?;
+        let mut adder_from_product_ps = Vec::with_capacity(adder_len);
+        for _ in 0..adder_len {
+            adder_from_product_ps.push(r.f64()?);
+        }
+        let slow_floor_ps = r.f64()?;
+        Ok(WeightTimingProfile {
+            per_weight,
+            psum_floor_ps,
+            adder_from_product_ps,
+            slow_floor_ps,
+        })
+    }
 }
 
 /// Adder-side STA facts shared by the batched and scalar paths: the

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
 pub mod chars;
 pub mod pipeline;
 pub mod report;
@@ -42,6 +43,7 @@ pub mod retrain;
 pub mod select;
 pub mod voltage;
 
+pub use cache::{CacheCounters, CharCache};
 pub use chars::{MacHardware, PsumBinning, WeightPowerProfile, WeightTimingProfile};
 pub use pipeline::{NetworkKind, Pipeline, PipelineConfig, Scale};
 pub use report::Table1Row;

@@ -80,6 +80,12 @@ pub struct PipelineConfig {
     pub max_delay_steps: usize,
     /// Magnitude-pruning sparsity for the conventional baseline.
     pub prune_sparsity: f64,
+    /// Consult the persistent characterization artifact store
+    /// ([`crate::cache::CharCache`]) before running gate-level
+    /// characterization, and populate it afterwards. Defaults to on;
+    /// the `POWERPRUNING_CACHE=off` environment variable disables the
+    /// cache even when this is set.
+    pub cache: bool,
 }
 
 impl PipelineConfig {
@@ -104,6 +110,7 @@ impl PipelineConfig {
                 Scale::Full => 5,
             },
             prune_sparsity: 0.5,
+            cache: true,
         }
     }
 

@@ -77,16 +77,45 @@ pub struct Pipeline {
     hw: MacHardware,
     array: SystolicArray,
     voltage: VoltageModel,
+    cache: Option<crate::cache::CharCache>,
 }
 
 impl Pipeline {
     /// Creates a pipeline at the given scale with the paper's 8-bit MAC.
+    ///
+    /// When `cfg.cache` is set (the default), the characterization
+    /// artifact store described by the environment is attached — see
+    /// [`crate::cache::CharCache::from_env`] for the knobs.
     #[must_use]
     pub fn new(cfg: PipelineConfig) -> Self {
+        let cache = if cfg.cache {
+            crate::cache::CharCache::from_env()
+        } else {
+            None
+        };
+        Pipeline::with_cache(cfg, cache)
+    }
+
+    /// Creates a pipeline with an explicit artifact store directory
+    /// instead of the environment-selected one — used by tests, benches
+    /// and the `charstore` CLI. `cfg.cache = false` and the
+    /// `POWERPRUNING_CACHE=off` kill switch both still disable caching.
+    #[must_use]
+    pub fn with_cache_dir(cfg: PipelineConfig, dir: impl AsRef<std::path::Path>) -> Self {
+        let cache = if cfg.cache && !crate::cache::CharCache::disabled_by_env() {
+            crate::cache::CharCache::open(dir).ok()
+        } else {
+            None
+        };
+        Pipeline::with_cache(cfg, cache)
+    }
+
+    fn with_cache(cfg: PipelineConfig, cache: Option<crate::cache::CharCache>) -> Self {
         Pipeline {
             hw: MacHardware::paper_default(),
             array: SystolicArray::new(cfg.array_config()),
             voltage: VoltageModel::finfet15(),
+            cache,
             cfg,
         }
     }
@@ -103,6 +132,12 @@ impl Pipeline {
         &self.array
     }
 
+    /// The attached artifact cache, if caching is enabled.
+    #[must_use]
+    pub fn cache(&self) -> Option<&crate::cache::CharCache> {
+        self.cache.as_ref()
+    }
+
     /// The shared stage context of this pipeline.
     #[must_use]
     pub fn ctx(&self) -> PipelineCtx<'_> {
@@ -111,6 +146,7 @@ impl Pipeline {
             hw: &self.hw,
             array: &self.array,
             voltage: &self.voltage,
+            cache: self.cache.as_ref(),
         }
     }
 

@@ -17,6 +17,7 @@ pub mod characterize;
 pub mod scale;
 pub mod select;
 
+use crate::cache::CharCache;
 use crate::chars::MacHardware;
 use crate::pipeline::PipelineConfig;
 use crate::voltage::VoltageModel;
@@ -34,6 +35,9 @@ pub struct PipelineCtx<'a> {
     pub array: &'a SystolicArray,
     /// The supply-voltage model used for slack conversion.
     pub voltage: &'a VoltageModel,
+    /// The characterization artifact cache, when enabled. Stages that
+    /// produce pure-function artifacts consult it before simulating.
+    pub cache: Option<&'a CharCache>,
 }
 
 /// One step of the flow: a pure-ish function from `Input` to `Output`

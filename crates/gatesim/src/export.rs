@@ -33,17 +33,27 @@ pub fn to_verilog(netlist: &Netlist) -> String {
         .map(|i| format!("o{i}"))
         .collect();
 
-    let module_name: String = netlist
+    let mut module_name: String = netlist
         .name()
         .chars()
         .map(|c| {
-            if c.is_alphanumeric() || c == '_' {
+            if c.is_ascii_alphanumeric() || c == '_' {
                 c
             } else {
                 '_'
             }
         })
         .collect();
+    // A Verilog identifier must start with an ASCII letter or
+    // underscore: generator names like "3x3" would render as invalid
+    // modules.
+    if !module_name
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+    {
+        module_name.insert_str(0, "m_");
+    }
 
     let _ = writeln!(
         out,
@@ -140,6 +150,35 @@ mod tests {
         assert!(v.contains("~(i0 & i1)"));
         assert!(v.contains("1'b0"));
         assert!(v.contains("endmodule"));
+    }
+
+    #[test]
+    fn leading_digit_module_name_is_sanitized_exactly() {
+        // Names like "3x3" are legal netlist names but invalid Verilog
+        // identifiers; the exporter must prefix them. Pin the complete
+        // output for a 2-gate netlist so any formatting drift is caught.
+        let mut b = NetlistBuilder::new("3x3");
+        let a = b.input("a");
+        let c = b.input("b");
+        let d = b.input("c");
+        let n = b.nand2(a, c);
+        let o = b.xor2(n, d);
+        b.output(o);
+        let v = to_verilog(&b.finish());
+        assert_eq!(
+            v,
+            "module m_3x3(i0, i1, i2, o0);\n\
+             \x20 input i0;\n\
+             \x20 input i1;\n\
+             \x20 input i2;\n\
+             \x20 output o0;\n\
+             \x20 wire n3;\n\
+             \x20 wire n4;\n\
+             \x20 assign n3 = ~(i0 & i1); // g0 NAND2\n\
+             \x20 assign n4 = n3 ^ i2; // g1 XOR2\n\
+             \x20 assign o0 = n4;\n\
+             endmodule\n"
+        );
     }
 
     #[test]

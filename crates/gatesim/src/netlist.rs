@@ -182,6 +182,51 @@ impl Netlist {
             .sum()
     }
 
+    /// A stable 128-bit digest of the netlist *structure*: a
+    /// deterministic walk over net sources, gates (cell kind plus
+    /// active input/output net ids) and the primary input/output port
+    /// lists. Two netlists built the same way digest identically;
+    /// changing a single gate, connection or port changes the digest.
+    ///
+    /// The human-readable [`Netlist::name`] is deliberately excluded —
+    /// the digest commits to what the circuit *is*, not what it is
+    /// called — so renaming a generator cannot fork the artifact cache,
+    /// and two structurally identical circuits share cached
+    /// characterizations. Gates are hashed in their (canonical,
+    /// builder-assigned) topological order.
+    #[must_use]
+    pub fn structural_digest(&self) -> charstore::Digest128 {
+        let mut h = charstore::Hasher128::new("gatesim.netlist.v1");
+        h.write_usize(self.sources.len());
+        for src in &self.sources {
+            h.write_u8(match src {
+                NetSource::Input => 0,
+                NetSource::Const0 => 1,
+                NetSource::Const1 => 2,
+                NetSource::Gate(_) => 3,
+            });
+            // The driving gate id is implied by gate order; hashing the
+            // tag alone keeps source and gate walks independent.
+        }
+        h.write_usize(self.gates.len());
+        for gate in &self.gates {
+            h.write_u8(gate.kind as u8);
+            for net in gate.active_inputs() {
+                h.write_u32(net.0);
+            }
+            h.write_u32(gate.output.0);
+        }
+        h.write_usize(self.inputs.len());
+        for net in &self.inputs {
+            h.write_u32(net.0);
+        }
+        h.write_usize(self.outputs.len());
+        for net in &self.outputs {
+            h.write_u32(net.0);
+        }
+        h.finalize()
+    }
+
     /// Evaluates the netlist combinationally for the given input values.
     ///
     /// Returns the value of every net. This is the zero-delay functional
@@ -377,5 +422,60 @@ mod tests {
     fn evaluate_rejects_bad_input_length() {
         let nl = tiny_netlist();
         let _ = nl.evaluate(&[true]);
+    }
+
+    #[test]
+    fn structural_digest_is_stable_across_builds() {
+        assert_eq!(
+            tiny_netlist().structural_digest(),
+            tiny_netlist().structural_digest()
+        );
+    }
+
+    #[test]
+    fn structural_digest_ignores_the_name() {
+        let mut b = NetlistBuilder::new("other-name");
+        let a = b.input("a");
+        let bb = b.input("b");
+        let c = b.input("c");
+        let n = b.nand2(a, bb);
+        let o = b.xor2(n, c);
+        b.output(o);
+        assert_eq!(
+            b.finish().structural_digest(),
+            tiny_netlist().structural_digest()
+        );
+    }
+
+    #[test]
+    fn structural_digest_sees_one_changed_gate() {
+        // Same shape as tiny_netlist but with NOR2 in place of NAND2.
+        let mut b = NetlistBuilder::new("tiny");
+        let a = b.input("a");
+        let bb = b.input("b");
+        let c = b.input("c");
+        let n = b.nor2(a, bb);
+        let o = b.xor2(n, c);
+        b.output(o);
+        assert_ne!(
+            b.finish().structural_digest(),
+            tiny_netlist().structural_digest()
+        );
+    }
+
+    #[test]
+    fn structural_digest_sees_rewired_inputs() {
+        // Same gates, same kinds, swapped operand order on the XOR.
+        let mut b = NetlistBuilder::new("tiny");
+        let a = b.input("a");
+        let bb = b.input("b");
+        let c = b.input("c");
+        let n = b.nand2(a, bb);
+        let o = b.xor2(c, n);
+        b.output(o);
+        assert_ne!(
+            b.finish().structural_digest(),
+            tiny_netlist().structural_digest()
+        );
     }
 }

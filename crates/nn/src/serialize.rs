@@ -37,42 +37,93 @@ pub fn save_weights<W: Write>(net: &mut Network, mut w: W) -> io::Result<()> {
     Ok(())
 }
 
+/// Upper bound on tensors per file: far above any real model here, far
+/// below anything that could be used to exhaust memory via the header.
+const MAX_TENSORS: u64 = 1 << 20;
+/// Upper bound on tensor rank.
+const MAX_RANK: u64 = 16;
+/// Upper bound on elements per tensor (4 GiB of f32 payload).
+const MAX_ELEMENTS: u64 = 1 << 30;
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
 /// Reads parameters written by [`save_weights`] into `net`, which must
 /// have the identical structure.
 ///
+/// Hardened against hostile or truncated input: the `u64` tensor,
+/// rank and shape fields are bounded *before* any allocation (a
+/// corrupted count can never trigger a huge `Vec::with_capacity`),
+/// payload buffers grow only as bytes actually arrive, and trailing
+/// bytes after the last tensor are rejected.
+///
 /// # Errors
 ///
-/// Returns an error on I/O failure, bad magic, or structure mismatch.
+/// Returns an error on I/O failure, bad magic, implausible or
+/// truncated contents, trailing bytes, or structure mismatch — all
+/// malformed-input cases as [`io::ErrorKind::InvalidData`].
 pub fn load_weights<R: Read>(net: &mut Network, mut r: R) -> io::Result<()> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "not a PowerPruning weight file",
-        ));
+        return Err(invalid("not a PowerPruning weight file"));
     }
     let mut u64buf = [0u8; 8];
     r.read_exact(&mut u64buf)?;
-    let count = u64::from_le_bytes(u64buf) as usize;
+    let count64 = u64::from_le_bytes(u64buf);
+    if count64 > MAX_TENSORS {
+        return Err(invalid(format!(
+            "implausible tensor count {count64} (max {MAX_TENSORS})"
+        )));
+    }
+    let count = count64 as usize;
 
-    let mut tensors: Vec<Tensor> = Vec::with_capacity(count);
-    for _ in 0..count {
+    let mut tensors: Vec<Tensor> = Vec::new();
+    for idx in 0..count {
         r.read_exact(&mut u64buf)?;
-        let rank = u64::from_le_bytes(u64buf) as usize;
-        let mut shape = Vec::with_capacity(rank);
+        let rank = u64::from_le_bytes(u64buf);
+        if rank > MAX_RANK {
+            return Err(invalid(format!(
+                "tensor {idx}: implausible rank {rank} (max {MAX_RANK})"
+            )));
+        }
+        let mut shape = Vec::with_capacity(rank as usize);
+        let mut len: u64 = 1;
         for _ in 0..rank {
             r.read_exact(&mut u64buf)?;
-            shape.push(u64::from_le_bytes(u64buf) as usize);
+            let dim = u64::from_le_bytes(u64buf);
+            len = len
+                .checked_mul(dim)
+                .filter(|&l| l <= MAX_ELEMENTS)
+                .ok_or_else(|| {
+                    invalid(format!(
+                        "tensor {idx}: element count overflows {MAX_ELEMENTS}"
+                    ))
+                })?;
+            shape.push(dim as usize);
         }
-        let len: usize = shape.iter().product();
-        let mut data = vec![0f32; len];
-        let mut f32buf = [0u8; 4];
-        for v in &mut data {
-            r.read_exact(&mut f32buf)?;
-            *v = f32::from_le_bytes(f32buf);
+        // Bounded read: the buffer grows with the bytes actually
+        // present, so a huge declared shape on a short file fails with
+        // InvalidData instead of allocating `len` elements up front.
+        let byte_len = len * 4;
+        let mut bytes = Vec::new();
+        r.by_ref().take(byte_len).read_to_end(&mut bytes)?;
+        if bytes.len() as u64 != byte_len {
+            return Err(invalid(format!(
+                "tensor {idx}: payload truncated ({} of {byte_len} bytes)",
+                bytes.len()
+            )));
         }
+        let data: Vec<f32> = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
         tensors.push(Tensor::from_vec(&shape, data));
+    }
+    let mut trailing = [0u8; 1];
+    if r.read(&mut trailing)? != 0 {
+        return Err(invalid("trailing bytes after the last tensor"));
     }
 
     let mut idx = 0usize;
@@ -97,13 +148,12 @@ pub fn load_weights<R: Read>(net: &mut Network, mut r: R) -> io::Result<()> {
         idx += 1;
     });
     if let Some(msg) = mismatch {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, msg));
+        return Err(invalid(msg));
     }
     if idx != count {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("file has {count} tensors, network has {idx} parameters"),
-        ));
+        return Err(invalid(format!(
+            "file has {count} tensors, network has {idx} parameters"
+        )));
     }
     Ok(())
 }
@@ -153,5 +203,65 @@ mod tests {
         save_weights(&mut a, &mut buf).expect("save");
         buf.truncate(buf.len() / 2);
         assert!(load_weights(&mut a, buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn hostile_tensor_count_is_rejected_without_allocation() {
+        let mut net = models::tiny_cnn("s", 1, 8, 3, &mut StdRng::seed_from_u64(4));
+        let mut buf = MAGIC.to_vec();
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        let err = load_weights(&mut net, buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("implausible tensor count"));
+    }
+
+    #[test]
+    fn hostile_rank_is_rejected() {
+        let mut net = models::tiny_cnn("s", 1, 8, 3, &mut StdRng::seed_from_u64(4));
+        let mut buf = MAGIC.to_vec();
+        buf.extend_from_slice(&1u64.to_le_bytes()); // one tensor
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // absurd rank
+        let err = load_weights(&mut net, buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("implausible rank"));
+    }
+
+    #[test]
+    fn overflowing_shape_is_rejected_without_allocation() {
+        let mut net = models::tiny_cnn("s", 1, 8, 3, &mut StdRng::seed_from_u64(4));
+        let mut buf = MAGIC.to_vec();
+        buf.extend_from_slice(&1u64.to_le_bytes()); // one tensor
+        buf.extend_from_slice(&2u64.to_le_bytes()); // rank 2
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        let err = load_weights(&mut net, buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("overflows"));
+    }
+
+    #[test]
+    fn huge_declared_payload_on_short_file_is_invalid_data() {
+        // A shape claiming ~1 GiB of f32s backed by 8 actual bytes must
+        // fail via the bounded read, not allocate the declared size.
+        let mut net = models::tiny_cnn("s", 1, 8, 3, &mut StdRng::seed_from_u64(4));
+        let mut buf = MAGIC.to_vec();
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes()); // rank 1
+        buf.extend_from_slice(&(1u64 << 28).to_le_bytes()); // 2^28 elements
+        buf.extend_from_slice(&[0u8; 8]); // only 8 payload bytes present
+        let err = load_weights(&mut net, buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut net = models::tiny_cnn("s", 1, 8, 3, &mut StdRng::seed_from_u64(4));
+        let mut buf = Vec::new();
+        save_weights(&mut net, &mut buf).expect("save");
+        buf.push(0xab);
+        let err = load_weights(&mut net, buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("trailing"));
     }
 }

@@ -75,6 +75,41 @@ impl MacEnergyModel {
         self.leakage_nw_per_pe
     }
 
+    /// Serializes the model bit-exactly for the charstore container.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        use charstore::wire;
+        wire::put_usize(out, self.per_weight_fj.len());
+        for &e in &self.per_weight_fj {
+            wire::put_f64(out, e);
+        }
+        wire::put_f64(out, self.idle_fj);
+        wire::put_f64(out, self.leakage_nw_per_pe);
+    }
+
+    /// Deserializes a model written by [`MacEnergyModel::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on truncation or a table size other than 256.
+    pub fn read_from(r: &mut charstore::wire::Reader<'_>) -> std::io::Result<Self> {
+        use charstore::wire;
+        let len = r.bounded_len(8)?;
+        if len != 256 {
+            return Err(wire::invalid(format!(
+                "energy table has {len} entries, expected 256"
+            )));
+        }
+        let mut per_weight_fj = Vec::with_capacity(len);
+        for _ in 0..len {
+            per_weight_fj.push(r.f64()?);
+        }
+        Ok(MacEnergyModel {
+            per_weight_fj,
+            idle_fj: r.f64()?,
+            leakage_nw_per_pe: r.f64()?,
+        })
+    }
+
     /// Returns a copy with dynamic energies scaled by `dyn_factor` and
     /// leakage scaled by `leak_factor` (used for voltage scaling).
     #[must_use]
@@ -220,6 +255,24 @@ impl fmt::Display for NetworkEnergyReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn energy_model_codec_round_trips_bit_exactly() {
+        let m = MacEnergyModel::analytic_default();
+        let mut buf = Vec::new();
+        m.write_to(&mut buf);
+        let mut r = charstore::wire::Reader::new(&buf);
+        let back = MacEnergyModel::read_from(&mut r).expect("decode");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(back, m);
+        // A wrong table size is InvalidData, not a panic downstream.
+        let mut short = Vec::new();
+        charstore::wire::put_u64(&mut short, 2);
+        charstore::wire::put_f64(&mut short, 1.0);
+        charstore::wire::put_f64(&mut short, 2.0);
+        let mut r = charstore::wire::Reader::new(&short);
+        assert!(MacEnergyModel::read_from(&mut r).is_err());
+    }
 
     #[test]
     fn analytic_model_has_paper_shape() {

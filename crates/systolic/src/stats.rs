@@ -12,7 +12,7 @@ use std::fmt;
 const PSUM_RESERVOIR: usize = 400_000;
 
 /// Activation and partial-sum transition statistics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransitionStats {
     /// 256×256 histogram: `act_hist[from * 256 + to]`.
     act_hist: Vec<u64>,
@@ -147,6 +147,75 @@ impl TransitionStats {
             .collect()
     }
 
+    /// Serializes the complete collector state (histogram stored
+    /// sparsely, reservoir, counters, *and* the reservoir RNG state) so
+    /// a deserialized collector is bit-identical to the original — the
+    /// charstore round-trip contract.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        use charstore::wire;
+        wire::put_u64(out, self.act_total);
+        let nonzero = self.act_hist.iter().filter(|&&c| c > 0).count();
+        wire::put_usize(out, nonzero);
+        for (idx, &c) in self.act_hist.iter().enumerate() {
+            if c > 0 {
+                wire::put_u32(out, idx as u32);
+                wire::put_u64(out, c);
+            }
+        }
+        wire::put_usize(out, self.psum_samples.len());
+        for &(from, to) in &self.psum_samples {
+            wire::put_i32(out, from);
+            wire::put_i32(out, to);
+        }
+        wire::put_u64(out, self.psum_seen);
+        wire::put_u64(out, self.macs);
+        wire::put_u64(out, self.lcg);
+    }
+
+    /// Deserializes a collector written by [`TransitionStats::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on truncated input or out-of-range histogram
+    /// indices (bounds are validated before any allocation).
+    pub fn read_from(r: &mut charstore::wire::Reader<'_>) -> std::io::Result<Self> {
+        use charstore::wire;
+        let mut stats = TransitionStats::new();
+        stats.act_total = r.u64()?;
+        let nonzero = r.bounded_len(12)?;
+        for _ in 0..nonzero {
+            let idx = r.u32()? as usize;
+            let count = r.u64()?;
+            if idx >= stats.act_hist.len() {
+                return Err(wire::invalid(format!("histogram index {idx} out of range")));
+            }
+            stats.act_hist[idx] = count;
+        }
+        let samples = r.bounded_len(8)?;
+        if samples > PSUM_RESERVOIR {
+            return Err(wire::invalid(format!(
+                "psum sample count {samples} exceeds reservoir cap {PSUM_RESERVOIR}"
+            )));
+        }
+        // The reservoir dominates the artifact (megabytes at full
+        // cap); one bounds check for the whole block keeps warm-start
+        // decode fast.
+        let block = r.take(samples * 8)?;
+        stats.psum_samples = block
+            .chunks_exact(8)
+            .map(|c| {
+                (
+                    i32::from_le_bytes(c[..4].try_into().expect("4 bytes")),
+                    i32::from_le_bytes(c[4..].try_into().expect("4 bytes")),
+                )
+            })
+            .collect();
+        stats.psum_seen = r.u64()?;
+        stats.macs = r.u64()?;
+        stats.lcg = r.u64()?;
+        Ok(stats)
+    }
+
     /// Merges another collector into this one (psum samples are
     /// concatenated up to the reservoir cap).
     pub fn merge(&mut self, other: &TransitionStats) {
@@ -232,6 +301,56 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.total_activation_transitions(), 12);
         assert_eq!(a.psum_samples().len(), 1);
+    }
+
+    #[test]
+    fn codec_round_trips_bit_exactly() {
+        let mut s = TransitionStats::new();
+        for i in 0..40u8 {
+            s.record_activation(i, i.wrapping_add(7), u64::from(i) + 1);
+        }
+        for i in 0..600 {
+            s.record_psum(i * 131 - 4000, i * 77 + 13, 22);
+        }
+        s.note_macs(123_456);
+        let mut buf = Vec::new();
+        s.write_to(&mut buf);
+        let mut r = charstore::wire::Reader::new(&buf);
+        let back = TransitionStats::read_from(&mut r).expect("decode");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(back, s);
+        // The RNG state round-trips too: both keep sampling identically.
+        let mut a = s.clone();
+        let mut b = back;
+        for i in 0..100 {
+            a.record_psum(i, -i, 22);
+            b.record_psum(i, -i, 22);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn codec_rejects_hostile_input() {
+        use std::io::ErrorKind;
+        let mut s = TransitionStats::new();
+        s.record_activation(1, 2, 3);
+        let mut buf = Vec::new();
+        s.write_to(&mut buf);
+        // Truncation.
+        let mut r = charstore::wire::Reader::new(&buf[..buf.len() / 2]);
+        assert_eq!(
+            TransitionStats::read_from(&mut r).unwrap_err().kind(),
+            ErrorKind::InvalidData
+        );
+        // Hostile histogram count (claims more entries than bytes).
+        let mut hostile = Vec::new();
+        charstore::wire::put_u64(&mut hostile, 0);
+        charstore::wire::put_u64(&mut hostile, u64::MAX);
+        let mut r = charstore::wire::Reader::new(&hostile);
+        assert_eq!(
+            TransitionStats::read_from(&mut r).unwrap_err().kind(),
+            ErrorKind::InvalidData
+        );
     }
 
     #[test]

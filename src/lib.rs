@@ -8,10 +8,13 @@
 //! * [`systolic`] — weight-stationary systolic array simulator.
 //! * [`powerpruning`] — the paper's characterization/selection/retrain/
 //!   voltage-scaling flow.
+//! * [`charstore`] — the persistent content-addressed characterization
+//!   artifact store behind the pipeline's warm starts.
 //!
 //! See `README.md` for the quickstart and `DESIGN.md` for the system
 //! inventory.
 
+pub use charstore;
 pub use gatesim;
 pub use nn;
 pub use powerpruning;

@@ -1,0 +1,229 @@
+//! Integration and property tests of the characterization artifact
+//! store: warm-start behaviour of the pipeline, key stability of the
+//! structural digests, bit-identical round-trips and corruption
+//! detection.
+
+use charstore::{Digest128, Section, Store};
+use gatesim::circuits::{BoothMultiplierCircuit, MacCircuit, MultiplierCircuit, MultiplierKind};
+use gatesim::CellLibrary;
+use powerpruning::chars::{characterize_timing, MacHardware, TimingConfig, WeightTimingProfile};
+use powerpruning::pipeline::{NetworkKind, Pipeline, PipelineConfig, Scale};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+/// A unique scratch store directory; callers remove it when done.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "powerpruning-charstore-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn micro_cfg() -> PipelineConfig {
+    PipelineConfig::for_scale(Scale::Micro)
+}
+
+/// The acceptance-criterion test: a second Micro-scale pipeline run
+/// against a warmed store answers both characterization stages from the
+/// cache — zero `BatchSim` transitions, observable as hits with no
+/// misses — and returns bit-identical artifacts.
+#[test]
+fn second_pipeline_run_is_served_entirely_from_the_store() {
+    let dir = scratch_dir("warm");
+
+    // Cold run: populates the store, missing both artifacts.
+    let cold = Pipeline::with_cache_dir(micro_cfg(), &dir);
+    let mut prepared = cold.prepare(NetworkKind::LeNet5);
+    let captures = cold.capture(&mut prepared);
+    let cold_chars = cold.characterize(&captures);
+    let cold_timing = cold.characterize_timing(f64::MAX);
+    let c = cold.cache().expect("cache enabled").counters();
+    assert_eq!(c.hits, 0, "cold run cannot hit an empty store");
+    assert_eq!(c.misses, 2, "cold run must miss both artifacts");
+
+    // Warm run: a *fresh* pipeline (fresh in-memory tier) sharing the
+    // store directory. Same config + same captures -> same keys.
+    let warm = Pipeline::with_cache_dir(micro_cfg(), &dir);
+    let warm_chars = warm.characterize(&captures);
+    let warm_timing = warm.characterize_timing(f64::MAX);
+    let w = warm.cache().expect("cache enabled").counters();
+    assert_eq!(
+        w.misses, 0,
+        "warm run performed gate-level characterization despite a warmed store"
+    );
+    assert_eq!(w.hits, 2, "warm run must answer both stages from the store");
+
+    // Served artifacts are bit-identical to the computed ones.
+    assert_eq!(warm_chars.stats, cold_chars.stats);
+    assert_eq!(warm_chars.binning, cold_chars.binning);
+    assert_eq!(warm_chars.power_profile, cold_chars.power_profile);
+    assert_eq!(warm_chars.energy_model, cold_chars.energy_model);
+    assert_eq!(warm_timing, cold_timing);
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn cache_knob_disables_the_store() {
+    let dir = scratch_dir("off");
+    let mut cfg = micro_cfg();
+    cfg.cache = false;
+    let p = Pipeline::with_cache_dir(cfg, &dir);
+    assert!(
+        p.cache().is_none(),
+        "cfg.cache = false must detach the store"
+    );
+    assert!(
+        !dir.exists(),
+        "disabled cache must not touch the filesystem"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Digest stability across the three circuit generators: building the
+/// same circuit twice keys identically; any structural change (width,
+/// architecture) changes the key.
+#[test]
+fn structural_digests_are_stable_and_sensitive() {
+    type Generator = fn() -> Digest128;
+    let generators: [(&str, Generator); 3] = [
+        ("baugh-wooley", || {
+            MultiplierCircuit::new(4, 4).netlist().structural_digest()
+        }),
+        ("booth", || {
+            BoothMultiplierCircuit::new(4, 4)
+                .netlist()
+                .structural_digest()
+        }),
+        ("mac", || {
+            MacCircuit::new(4, 4, 12).netlist().structural_digest()
+        }),
+    ];
+    let mut digests = Vec::new();
+    for (name, gen) in generators {
+        assert_eq!(gen(), gen(), "{name}: same build must digest identically");
+        digests.push(gen());
+    }
+    // The three architectures are pairwise distinct.
+    digests.sort();
+    digests.dedup();
+    assert_eq!(digests.len(), 3, "generator digests collided");
+
+    // One-parameter structural changes move every generator's digest.
+    assert_ne!(
+        MultiplierCircuit::new(4, 4).netlist().structural_digest(),
+        MultiplierCircuit::new(4, 5).netlist().structural_digest()
+    );
+    assert_ne!(
+        BoothMultiplierCircuit::new(4, 4)
+            .netlist()
+            .structural_digest(),
+        BoothMultiplierCircuit::new(5, 4)
+            .netlist()
+            .structural_digest()
+    );
+    assert_ne!(
+        MacCircuit::new(4, 4, 12).netlist().structural_digest(),
+        MacCircuit::new(4, 4, 13).netlist().structural_digest()
+    );
+}
+
+/// Timing artifacts round-trip bit-identically through the wire codec
+/// for hardware built from both multiplier generators (the MAC
+/// generator composes them, covered by the warm-start test above).
+#[test]
+fn timing_artifacts_round_trip_across_multiplier_generators() {
+    for kind in [MultiplierKind::BaughWooley, MultiplierKind::Booth] {
+        let hw = MacHardware::with_multiplier(4, 4, 12, CellLibrary::nangate15_like(), kind);
+        let profile = characterize_timing(
+            &hw,
+            &TimingConfig {
+                exhaustive: false,
+                samples: 64,
+                seed: 7,
+                slow_floor_ps: 50.0,
+                weight_stride: 4,
+            },
+        );
+        let mut buf = Vec::new();
+        profile.write_to(&mut buf);
+        let mut r = charstore::wire::Reader::new(&buf);
+        let back = WeightTimingProfile::read_from(&mut r).expect("decode");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(back, profile, "{kind:?} timing profile round trip");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Container round-trip: arbitrary section payloads come back
+    /// bit-identical through encode/decode.
+    #[test]
+    fn container_round_trips_arbitrary_sections(
+        payloads in prop::collection::vec(prop::collection::vec(0u8..=255, 0..200), 1..6),
+    ) {
+        let sections: Vec<Section> = payloads
+            .into_iter()
+            .enumerate()
+            .map(|(i, bytes)| Section::new(i as u32 + 1, bytes))
+            .collect();
+        let decoded = charstore::container::decode(&charstore::container::encode(&sections))
+            .expect("round trip");
+        prop_assert_eq!(decoded, sections);
+    }
+
+    /// Store round-trip: what goes in comes out bit-identical, through
+    /// both the memory tier and a cold re-open from disk.
+    #[test]
+    fn store_round_trips_bit_identically(
+        payload in prop::collection::vec(0u8..=255, 1..400),
+        key_seed in 0u64..1_000_000,
+    ) {
+        let dir = scratch_dir("prop-rt");
+        let sections = vec![Section::new(1, payload)];
+        let key = charstore::digest_bytes("prop-key", &key_seed.to_le_bytes());
+        let store = Store::open(&dir).expect("open");
+        store.put(key, sections.clone()).expect("put");
+        prop_assert_eq!(&*store.get(key).expect("mem get"), &sections);
+        let cold = Store::open(&dir).expect("re-open");
+        prop_assert_eq!(&*cold.get(key).expect("disk get"), &sections);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// Corruption detection: flipping any single byte of a stored
+    /// object file turns the lookup into a miss, never into wrong data.
+    #[test]
+    fn single_flipped_byte_is_detected(
+        payload in prop::collection::vec(0u8..=255, 1..200),
+        flip_pos in 0usize..10_000,
+        flip_bit in 0u8..8,
+    ) {
+        let dir = scratch_dir("prop-flip");
+        let key = charstore::digest_bytes("prop-flip-key", &payload);
+        let store = Store::open(&dir).expect("open");
+        store.put(key, vec![Section::new(1, payload)]).expect("put");
+
+        let object = std::fs::read_dir(dir.join("objects"))
+            .expect("objects dir")
+            .next()
+            .expect("one object")
+            .expect("entry")
+            .path();
+        let mut bytes = std::fs::read(&object).expect("read object");
+        let pos = flip_pos % bytes.len();
+        bytes[pos] ^= 1 << flip_bit;
+        std::fs::write(&object, &bytes).expect("write corrupted");
+
+        let cold = Store::open(&dir).expect("re-open");
+        prop_assert!(cold.get(key).is_none(), "flip at byte {} went undetected", pos);
+        prop_assert_eq!(cold.counters().misses, 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
