@@ -5,9 +5,12 @@
 //! Emits machine-readable JSON (also written to
 //! `BENCH_CHARACTERIZATION.json`) with samples/sec for power and timing
 //! characterization on both engines, the speedup, a bit-identical
-//! cross-check of the produced profiles, and cold-vs-warm pipeline
-//! characterization timings against a fresh charstore — so future PRs
-//! can track the perf trajectory.
+//! cross-check of the produced profiles, cold-vs-warm pipeline
+//! characterization timings against a fresh charstore, and a
+//! fully-warm end-to-end pipeline measurement (all four cacheable
+//! stages: prepare, capture, characterize, timing) asserting that the
+//! warmed run performs **zero training epochs and zero gate-simulation
+//! transitions** — so future PRs can track the perf trajectory.
 //!
 //! Run: `cargo run -p powerpruning-bench --bin bench_characterization --release`
 //!
@@ -118,13 +121,18 @@ impl WarmStart {
 /// charstore) and warm: the warm run uses a *fresh* pipeline sharing
 /// only the store directory, so it exercises the persistent disk tier
 /// (not the first pipeline's in-memory tier) and answers with zero
-/// `BatchSim` transitions.
+/// `BatchSim` transitions. Preparation and capture run *uncached* here
+/// so the numbers stay characterize-only and comparable with earlier
+/// PRs; [`measure_full_warm`] covers the end-to-end pipeline.
 fn measure_warm_start() -> WarmStart {
     let dir = std::env::temp_dir().join(format!("charstore-bench-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
+    let mut uncached_cfg = PipelineConfig::for_scale(Scale::Micro);
+    uncached_cfg.cache = false;
+    let setup = Pipeline::new(uncached_cfg);
+    let mut prepared = setup.prepare(NetworkKind::LeNet5);
+    let captures = setup.capture(&mut prepared);
     let cold = Pipeline::with_cache_dir(PipelineConfig::for_scale(Scale::Micro), &dir);
-    let mut prepared = cold.prepare(NetworkKind::LeNet5);
-    let captures = cold.capture(&mut prepared);
 
     let t = Instant::now();
     let cold_chars = cold.characterize(&captures);
@@ -156,6 +164,100 @@ fn measure_warm_start() -> WarmStart {
         warm_s: warm_s.max(1e-9),
         warm_hits: warm_counters.hits,
         cold_misses: cold_counters.misses,
+    }
+}
+
+struct FullWarm {
+    cold_s: f64,
+    warm_s: f64,
+    /// Store misses of the cold run (expected: all four stages).
+    cold_misses: u64,
+    /// Store hits of the warm run (expected: all four stages).
+    warm_hits: u64,
+    warm_misses: u64,
+    /// Training epochs executed during the warm run (expected: 0).
+    warm_training_epochs: u64,
+    /// Gate-level transitions simulated during the warm run (expected: 0).
+    warm_sim_transitions: u64,
+    /// Whether every warm artifact was bit-identical to its cold twin.
+    identical: bool,
+}
+
+impl FullWarm {
+    fn speedup(&self) -> f64 {
+        self.cold_s / self.warm_s
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"cold_s\": {:.4}, \"warm_s\": {:.6}, \"speedup\": {:.1}, ",
+                "\"cold_misses\": {}, \"warm_hits\": {}, \"warm_misses\": {}, ",
+                "\"warm_training_epochs\": {}, \"warm_sim_transitions\": {}, ",
+                "\"identical\": {}}}"
+            ),
+            self.cold_s,
+            self.warm_s,
+            self.speedup(),
+            self.cold_misses,
+            self.warm_hits,
+            self.warm_misses,
+            self.warm_training_epochs,
+            self.warm_sim_transitions,
+            self.identical,
+        )
+    }
+}
+
+/// Times the complete cacheable Micro pipeline — prepare (baseline QAT
+/// training), GEMM capture, power characterization, timing — cold
+/// against an empty charstore and then warm on a fresh pipeline sharing
+/// only the store directory. The warm run must be answered entirely
+/// from the store: zero training epochs, zero gate-simulation
+/// transitions, bit-identical artifacts.
+fn measure_full_warm() -> FullWarm {
+    let dir = std::env::temp_dir().join(format!("charstore-bench-full-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = PipelineConfig::for_scale(Scale::Micro);
+
+    let cold = Pipeline::with_cache_dir(cfg, &dir);
+    let t = Instant::now();
+    let mut cold_prep = cold.prepare(NetworkKind::LeNet5);
+    let cold_caps = cold.capture(&mut cold_prep);
+    let cold_chars = cold.characterize(&cold_caps);
+    let cold_timing = cold.characterize_timing(f64::MAX);
+    let cold_s = t.elapsed().as_secs_f64();
+    let cold_counters = cold.cache().expect("cache enabled").counters();
+
+    let epochs_before = nn::train::epochs_run();
+    let transitions_before = gatesim::sim_transitions();
+    let warm = Pipeline::with_cache_dir(cfg, &dir);
+    let t = Instant::now();
+    let mut warm_prep = warm.prepare(NetworkKind::LeNet5);
+    let warm_caps = warm.capture(&mut warm_prep);
+    let warm_chars = warm.characterize(&warm_caps);
+    let warm_timing = warm.characterize_timing(f64::MAX);
+    let warm_s = t.elapsed().as_secs_f64();
+    let warm_counters = warm.cache().expect("cache enabled").counters();
+
+    // Divergence is *reported* here and asserted at the end of main,
+    // after the JSON is printed and written — so a regression still
+    // leaves the diagnostics artifact behind.
+    let identical = warm_prep.accuracy.to_bits() == cold_prep.accuracy.to_bits()
+        && warm_caps == cold_caps
+        && warm_chars.power_profile == cold_chars.power_profile
+        && warm_timing == cold_timing;
+
+    let _ = std::fs::remove_dir_all(&dir);
+    FullWarm {
+        cold_s,
+        warm_s: warm_s.max(1e-9),
+        cold_misses: cold_counters.misses,
+        warm_hits: warm_counters.hits,
+        warm_misses: warm_counters.misses,
+        warm_training_epochs: nn::train::epochs_run() - epochs_before,
+        warm_sim_transitions: gatesim::sim_transitions() - transitions_before,
+        identical,
     }
 }
 
@@ -226,7 +328,7 @@ fn main() {
         timing.identical
     );
 
-    // --- Pipeline warm start (charstore) ---
+    // --- Pipeline warm start (charstore, characterize+timing only) ---
     let warm = measure_warm_start();
     eprintln!(
         "warm-start: cold {:.2}s ({} misses), warm {:.4}s ({} hits) -> {:.0}x",
@@ -235,6 +337,19 @@ fn main() {
         warm.warm_s,
         warm.warm_hits,
         warm.speedup(),
+    );
+
+    // --- Fully-warm end-to-end pipeline (all four cacheable stages) ---
+    let full = measure_full_warm();
+    eprintln!(
+        "full-warm:  cold {:.2}s ({} misses), warm {:.4}s ({} hits, {} epochs, {} transitions) -> {:.0}x",
+        full.cold_s,
+        full.cold_misses,
+        full.warm_s,
+        full.warm_hits,
+        full.warm_training_epochs,
+        full.warm_sim_transitions,
+        full.speedup(),
     );
 
     let json = format!(
@@ -246,7 +361,8 @@ fn main() {
             "  \"weight_stride\": {},\n",
             "  \"power\": {},\n",
             "  \"timing\": {},\n",
-            "  \"pipeline_warm_start\": {}\n",
+            "  \"pipeline_warm_start\": {},\n",
+            "  \"pipeline_full_warm\": {}\n",
             "}}"
         ),
         codes,
@@ -254,6 +370,7 @@ fn main() {
         power.json(),
         timing.json(),
         warm.json(),
+        full.json(),
     );
     println!("{json}");
     if let Err(e) = std::fs::write("BENCH_CHARACTERIZATION.json", format!("{json}\n")) {
@@ -274,5 +391,31 @@ fn main() {
         warm.speedup() >= 10.0,
         "warm characterization only {:.1}x faster than cold",
         warm.speedup()
+    );
+    assert_eq!(
+        full.cold_misses, 4,
+        "cold pipeline should miss all four stages"
+    );
+    assert_eq!(
+        full.warm_hits, 4,
+        "warm pipeline should hit all four stages"
+    );
+    assert_eq!(full.warm_misses, 0, "warm pipeline fell through the store");
+    assert_eq!(
+        full.warm_training_epochs, 0,
+        "warm pipeline ran training epochs despite a warmed store"
+    );
+    assert_eq!(
+        full.warm_sim_transitions, 0,
+        "warm pipeline simulated gate transitions despite a warmed store"
+    );
+    assert!(
+        full.identical,
+        "warm pipeline artifacts diverged from the cold run"
+    );
+    assert!(
+        full.speedup() >= 10.0,
+        "fully-warm pipeline only {:.1}x faster than cold",
+        full.speedup()
     );
 }

@@ -4,15 +4,20 @@
 //! charstore [--dir DIR] ls                     list stored artifacts
 //! charstore [--dir DIR] stat [KEY-PREFIX]      store totals, or one artifact's provenance
 //! charstore [--dir DIR] warm [--scale S] [--all-networks]
-//!                                              run the pipeline characterization stages
-//!                                              against the store and report hits/misses
+//!                                              run the full cacheable pipeline (prepare,
+//!                                              capture, characterize, timing) against the
+//!                                              store and report hits/misses plus the
+//!                                              training-epoch and gate-transition counters
 //! charstore [--dir DIR] gc --max-bytes N       delete oldest artifacts over the budget
+//! charstore [--dir DIR] verify                 re-checksum every object on disk
 //! ```
 //!
 //! `--dir` falls back to `POWERPRUNING_CACHE_DIR`, then to the default
 //! `.powerpruning-cache`. `warm` run twice against the same store must
-//! report `misses=0` on the second run — the CI cache-smoke job asserts
-//! exactly that.
+//! report `misses=0 training_epochs=0 sim_transitions=0` on the second
+//! run — a fully warmed store answers all four stages without a single
+//! training epoch or gate-level transition. The CI cache-smoke job
+//! asserts exactly that, then runs `verify` over the resulting store.
 
 use charstore::Store;
 use powerpruning::cache::{decode_provenance, CharCache, DEFAULT_CACHE_DIR};
@@ -43,7 +48,7 @@ fn parse_args() -> Result<Args, String> {
     }
     Ok(Args {
         dir,
-        command: command.ok_or("missing command (ls | stat | warm | gc)")?,
+        command: command.ok_or("missing command (ls | stat | warm | gc | verify)")?,
         rest,
     })
 }
@@ -137,6 +142,8 @@ fn cmd_warm(dir: &str, rest: &[String]) -> Result<(), String> {
     } else {
         &[NetworkKind::LeNet5]
     };
+    let epochs_before = nn::train::epochs_run();
+    let transitions_before = gatesim::sim_transitions();
     for &kind in kinds {
         eprintln!("warming {} at {scale:?} scale...", kind.label());
         let mut prepared = pipeline.prepare(kind);
@@ -144,18 +151,40 @@ fn cmd_warm(dir: &str, rest: &[String]) -> Result<(), String> {
         let chars = pipeline.characterize(&captures);
         let probe = pipeline.characterize_timing(f64::MAX);
         eprintln!(
-            "  {} power codes, timing floor {:.1} ps",
+            "  accuracy {:.3}, {} captures, {} power codes, timing floor {:.1} ps",
+            prepared.accuracy,
+            captures.len(),
             chars.power_profile.codes().len(),
             probe.psum_floor_ps
         );
     }
     let c = cache.counters();
     println!(
-        "warm complete: scale={scale:?} networks={} hits={} misses={}",
+        "warm complete: scale={scale:?} networks={} hits={} misses={} training_epochs={} sim_transitions={}",
         kinds.len(),
         c.hits,
-        c.misses
+        c.misses,
+        nn::train::epochs_run() - epochs_before,
+        gatesim::sim_transitions() - transitions_before,
     );
+    Ok(())
+}
+
+fn cmd_verify(dir: &str) -> Result<(), String> {
+    let store = open_store(dir)?;
+    let report = store.verify().map_err(|e| e.to_string())?;
+    println!(
+        "verify: {} objects checked, {} ok, {} corrupt",
+        report.checked,
+        report.ok,
+        report.corrupt.len()
+    );
+    if !report.is_clean() {
+        for key in &report.corrupt {
+            eprintln!("  corrupt: {key}");
+        }
+        return Err("store verification failed".to_string());
+    }
     Ok(())
 }
 
@@ -191,7 +220,10 @@ fn main() -> ExitCode {
         "stat" => cmd_stat(&args.dir, &args.rest),
         "warm" => cmd_warm(&args.dir, &args.rest),
         "gc" => cmd_gc(&args.dir, &args.rest),
-        other => Err(format!("unknown command `{other}` (ls | stat | warm | gc)")),
+        "verify" => cmd_verify(&args.dir),
+        other => Err(format!(
+            "unknown command `{other}` (ls | stat | warm | gc | verify)"
+        )),
     });
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -15,9 +15,11 @@
 //! * [`container`] — the versioned on-disk format: magic, version,
 //!   section table, per-section and whole-file checksums.
 //! * [`store`] — the two-tier [`Store`]: in-memory LRU over decoded
-//!   sections plus a directory of container files, with advisory file
-//!   locking so concurrent experiment binaries share one store, and an
-//!   oldest-first [`Store::gc`] sweep.
+//!   sections plus a prefix-sharded directory of container files, with
+//!   advisory file locking so concurrent experiment binaries share one
+//!   store, an oldest-first [`Store::gc`] sweep, and a re-checksumming
+//!   [`Store::verify`] audit. Legacy flat-layout stores migrate into
+//!   the sharded layout transparently as they are read.
 //!
 //! This crate is domain-agnostic (sections are opaque bytes); the
 //! `powerpruning` crate layers typed characterization artifacts and
@@ -34,4 +36,4 @@ pub mod wire;
 
 pub use container::{Section, FORMAT_VERSION};
 pub use digest::{digest_bytes, Digest128, Hasher128};
-pub use store::{EntryInfo, GcReport, Store, StoreCounters};
+pub use store::{EntryInfo, GcReport, Store, StoreCounters, VerifyReport};

@@ -2,13 +2,23 @@
 //!
 //! Tier 1 is an in-memory LRU over decoded section lists (shared
 //! `Arc`s, bounded by a byte budget); tier 2 is a directory of
-//! checksummed container files named by the artifact key:
+//! checksummed container files named by the artifact key, sharded into
+//! 256 subdirectories by the first key byte so directory listings stay
+//! cheap as cached pipeline stages multiply entries:
 //!
 //! ```text
 //! <root>/
-//!   objects/<32-hex-digest>.ppc    one container per artifact
-//!   .lock                          advisory lock file
+//!   objects/<2-hex-prefix>/<32-hex-digest>.ppc   one container per artifact
+//!   .lock                                        advisory lock file
 //! ```
+//!
+//! Stores written by earlier versions used a flat
+//! `objects/<32-hex-digest>.ppc` layout. Flat objects remain readable:
+//! a lookup that misses the sharded path falls back to the flat path
+//! and, on success, migrates the object into its shard with an atomic
+//! rename — so an old store heals itself into the new layout one get at
+//! a time, with no explicit migration step. [`Store::entries`],
+//! [`Store::gc`] and [`Store::verify`] walk both layouts.
 //!
 //! Concurrency: writers stage into a writer-unique temp file and
 //! `rename` it into place (atomic on POSIX), so readers never observe a
@@ -21,7 +31,8 @@
 //!
 //! A corrupted object file (flipped byte, truncation, version skew) is
 //! reported as a miss — the caller recomputes and overwrites it — never
-//! as an error that kills the pipeline.
+//! as an error that kills the pipeline. [`Store::verify`] re-checksums
+//! every object on disk for operators who want an explicit audit.
 
 use crate::container::{self, Section};
 use crate::digest::Digest128;
@@ -83,6 +94,25 @@ pub struct GcReport {
     pub kept: usize,
     /// Bytes still stored after the sweep.
     pub kept_bytes: u64,
+}
+
+/// Result of a [`Store::verify`] sweep.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Objects examined (every `.ppc` file in either layout).
+    pub checked: usize,
+    /// Objects whose container decoded with all checksums intact.
+    pub ok: usize,
+    /// Keys whose object failed to read or decode.
+    pub corrupt: Vec<Digest128>,
+}
+
+impl VerifyReport {
+    /// Whether every object verified clean.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.corrupt.is_empty()
+    }
 }
 
 #[derive(Debug)]
@@ -204,7 +234,17 @@ impl Store {
         }
     }
 
+    /// Sharded object path: `objects/<2-hex-prefix>/<32-hex>.ppc`.
     fn object_path(&self, key: Digest128) -> PathBuf {
+        self.root
+            .join("objects")
+            .join(format!("{:02x}", key.0[0]))
+            .join(format!("{}.{OBJECT_EXT}", key.to_hex()))
+    }
+
+    /// Legacy flat object path: `objects/<32-hex>.ppc` (read-only; gets
+    /// migrate hits out of it, puts never write to it).
+    fn flat_object_path(&self, key: Digest128) -> PathBuf {
         self.root
             .join("objects")
             .join(format!("{}.{OBJECT_EXT}", key.to_hex()))
@@ -221,6 +261,10 @@ impl Store {
     /// Looks up an artifact: memory tier first, then disk (verifying
     /// checksums and promoting to memory). A corrupted or unreadable
     /// object counts as a miss.
+    ///
+    /// Lookups that find the object at the legacy flat path migrate it
+    /// into its shard (atomic rename) so flat-layout stores converge to
+    /// the sharded layout as they are read.
     #[must_use]
     pub fn get(&self, key: Digest128) -> Option<Arc<Vec<Section>>> {
         if let Some(hit) = self.mem.lock().expect("mem tier poisoned").touch(&key) {
@@ -229,12 +273,43 @@ impl Store {
         }
         let loaded = (|| -> io::Result<Arc<Vec<Section>>> {
             // Shared lock: a concurrent gc (exclusive) cannot delete the
-            // object between the read and the checksum verification.
+            // object between the read and the checksum verification, and
+            // a flat-layout migration never races a sweep.
             let lock = self.lock_file()?;
             lock.lock_shared()?;
-            let bytes = fs::read(self.object_path(key));
+            let result = (|| -> io::Result<Arc<Vec<Section>>> {
+                let sharded = self.object_path(key);
+                let (bytes, from_flat) = match fs::read(&sharded) {
+                    Ok(b) => (b, false),
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                        match fs::read(self.flat_object_path(key)) {
+                            Ok(b) => (b, true),
+                            // A concurrent reader may have migrated the
+                            // object between our two probes; re-check the
+                            // sharded path before declaring a miss.
+                            Err(e2) if e2.kind() == io::ErrorKind::NotFound => {
+                                (fs::read(&sharded)?, false)
+                            }
+                            Err(e2) => return Err(e2),
+                        }
+                    }
+                    Err(e) => return Err(e),
+                };
+                let sections = container::decode(&bytes)?;
+                if from_flat {
+                    // Best-effort migration of a *valid* object: the
+                    // rename is atomic, and a racing migrator simply
+                    // loses the rename (source already gone).
+                    if let Some(shard) = sharded.parent() {
+                        if fs::create_dir_all(shard).is_ok() {
+                            let _ = fs::rename(self.flat_object_path(key), &sharded);
+                        }
+                    }
+                }
+                Ok(Arc::new(sections))
+            })();
             let _ = lock.unlock();
-            Ok(Arc::new(container::decode(&bytes?)?))
+            result
         })();
         match loaded {
             Ok(sections) => {
@@ -253,7 +328,8 @@ impl Store {
         }
     }
 
-    /// Whether an artifact exists (either tier), without promoting it.
+    /// Whether an artifact exists (either tier, either disk layout),
+    /// without promoting it.
     #[must_use]
     pub fn contains(&self, key: Digest128) -> bool {
         self.mem
@@ -262,6 +338,7 @@ impl Store {
             .map
             .contains_key(&key)
             || self.object_path(key).exists()
+            || self.flat_object_path(key).exists()
     }
 
     /// Stores an artifact under `key`, populating both tiers. Safe
@@ -286,6 +363,9 @@ impl Store {
         let lock = self.lock_file()?;
         lock.lock_shared()?;
         let result = (|| -> io::Result<()> {
+            if let Some(shard) = final_path.parent() {
+                fs::create_dir_all(shard)?;
+            }
             fs::write(&tmp_path, &encoded)?;
             fs::rename(&tmp_path, &final_path)
         })();
@@ -303,34 +383,66 @@ impl Store {
         Ok(())
     }
 
-    /// Lists all disk objects (unordered).
+    /// Whether a directory name is a 2-hex-digit shard.
+    fn is_shard_name(name: &str) -> bool {
+        name.len() == 2 && name.bytes().all(|b| b.is_ascii_hexdigit())
+    }
+
+    /// Parses `<32-hex>.ppc` into its key.
+    fn entry_key(path: &Path) -> Option<Digest128> {
+        if path.extension().and_then(|e| e.to_str()) != Some(OBJECT_EXT) {
+            return None;
+        }
+        path.file_stem()
+            .and_then(|s| s.to_str())
+            .and_then(Digest128::from_hex)
+    }
+
+    /// Lists all disk objects (unordered), across the sharded layout and
+    /// any legacy flat objects not yet migrated. A key present in both
+    /// layouts (possible only mid-migration) is listed once, from its
+    /// shard.
     ///
     /// # Errors
     ///
-    /// Returns any I/O error from reading the objects directory.
+    /// Returns any I/O error from reading the objects directories.
     pub fn entries(&self) -> io::Result<Vec<EntryInfo>> {
-        let mut out = Vec::new();
-        for entry in fs::read_dir(self.root.join("objects"))? {
-            let entry = entry?;
+        let mut seen: HashMap<Digest128, EntryInfo> = HashMap::new();
+        let mut record = |entry: &fs::DirEntry, sharded: bool| -> io::Result<()> {
             let path = entry.path();
-            if path.extension().and_then(|e| e.to_str()) != Some(OBJECT_EXT) {
-                continue;
-            }
-            let Some(key) = path
-                .file_stem()
-                .and_then(|s| s.to_str())
-                .and_then(Digest128::from_hex)
-            else {
-                continue;
+            let Some(key) = Store::entry_key(&path) else {
+                return Ok(());
             };
             let meta = entry.metadata()?;
-            out.push(EntryInfo {
+            let info = EntryInfo {
                 key,
                 bytes: meta.len(),
                 modified: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
-            });
+            };
+            if sharded {
+                seen.insert(key, info);
+            } else {
+                seen.entry(key).or_insert(info);
+            }
+            Ok(())
+        };
+        for entry in fs::read_dir(self.root.join("objects"))? {
+            let entry = entry?;
+            let path = entry.path();
+            let is_shard = path.is_dir()
+                && path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(Store::is_shard_name);
+            if is_shard {
+                for sub in fs::read_dir(&path)? {
+                    record(&sub?, true)?;
+                }
+            } else {
+                record(&entry, false)?;
+            }
         }
-        Ok(out)
+        Ok(seen.into_values().collect())
     }
 
     /// Total bytes of all disk objects.
@@ -342,13 +454,39 @@ impl Store {
         Ok(self.entries()?.iter().map(|e| e.bytes).sum())
     }
 
+    /// Removes an object from **both** layouts. A key can exist in both
+    /// at once: a corrupt flat object is never migrated (decode fails
+    /// before the rename), so the recompute-and-put that heals it
+    /// writes the sharded copy while the corrupt flat file lingers.
+    /// Deleting only one copy would leave gc reporting an empty store
+    /// that still fails `verify`.
+    fn remove_object(&self, key: Digest128) -> io::Result<()> {
+        let mut removed = false;
+        for path in [self.object_path(key), self.flat_object_path(key)] {
+            match fs::remove_file(&path) {
+                Ok(()) => removed = true,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if removed {
+            Ok(())
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("object {key} not found in either layout"),
+            ))
+        }
+    }
+
     /// Deletes oldest-first (by modification time) until the disk tier
     /// is at most `max_bytes`. Takes the exclusive advisory lock, so
     /// concurrent readers and writers in other processes are excluded
     /// for the duration of the sweep. Also removes staging temp files
     /// orphaned by crashed writers: a live writer stages only while
     /// holding the shared lock, so any `*.tmp.*` file visible under the
-    /// exclusive lock is garbage.
+    /// exclusive lock is garbage. Walks every shard as well as the flat
+    /// layout.
     ///
     /// # Errors
     ///
@@ -357,14 +495,30 @@ impl Store {
         let lock = self.lock_file()?;
         lock.lock()?;
         let result = (|| -> io::Result<GcReport> {
-            for entry in fs::read_dir(self.root.join("objects"))? {
+            let sweep_orphans = |dir: &Path| -> io::Result<()> {
+                for entry in fs::read_dir(dir)? {
+                    let path = entry?.path();
+                    let is_orphan_tmp = path
+                        .file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.contains(".tmp."));
+                    if is_orphan_tmp {
+                        let _ = fs::remove_file(&path);
+                    }
+                }
+                Ok(())
+            };
+            let objects = self.root.join("objects");
+            sweep_orphans(&objects)?;
+            for entry in fs::read_dir(&objects)? {
                 let path = entry?.path();
-                let is_orphan_tmp = path
-                    .file_name()
-                    .and_then(|n| n.to_str())
-                    .is_some_and(|n| n.contains(".tmp."));
-                if is_orphan_tmp {
-                    let _ = fs::remove_file(&path);
+                let is_shard = path.is_dir()
+                    && path
+                        .file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(Store::is_shard_name);
+                if is_shard {
+                    sweep_orphans(&path)?;
                 }
             }
             let mut entries = self.entries()?;
@@ -381,7 +535,7 @@ impl Store {
                 if total <= max_bytes {
                     break;
                 }
-                fs::remove_file(self.object_path(e.key))?;
+                self.remove_object(e.key)?;
                 mem.remove(&e.key);
                 total -= e.bytes;
                 report.deleted += 1;
@@ -389,6 +543,69 @@ impl Store {
                 report.kept -= 1;
                 report.kept_bytes -= e.bytes;
             }
+            Ok(report)
+        })();
+        let _ = lock.unlock();
+        result
+    }
+
+    /// Re-checksums every object **file** on disk: reads each container
+    /// and runs the full whole-file + per-section checksum validation
+    /// of [`container::decode`], without touching the memory tier or
+    /// the hit/miss counters. Unlike [`Store::entries`] this does not
+    /// dedup a key present in both layouts — a lingering corrupt flat
+    /// duplicate of a healed sharded object is still reported, so a
+    /// clean `verify` really means no corrupt bytes anywhere.
+    ///
+    /// Holds the shared advisory lock for the sweep so a concurrent gc
+    /// cannot delete objects out from under it.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from listing the store. Unreadable or
+    /// corrupt *objects* are reported in the [`VerifyReport`], not as
+    /// errors.
+    pub fn verify(&self) -> io::Result<VerifyReport> {
+        let lock = self.lock_file()?;
+        lock.lock_shared()?;
+        let result = (|| -> io::Result<VerifyReport> {
+            let mut report = VerifyReport::default();
+            let mut files: Vec<PathBuf> = Vec::new();
+            let objects = self.root.join("objects");
+            for entry in fs::read_dir(&objects)? {
+                let path = entry?.path();
+                let is_shard = path.is_dir()
+                    && path
+                        .file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(Store::is_shard_name);
+                if is_shard {
+                    for sub in fs::read_dir(&path)? {
+                        files.push(sub?.path());
+                    }
+                } else {
+                    files.push(path);
+                }
+            }
+            for path in files {
+                let Some(key) = Store::entry_key(&path) else {
+                    continue;
+                };
+                report.checked += 1;
+                // A concurrent reader (shared locks are compatible) may
+                // migrate a flat object after we listed it — re-probe
+                // its sharded home before classifying the vanished file
+                // as corruption.
+                let bytes = fs::read(&path).or_else(|_| fs::read(self.object_path(key)));
+                let ok = bytes.is_ok_and(|b| container::decode(&b).is_ok());
+                if ok {
+                    report.ok += 1;
+                } else {
+                    report.corrupt.push(key);
+                }
+            }
+            report.corrupt.sort();
+            report.corrupt.dedup();
             Ok(report)
         })();
         let _ = lock.unlock();
@@ -553,6 +770,146 @@ mod tests {
         assert_eq!(report.deleted, 0);
         assert!(!orphan.exists(), "orphaned temp file survived gc");
         assert!(store.get(key(1)).is_some());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn objects_land_in_two_hex_prefix_shards() {
+        let (dir, store) = temp_store();
+        for n in 0..8 {
+            store.put(key(n), artifact(n, 40)).unwrap();
+        }
+        for n in 0..8 {
+            let k = key(n);
+            let path = store.object_path(k);
+            assert!(path.exists(), "object {k} not at sharded path");
+            let shard = path
+                .parent()
+                .and_then(|p| p.file_name())
+                .and_then(|n| n.to_str())
+                .expect("shard dir")
+                .to_string();
+            assert_eq!(shard, format!("{:02x}", k.0[0]));
+        }
+        assert_eq!(store.entries().unwrap().len(), 8);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    /// Builds a legacy flat-layout store by moving sharded objects up
+    /// into `objects/` and removing the shard dirs.
+    fn flatten_store(dir: &Path, store: &Store, keys: &[Digest128]) {
+        for &k in keys {
+            let sharded = store.object_path(k);
+            fs::rename(&sharded, store.flat_object_path(k)).unwrap();
+            let _ = fs::remove_dir(sharded.parent().unwrap());
+        }
+        let _ = dir; // layout is relative to the store root
+    }
+
+    #[test]
+    fn flat_layout_objects_are_read_and_migrated_on_get() {
+        let (dir, store) = temp_store();
+        let keys: Vec<Digest128> = (0..4).map(key).collect();
+        for (n, &k) in keys.iter().enumerate() {
+            store.put(k, artifact(n as u8, 64)).unwrap();
+        }
+        flatten_store(&dir, &store, &keys);
+
+        // A cold instance sees the flat objects…
+        let cold = Store::open(&dir).unwrap();
+        assert_eq!(cold.entries().unwrap().len(), 4);
+        for (n, &k) in keys.iter().enumerate() {
+            assert!(cold.contains(k));
+            assert_eq!(*cold.get(k).unwrap(), artifact(n as u8, 64));
+            // …and each get migrates its object into the shard.
+            assert!(cold.object_path(k).exists(), "object {k} not migrated");
+            assert!(!cold.flat_object_path(k).exists(), "flat {k} left behind");
+        }
+        assert_eq!(cold.counters().disk_hits, 4);
+        assert_eq!(cold.counters().misses, 0);
+        assert_eq!(cold.entries().unwrap().len(), 4);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn gc_deletes_flat_layout_objects_too() {
+        let (dir, store) = temp_store();
+        let keys: Vec<Digest128> = (0..3).map(key).collect();
+        for (n, &k) in keys.iter().enumerate() {
+            store.put(k, artifact(n as u8, 128)).unwrap();
+        }
+        flatten_store(&dir, &store, &keys);
+        let cold = Store::open(&dir).unwrap();
+        let report = cold.gc(0).unwrap();
+        assert_eq!(report.deleted, 3);
+        assert_eq!(cold.entries().unwrap().len(), 0);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn gc_clears_stale_flat_copy_alongside_healed_sharded_object() {
+        let (dir, store) = temp_store();
+        let k = key(5);
+        store.put(k, artifact(5, 96)).unwrap();
+        flatten_store(&dir, &store, &[k]);
+
+        // Corrupt the flat object: the next get decode-fails (miss, no
+        // migration), and the healing put writes the sharded copy while
+        // the corrupt flat file lingers — the key now exists in both
+        // layouts.
+        let flat = store.flat_object_path(k);
+        let mut bytes = fs::read(&flat).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&flat, &bytes).unwrap();
+        let cold = Store::open(&dir).unwrap();
+        assert!(cold.get(k).is_none(), "corrupt flat object must miss");
+        cold.put(k, artifact(5, 96)).unwrap();
+        assert!(cold.object_path(k).exists());
+        assert!(flat.exists(), "stale corrupt flat copy should linger");
+        assert_eq!(cold.entries().unwrap().len(), 1, "entries dedup by key");
+
+        // verify checks files, not deduped keys: the corrupt flat
+        // duplicate must be flagged even though the sharded copy heals.
+        let dirty = cold.verify().unwrap();
+        assert_eq!(dirty.checked, 2);
+        assert_eq!(dirty.ok, 1);
+        assert_eq!(dirty.corrupt, vec![k]);
+
+        // gc to zero must clear *both* copies, and verify stays clean.
+        let report = cold.gc(0).unwrap();
+        assert_eq!(report.deleted, 1);
+        assert!(!cold.object_path(k).exists());
+        assert!(!flat.exists(), "gc left the stale flat copy behind");
+        let verify = cold.verify().unwrap();
+        assert_eq!(verify.checked, 0);
+        assert!(verify.is_clean());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn verify_reports_clean_and_corrupt_objects() {
+        let (dir, store) = temp_store();
+        for n in 0..5 {
+            store.put(key(n), artifact(n, 80)).unwrap();
+        }
+        let clean = store.verify().unwrap();
+        assert_eq!(clean.checked, 5);
+        assert_eq!(clean.ok, 5);
+        assert!(clean.is_clean());
+
+        // Flip a byte in one object: verify flags exactly that key.
+        let victim = key(3);
+        let path = store.object_path(victim);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let dirty = store.verify().unwrap();
+        assert_eq!(dirty.checked, 5);
+        assert_eq!(dirty.ok, 4);
+        assert_eq!(dirty.corrupt, vec![victim]);
+        assert!(!dirty.is_clean());
         let _ = fs::remove_dir_all(dir);
     }
 

@@ -1,13 +1,24 @@
-//! Warm-start caching of characterization artifacts.
+//! Warm-start caching of every expensive pipeline stage.
 //!
-//! Power and timing characterization are pure functions of the cell
-//! library, the netlist structure, the RNG seeds, the sample budgets
-//! and (for power) the captured GEMM streams. This module derives
-//! content-addressed keys committing to *all* of those inputs
-//! ([`characterization_key`], [`timing_key`]), encodes the artifacts
-//! into [`charstore`] containers, and wraps a [`charstore::Store`] in
-//! the [`CharCache`] handle the pipeline stages consult before doing
-//! any gate-level work.
+//! All four artifact-producing stages are pure functions of their
+//! inputs, so each gets a content-addressed key and a typed wire codec:
+//!
+//! * baseline QAT **training** ([`training_key`]) — commits to the
+//!   network kind, both dataset specifications, every optimizer and
+//!   quantization hyperparameter, the derived RNG seeds and the epoch
+//!   budget; the artifact is the trained network's bit-exact inference
+//!   state (`nn::serialize::save_state`) plus its test accuracy.
+//! * GEMM **capture** ([`capture_key`]) — commits to the complete
+//!   network state (parameters, batch-norm buffers, quantizer ranges
+//!   and restriction sets) and the captured input batch; the artifact
+//!   is the quantized operand streams (`nn::serialize::write_captures`).
+//! * power **characterization** ([`characterization_key`]) and
+//!   **timing** ([`timing_key`]) — as before, committing to the cell
+//!   library, netlist structures, seeds, budgets and capture content.
+//!
+//! Keys are derived through [`KeyFields`], an order-insensitive named
+//! field builder: the digest depends on *which* fields carry *which*
+//! values, never on the order a key function happens to list them in.
 //!
 //! Environment knobs (read by [`CharCache::from_env`]):
 //!
@@ -16,20 +27,24 @@
 //!   `.powerpruning-cache` under the working directory).
 //!
 //! A key hit is provably the same computation, so a warmed store lets a
-//! second pipeline run skip every `BatchSim` settle/transition
-//! round-trip of characterization. Decode failures (corruption, version
+//! second pipeline run skip baseline training entirely (zero epochs,
+//! observable via `nn::train::epochs_run`) and every `BatchSim`
+//! settle/transition round-trip (zero transitions, observable via
+//! `gatesim::sim_transitions`). Decode failures (corruption, version
 //! skew) degrade to a miss and the artifact is recomputed and
 //! rewritten.
 
 use crate::chars::{MacHardware, PsumBinning, WeightPowerProfile};
+use crate::pipeline::stages::characterize::{dataset_spec, untrained_prepared};
 use crate::pipeline::stages::PipelineCtx;
-use crate::pipeline::Characterization;
+use crate::pipeline::{Characterization, NetworkKind, Prepared};
 use crate::WeightTimingProfile;
 use charstore::container::find;
 use charstore::wire::{self, Reader};
 use charstore::{Digest128, Hasher128, Section, Store};
 use gatesim::{CellKind, CellLibrary};
 use nn::layers::GemmCapture;
+use nn::model::Network;
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -56,6 +71,110 @@ mod section {
     pub const POWER_PROFILE: u32 = 4;
     pub const ENERGY_MODEL: u32 = 5;
     pub const TIMING_PROFILE: u32 = 6;
+    pub const NET_STATE: u32 = 7;
+    pub const ACCURACY: u32 = 8;
+    pub const CAPTURES: u32 = 9;
+}
+
+/// An order-insensitive named-field cache-key builder.
+///
+/// Every committed input is pushed as a `(name, typed value)` pair;
+/// [`KeyFields::finalize`] sorts the fields by name before hashing, so
+/// the digest is a function of the field *set* — reordering the `push`
+/// calls in a key function can never silently change (or preserve!) a
+/// key, while any value or name change always moves it. Values carry a
+/// type tag, so e.g. `u64(1)` and `f64` with the same bit pattern under
+/// the same name cannot collide.
+///
+/// # Panics
+///
+/// [`KeyFields::finalize`] panics on duplicate field names — an
+/// ambiguous key would silently drop a commitment, which is exactly the
+/// bug class this builder exists to prevent.
+#[derive(Debug, Clone, Default)]
+pub struct KeyFields {
+    fields: Vec<(String, Vec<u8>)>,
+}
+
+impl KeyFields {
+    /// An empty field set.
+    #[must_use]
+    pub fn new() -> Self {
+        KeyFields::default()
+    }
+
+    fn push(&mut self, name: &str, tag: u8, payload: &[u8]) {
+        let mut value = Vec::with_capacity(payload.len() + 1);
+        value.push(tag);
+        value.extend_from_slice(payload);
+        self.fields.push((name.to_string(), value));
+    }
+
+    /// Commits a `u32` field.
+    pub fn u32(&mut self, name: &str, v: u32) {
+        self.push(name, 1, &v.to_le_bytes());
+    }
+
+    /// Commits a `u64` field.
+    pub fn u64(&mut self, name: &str, v: u64) {
+        self.push(name, 2, &v.to_le_bytes());
+    }
+
+    /// Commits a `usize` field (as little-endian `u64`).
+    pub fn usize(&mut self, name: &str, v: usize) {
+        self.push(name, 3, &(v as u64).to_le_bytes());
+    }
+
+    /// Commits an `f64` field by exact bit pattern.
+    pub fn f64(&mut self, name: &str, v: f64) {
+        self.push(name, 4, &v.to_bits().to_le_bytes());
+    }
+
+    /// Commits an `f32` field by exact bit pattern.
+    pub fn f32(&mut self, name: &str, v: f32) {
+        self.push(name, 5, &v.to_bits().to_le_bytes());
+    }
+
+    /// Commits a `bool` field.
+    pub fn bool(&mut self, name: &str, v: bool) {
+        self.push(name, 6, &[u8::from(v)]);
+    }
+
+    /// Commits a string field.
+    pub fn str(&mut self, name: &str, v: &str) {
+        self.push(name, 7, v.as_bytes());
+    }
+
+    /// Commits a sub-digest field (for composite inputs hashed
+    /// separately, e.g. a network state or an input batch).
+    pub fn digest(&mut self, name: &str, d: Digest128) {
+        self.push(name, 8, &d.0);
+    }
+
+    /// Derives the key under a domain-separation tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two fields share a name (see the type docs).
+    #[must_use]
+    pub fn finalize(&self, domain: &str) -> Digest128 {
+        let mut sorted: Vec<&(String, Vec<u8>)> = self.fields.iter().collect();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        for pair in sorted.windows(2) {
+            assert_ne!(
+                pair[0].0, pair[1].0,
+                "duplicate cache-key field `{}`",
+                pair[0].0
+            );
+        }
+        let mut h = Hasher128::new(domain);
+        h.write_usize(sorted.len());
+        for (name, value) in sorted {
+            h.write_str(name);
+            h.write_bytes(value);
+        }
+        h.finalize()
+    }
 }
 
 fn hash_library(h: &mut Hasher128, lib: &CellLibrary) {
@@ -133,6 +252,129 @@ pub fn timing_key(ctx: &PipelineCtx<'_>, slow_floor_ps: f64) -> Digest128 {
     h.write_f64(slow_floor_ps);
     h.write_usize(ctx.cfg.weight_stride());
     h.finalize()
+}
+
+/// The cache key of the baseline QAT training artifact produced by the
+/// pipeline's prepare stage.
+///
+/// Commits to the network kind, the train/test dataset specifications
+/// (classes, resolution, channels, sample counts, noise, seeds), the
+/// network-build seed, every optimizer hyperparameter of the baseline
+/// training configuration (epochs, batch size, learning-rate schedule,
+/// momentum, weight decay, gradient clipping) and the quantization-aware
+/// flag. The experiment scale is committed explicitly because the
+/// network topology is a function of it.
+#[must_use]
+pub fn training_key(ctx: &PipelineCtx<'_>, kind: NetworkKind) -> Digest128 {
+    let cfg = ctx.cfg;
+    let mut k = KeyFields::new();
+    k.u32("algo_version", ARTIFACT_ALGO_VERSION);
+    k.str("scale", &format!("{:?}", cfg.scale));
+    k.str("network", &format!("{kind:?}"));
+    k.u64("net_seed", cfg.seed ^ (kind as u64));
+    for (split, spec) in [
+        ("train", dataset_spec(ctx, kind, true)),
+        ("test", dataset_spec(ctx, kind, false)),
+    ] {
+        k.usize(&format!("{split}.classes"), spec.classes);
+        k.usize(&format!("{split}.size"), spec.size);
+        k.usize(&format!("{split}.channels"), spec.channels);
+        k.usize(&format!("{split}.samples"), spec.samples);
+        k.f32(&format!("{split}.noise"), spec.noise);
+        k.u64(&format!("{split}.seed"), spec.seed);
+    }
+    let tc = cfg.train_config(cfg.baseline_epochs());
+    k.usize("opt.epochs", tc.epochs);
+    k.usize("opt.batch_size", tc.batch_size);
+    k.f32("opt.lr", tc.lr);
+    k.f32("opt.momentum", tc.momentum);
+    k.f32("opt.weight_decay", tc.weight_decay);
+    k.f32("opt.lr_decay", tc.lr_decay);
+    k.bool("opt.clip", tc.clip_norm.is_some());
+    k.f32("opt.clip_norm", tc.clip_norm.unwrap_or(0.0));
+    k.bool("quantize", true);
+    k.finalize("powerpruning.training.v1")
+}
+
+/// Digest of a network's complete inference state: layer-qualified
+/// parameter names, shapes and exact `f32` bits, plus every
+/// non-trainable buffer (batch-norm running statistics).
+fn network_state_digest(net: &mut Network) -> Digest128 {
+    let mut h = Hasher128::new("powerpruning.netstate.v1");
+    let mut scratch: Vec<u8> = Vec::new();
+    net.visit_params(&mut |p| {
+        h.write_str(&p.name);
+        h.write_usize(p.value.shape().len());
+        for &d in p.value.shape() {
+            h.write_usize(d);
+        }
+        scratch.clear();
+        scratch.extend(p.value.data().iter().flat_map(|v| v.to_le_bytes()));
+        h.write_bytes(&scratch);
+    });
+    net.visit_buffers(&mut |b| {
+        scratch.clear();
+        scratch.extend(b.iter().flat_map(|v| v.to_le_bytes()));
+        h.write_bytes(&scratch);
+    });
+    h.finalize()
+}
+
+/// Digest of a network's value-set restrictions and quantizer ranges —
+/// the knobs the selection stages install between captures.
+fn network_restriction_digest(net: &mut Network) -> Digest128 {
+    let mut h = Hasher128::new("powerpruning.restrictions.v1");
+    let write_set = |h: &mut Hasher128, allowed: &Option<nn::ValueSet>| match allowed {
+        None => h.write_bool(false),
+        Some(set) => {
+            h.write_bool(true);
+            h.write_usize(set.codes().len());
+            for &c in set.codes() {
+                h.write_i64(i64::from(c));
+            }
+        }
+    };
+    net.visit_weight_quant(&mut |wq| {
+        write_set(&mut h, &wq.allowed);
+    });
+    net.visit_act_quant(&mut |aq| {
+        h.write_u32(aq.range.to_bits());
+        write_set(&mut h, &aq.allowed);
+    });
+    h.finalize()
+}
+
+/// The cache key of the GEMM capture artifact produced by the
+/// pipeline's capture stage.
+///
+/// Commits to the complete network state ([`network_state_digest`] over
+/// parameters and buffers), the installed value-set restrictions and
+/// quantizer ranges, and the exact input batch the captures stream
+/// (shape and `f32` bits of the test-set head). The capture forward
+/// pass is always quantization-aware, so the `quantize` flag is not an
+/// input.
+#[must_use]
+pub fn capture_key(ctx: &PipelineCtx<'_>, prepared: &mut Prepared) -> Digest128 {
+    let mut k = KeyFields::new();
+    k.u32("algo_version", ARTIFACT_ALGO_VERSION);
+    let name = prepared.net.name().to_string();
+    k.str("net.name", &name);
+    k.digest("net.state", network_state_digest(&mut prepared.net));
+    k.digest(
+        "net.restrictions",
+        network_restriction_digest(&mut prepared.net),
+    );
+    let (x, _) = prepared.test_data.head(ctx.cfg.capture_batch());
+    let mut h = Hasher128::new("powerpruning.capture-input.v1");
+    h.write_usize(x.shape().len());
+    for &d in x.shape() {
+        h.write_usize(d);
+    }
+    let bytes: Vec<u8> = x.data().iter().flat_map(|v| v.to_le_bytes()).collect();
+    h.write_bytes(&bytes);
+    k.digest("input", h.finalize());
+    k.usize("capture_batch", ctx.cfg.capture_batch());
+    k.finalize("powerpruning.capture.v1")
 }
 
 fn provenance_section(ctx: &PipelineCtx<'_>, kind: &str) -> Section {
@@ -232,6 +474,54 @@ fn decode_timing(sections: &[Section]) -> io::Result<WeightTimingProfile> {
     let profile = WeightTimingProfile::read_from(&mut r)?;
     r.finish()?;
     Ok(profile)
+}
+
+fn encode_training(ctx: &PipelineCtx<'_>, prepared: &mut Prepared) -> Vec<Section> {
+    let mut state = Vec::new();
+    nn::serialize::save_state(&mut prepared.net, &mut state).expect("Vec writes cannot fail");
+    let mut accuracy = Vec::new();
+    wire::put_f64(&mut accuracy, prepared.accuracy);
+    vec![
+        provenance_section(ctx, "training"),
+        Section::new(section::NET_STATE, state),
+        Section::new(section::ACCURACY, accuracy),
+    ]
+}
+
+/// Rebuilds a [`Prepared`] from a stored training artifact: datasets
+/// and the untrained network skeleton are regenerated deterministically
+/// from the configuration (cheap), then the trained state is loaded
+/// bit-exactly over it.
+fn decode_training(
+    ctx: &PipelineCtx<'_>,
+    kind: NetworkKind,
+    sections: &[Section],
+) -> io::Result<Prepared> {
+    let state = find(sections, section::NET_STATE)
+        .ok_or_else(|| wire::invalid("training artifact is missing the network state"))?;
+    let mut r = required(sections, section::ACCURACY)?;
+    let accuracy = r.f64()?;
+    r.finish()?;
+    let (mut prepared, _rng) = untrained_prepared(ctx, kind);
+    nn::serialize::load_state(&mut prepared.net, state.bytes.as_slice())?;
+    prepared.accuracy = accuracy;
+    Ok(prepared)
+}
+
+fn encode_captures(ctx: &PipelineCtx<'_>, captures: &[GemmCapture]) -> Vec<Section> {
+    let mut buf = Vec::new();
+    nn::serialize::write_captures(captures, &mut buf);
+    vec![
+        provenance_section(ctx, "capture"),
+        Section::new(section::CAPTURES, buf),
+    ]
+}
+
+fn decode_captures(sections: &[Section]) -> io::Result<Vec<GemmCapture>> {
+    let mut r = required(sections, section::CAPTURES)?;
+    let captures = nn::serialize::read_captures(&mut r)?;
+    r.finish()?;
+    Ok(captures)
 }
 
 /// Typed hit/miss counters of one [`CharCache`].
@@ -357,6 +647,45 @@ impl CharCache {
     ) {
         let _ = self.store.put(key, encode_timing(ctx, profile));
     }
+
+    /// Looks up a baseline training artifact, rebuilding the
+    /// [`Prepared`] bundle (datasets regenerated, trained state loaded
+    /// bit-exactly). Any store miss or decode failure — including a
+    /// structure mismatch after a model-code change — is a cache miss.
+    #[must_use]
+    pub fn lookup_training(
+        &self,
+        ctx: &PipelineCtx<'_>,
+        kind: NetworkKind,
+        key: Digest128,
+    ) -> Option<Prepared> {
+        let decoded = self
+            .store
+            .get(key)
+            .and_then(|s| decode_training(ctx, kind, &s).ok());
+        self.record(decoded)
+    }
+
+    /// Stores a baseline training artifact (failures swallowed; only
+    /// warm starts are lost). Takes the network mutably because state
+    /// serialization visits parameters through `&mut` hooks.
+    pub fn store_training(&self, ctx: &PipelineCtx<'_>, key: Digest128, prepared: &mut Prepared) {
+        let sections = encode_training(ctx, prepared);
+        let _ = self.store.put(key, sections);
+    }
+
+    /// Looks up a GEMM capture artifact. Any store miss or decode
+    /// failure is a cache miss.
+    #[must_use]
+    pub fn lookup_captures(&self, key: Digest128) -> Option<Vec<GemmCapture>> {
+        let decoded = self.store.get(key).and_then(|s| decode_captures(&s).ok());
+        self.record(decoded)
+    }
+
+    /// Stores a GEMM capture artifact (failures swallowed, as above).
+    pub fn store_captures(&self, ctx: &PipelineCtx<'_>, key: Digest128, captures: &[GemmCapture]) {
+        let _ = self.store.put(key, encode_captures(ctx, captures));
+    }
 }
 
 #[cfg(test)]
@@ -415,6 +744,85 @@ mod tests {
         let p = micro_ctx_pipeline();
         let ctx = p.ctx();
         assert_ne!(timing_key(&ctx, 0.0), characterization_key(&ctx, &[]));
+    }
+
+    #[test]
+    fn key_fields_are_order_insensitive_and_value_sensitive() {
+        let mut a = KeyFields::new();
+        a.u64("seed", 7);
+        a.str("network", "LeNet5");
+        a.f32("noise", 0.08);
+        let mut b = KeyFields::new();
+        b.f32("noise", 0.08);
+        b.u64("seed", 7);
+        b.str("network", "LeNet5");
+        assert_eq!(a.finalize("test.v1"), b.finalize("test.v1"));
+        // Any value change moves the key; so does the domain.
+        let mut c = KeyFields::new();
+        c.u64("seed", 8);
+        c.str("network", "LeNet5");
+        c.f32("noise", 0.08);
+        assert_ne!(a.finalize("test.v1"), c.finalize("test.v1"));
+        assert_ne!(a.finalize("test.v1"), a.finalize("test.v2"));
+        // Same bits under a different type tag must not collide.
+        let mut d = KeyFields::new();
+        d.u64("x", 1);
+        let mut e = KeyFields::new();
+        e.usize("x", 1);
+        assert_ne!(d.finalize("t"), e.finalize("t"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cache-key field")]
+    fn key_fields_reject_duplicate_names() {
+        let mut k = KeyFields::new();
+        k.u64("seed", 1);
+        k.u64("seed", 2);
+        let _ = k.finalize("test");
+    }
+
+    #[test]
+    fn training_key_commits_to_kind_seed_and_scale() {
+        let p = micro_ctx_pipeline();
+        let ctx = p.ctx();
+        let base = training_key(&ctx, NetworkKind::LeNet5);
+        assert_eq!(base, training_key(&ctx, NetworkKind::LeNet5));
+        assert_ne!(base, training_key(&ctx, NetworkKind::ResNet20));
+
+        let mut cfg2 = *ctx.cfg;
+        cfg2.seed ^= 1;
+        let p2 = Pipeline::new(cfg2);
+        assert_ne!(base, training_key(&p2.ctx(), NetworkKind::LeNet5));
+
+        let mut cfg3 = PipelineConfig::for_scale(Scale::Mini);
+        cfg3.cache = false;
+        let p3 = Pipeline::new(cfg3);
+        assert_ne!(base, training_key(&p3.ctx(), NetworkKind::LeNet5));
+    }
+
+    #[test]
+    fn capture_key_commits_to_network_state_and_restrictions() {
+        let p = micro_ctx_pipeline();
+        let ctx = p.ctx();
+        let mut prepared = p.prepare(NetworkKind::LeNet5);
+        let base = capture_key(&ctx, &mut prepared);
+        assert_eq!(base, capture_key(&ctx, &mut prepared));
+
+        // Installing a restriction moves the key; clearing restores it.
+        prepared
+            .net
+            .set_weight_restriction(Some(nn::ValueSet::new([-1, 0, 1])));
+        assert_ne!(base, capture_key(&ctx, &mut prepared));
+        prepared.net.set_weight_restriction(None);
+        assert_eq!(base, capture_key(&ctx, &mut prepared));
+
+        // Perturbing a single parameter bit moves the key.
+        prepared.net.visit_params(&mut |p| {
+            if let Some(v) = p.value.data_mut().first_mut() {
+                *v += 0.5;
+            }
+        });
+        assert_ne!(base, capture_key(&ctx, &mut prepared));
     }
 
     #[test]

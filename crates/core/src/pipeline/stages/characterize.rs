@@ -69,7 +69,35 @@ fn build_network(
     }
 }
 
+/// The deterministic, cheap part of preparation: generated datasets
+/// plus the untrained network skeleton (quantization-aware, accuracy
+/// zeroed). [`PrepareStage`] trains it; the cache loads a stored
+/// trained state over it instead. The returned RNG is positioned
+/// exactly after network construction, so training continues the same
+/// stream the pre-cache implementation used.
+pub(crate) fn untrained_prepared(ctx: &PipelineCtx<'_>, kind: NetworkKind) -> (Prepared, StdRng) {
+    let train_data = dataset_spec(ctx, kind, true).generate();
+    let test_data = dataset_spec(ctx, kind, false).generate();
+    let mut rng = StdRng::seed_from_u64(ctx.cfg.seed ^ (kind as u64));
+    let mut net = build_network(ctx, kind, train_data.classes(), &mut rng);
+    net.quantize = true;
+    (
+        Prepared {
+            net,
+            train_data,
+            test_data,
+            accuracy: 0.0,
+        },
+        rng,
+    )
+}
+
 /// Trains the quantization-aware baseline for a network kind.
+///
+/// The trained state and test accuracy are a pure function of the
+/// configuration, so an attached [`crate::cache::CharCache`] is
+/// consulted first (key: [`crate::cache::training_key`]) — a hit skips
+/// every training epoch and loads the bit-exact network state instead.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PrepareStage;
 
@@ -81,29 +109,40 @@ impl Stage<NetworkKind> for PrepareStage {
     }
 
     fn run(&self, ctx: &PipelineCtx<'_>, kind: NetworkKind) -> Prepared {
-        let train_data = dataset_spec(ctx, kind, true).generate();
-        let test_data = dataset_spec(ctx, kind, false).generate();
-        let mut rng = StdRng::seed_from_u64(ctx.cfg.seed ^ (kind as u64));
-        let mut net = build_network(ctx, kind, train_data.classes(), &mut rng);
-        net.quantize = true;
-        let _ = train(
-            &mut net,
-            &train_data,
-            &ctx.cfg.train_config(ctx.cfg.baseline_epochs()),
-            &mut rng,
-        );
-        let accuracy = evaluate(&mut net, &test_data, 64);
-        Prepared {
-            net,
-            train_data,
-            test_data,
-            accuracy,
+        if let Some(cache) = ctx.cache {
+            let key = crate::cache::training_key(ctx, kind);
+            if let Some(prepared) = cache.lookup_training(ctx, kind, key) {
+                return prepared;
+            }
+            let mut prepared = prepare_uncached(ctx, kind);
+            cache.store_training(ctx, key, &mut prepared);
+            return prepared;
         }
+        prepare_uncached(ctx, kind)
     }
+}
+
+/// The training body shared by the cached and uncached paths of
+/// [`PrepareStage`].
+fn prepare_uncached(ctx: &PipelineCtx<'_>, kind: NetworkKind) -> Prepared {
+    let (mut prepared, mut rng) = untrained_prepared(ctx, kind);
+    let _ = train(
+        &mut prepared.net,
+        &prepared.train_data,
+        &ctx.cfg.train_config(ctx.cfg.baseline_epochs()),
+        &mut rng,
+    );
+    prepared.accuracy = evaluate(&mut prepared.net, &prepared.test_data, 64);
+    prepared
 }
 
 /// Captures the quantized GEMMs of a forward pass over a fixed
 /// evaluation batch.
+///
+/// A capture is a pure function of the network state and the input
+/// batch, so an attached cache is consulted first (key:
+/// [`crate::cache::capture_key`]) — a hit replays the stored operand
+/// streams without running the forward pass.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CaptureStage;
 
@@ -115,10 +154,25 @@ impl Stage<&mut Prepared> for CaptureStage {
     }
 
     fn run(&self, ctx: &PipelineCtx<'_>, prepared: &mut Prepared) -> Vec<GemmCapture> {
-        let (x, _) = prepared.test_data.head(ctx.cfg.capture_batch());
-        let (_, captures) = prepared.net.forward_capture(&x);
-        captures
+        if let Some(cache) = ctx.cache {
+            let key = crate::cache::capture_key(ctx, prepared);
+            if let Some(captures) = cache.lookup_captures(key) {
+                return captures;
+            }
+            let captures = capture_uncached(ctx, prepared);
+            cache.store_captures(ctx, key, &captures);
+            return captures;
+        }
+        capture_uncached(ctx, prepared)
     }
+}
+
+/// The forward-capture body shared by the cached and uncached paths of
+/// [`CaptureStage`].
+fn capture_uncached(ctx: &PipelineCtx<'_>, prepared: &mut Prepared) -> Vec<GemmCapture> {
+    let (x, _) = prepared.test_data.head(ctx.cfg.capture_batch());
+    let (_, captures) = prepared.net.forward_capture(&x);
+    captures
 }
 
 /// Statistics collection + per-weight power characterization from

@@ -586,6 +586,7 @@ impl<'a> BatchSim<'a> {
     /// length mismatches.
     pub fn transition(&mut self, new_inputs: &[bool]) -> TransitionView<'_> {
         assert!(self.primed, "call settle() before transition()");
+        crate::counters::record_transition();
         assert_eq!(
             new_inputs.len(),
             self.current_inputs.len(),

@@ -50,6 +50,7 @@
 pub mod builder;
 pub mod cells;
 pub mod circuits;
+pub mod counters;
 pub mod engine;
 pub mod export;
 pub mod netlist;
@@ -59,6 +60,7 @@ pub mod transform;
 
 pub use builder::NetlistBuilder;
 pub use cells::{CellKind, CellLibrary, CellParams};
+pub use counters::sim_transitions;
 pub use engine::{BatchAccumulator, BatchSim, TransitionView};
 pub use netlist::{Gate, GateId, NetId, Netlist};
 pub use sim::{Simulator, TransitionStats};

@@ -192,6 +192,7 @@ impl<'a> Simulator<'a> {
     /// length mismatches.
     pub fn transition(&mut self, new_inputs: &[bool]) -> TransitionStats {
         assert!(self.settled, "call settle() before transition()");
+        crate::counters::record_transition();
         assert_eq!(
             new_inputs.len(),
             self.current_inputs.len(),

@@ -139,6 +139,12 @@ pub trait Layer: fmt::Debug {
     /// Visits every trainable parameter in a stable order.
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
 
+    /// Visits every non-trainable state buffer in a stable order
+    /// (batch-norm running statistics). Buffers are part of a trained
+    /// network's inference behaviour, so serialization and cache keys
+    /// must cover them even though no gradient flows through them.
+    fn visit_buffers(&mut self, _f: &mut dyn FnMut(&mut Vec<f32>)) {}
+
     /// Visits every weight quantizer (conv/dense layers).
     fn visit_weight_quant(&mut self, _f: &mut dyn FnMut(&mut WeightQuantizer)) {}
 

@@ -161,6 +161,11 @@ impl Layer for BatchNorm2d {
         f(&mut self.beta);
     }
 
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
+        f(&mut self.running_mean);
+        f(&mut self.running_var);
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

@@ -70,6 +70,12 @@ impl Layer for Sequential {
         }
     }
 
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
+        for layer in &mut self.layers {
+            layer.visit_buffers(f);
+        }
+    }
+
     fn visit_weight_quant(&mut self, f: &mut dyn FnMut(&mut WeightQuantizer)) {
         for layer in &mut self.layers {
             layer.visit_weight_quant(f);
@@ -152,6 +158,11 @@ impl Layer for Residual {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.main.visit_params(f);
         self.shortcut.visit_params(f);
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
+        self.main.visit_buffers(f);
+        self.shortcut.visit_buffers(f);
     }
 
     fn visit_weight_quant(&mut self, f: &mut dyn FnMut(&mut WeightQuantizer)) {
@@ -246,6 +257,23 @@ impl Network {
     /// Visits every trainable parameter.
     pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.root.visit_params(f);
+    }
+
+    /// Visits every non-trainable state buffer (batch-norm running
+    /// statistics) in a stable order.
+    pub fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
+        self.root.visit_buffers(f);
+    }
+
+    /// Visits every weight quantizer (conv/dense layers) — read access
+    /// for cache-key derivation as well as restriction installation.
+    pub fn visit_weight_quant(&mut self, f: &mut dyn FnMut(&mut WeightQuantizer)) {
+        self.root.visit_weight_quant(f);
+    }
+
+    /// Visits every activation quantizer (activation layers).
+    pub fn visit_act_quant(&mut self, f: &mut dyn FnMut(&mut ActQuantizer)) {
+        self.root.visit_act_quant(f);
     }
 
     /// Zeroes all gradients.

@@ -1,4 +1,4 @@
-//! Network weight persistence.
+//! Network weight and state persistence, plus GEMM-capture wire codecs.
 //!
 //! A deliberately simple binary container (magic, version, per-tensor
 //! shape + little-endian `f32` payloads) so trained baselines can be
@@ -6,12 +6,45 @@
 //! `Read`/`Write`, so callers can target files, buffers or pipes; note
 //! that a `&mut` reference to a reader/writer also implements the trait
 //! and can be passed here.
+//!
+//! Two container flavours share the tensor encoding:
+//!
+//! * [`save_weights`]/[`load_weights`] (`PPNNWTS1`) — trainable
+//!   parameters only; the original format, kept for compatibility.
+//! * [`save_state`]/[`load_state`] (`PPNNSTA1`) — parameters **plus**
+//!   non-trainable buffers (batch-norm running statistics). This is the
+//!   bit-exact inference state of a trained network, and what the
+//!   pipeline's training cache persists: restoring parameters alone
+//!   would change batch-norm inference outputs.
+//!
+//! [`write_captures`]/[`read_captures`] are the bit-exact wire codecs
+//! for [`GemmCapture`] traces, so captured forward passes can live in
+//! the same content-addressed store as every other pipeline artifact.
 
+use crate::layers::GemmCapture;
 use crate::model::Network;
 use crate::tensor::Tensor;
+use charstore::wire::{self, Reader};
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 8] = b"PPNNWTS1";
+const STATE_MAGIC: &[u8; 8] = b"PPNNSTA1";
+
+/// Writes the tensor list shared by both container flavours: count,
+/// then per-tensor rank, shape and little-endian `f32` payload.
+fn write_tensors<W: Write>(mut w: W, tensors: &[(Vec<usize>, Vec<f32>)]) -> io::Result<()> {
+    w.write_all(&(tensors.len() as u64).to_le_bytes())?;
+    for (shape, data) in tensors {
+        w.write_all(&(shape.len() as u64).to_le_bytes())?;
+        for &dim in shape {
+            w.write_all(&(dim as u64).to_le_bytes())?;
+        }
+        for &v in data {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
 
 /// Writes every trainable parameter of `net` to `w`.
 ///
@@ -24,13 +57,29 @@ pub fn save_weights<W: Write>(net: &mut Network, mut w: W) -> io::Result<()> {
         tensors.push((p.value.shape().to_vec(), p.value.data().to_vec()));
     });
     w.write_all(MAGIC)?;
-    w.write_all(&(tensors.len() as u64).to_le_bytes())?;
-    for (shape, data) in &tensors {
-        w.write_all(&(shape.len() as u64).to_le_bytes())?;
-        for &dim in shape {
-            w.write_all(&(dim as u64).to_le_bytes())?;
-        }
-        for &v in data {
+    write_tensors(w, &tensors)
+}
+
+/// Writes every trainable parameter *and* every non-trainable state
+/// buffer of `net` to `w` — the complete inference state of a trained
+/// network.
+///
+/// # Errors
+///
+/// Returns any I/O error from the underlying writer.
+pub fn save_state<W: Write>(net: &mut Network, mut w: W) -> io::Result<()> {
+    let mut tensors: Vec<(Vec<usize>, Vec<f32>)> = Vec::new();
+    net.visit_params(&mut |p| {
+        tensors.push((p.value.shape().to_vec(), p.value.data().to_vec()));
+    });
+    let mut buffers: Vec<Vec<f32>> = Vec::new();
+    net.visit_buffers(&mut |b| buffers.push(b.clone()));
+    w.write_all(STATE_MAGIC)?;
+    write_tensors(&mut w, &tensors)?;
+    w.write_all(&(buffers.len() as u64).to_le_bytes())?;
+    for buf in &buffers {
+        w.write_all(&(buf.len() as u64).to_le_bytes())?;
+        for &v in buf {
             w.write_all(&v.to_le_bytes())?;
         }
     }
@@ -49,26 +98,9 @@ fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-/// Reads parameters written by [`save_weights`] into `net`, which must
-/// have the identical structure.
-///
-/// Hardened against hostile or truncated input: the `u64` tensor,
-/// rank and shape fields are bounded *before* any allocation (a
-/// corrupted count can never trigger a huge `Vec::with_capacity`),
-/// payload buffers grow only as bytes actually arrive, and trailing
-/// bytes after the last tensor are rejected.
-///
-/// # Errors
-///
-/// Returns an error on I/O failure, bad magic, implausible or
-/// truncated contents, trailing bytes, or structure mismatch — all
-/// malformed-input cases as [`io::ErrorKind::InvalidData`].
-pub fn load_weights<R: Read>(net: &mut Network, mut r: R) -> io::Result<()> {
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(invalid("not a PowerPruning weight file"));
-    }
+/// Reads the tensor list shared by both container flavours, with the
+/// full hardening discipline (see [`load_weights`]).
+fn read_tensors<R: Read>(r: &mut R) -> io::Result<Vec<Tensor>> {
     let mut u64buf = [0u8; 8];
     r.read_exact(&mut u64buf)?;
     let count64 = u64::from_le_bytes(u64buf);
@@ -103,29 +135,44 @@ pub fn load_weights<R: Read>(net: &mut Network, mut r: R) -> io::Result<()> {
                 })?;
             shape.push(dim as usize);
         }
-        // Bounded read: the buffer grows with the bytes actually
-        // present, so a huge declared shape on a short file fails with
-        // InvalidData instead of allocating `len` elements up front.
-        let byte_len = len * 4;
-        let mut bytes = Vec::new();
-        r.by_ref().take(byte_len).read_to_end(&mut bytes)?;
-        if bytes.len() as u64 != byte_len {
-            return Err(invalid(format!(
-                "tensor {idx}: payload truncated ({} of {byte_len} bytes)",
-                bytes.len()
-            )));
-        }
-        let data: Vec<f32> = bytes
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
-            .collect();
+        let data = read_f32_payload(r, len, &format!("tensor {idx}"))?;
         tensors.push(Tensor::from_vec(&shape, data));
     }
+    Ok(tensors)
+}
+
+/// Bounded `f32` payload read: the buffer grows with the bytes actually
+/// present, so a huge declared length on a short file fails with
+/// `InvalidData` instead of allocating `len` elements up front.
+fn read_f32_payload<R: Read>(r: &mut R, len: u64, what: &str) -> io::Result<Vec<f32>> {
+    let byte_len = len * 4;
+    let mut bytes = Vec::new();
+    r.by_ref().take(byte_len).read_to_end(&mut bytes)?;
+    if bytes.len() as u64 != byte_len {
+        return Err(invalid(format!(
+            "{what}: payload truncated ({} of {byte_len} bytes)",
+            bytes.len()
+        )));
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect())
+}
+
+/// Rejects any bytes remaining in `r`.
+fn reject_trailing<R: Read>(r: &mut R, what: &str) -> io::Result<()> {
     let mut trailing = [0u8; 1];
     if r.read(&mut trailing)? != 0 {
-        return Err(invalid("trailing bytes after the last tensor"));
+        return Err(invalid(format!("trailing bytes after the last {what}")));
     }
+    Ok(())
+}
 
+/// Assigns decoded tensors to `net`'s parameters, enforcing a 1:1
+/// shape-exact match.
+fn assign_params(net: &mut Network, tensors: &[Tensor]) -> io::Result<()> {
+    let count = tensors.len();
     let mut idx = 0usize;
     let mut mismatch: Option<String> = None;
     net.visit_params(&mut |p| {
@@ -156,6 +203,168 @@ pub fn load_weights<R: Read>(net: &mut Network, mut r: R) -> io::Result<()> {
         )));
     }
     Ok(())
+}
+
+/// Reads parameters written by [`save_weights`] into `net`, which must
+/// have the identical structure.
+///
+/// Hardened against hostile or truncated input: the `u64` tensor,
+/// rank and shape fields are bounded *before* any allocation (a
+/// corrupted count can never trigger a huge `Vec::with_capacity`),
+/// payload buffers grow only as bytes actually arrive, and trailing
+/// bytes after the last tensor are rejected.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure, bad magic, implausible or
+/// truncated contents, trailing bytes, or structure mismatch — all
+/// malformed-input cases as [`io::ErrorKind::InvalidData`].
+pub fn load_weights<R: Read>(net: &mut Network, mut r: R) -> io::Result<()> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(invalid("not a PowerPruning weight file"));
+    }
+    let tensors = read_tensors(&mut r)?;
+    reject_trailing(&mut r, "tensor")?;
+    assign_params(net, &tensors)
+}
+
+/// Reads a full network state written by [`save_state`] into `net`,
+/// which must have the identical structure (same parameters *and* the
+/// same buffer layout).
+///
+/// Hardened exactly like [`load_weights`]; buffer counts and lengths
+/// are bounded before allocation too.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure, bad magic, implausible or
+/// truncated contents, trailing bytes, or structure mismatch — all
+/// malformed-input cases as [`io::ErrorKind::InvalidData`].
+pub fn load_state<R: Read>(net: &mut Network, mut r: R) -> io::Result<()> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != STATE_MAGIC {
+        return Err(invalid("not a PowerPruning network state file"));
+    }
+    let tensors = read_tensors(&mut r)?;
+
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u64buf)?;
+    let buf_count = u64::from_le_bytes(u64buf);
+    if buf_count > MAX_TENSORS {
+        return Err(invalid(format!(
+            "implausible buffer count {buf_count} (max {MAX_TENSORS})"
+        )));
+    }
+    let mut buffers: Vec<Vec<f32>> = Vec::new();
+    for idx in 0..buf_count {
+        r.read_exact(&mut u64buf)?;
+        let len = u64::from_le_bytes(u64buf);
+        if len > MAX_ELEMENTS {
+            return Err(invalid(format!(
+                "buffer {idx}: implausible length {len} (max {MAX_ELEMENTS})"
+            )));
+        }
+        buffers.push(read_f32_payload(&mut r, len, &format!("buffer {idx}"))?);
+    }
+    reject_trailing(&mut r, "buffer")?;
+
+    assign_params(net, &tensors)?;
+    let count = buffers.len();
+    let mut idx = 0usize;
+    let mut mismatch: Option<String> = None;
+    net.visit_buffers(&mut |b| {
+        if mismatch.is_some() {
+            return;
+        }
+        match buffers.get(idx) {
+            Some(decoded) if decoded.len() == b.len() => {
+                b.copy_from_slice(decoded);
+            }
+            Some(decoded) => {
+                mismatch = Some(format!(
+                    "buffer {idx} length {} != file length {}",
+                    b.len(),
+                    decoded.len()
+                ));
+            }
+            None => mismatch = Some(format!("file has only {count} buffers")),
+        }
+        idx += 1;
+    });
+    if let Some(msg) = mismatch {
+        return Err(invalid(msg));
+    }
+    if idx != count {
+        return Err(invalid(format!(
+            "file has {count} buffers, network has {idx} buffers"
+        )));
+    }
+    Ok(())
+}
+
+/// Encodes a capture trace — the quantized GEMM operand streams of one
+/// forward pass — bit-exactly onto `out`.
+pub fn write_captures(captures: &[GemmCapture], out: &mut Vec<u8>) {
+    wire::put_usize(out, captures.len());
+    for c in captures {
+        wire::put_str(out, &c.layer);
+        wire::put_usize(out, c.m);
+        wire::put_usize(out, c.k);
+        wire::put_usize(out, c.n);
+        // i8 codes share the u8 byte representation.
+        wire::put_usize(out, c.weight_codes.len());
+        out.extend(c.weight_codes.iter().map(|&w| w as u8));
+        wire::put_usize(out, c.act_codes.len());
+        out.extend_from_slice(&c.act_codes);
+    }
+}
+
+/// Decodes a capture trace written by [`write_captures`].
+///
+/// Hardened like the network codecs: counts are bounded against the
+/// remaining input before any allocation, and each GEMM's code vectors
+/// must match its declared `m×k` / `k×n` geometry.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] on truncation, implausible
+/// counts or geometry mismatches.
+pub fn read_captures(r: &mut Reader<'_>) -> io::Result<Vec<GemmCapture>> {
+    // Each capture costs at least the three u64 dims + two u64 lengths
+    // + the u64 layer-name length = 48 bytes.
+    let count = r.bounded_len(48)?;
+    let mut out = Vec::with_capacity(count);
+    for idx in 0..count {
+        let layer = r.str()?;
+        let m = r.u64()? as usize;
+        let k = r.u64()? as usize;
+        let n = r.u64()? as usize;
+        let w_len = r.bounded_len(1)?;
+        let weight_codes: Vec<i8> = r.take(w_len)?.iter().map(|&b| b as i8).collect();
+        let a_len = r.bounded_len(1)?;
+        let act_codes: Vec<u8> = r.take(a_len)?.to_vec();
+        let geometry_ok = m.checked_mul(k).is_some_and(|mk| mk == weight_codes.len())
+            && k.checked_mul(n).is_some_and(|kn| kn == act_codes.len());
+        if !geometry_ok {
+            return Err(wire::invalid(format!(
+                "capture {idx}: geometry {m}x{k}x{n} does not match code vectors ({}, {})",
+                weight_codes.len(),
+                act_codes.len()
+            )));
+        }
+        out.push(GemmCapture {
+            layer,
+            weight_codes,
+            act_codes,
+            m,
+            k,
+            n,
+        });
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -263,5 +472,139 @@ mod tests {
         let err = load_weights(&mut net, buf.as_slice()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("trailing"));
+    }
+
+    /// A network whose inference behaviour depends on buffers as well as
+    /// parameters (batch-norm running statistics).
+    fn bn_net(seed: u64) -> Network {
+        use crate::layers::{BatchNorm2d, Conv2d, QuantReLU};
+        use crate::model::Sequential;
+        let mut rng = StdRng::seed_from_u64(seed);
+        Network::new(
+            Sequential::new("bn-net")
+                .with(Conv2d::new("c1", 1, 4, 3, 1, 1, 1, &mut rng))
+                .with(BatchNorm2d::new("bn1", 4))
+                .with(QuantReLU::new("r1", 6.0)),
+        )
+    }
+
+    #[test]
+    fn state_round_trip_restores_batchnorm_buffers() {
+        let mut net = bn_net(7);
+        // A few training passes move the running statistics off their
+        // initial values — the part save_weights does not cover.
+        let x = Tensor::full(&[2, 1, 8, 8], 0.7);
+        for _ in 0..3 {
+            let _ = net.forward_train(&x);
+        }
+        let before = net.predict(&x);
+
+        let mut buf = Vec::new();
+        save_state(&mut net, &mut buf).expect("save");
+
+        let mut weights_only = bn_net(99);
+        load_weights(&mut weights_only, {
+            let mut wbuf = Vec::new();
+            save_weights(&mut net, &mut wbuf).expect("save weights");
+            io::Cursor::new(wbuf)
+        })
+        .expect("load weights");
+        assert_ne!(
+            weights_only.predict(&x).data(),
+            before.data(),
+            "weights-only restore must miss the running statistics"
+        );
+
+        let mut full = bn_net(99);
+        load_state(&mut full, buf.as_slice()).expect("load state");
+        assert_eq!(full.predict(&x).data(), before.data());
+    }
+
+    #[test]
+    fn state_buffer_length_mismatch_is_rejected() {
+        let mut a = bn_net(1);
+        let mut buf = Vec::new();
+        save_state(&mut a, &mut buf).expect("save");
+        use crate::layers::{BatchNorm2d, Conv2d};
+        use crate::model::Sequential;
+        let mut rng = StdRng::seed_from_u64(2);
+        // Same parameter shapes in conv, different batch-norm width.
+        let mut b = Network::new(
+            Sequential::new("other")
+                .with(Conv2d::new("c1", 1, 4, 3, 1, 1, 1, &mut rng))
+                .with(BatchNorm2d::new("bn1", 4)),
+        );
+        // Truncate the last buffer: parameter section intact, buffer
+        // section short.
+        buf.truncate(buf.len() - 4);
+        let err = load_state(&mut b, buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn state_rejects_weights_magic() {
+        let mut net = bn_net(3);
+        let mut buf = Vec::new();
+        save_weights(&mut net, &mut buf).expect("save");
+        let err = load_state(&mut net, buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    fn sample_captures() -> Vec<GemmCapture> {
+        vec![
+            GemmCapture {
+                layer: "conv1".into(),
+                weight_codes: vec![1, -2, 3, -4, 5, -6],
+                act_codes: vec![9, 8, 7, 6, 5, 4],
+                m: 2,
+                k: 3,
+                n: 2,
+            },
+            GemmCapture {
+                layer: "fc".into(),
+                weight_codes: vec![-128_i8, 127, 0],
+                act_codes: vec![255, 0, 1],
+                m: 1,
+                k: 3,
+                n: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn captures_round_trip_bit_exactly() {
+        let captures = sample_captures();
+        let mut buf = Vec::new();
+        write_captures(&captures, &mut buf);
+        let mut r = Reader::new(&buf);
+        let back = read_captures(&mut r).expect("decode");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(back, captures);
+        // Empty traces round-trip too.
+        let mut empty = Vec::new();
+        write_captures(&[], &mut empty);
+        let mut r = Reader::new(&empty);
+        assert!(read_captures(&mut r).expect("decode empty").is_empty());
+    }
+
+    #[test]
+    fn captures_geometry_mismatch_is_rejected() {
+        let mut captures = sample_captures();
+        captures[0].m = 3; // 3×3 declared, 6 weight codes present
+        let mut buf = Vec::new();
+        write_captures(&captures, &mut buf);
+        let mut r = Reader::new(&buf);
+        let err = read_captures(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("geometry"));
+    }
+
+    #[test]
+    fn captures_hostile_count_is_rejected() {
+        let mut buf = Vec::new();
+        wire::put_usize(&mut buf, u32::MAX as usize); // absurd capture count
+        let mut r = Reader::new(&buf);
+        let err = read_captures(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 }

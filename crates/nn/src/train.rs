@@ -5,6 +5,23 @@ use crate::loss::{accuracy, cross_entropy};
 use crate::model::Network;
 use crate::optim::Sgd;
 use rand::rngs::StdRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of training epochs executed by [`train`].
+///
+/// This is the warm-start cache's observable for "a warmed run performs
+/// zero training": tests, the `charstore warm` CLI and the
+/// characterization bench snapshot [`epochs_run`] around a pipeline run
+/// and assert the delta is zero when the baseline artifact is served
+/// from the store.
+static EPOCHS_RUN: AtomicU64 = AtomicU64::new(0);
+
+/// Total training epochs executed by this process so far (monotonic;
+/// snapshot-and-subtract to measure a window).
+#[must_use]
+pub fn epochs_run() -> u64 {
+    EPOCHS_RUN.load(Ordering::Relaxed)
+}
 
 /// Training hyperparameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,6 +105,7 @@ pub fn train(
     let mut opt = Sgd::new(config.lr, config.momentum, config.weight_decay);
     let mut history = Vec::with_capacity(config.epochs);
     for epoch in 0..config.epochs {
+        EPOCHS_RUN.fetch_add(1, Ordering::Relaxed);
         let mut total_loss = 0.0f32;
         let mut total_correct = 0.0f64;
         let mut total_seen = 0usize;

@@ -29,15 +29,38 @@ fn micro_cfg() -> PipelineConfig {
     PipelineConfig::for_scale(Scale::Micro)
 }
 
+/// Every `.ppc` object file under `objects/`, in either layout (flat
+/// files or 2-hex shard subdirectories).
+fn find_objects(objects: &std::path::Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(objects).expect("objects dir") {
+        let path = entry.expect("entry").path();
+        if path.is_dir() {
+            for sub in std::fs::read_dir(&path).expect("shard dir") {
+                let sub = sub.expect("entry").path();
+                if sub.extension().and_then(|e| e.to_str()) == Some("ppc") {
+                    out.push(sub);
+                }
+            }
+        } else if path.extension().and_then(|e| e.to_str()) == Some("ppc") {
+            out.push(path);
+        }
+    }
+    out
+}
+
 /// The acceptance-criterion test: a second Micro-scale pipeline run
-/// against a warmed store answers both characterization stages from the
-/// cache — zero `BatchSim` transitions, observable as hits with no
-/// misses — and returns bit-identical artifacts.
+/// against a warmed store answers **all four** cacheable stages —
+/// baseline training, GEMM capture, power characterization, timing —
+/// from the cache, observable as hits with no misses, and returns
+/// bit-identical artifacts. (The zero-epoch / zero-transition counter
+/// assertions live in `tests/warm_pipeline.rs`, which needs a process
+/// to itself because the counters are global.)
 #[test]
 fn second_pipeline_run_is_served_entirely_from_the_store() {
     let dir = scratch_dir("warm");
 
-    // Cold run: populates the store, missing both artifacts.
+    // Cold run: populates the store, missing all four artifacts.
     let cold = Pipeline::with_cache_dir(micro_cfg(), &dir);
     let mut prepared = cold.prepare(NetworkKind::LeNet5);
     let captures = cold.capture(&mut prepared);
@@ -45,26 +68,67 @@ fn second_pipeline_run_is_served_entirely_from_the_store() {
     let cold_timing = cold.characterize_timing(f64::MAX);
     let c = cold.cache().expect("cache enabled").counters();
     assert_eq!(c.hits, 0, "cold run cannot hit an empty store");
-    assert_eq!(c.misses, 2, "cold run must miss both artifacts");
+    assert_eq!(c.misses, 4, "cold run must miss all four artifacts");
 
     // Warm run: a *fresh* pipeline (fresh in-memory tier) sharing the
-    // store directory. Same config + same captures -> same keys.
+    // store directory. Same config -> same keys at every stage.
     let warm = Pipeline::with_cache_dir(micro_cfg(), &dir);
-    let warm_chars = warm.characterize(&captures);
+    let mut warm_prepared = warm.prepare(NetworkKind::LeNet5);
+    let warm_captures = warm.capture(&mut warm_prepared);
+    let warm_chars = warm.characterize(&warm_captures);
     let warm_timing = warm.characterize_timing(f64::MAX);
     let w = warm.cache().expect("cache enabled").counters();
     assert_eq!(
         w.misses, 0,
-        "warm run performed gate-level characterization despite a warmed store"
+        "warm run performed training or gate-level work despite a warmed store"
     );
-    assert_eq!(w.hits, 2, "warm run must answer both stages from the store");
+    assert_eq!(
+        w.hits, 4,
+        "warm run must answer all four stages from the store"
+    );
 
     // Served artifacts are bit-identical to the computed ones.
+    assert_eq!(
+        warm_prepared.accuracy.to_bits(),
+        prepared.accuracy.to_bits(),
+        "baseline accuracy diverged"
+    );
+    assert_eq!(warm_captures, captures);
     assert_eq!(warm_chars.stats, cold_chars.stats);
     assert_eq!(warm_chars.binning, cold_chars.binning);
     assert_eq!(warm_chars.power_profile, cold_chars.power_profile);
     assert_eq!(warm_chars.energy_model, cold_chars.energy_model);
     assert_eq!(warm_timing, cold_timing);
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// The cached trained network must be *behaviourally* identical to the
+/// freshly trained one, not just key-compatible: a forward pass over
+/// the test head produces bit-identical captures through a fresh
+/// (uncached) capture stage.
+#[test]
+fn cached_training_artifact_replays_to_identical_captures() {
+    let dir = scratch_dir("train-replay");
+
+    let cold = Pipeline::with_cache_dir(micro_cfg(), &dir);
+    let mut trained = cold.prepare(NetworkKind::LeNet5);
+
+    // Serve training from the store, then capture through an *uncached*
+    // pipeline so the forward pass really runs on the restored network.
+    let warm = Pipeline::with_cache_dir(micro_cfg(), &dir);
+    let mut restored = warm.prepare(NetworkKind::LeNet5);
+    assert_eq!(warm.cache().expect("cache").counters().hits, 1);
+
+    let mut uncached_cfg = micro_cfg();
+    uncached_cfg.cache = false;
+    let replay = Pipeline::new(uncached_cfg);
+    let from_trained = replay.capture(&mut trained);
+    let from_restored = replay.capture(&mut restored);
+    assert_eq!(
+        from_restored, from_trained,
+        "restored network's forward pass diverged from the trained one"
+    );
 
     let _ = std::fs::remove_dir_all(dir);
 }
@@ -160,8 +224,146 @@ fn timing_artifacts_round_trip_across_multiplier_generators() {
     }
 }
 
+/// Flat→sharded migration: a store laid out by the pre-sharding code
+/// (all objects directly under `objects/`) opens under the new code
+/// with every get a hit, the hit objects migrate into their shards, and
+/// `verify` passes over the result.
+#[test]
+fn flat_layout_store_migrates_and_verifies() {
+    let dir = scratch_dir("flat-migrate");
+
+    // Build content through the current API, then flatten the layout to
+    // what the old code produced: objects/<hex>.ppc, no shard dirs.
+    let store = Store::open(&dir).expect("open");
+    let keys: Vec<Digest128> = (0u64..12)
+        .map(|n| charstore::digest_bytes("flat-key", &n.to_le_bytes()))
+        .collect();
+    for (n, &k) in keys.iter().enumerate() {
+        store
+            .put(k, vec![Section::new(1, vec![n as u8; 64 + n])])
+            .expect("put");
+    }
+    drop(store);
+    let objects = dir.join("objects");
+    for path in find_objects(&objects) {
+        let flat = objects.join(path.file_name().expect("file name"));
+        if path != flat {
+            std::fs::rename(&path, &flat).expect("flatten");
+            let _ = std::fs::remove_dir(path.parent().expect("shard"));
+        }
+    }
+    for path in find_objects(&objects) {
+        assert_eq!(
+            path.parent().expect("parent"),
+            objects,
+            "fixture must be fully flat"
+        );
+    }
+
+    // New code over the old layout: every get hits and migrates.
+    let migrated = Store::open(&dir).expect("re-open");
+    for (n, &k) in keys.iter().enumerate() {
+        let sections = migrated.get(k).expect("flat object must hit");
+        assert_eq!(*sections, vec![Section::new(1, vec![n as u8; 64 + n])]);
+    }
+    assert_eq!(migrated.counters().disk_hits, 12);
+    assert_eq!(migrated.counters().misses, 0);
+    for path in find_objects(&objects) {
+        assert_ne!(
+            path.parent().expect("parent"),
+            objects,
+            "object {} was not migrated into a shard",
+            path.display()
+        );
+    }
+    // The migrated store lists fully and re-checksums clean.
+    assert_eq!(migrated.entries().expect("entries").len(), 12);
+    let report = migrated.verify().expect("verify");
+    assert_eq!(report.checked, 12);
+    assert!(report.is_clean(), "corrupt after migration: {report:?}");
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// `training_key` commits to every configuration field it claims to:
+/// flipping any one of them moves the key, and an unchanged
+/// configuration reproduces it exactly.
+#[test]
+fn training_key_moves_with_every_committed_field() {
+    use powerpruning::cache::training_key;
+    let base_pipeline = || {
+        let mut cfg = micro_cfg();
+        cfg.cache = false;
+        Pipeline::new(cfg)
+    };
+    let p = base_pipeline();
+    let base = training_key(&p.ctx(), NetworkKind::LeNet5);
+    assert_eq!(
+        base,
+        training_key(&base_pipeline().ctx(), NetworkKind::LeNet5)
+    );
+
+    // Network kind.
+    for kind in [
+        NetworkKind::ResNet20,
+        NetworkKind::ResNet50,
+        NetworkKind::EfficientNetLite,
+    ] {
+        assert_ne!(base, training_key(&p.ctx(), kind), "{kind:?} collided");
+    }
+    // Master seed (drives dataset seeds, net seed and every stream).
+    let mut cfg = micro_cfg();
+    cfg.cache = false;
+    cfg.seed ^= 0x100;
+    assert_ne!(
+        base,
+        training_key(&Pipeline::new(cfg).ctx(), NetworkKind::LeNet5)
+    );
+    // Scale (drives topology, budgets, epochs, dataset sizes).
+    let mut cfg = PipelineConfig::for_scale(Scale::Mini);
+    cfg.cache = false;
+    assert_ne!(
+        base,
+        training_key(&Pipeline::new(cfg).ctx(), NetworkKind::LeNet5)
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// KeyFields is order-insensitive: any permutation of the same
+    /// named fields produces the same key ("stable under field
+    /// reordering"), while changing any single value moves it.
+    #[test]
+    fn key_fields_ignore_order_and_commit_to_values(
+        values in prop::collection::vec(0u64..u64::MAX, 2..12),
+        rotation in 0usize..12,
+        flip_idx in 0usize..12,
+        flip_bit in 0u8..64,
+    ) {
+        use powerpruning::cache::KeyFields;
+        let build = |vals: &[(usize, u64)]| {
+            let mut k = KeyFields::new();
+            for &(i, v) in vals {
+                k.u64(&format!("field{i}"), v);
+            }
+            k.finalize("proptest.v1")
+        };
+        let fields: Vec<(usize, u64)> = values.iter().copied().enumerate().collect();
+        let mut rotated = fields.clone();
+        rotated.rotate_left(rotation % fields.len());
+        prop_assert_eq!(build(&fields), build(&rotated), "field order leaked into the key");
+
+        let mut flipped = fields.clone();
+        let idx = flip_idx % flipped.len();
+        flipped[idx].1 ^= 1 << flip_bit;
+        prop_assert_ne!(
+            build(&fields),
+            build(&flipped),
+            "single-bit value change at field {} went uncommitted",
+            idx
+        );
+    }
 
     /// Container round-trip: arbitrary section payloads come back
     /// bit-identical through encode/decode.
@@ -210,12 +412,9 @@ proptest! {
         let store = Store::open(&dir).expect("open");
         store.put(key, vec![Section::new(1, payload)]).expect("put");
 
-        let object = std::fs::read_dir(dir.join("objects"))
-            .expect("objects dir")
-            .next()
-            .expect("one object")
-            .expect("entry")
-            .path();
+        let object = find_objects(&dir.join("objects"))
+            .pop()
+            .expect("one object");
         let mut bytes = std::fs::read(&object).expect("read object");
         let pos = flip_pos % bytes.len();
         bytes[pos] ^= 1 << flip_bit;
