@@ -1,4 +1,5 @@
-//! Management CLI for the characterization artifact store.
+//! Management CLI for the characterization artifact store and the
+//! `charserve` daemon over it.
 //!
 //! ```text
 //! charstore [--dir DIR] ls                     list stored artifacts
@@ -10,6 +11,12 @@
 //!                                              training-epoch and gate-transition counters
 //! charstore [--dir DIR] gc --max-bytes N       delete oldest artifacts over the budget
 //! charstore [--dir DIR] verify                 re-checksum every object on disk
+//! charstore [--dir DIR] serve [--addr A] [--workers N]
+//!                                              run the charserve daemon over the store
+//! charstore request [--addr A] [--scale S] [--network N] [--seed X]
+//!                                              POST a characterization request
+//! charstore request [--addr A] (--healthz | --stats | --shutdown)
+//!                                              daemon health / counters / clean stop
 //! ```
 //!
 //! `--dir` falls back to `POWERPRUNING_CACHE_DIR`, then to the default
@@ -17,8 +24,11 @@
 //! report `misses=0 training_epochs=0 sim_transitions=0` on the second
 //! run — a fully warmed store answers all four stages without a single
 //! training epoch or gate-level transition. The CI cache-smoke job
-//! asserts exactly that, then runs `verify` over the resulting store.
+//! asserts exactly that, then runs `verify` over the resulting store;
+//! the service-smoke job drives `serve`/`request` end to end and
+//! asserts single-flight deduplication via `/stats`.
 
+use charserve::{Client, ServeConfig, Server};
 use charstore::Store;
 use powerpruning::cache::{decode_provenance, CharCache, DEFAULT_CACHE_DIR};
 use powerpruning::pipeline::{NetworkKind, Pipeline, PipelineConfig, Scale};
@@ -48,7 +58,8 @@ fn parse_args() -> Result<Args, String> {
     }
     Ok(Args {
         dir,
-        command: command.ok_or("missing command (ls | stat | warm | gc | verify)")?,
+        command: command
+            .ok_or("missing command (ls | stat | warm | gc | verify | serve | request)")?,
         rest,
     })
 }
@@ -214,6 +225,93 @@ fn cmd_gc(dir: &str, rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Default daemon address shared by `serve` and `request`.
+const DEFAULT_ADDR: &str = "127.0.0.1:7878";
+
+fn cmd_serve(dir: &str, rest: &[String]) -> Result<(), String> {
+    let mut cfg = ServeConfig {
+        addr: DEFAULT_ADDR.to_string(),
+        workers: 2,
+        store_dir: dir.into(),
+    };
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => cfg.addr = it.next().ok_or("--addr needs a value")?.clone(),
+            "--workers" => {
+                cfg.workers = it
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+            }
+            other => return Err(format!("unknown serve option `{other}`")),
+        }
+    }
+    let server = Server::bind(&cfg).map_err(|e| format!("cannot start charserve: {e}"))?;
+    println!(
+        "charserve listening on {} over store {dir} ({} workers)",
+        server.local_addr(),
+        cfg.workers
+    );
+    server.serve().map_err(|e| e.to_string())?;
+    println!("charserve stopped");
+    Ok(())
+}
+
+fn cmd_request(rest: &[String]) -> Result<(), String> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut scale = None;
+    let mut network = None;
+    let mut seed: Option<u64> = None;
+    let mut action = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next().ok_or("--addr needs a value")?.clone(),
+            "--scale" => scale = Some(it.next().ok_or("--scale needs a value")?.clone()),
+            "--network" => network = Some(it.next().ok_or("--network needs a value")?.clone()),
+            "--seed" => {
+                let parsed: u64 = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+                // The JSON wire format carries numbers as f64, so the
+                // server rejects seeds beyond 2^53; fail here with a
+                // clear message instead of a server-side 400.
+                if parsed > (1 << 53) {
+                    return Err(format!("--seed {parsed} exceeds the wire limit of 2^53"));
+                }
+                seed = Some(parsed);
+            }
+            "--healthz" | "--stats" | "--shutdown" => action = Some(arg.clone()),
+            other => return Err(format!("unknown request option `{other}`")),
+        }
+    }
+    let client = Client::new(addr);
+    let body = match action.as_deref() {
+        Some("--healthz") => client.healthz()?,
+        Some("--stats") => client.stats()?,
+        Some("--shutdown") => client.shutdown()?,
+        _ => {
+            let mut fields = Vec::new();
+            if let Some(s) = scale {
+                fields.push(format!("\"scale\": \"{}\"", charserve::json::escape(&s)));
+            }
+            if let Some(n) = network {
+                fields.push(format!("\"network\": \"{}\"", charserve::json::escape(&n)));
+            }
+            if let Some(s) = seed {
+                fields.push(format!("\"seed\": {s}"));
+            }
+            client.characterize(&format!("{{{}}}", fields.join(", ")))?
+        }
+    };
+    print!("{body}");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let result = parse_args().and_then(|args| match args.command.as_str() {
         "ls" => cmd_ls(&args.dir),
@@ -221,8 +319,10 @@ fn main() -> ExitCode {
         "warm" => cmd_warm(&args.dir, &args.rest),
         "gc" => cmd_gc(&args.dir, &args.rest),
         "verify" => cmd_verify(&args.dir),
+        "serve" => cmd_serve(&args.dir, &args.rest),
+        "request" => cmd_request(&args.rest),
         other => Err(format!(
-            "unknown command `{other}` (ls | stat | warm | gc | verify)"
+            "unknown command `{other}` (ls | stat | warm | gc | verify | serve | request)"
         )),
     });
     match result {

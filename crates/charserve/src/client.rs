@@ -1,0 +1,95 @@
+//! A small blocking client for the daemon — the engine behind
+//! `charstore request`, the integration tests and the CI smoke job.
+
+use crate::http;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Default read timeout: characterizations at Mini/Full scale take
+/// minutes, so the client waits generously rather than aborting a
+/// computation the server will finish.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(3600);
+
+/// A blocking client bound to one daemon address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`) with the default timeout.
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client {
+            addr: addr.into(),
+            timeout: DEFAULT_TIMEOUT,
+        }
+    }
+
+    /// Overrides the read timeout (tests use short ones).
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    /// One request/response round trip: `(status, body)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description on connect, I/O or framing failure.
+    pub fn roundtrip(&self, method: &str, path: &str, body: &str) -> Result<(u16, String), String> {
+        let mut stream = TcpStream::connect(&self.addr)
+            .map_err(|e| format!("cannot connect to charserve at {}: {e}", self.addr))?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .map_err(|e| e.to_string())?;
+        http::write_request(&mut stream, method, path, body).map_err(|e| e.to_string())?;
+        http::read_response(&stream).map_err(|e| e.to_string())
+    }
+
+    fn expect_ok(&self, method: &str, path: &str, body: &str) -> Result<String, String> {
+        match self.roundtrip(method, path, body)? {
+            (200, body) => Ok(body),
+            (status, body) => Err(format!("{path} answered {status}: {}", body.trim())),
+        }
+    }
+
+    /// `GET /healthz`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on any non-200 answer or transport error.
+    pub fn healthz(&self) -> Result<String, String> {
+        self.expect_ok("GET", "/healthz", "")
+    }
+
+    /// `GET /stats`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on any non-200 answer or transport error.
+    pub fn stats(&self) -> Result<String, String> {
+        self.expect_ok("GET", "/stats", "")
+    }
+
+    /// `POST /characterize` with a raw JSON body (empty string for the
+    /// server defaults).
+    ///
+    /// # Errors
+    ///
+    /// Fails on any non-200 answer or transport error.
+    pub fn characterize(&self, body: &str) -> Result<String, String> {
+        self.expect_ok("POST", "/characterize", body)
+    }
+
+    /// `POST /shutdown`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on any non-200 answer or transport error.
+    pub fn shutdown(&self) -> Result<String, String> {
+        self.expect_ok("POST", "/shutdown", "")
+    }
+}

@@ -1,0 +1,288 @@
+//! Just-enough HTTP/1.1 framing over [`std::net`] streams.
+//!
+//! The daemon speaks a deliberately tiny subset — one request per
+//! connection (`Connection: close`), `Content-Length` bodies only, no
+//! chunked encoding, no keep-alive — so the whole wire layer stays
+//! auditable and dependency-free. Limits are enforced before
+//! allocation, the same discipline as `charstore::wire::Reader`.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// Maximum accepted request-line + header-line length.
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Maximum accepted number of header lines per request. Without a cap
+/// a client could stream headers forever (one byte per read keeps the
+/// idle timeout from firing) and pin the connection thread — and with
+/// it the shutdown join.
+pub const MAX_HEADER_LINES: usize = 64;
+/// Maximum accepted body length.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request (or response) head plus its body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET` / `POST` / ….
+    pub method: String,
+    /// Absolute path, e.g. `/characterize`.
+    pub path: String,
+    /// Decoded body (empty when there was none).
+    pub body: String,
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Reads one CRLF- (or LF-) terminated line, bounded by
+/// [`MAX_LINE_BYTES`]. EOF before the terminator is a framing error —
+/// treating a truncated connection as an empty line would let a
+/// half-sent request parse as a complete one (and e.g. launch a
+/// default characterization for a request that never finished
+/// arriving).
+fn read_line(reader: &mut impl BufRead) -> io::Result<String> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte)? {
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-line",
+                ))
+            }
+            _ => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_LINE_BYTES {
+                    return Err(invalid("header line too long"));
+                }
+            }
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| invalid("header line is not UTF-8"))
+}
+
+/// Parses `Content-Length` out of header lines until the blank line,
+/// then reads exactly that many body bytes. Bounded in every
+/// dimension: line length ([`MAX_LINE_BYTES`]), line count
+/// ([`MAX_HEADER_LINES`]) and body size ([`MAX_BODY_BYTES`]).
+fn read_headers_and_body(reader: &mut impl BufRead) -> io::Result<String> {
+    let mut content_length: usize = 0;
+    let mut lines = 0usize;
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        lines += 1;
+        if lines > MAX_HEADER_LINES {
+            return Err(invalid("too many header lines"));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| invalid("bad Content-Length"))?;
+            if content_length > MAX_BODY_BYTES {
+                return Err(invalid("body too large"));
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    String::from_utf8(body).map_err(|_| invalid("body is not UTF-8"))
+}
+
+/// Reads one request from a server-side connection.
+///
+/// # Errors
+///
+/// Returns an `InvalidData` error on any framing violation (the server
+/// answers those with `400`).
+pub fn read_request(stream: &TcpStream) -> io::Result<Request> {
+    let mut reader = BufReader::new(stream);
+    let request_line = read_line(&mut reader)?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(invalid(format!("malformed request line `{request_line}`")));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(invalid(format!("unsupported version `{version}`")));
+    }
+    let body = read_headers_and_body(&mut reader)?;
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+/// Writes a JSON response and flushes.
+///
+/// # Errors
+///
+/// Returns any I/O error from the stream.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    body: &str,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes one client request and flushes.
+///
+/// # Errors
+///
+/// Returns any I/O error from the stream.
+pub fn write_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> io::Result<()> {
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: charserve\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads one response from a client-side connection: `(status, body)`.
+///
+/// # Errors
+///
+/// Returns an `InvalidData` error on framing violations.
+pub fn read_response(stream: &TcpStream) -> io::Result<(u16, String)> {
+    let mut reader = BufReader::new(stream);
+    let status_line = read_line(&mut reader)?;
+    let mut parts = status_line.split_whitespace();
+    let (Some(version), Some(status)) = (parts.next(), parts.next()) else {
+        return Err(invalid(format!("malformed status line `{status_line}`")));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(invalid(format!("unsupported version `{version}`")));
+    }
+    let status = status
+        .parse::<u16>()
+        .map_err(|_| invalid("non-numeric status"))?;
+    let body = read_headers_and_body(&mut reader)?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Round-trips one request/response pair over a real socket.
+    #[test]
+    fn request_and_response_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let req = read_request(&stream).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/characterize");
+            assert_eq!(req.body, r#"{"scale": "micro"}"#);
+            let mut stream = stream;
+            write_response(&mut stream, 200, "OK", r#"{"ok": true}"#).unwrap();
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write_request(
+            &mut stream,
+            "POST",
+            "/characterize",
+            r#"{"scale": "micro"}"#,
+        )
+        .unwrap();
+        let (status, body) = read_response(&stream).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, r#"{"ok": true}"#);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn truncated_requests_are_framing_errors_not_empty_requests() {
+        // A client that disconnects mid-headers must yield an error —
+        // never a parsed request with an empty body.
+        for partial in [
+            &b""[..],
+            b"POST /characterize HTTP/1.1\r\n",
+            b"POST /characterize HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+        ] {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let server = std::thread::spawn(move || {
+                let (stream, _) = listener.accept().unwrap();
+                read_request(&stream)
+            });
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(partial).unwrap();
+            stream.flush().unwrap();
+            drop(stream);
+            assert!(
+                server.join().unwrap().is_err(),
+                "truncated request {partial:?} parsed as complete"
+            );
+        }
+    }
+
+    #[test]
+    fn header_floods_are_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            read_request(&stream)
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap();
+        for i in 0..(MAX_HEADER_LINES + 2) {
+            stream
+                .write_all(format!("X-Flood-{i}: y\r\n").as_bytes())
+                .unwrap();
+        }
+        stream.flush().unwrap();
+        let err = server.join().unwrap().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_before_allocation() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            read_request(&stream)
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        use std::io::Write;
+        stream
+            .write_all(b"POST /x HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n")
+            .unwrap();
+        stream.flush().unwrap();
+        let err = server.join().unwrap().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

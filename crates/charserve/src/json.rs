@@ -1,0 +1,368 @@
+//! A small JSON reader for the service wire format.
+//!
+//! Parses objects, strings, numbers, booleans and `null` — everything
+//! the `charserve` protocol uses. Arrays are not part of the protocol
+//! and are rejected. The parser is bounds-checked and never panics on
+//! malformed input; errors carry the byte offset.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (as `f64`, like JavaScript).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An object, in declaration order (duplicate keys: last wins on
+    /// [`JsonValue::get`] lookups is *not* implemented — first wins,
+    /// and duplicates never occur in the protocol).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up a field of an object (first match).
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an unsigned integer, if it is one
+    /// (rejects negatives, non-integers and values beyond 2^53).
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        if n < 0.0 || n.fract() != 0.0 || n > 9_007_199_254_740_992.0 {
+            return None;
+        }
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        Some(n as u64)
+    }
+
+    /// The boolean payload, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Maximum object-nesting depth. The protocol is at most two levels
+/// deep (`/stats` nests `store`); without a cap, a deeply nested body
+/// would overflow the recursive parser's stack — aborting the whole
+/// daemon on one malicious request.
+pub const MAX_DEPTH: usize = 16;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            // The protocol never emits surrogate pairs;
+                            // reject them rather than mis-decode.
+                            let c = char::from_u32(hex)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so the
+                    // byte boundaries are valid by construction). Only
+                    // the next scalar's bytes are validated — decoding
+                    // from the full remaining slice would make string
+                    // parsing quadratic in the document size.
+                    let rest = &self.bytes[self.pos..];
+                    let head = &rest[..rest.len().min(4)];
+                    let c = match std::str::from_utf8(head) {
+                        Ok(s) => s.chars().next(),
+                        // A boundary can split the last scalar of the
+                        // 4-byte window; valid-up-to tells us how much
+                        // of the window decodes.
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&head[..e.valid_up_to()])
+                                .map_err(|_| self.err("bad utf-8"))?
+                                .chars()
+                                .next()
+                        }
+                        Err(_) => None,
+                    };
+                    let c = c.ok_or_else(|| self.err("bad utf-8"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|n| n.is_finite())
+            .map(JsonValue::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("object nesting too deep"));
+        }
+        let result = self.object_body();
+        self.depth -= 1;
+        result
+    }
+
+    fn object_body(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'[') => Err(self.err("arrays are not part of the protocol")),
+            Some(_) => self.number(),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+}
+
+/// Parses one JSON value (the protocol always exchanges objects).
+/// Trailing non-whitespace is rejected.
+///
+/// # Errors
+///
+/// Returns a description with the byte offset on malformed input.
+pub fn parse(s: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing bytes after value"));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_protocol_shapes() {
+        let v = parse(
+            r#"{"scale": "micro", "network": "lenet5", "seed": 229378083, "deep": {"a": true, "b": null}, "x": -1.5e2}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("scale").and_then(JsonValue::as_str), Some("micro"));
+        assert_eq!(v.get("seed").and_then(JsonValue::as_u64), Some(229_378_083));
+        assert_eq!(
+            v.get("deep")
+                .and_then(|d| d.get("a"))
+                .and_then(JsonValue::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            v.get("deep").and_then(|d| d.get("b")),
+            Some(&JsonValue::Null)
+        );
+        assert_eq!(v.get("x").and_then(JsonValue::as_f64), Some(-150.0));
+        assert_eq!(parse("{}").unwrap(), JsonValue::Object(Vec::new()));
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let nasty = "a\"b\\c\nd\te\rf\u{1}g";
+        let doc = format!("{{\"k\": \"{}\"}}", escape(nasty));
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("k").and_then(JsonValue::as_str), Some(nasty));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\": }",
+            "{\"a\": 1,}",
+            "{\"a\": 1} trailing",
+            "[1, 2]",
+            "{\"a\": nope}",
+            "{\"a\": \"unterminated}",
+            "{\"a\": 1e999}",
+        ] {
+            assert!(parse(bad).is_err(), "accepted malformed input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        // Within the cap: fine.
+        let shallow = format!("{}1{}", "{\"a\":".repeat(4), "}".repeat(4));
+        assert!(parse(&shallow).is_ok());
+        // A pathological body (far under the HTTP size cap) must be an
+        // error, not a parser-stack overflow that aborts the daemon.
+        let deep = format!("{}1{}", "{\"a\":".repeat(100_000), "}".repeat(100_000));
+        let err = parse(&deep).unwrap_err();
+        assert!(err.contains("too deep"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn u64_coercion_is_strict() {
+        assert_eq!(parse("7").unwrap().as_u64(), Some(7));
+        assert_eq!(parse("-7").unwrap().as_u64(), None);
+        assert_eq!(parse("7.5").unwrap().as_u64(), None);
+    }
+}

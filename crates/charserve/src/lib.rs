@@ -1,0 +1,49 @@
+//! The characterization service: a long-running daemon over the
+//! [`charstore`] artifact store.
+//!
+//! PR 2–3 made every pipeline stage a pure, content-addressed function;
+//! this crate is the "characterize once, serve millions" layer on top:
+//! many clients share one warm store through a persistent server
+//! instead of each warming their own.
+//!
+//! * [`server`] — the daemon: hand-rolled HTTP/1.1 over
+//!   [`std::net::TcpListener`] (no network dependencies, matching the
+//!   offline compat-crate approach), answering request hits straight
+//!   from the shared [`charstore::Store`] and scheduling misses onto a
+//!   bounded worker-thread pool.
+//! * [`singleflight`] — request deduplication: N concurrent requests
+//!   for the same key run the expensive computation **once**; the
+//!   other N−1 wait on the leader's flight and share its result.
+//! * [`pool`] — the bounded worker pool the leaders schedule onto.
+//! * [`http`] / [`json`] — just-enough HTTP/1.1 framing and a small
+//!   JSON reader for the wire format.
+//! * [`client`] — a blocking client for the CLI
+//!   (`charstore request`), tests and CI.
+//!
+//! Endpoints:
+//!
+//! | endpoint | answer |
+//! |---|---|
+//! | `GET /healthz` | liveness + store root |
+//! | `GET /stats` | request hit/miss/dedup, inflight, worker and store counters |
+//! | `POST /characterize` | scale + network + seed → artifact digests + provenance |
+//! | `POST /shutdown` | stops the accept loop after responding |
+//!
+//! A `POST /characterize` request is keyed by
+//! [`powerpruning::cache::request_key`]; a repeat answered from the
+//! stored manifest costs **zero training epochs and zero simulated
+//! transitions** — the acceptance bar the `service-smoke` CI job
+//! asserts end to end.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod pool;
+pub mod server;
+pub mod singleflight;
+
+pub use client::Client;
+pub use server::{ServeConfig, Server};

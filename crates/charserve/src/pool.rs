@@ -1,0 +1,137 @@
+//! The bounded worker pool characterization misses are scheduled onto.
+//!
+//! A fixed number of named worker threads drain a shared job queue;
+//! the pool size bounds how many expensive characterizations run
+//! concurrently (requests beyond it queue), while single-flight
+//! deduplication upstream bounds how many are *submitted* per key.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size worker-thread pool.
+#[derive(Debug)]
+pub struct WorkerPool {
+    tx: Mutex<Option<Sender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    size: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `size` workers (clamped to at least 1).
+    #[must_use]
+    pub fn new(size: usize) -> WorkerPool {
+        let size = size.max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..size)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("charserve-worker-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(workers),
+            size,
+        }
+    }
+
+    /// The number of worker threads.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Enqueues a job.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pool has been shut down.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), String> {
+        let tx = self.tx.lock().expect("pool sender poisoned");
+        match tx.as_ref() {
+            Some(tx) => tx
+                .send(Box::new(job))
+                .map_err(|_| "worker pool is gone".to_string()),
+            None => Err("worker pool is shut down".to_string()),
+        }
+    }
+
+    /// Stops accepting jobs, drains the queue and joins every worker.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        drop(self.tx.lock().expect("pool sender poisoned").take());
+        let workers: Vec<JoinHandle<()>> = self
+            .workers
+            .lock()
+            .expect("pool workers poisoned")
+            .drain(..)
+            .collect();
+        for handle in workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the queue lock only while popping, never while running.
+        let job = match rx.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return,
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => return, // all senders gone: shutdown
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_job_across_bounded_workers() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.size(), 3);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..20 {
+            let done = Arc::clone(&done);
+            pool.submit(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 20);
+        assert!(pool.submit(|| ()).is_err(), "accepted a job after shutdown");
+    }
+
+    #[test]
+    fn zero_requested_workers_still_runs() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.size(), 1);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        pool.submit(move || {
+            d.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+}

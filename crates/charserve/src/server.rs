@@ -1,0 +1,412 @@
+//! The charserve daemon: accept loop, request routing, and the
+//! hit / single-flight / worker-pool serving policy.
+//!
+//! Serving policy for `POST /characterize`, in order:
+//!
+//! 1. **Store hit** — a [`powerpruning::cache::RequestManifest`] stored
+//!    under the request key answers immediately, without touching a
+//!    pipeline (zero training epochs, zero simulated transitions).
+//! 2. **Single-flight** — otherwise the request joins the flight for
+//!    its key: the first requester (leader) schedules the computation
+//!    onto the bounded worker pool; every concurrent duplicate waits on
+//!    the same flight and shares the one result.
+//! 3. **Compute** — the worker builds a pipeline over the **shared**
+//!    cache ([`powerpruning::Pipeline::with_shared_cache`]) and serves
+//!    the request through the exact lookup → compute → store path the
+//!    standalone pipeline uses, so per-stage artifacts warmed by other
+//!    tools (e.g. `charstore warm`) are honored and newly computed ones
+//!    are visible to them.
+
+use crate::http::{self, Request};
+use crate::json::{self, JsonValue};
+use crate::pool::WorkerPool;
+use crate::singleflight::{Joined, SingleFlight};
+use powerpruning::cache::CharacterizationRun;
+use powerpruning::{CharCache, NetworkKind, Pipeline, PipelineConfig, Scale};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Configuration of one daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:7878`; port 0 picks an ephemeral one).
+    pub addr: String,
+    /// Worker threads for characterization misses.
+    pub workers: usize,
+    /// Root of the shared artifact store.
+    pub store_dir: PathBuf,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 2,
+            store_dir: PathBuf::from(powerpruning::cache::DEFAULT_CACHE_DIR),
+        }
+    }
+}
+
+/// Request-level counters exposed by `GET /stats`.
+#[derive(Debug, Default)]
+struct Stats {
+    /// `POST /characterize` requests accepted.
+    requests: AtomicU64,
+    /// Requests answered straight from a stored manifest.
+    hits: AtomicU64,
+    /// Requests that led a computation (one per unique missing key).
+    misses: AtomicU64,
+    /// Requests that waited on another request's computation.
+    deduped: AtomicU64,
+}
+
+struct Shared {
+    cache: Arc<CharCache>,
+    flights: SingleFlight<CharacterizationRun>,
+    pool: WorkerPool,
+    stats: Stats,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    store_dir: String,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("addr", &self.addr)
+            .field("store_dir", &self.store_dir)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The daemon. [`Server::bind`] opens the listener (so the chosen port
+/// is known immediately); [`Server::serve`] blocks until a
+/// `POST /shutdown` arrives.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Opens the store and binds the listener.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from opening the store or binding.
+    pub fn bind(cfg: &ServeConfig) -> io::Result<Server> {
+        let cache = Arc::new(CharCache::open(&cfg.store_dir)?);
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                cache,
+                flights: SingleFlight::new(),
+                pool: WorkerPool::new(cfg.workers),
+                stats: Stats::default(),
+                shutdown: AtomicBool::new(false),
+                addr,
+                store_dir: cfg.store_dir.display().to_string(),
+            }),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    ///
+    /// # Panics
+    ///
+    /// Never — the address was resolved at bind time.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Runs the accept loop until shutdown, then drains and joins the
+    /// worker pool **and every live connection thread** — a response in
+    /// flight at shutdown is still written before `serve` returns, so a
+    /// waiter that spent minutes on a computation never gets its
+    /// connection cut by process exit. Each connection is handled on
+    /// its own thread; the expensive work happens on the bounded pool,
+    /// so connection threads only parse, wait and write.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the accept loop itself (per-connection
+    /// errors are answered with 4xx/5xx and do not stop the daemon).
+    pub fn serve(self) -> io::Result<()> {
+        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            // Reap finished handler threads so the daemon's bookkeeping
+            // stays proportional to live connections, not total served.
+            connections.retain(|h| !h.is_finished());
+            let Ok(stream) = stream else { continue };
+            // Bound the request-reading phase so a half-open connection
+            // can never pin a handler thread (and the shutdown join)
+            // forever. Responses are written after the (unbounded)
+            // computation completes; only the *read* is on the clock.
+            let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
+            let shared = Arc::clone(&self.shared);
+            if let Ok(handle) = std::thread::Builder::new()
+                .name("charserve-conn".to_string())
+                .spawn(move || handle_connection(&shared, stream))
+            {
+                connections.push(handle);
+            }
+        }
+        self.shared.pool.shutdown();
+        for handle in connections {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: u16, reason: &str, body: &str) {
+    let _ = http::write_response(stream, status, reason, body);
+}
+
+fn error_body(msg: &str) -> String {
+    format!("{{\"error\": \"{}\"}}\n", json::escape(msg))
+}
+
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let request = match http::read_request(&stream) {
+        Ok(r) => r,
+        Err(e) => {
+            respond(&mut stream, 400, "Bad Request", &error_body(&e.to_string()));
+            return;
+        }
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let body = format!(
+                "{{\"status\": \"ok\", \"store\": \"{}\", \"workers\": {}}}\n",
+                json::escape(&shared.store_dir),
+                shared.pool.size()
+            );
+            respond(&mut stream, 200, "OK", &body);
+        }
+        ("GET", "/stats") => {
+            respond(&mut stream, 200, "OK", &render_stats(shared));
+        }
+        ("POST", "/characterize") => handle_characterize(shared, &mut stream, &request),
+        ("POST", "/shutdown") => {
+            respond(&mut stream, 200, "OK", "{\"status\": \"shutting down\"}\n");
+            shared.shutdown.store(true, Ordering::Release);
+            // The accept loop is blocked in accept(); poke it so it
+            // observes the flag. The dummy connection is then dropped
+            // by the loop's shutdown check before being handled.
+            let _ = TcpStream::connect(shared.addr);
+        }
+        (_, path) => {
+            respond(
+                &mut stream,
+                404,
+                "Not Found",
+                &error_body(&format!("no such endpoint {path}")),
+            );
+        }
+    }
+}
+
+fn render_stats(shared: &Shared) -> String {
+    let s = &shared.stats;
+    let store = shared.cache.store().counters();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"service\": \"charserve\",\n",
+            "  \"requests\": {},\n",
+            "  \"request_hits\": {},\n",
+            "  \"request_misses\": {},\n",
+            "  \"request_deduped\": {},\n",
+            "  \"inflight\": {},\n",
+            "  \"workers\": {},\n",
+            "  \"store\": {{\"mem_hits\": {}, \"disk_hits\": {}, \"misses\": {}, \"puts\": {}}}\n",
+            "}}\n"
+        ),
+        s.requests.load(Ordering::Relaxed),
+        s.hits.load(Ordering::Relaxed),
+        s.misses.load(Ordering::Relaxed),
+        s.deduped.load(Ordering::Relaxed),
+        shared.flights.inflight(),
+        shared.pool.size(),
+        store.mem_hits,
+        store.disk_hits,
+        store.misses,
+        store.puts,
+    )
+}
+
+/// Parses the request body into a pipeline configuration and network.
+/// An empty body means "Micro LeNet-5 at the default seed".
+fn parse_characterize(body: &str) -> Result<(PipelineConfig, NetworkKind), String> {
+    let parsed = if body.trim().is_empty() {
+        JsonValue::Object(Vec::new())
+    } else {
+        json::parse(body)?
+    };
+    let scale = match parsed.get("scale").and_then(JsonValue::as_str) {
+        None => Scale::Micro,
+        Some(s) => match s.to_ascii_lowercase().as_str() {
+            "micro" => Scale::Micro,
+            "mini" => Scale::Mini,
+            "full" => Scale::Full,
+            other => return Err(format!("unknown scale `{other}` (micro | mini | full)")),
+        },
+    };
+    let kind = match parsed.get("network").and_then(JsonValue::as_str) {
+        None => NetworkKind::LeNet5,
+        Some(s) => match s.to_ascii_lowercase().as_str() {
+            "lenet5" => NetworkKind::LeNet5,
+            "resnet20" => NetworkKind::ResNet20,
+            "resnet50" => NetworkKind::ResNet50,
+            "efficientnet" | "efficientnetlite" => NetworkKind::EfficientNetLite,
+            other => {
+                return Err(format!(
+                    "unknown network `{other}` (lenet5 | resnet20 | resnet50 | efficientnet)"
+                ))
+            }
+        },
+    };
+    let mut cfg = PipelineConfig::for_scale(scale);
+    if let Some(seed) = parsed.get("seed") {
+        cfg.seed = seed
+            .as_u64()
+            .ok_or_else(|| "seed must be a non-negative integer up to 2^53".to_string())?;
+    }
+    Ok((cfg, kind))
+}
+
+fn scale_token(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Micro => "micro",
+        Scale::Mini => "mini",
+        Scale::Full => "full",
+    }
+}
+
+fn network_token(kind: NetworkKind) -> &'static str {
+    match kind {
+        NetworkKind::LeNet5 => "lenet5",
+        NetworkKind::ResNet20 => "resnet20",
+        NetworkKind::ResNet50 => "resnet50",
+        NetworkKind::EfficientNetLite => "efficientnet",
+    }
+}
+
+fn render_run(
+    cfg: &PipelineConfig,
+    kind: NetworkKind,
+    run: &CharacterizationRun,
+    deduped: bool,
+) -> String {
+    let m = &run.manifest;
+    format!(
+        concat!(
+            "{{\n",
+            "  \"request_key\": \"{}\",\n",
+            "  \"scale\": \"{}\",\n",
+            "  \"network\": \"{}\",\n",
+            "  \"seed\": {},\n",
+            "  \"store_hit\": {},\n",
+            "  \"deduped\": {},\n",
+            "  \"accuracy\": {:.6},\n",
+            "  \"captures\": {},\n",
+            "  \"power_codes\": {},\n",
+            "  \"training_epochs\": {},\n",
+            "  \"sim_transitions\": {},\n",
+            "  \"artifacts\": {{\"training\": \"{}\", \"capture\": \"{}\", ",
+            "\"characterization\": \"{}\", \"timing\": \"{}\"}}\n",
+            "}}\n"
+        ),
+        run.request_key,
+        scale_token(cfg.scale),
+        network_token(kind),
+        cfg.seed,
+        run.manifest_hit,
+        deduped,
+        m.accuracy,
+        m.captures,
+        m.power_codes,
+        run.training_epochs,
+        run.sim_transitions,
+        m.training,
+        m.capture,
+        m.characterization,
+        m.timing,
+    )
+}
+
+fn handle_characterize(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) {
+    let (cfg, kind) = match parse_characterize(&request.body) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            respond(stream, 400, "Bad Request", &error_body(&e));
+            return;
+        }
+    };
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    let key = powerpruning::cache::request_key(&cfg, kind);
+
+    // 1. Store hit: a stored manifest answers without any pipeline.
+    if let Some(manifest) = shared.cache.lookup_manifest(key) {
+        shared.stats.hits.fetch_add(1, Ordering::Relaxed);
+        let run = CharacterizationRun {
+            request_key: key,
+            manifest,
+            manifest_hit: true,
+            training_epochs: 0,
+            sim_transitions: 0,
+        };
+        respond(stream, 200, "OK", &render_run(&cfg, kind, &run, false));
+        return;
+    }
+
+    // 2. Single-flight: lead the computation or wait on the one in
+    //    progress for this key.
+    let (flight, deduped) = match shared.flights.join(key) {
+        Joined::Leader(flight) => {
+            shared.stats.misses.fetch_add(1, Ordering::Relaxed);
+            // The worker re-runs the same code path the standalone
+            // pipeline uses; stage-level warm artifacts still hit.
+            let job_shared = Arc::clone(shared);
+            let job_flight = Arc::clone(&flight);
+            let submitted = shared.pool.submit(move || {
+                let cache = Arc::clone(&job_shared.cache);
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    Pipeline::with_shared_cache(cfg, cache).characterization_request(kind)
+                }))
+                .map_err(|panic| {
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "worker panicked".to_string());
+                    format!("characterization failed: {msg}")
+                });
+                job_shared.flights.complete(key, &job_flight, result);
+            });
+            if let Err(e) = submitted {
+                shared.flights.complete(key, &flight, Err(e));
+            }
+            (flight, false)
+        }
+        Joined::Waiter(flight) => {
+            shared.stats.deduped.fetch_add(1, Ordering::Relaxed);
+            (flight, true)
+        }
+    };
+
+    match flight.wait().as_ref() {
+        Ok(run) => respond(stream, 200, "OK", &render_run(&cfg, kind, run, deduped)),
+        Err(e) => respond(stream, 500, "Internal Server Error", &error_body(e)),
+    }
+}

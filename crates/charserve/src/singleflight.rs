@@ -1,0 +1,177 @@
+//! Single-flight deduplication: N concurrent requests for one key run
+//! the expensive computation once.
+//!
+//! The first requester of a key becomes the **leader** and owns the
+//! computation; everyone who joins while the flight is open becomes a
+//! **waiter** and blocks on the leader's result. Completion removes the
+//! flight from the group *before* publishing the value, so a request
+//! arriving after completion starts a fresh flight (whose answer then
+//! comes from the store) instead of attaching to a finished one.
+
+use charstore::Digest128;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One in-progress computation, shared between its leader and waiters.
+#[derive(Debug)]
+pub struct Flight<V> {
+    slot: Mutex<Option<Arc<Result<V, String>>>>,
+    ready: Condvar,
+}
+
+impl<V> Flight<V> {
+    fn new() -> Flight<V> {
+        Flight {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the flight completes and returns its shared result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flight's mutex is poisoned (a completer panicked
+    /// while holding it — the completer only stores a value, so this is
+    /// unreachable in practice).
+    #[must_use]
+    pub fn wait(&self) -> Arc<Result<V, String>> {
+        let mut slot = self.slot.lock().expect("flight poisoned");
+        while slot.is_none() {
+            slot = self.ready.wait(slot).expect("flight poisoned");
+        }
+        Arc::clone(slot.as_ref().expect("checked above"))
+    }
+
+    fn fulfill(&self, value: Result<V, String>) {
+        let mut slot = self.slot.lock().expect("flight poisoned");
+        *slot = Some(Arc::new(value));
+        self.ready.notify_all();
+    }
+}
+
+/// The role this requester got when joining a key.
+#[derive(Debug)]
+pub enum Joined<V> {
+    /// First in: run the computation and [`SingleFlight::complete`] it.
+    Leader(Arc<Flight<V>>),
+    /// A computation is already in flight: just [`Flight::wait`].
+    Waiter(Arc<Flight<V>>),
+}
+
+/// A group of in-flight computations keyed by artifact digest.
+#[derive(Debug)]
+pub struct SingleFlight<V> {
+    flights: Mutex<HashMap<Digest128, Arc<Flight<V>>>>,
+}
+
+impl<V> Default for SingleFlight<V> {
+    fn default() -> Self {
+        SingleFlight {
+            flights: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl<V> SingleFlight<V> {
+    /// An empty group.
+    #[must_use]
+    pub fn new() -> SingleFlight<V> {
+        SingleFlight::default()
+    }
+
+    /// Joins the flight for `key`, creating it if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group mutex is poisoned.
+    #[must_use]
+    pub fn join(&self, key: Digest128) -> Joined<V> {
+        let mut flights = self.flights.lock().expect("flight group poisoned");
+        if let Some(flight) = flights.get(&key) {
+            return Joined::Waiter(Arc::clone(flight));
+        }
+        let flight = Arc::new(Flight::new());
+        flights.insert(key, Arc::clone(&flight));
+        Joined::Leader(flight)
+    }
+
+    /// Number of open flights (the server's `inflight` gauge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group mutex is poisoned.
+    #[must_use]
+    pub fn inflight(&self) -> usize {
+        self.flights.lock().expect("flight group poisoned").len()
+    }
+
+    /// Completes `key`'s flight: removes it from the group, then
+    /// publishes `value` to the leader and every waiter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group mutex is poisoned.
+    pub fn complete(&self, key: Digest128, flight: &Flight<V>, value: Result<V, String>) {
+        self.flights
+            .lock()
+            .expect("flight group poisoned")
+            .remove(&key);
+        flight.fulfill(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn key(n: u8) -> Digest128 {
+        charstore::digest::digest_bytes("singleflight-test", &[n])
+    }
+
+    #[test]
+    fn one_leader_many_waiters_share_one_computation() {
+        let group: SingleFlight<u64> = SingleFlight::new();
+        let computed = AtomicU64::new(0);
+        let leaders = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| match group.join(key(1)) {
+                    Joined::Leader(flight) => {
+                        leaders.fetch_add(1, Ordering::SeqCst);
+                        // Linger so the other threads join as waiters.
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        computed.fetch_add(1, Ordering::SeqCst);
+                        group.complete(key(1), &flight, Ok(42));
+                        assert_eq!(*flight.wait(), Ok(42));
+                    }
+                    Joined::Waiter(flight) => {
+                        assert_eq!(*flight.wait(), Ok(42));
+                    }
+                });
+            }
+        });
+        assert_eq!(computed.load(Ordering::SeqCst), 1, "computation ran twice");
+        assert_eq!(leaders.load(Ordering::SeqCst), 1, "two leaders for one key");
+        assert_eq!(group.inflight(), 0);
+    }
+
+    #[test]
+    fn distinct_keys_fly_independently() {
+        let group: SingleFlight<u64> = SingleFlight::new();
+        let Joined::Leader(a) = group.join(key(1)) else {
+            panic!("fresh key must lead")
+        };
+        let Joined::Leader(b) = group.join(key(2)) else {
+            panic!("distinct fresh key must lead")
+        };
+        assert_eq!(group.inflight(), 2);
+        group.complete(key(1), &a, Ok(1));
+        group.complete(key(2), &b, Err("boom".into()));
+        assert_eq!(*a.wait(), Ok(1));
+        assert_eq!(*b.wait(), Err("boom".to_string()));
+        // A completed key starts a fresh flight.
+        assert!(matches!(group.join(key(1)), Joined::Leader(_)));
+    }
+}

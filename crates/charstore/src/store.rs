@@ -403,17 +403,45 @@ impl Store {
     /// layouts (possible only mid-migration) is listed once, from its
     /// shard.
     ///
+    /// Takes the shared advisory lock for the walk, so a concurrent gc
+    /// (exclusive) can never delete objects between the directory
+    /// listing and the per-file `stat` — the read that used to turn a
+    /// concurrent sweep into a spurious `NotFound` error.
+    ///
     /// # Errors
     ///
     /// Returns any I/O error from reading the objects directories.
     pub fn entries(&self) -> io::Result<Vec<EntryInfo>> {
+        let lock = self.lock_file()?;
+        lock.lock_shared()?;
+        let result = self.entries_unlocked();
+        let _ = lock.unlock();
+        result
+    }
+
+    /// The walk behind [`Store::entries`], without taking the advisory
+    /// lock — for callers already holding it ([`Store::gc`] holds the
+    /// exclusive lock; acquiring the shared lock on a second descriptor
+    /// of the same file would deadlock against ourselves).
+    ///
+    /// Concurrent same-process mutators are still possible (they hold
+    /// the *shared* lock while this walk might run under none via gc's
+    /// exclusive one — never both), so a file that vanishes between the
+    /// listing and its `stat` (a flat object migrated into its shard by
+    /// a concurrent reader) is skipped, not an error: it will be listed
+    /// from its new home on the next walk.
+    fn entries_unlocked(&self) -> io::Result<Vec<EntryInfo>> {
         let mut seen: HashMap<Digest128, EntryInfo> = HashMap::new();
         let mut record = |entry: &fs::DirEntry, sharded: bool| -> io::Result<()> {
             let path = entry.path();
             let Some(key) = Store::entry_key(&path) else {
                 return Ok(());
             };
-            let meta = entry.metadata()?;
+            let meta = match entry.metadata() {
+                Ok(m) => m,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+                Err(e) => return Err(e),
+            };
             let info = EntryInfo {
                 key,
                 bytes: meta.len(),
@@ -521,7 +549,7 @@ impl Store {
                     sweep_orphans(&path)?;
                 }
             }
-            let mut entries = self.entries()?;
+            let mut entries = self.entries_unlocked()?;
             entries.sort_by_key(|e| (e.modified, e.key));
             let mut total: u64 = entries.iter().map(|e| e.bytes).sum();
             let mut report = GcReport {
@@ -910,6 +938,92 @@ mod tests {
         assert_eq!(dirty.ok, 4);
         assert_eq!(dirty.corrupt, vec![victim]);
         assert!(!dirty.is_clean());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn concurrent_get_put_and_gc_leave_store_clean() {
+        // The charserve daemon shares one Store between its front-end
+        // (gets), its workers (puts) and an operator's gc sweeps. Two
+        // threads hammer get/put on the same key against ONE instance
+        // while a third repeatedly sweeps everything (`gc --max-bytes
+        // 0`): no operation may error, a successful get must always
+        // decode to the exact artifact (content-addressing makes a
+        // stale-but-valid read legal, a corrupt one never), and the
+        // store must verify clean afterwards.
+        let (dir, store) = temp_store();
+        let expected = artifact(11, 400);
+        store.put(key(11), expected.clone()).unwrap();
+        let done = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..150 {
+                    store.put(key(11), artifact(11, 400)).unwrap();
+                }
+                done.store(true, Ordering::Release);
+            });
+            s.spawn(|| {
+                while !done.load(Ordering::Acquire) {
+                    if let Some(got) = store.get(key(11)) {
+                        assert_eq!(*got, expected, "reader observed a corrupt artifact");
+                    }
+                }
+            });
+            s.spawn(|| {
+                while !done.load(Ordering::Acquire) {
+                    let report = store.gc(0).unwrap();
+                    assert!(report.kept_bytes == 0, "gc to zero left bytes behind");
+                }
+            });
+        });
+        let report = store.verify().unwrap();
+        assert!(
+            report.is_clean(),
+            "store corrupt after concurrent get/put/gc: {:?}",
+            report.corrupt
+        );
+        // The store still works: a fresh put round-trips on disk.
+        store.put(key(11), expected.clone()).unwrap();
+        let cold = Store::open(&dir).unwrap();
+        assert_eq!(*cold.get(key(11)).unwrap(), expected);
+        assert!(Store::open(&dir).unwrap().verify().unwrap().is_clean());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn entries_tolerate_concurrent_migration() {
+        // A flat-layout object migrated into its shard between the
+        // directory listing and the per-file stat must be skipped (it
+        // reappears from its shard on the next walk), not explode the
+        // walk — entries() of a store being read concurrently.
+        let (dir, store) = temp_store();
+        let keys: Vec<Digest128> = (0..6).map(key).collect();
+        for (n, &k) in keys.iter().enumerate() {
+            store.put(k, artifact(n as u8, 64)).unwrap();
+        }
+        flatten_store(&dir, &store, &keys);
+        let cold = Store::open(&dir).unwrap();
+        let done = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for &k in &keys {
+                    assert!(cold.get(k).is_some());
+                }
+                done.store(true, Ordering::Release);
+            });
+            s.spawn(|| {
+                while !done.load(Ordering::Acquire) {
+                    // Never errors, and never lists a key twice.
+                    let listed = cold.entries().unwrap();
+                    assert!(listed.len() <= keys.len());
+                    let mut seen: Vec<Digest128> = listed.iter().map(|e| e.key).collect();
+                    seen.sort();
+                    seen.dedup();
+                    assert_eq!(seen.len(), listed.len(), "duplicate key listed");
+                }
+            });
+        });
+        assert_eq!(cold.entries().unwrap().len(), keys.len());
         let _ = fs::remove_dir_all(dir);
     }
 

@@ -48,6 +48,7 @@ use nn::model::Network;
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use systolic::MacEnergyModel;
 
 /// Default store directory (relative to the working directory).
@@ -74,6 +75,7 @@ mod section {
     pub const NET_STATE: u32 = 7;
     pub const ACCURACY: u32 = 8;
     pub const CAPTURES: u32 = 9;
+    pub const MANIFEST: u32 = 10;
 }
 
 /// An order-insensitive named-field cache-key builder.
@@ -377,6 +379,138 @@ pub fn capture_key(ctx: &PipelineCtx<'_>, prepared: &mut Prepared) -> Digest128 
     k.finalize("powerpruning.capture.v1")
 }
 
+/// The cache key of a full characterization *request* — the unit the
+/// `charserve` daemon deduplicates and answers from the store.
+///
+/// Commits to the experiment scale, the network kind, the master seed
+/// and every per-stage budget the scale derives (sample counts, epoch
+/// budget, capture batch, characterization sampling, timing sampling,
+/// binning, stride, image size, dataset noise). Unlike the per-stage
+/// keys it is computable from the [`crate::pipeline::PipelineConfig`]
+/// alone — no trained network, captures or hardware models needed — so
+/// a server front-end can answer a repeated request without
+/// constructing a pipeline.
+#[must_use]
+pub fn request_key(cfg: &crate::pipeline::PipelineConfig, kind: NetworkKind) -> Digest128 {
+    let mut k = KeyFields::new();
+    k.u32("algo_version", ARTIFACT_ALGO_VERSION);
+    k.str("scale", &format!("{:?}", cfg.scale));
+    k.str("network", &format!("{kind:?}"));
+    k.u64("seed", cfg.seed);
+    k.usize("budget.baseline_epochs", cfg.baseline_epochs());
+    k.usize("budget.train_samples", cfg.train_samples());
+    k.usize("budget.test_samples", cfg.test_samples());
+    k.usize("budget.capture_batch", cfg.capture_batch());
+    k.usize("budget.power_samples", cfg.power_samples());
+    k.usize("budget.weight_stride", cfg.weight_stride());
+    k.usize("budget.bins", cfg.bins());
+    let (exhaustive, samples) = cfg.timing_exhaustive();
+    k.bool("budget.timing_exhaustive", exhaustive);
+    k.usize("budget.timing_samples", samples);
+    k.usize("budget.img_size", cfg.img_size());
+    k.f32("noise", cfg.noise());
+    k.finalize("powerpruning.request.v1")
+}
+
+/// The stored answer record of one characterization request: the four
+/// stage artifact keys plus the headline observables a client needs.
+/// Written under [`request_key`] after a request computes, so the next
+/// identical request is answered straight from the store without even
+/// rebuilding the pipeline's hardware models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestManifest {
+    /// Key of the baseline-training artifact.
+    pub training: Digest128,
+    /// Key of the GEMM-capture artifact.
+    pub capture: Digest128,
+    /// Key of the power-characterization artifact.
+    pub characterization: Digest128,
+    /// Key of the timing artifact (probe floor).
+    pub timing: Digest128,
+    /// Baseline test accuracy after QAT.
+    pub accuracy: f64,
+    /// Number of captured GEMMs.
+    pub captures: u64,
+    /// Number of characterized weight codes.
+    pub power_codes: u64,
+}
+
+impl RequestManifest {
+    /// The four stage keys in pipeline order, labelled.
+    #[must_use]
+    pub fn stage_keys(&self) -> [(&'static str, Digest128); 4] {
+        [
+            ("training", self.training),
+            ("capture", self.capture),
+            ("characterization", self.characterization),
+            ("timing", self.timing),
+        ]
+    }
+}
+
+fn encode_manifest(ctx: &PipelineCtx<'_>, m: &RequestManifest) -> Vec<Section> {
+    let mut buf = Vec::new();
+    for (_, key) in m.stage_keys() {
+        buf.extend_from_slice(&key.0);
+    }
+    wire::put_f64(&mut buf, m.accuracy);
+    wire::put_u64(&mut buf, m.captures);
+    wire::put_u64(&mut buf, m.power_codes);
+    vec![
+        provenance_section(ctx, "request-manifest"),
+        Section::new(section::MANIFEST, buf),
+    ]
+}
+
+fn decode_manifest(sections: &[Section]) -> io::Result<RequestManifest> {
+    let mut r = required(sections, section::MANIFEST)?;
+    let digest = |r: &mut Reader<'_>| -> io::Result<Digest128> {
+        let mut d = Digest128([0; 16]);
+        d.0.copy_from_slice(r.take(16)?);
+        Ok(d)
+    };
+    let training = digest(&mut r)?;
+    let capture = digest(&mut r)?;
+    let characterization = digest(&mut r)?;
+    let timing = digest(&mut r)?;
+    let accuracy = r.f64()?;
+    let captures = r.u64()?;
+    let power_codes = r.u64()?;
+    r.finish()?;
+    Ok(RequestManifest {
+        training,
+        capture,
+        characterization,
+        timing,
+        accuracy,
+        captures,
+        power_codes,
+    })
+}
+
+/// What serving one characterization request did: the request key, the
+/// manifest (stage keys + observables), and how much work it cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharacterizationRun {
+    /// The request key ([`request_key`]).
+    pub request_key: Digest128,
+    /// Stage keys and observables.
+    pub manifest: RequestManifest,
+    /// Whether the request was answered straight from a stored
+    /// manifest (no pipeline stage even consulted).
+    pub manifest_hit: bool,
+    /// Training epochs observed while serving this request. Measured
+    /// from the process-global `nn::train::epochs_run()` counter, so
+    /// under concurrent *distinct* computations in one process it is an
+    /// upper bound on this request's own work; it is exactly zero for
+    /// any request answered from a warm store.
+    pub training_epochs: u64,
+    /// Gate-level transitions observed while serving this request
+    /// (process-global `gatesim::sim_transitions()`; same upper-bound
+    /// caveat, same exact zero on warm answers).
+    pub sim_transitions: u64,
+}
+
 fn provenance_section(ctx: &PipelineCtx<'_>, kind: &str) -> Section {
     let mut buf = Vec::new();
     let created = std::time::SystemTime::now()
@@ -534,10 +668,15 @@ pub struct CacheCounters {
 }
 
 /// The pipeline-facing artifact cache: typed lookups and stores over a
-/// [`charstore::Store`], plus hit/miss accounting.
+/// shared [`charstore::Store`], plus hit/miss accounting.
+///
+/// The store is held behind an [`Arc`] so several consumers — the
+/// pipeline stages, the `charserve` daemon's front-end and its worker
+/// threads — can answer from **one** store instance (one in-memory
+/// tier, one set of store counters) instead of each opening their own.
 #[derive(Debug)]
 pub struct CharCache {
-    store: Store,
+    store: Arc<Store>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -549,11 +688,18 @@ impl CharCache {
     ///
     /// Returns any I/O error from creating the store layout.
     pub fn open(dir: impl AsRef<Path>) -> io::Result<CharCache> {
-        Ok(CharCache {
-            store: Store::open(dir.as_ref())?,
+        Ok(CharCache::with_store(Arc::new(Store::open(dir.as_ref())?)))
+    }
+
+    /// Wraps an already-open shared store — the `charserve` daemon path,
+    /// where the HTTP front-end and every worker share one store.
+    #[must_use]
+    pub fn with_store(store: Arc<Store>) -> CharCache {
+        CharCache {
+            store,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
-        })
+        }
     }
 
     /// Whether `POWERPRUNING_CACHE` is set to `off`/`0`/`false`. The
@@ -583,6 +729,12 @@ impl CharCache {
     #[must_use]
     pub fn store(&self) -> &Store {
         &self.store
+    }
+
+    /// A shared handle to the underlying store.
+    #[must_use]
+    pub fn shared_store(&self) -> Arc<Store> {
+        Arc::clone(&self.store)
     }
 
     /// Snapshot of the typed hit/miss counters.
@@ -685,6 +837,91 @@ impl CharCache {
     /// Stores a GEMM capture artifact (failures swallowed, as above).
     pub fn store_captures(&self, ctx: &PipelineCtx<'_>, key: Digest128, captures: &[GemmCapture]) {
         let _ = self.store.put(key, encode_captures(ctx, captures));
+    }
+
+    /// Looks up a stored request manifest. Deliberately does **not**
+    /// touch the stage hit/miss counters — a manifest answers a whole
+    /// request, not a stage, and the service accounts for requests
+    /// itself.
+    #[must_use]
+    pub fn lookup_manifest(&self, key: Digest128) -> Option<RequestManifest> {
+        self.store.get(key).and_then(|s| decode_manifest(&s).ok())
+    }
+
+    /// Stores a request manifest (failures swallowed; only warm answers
+    /// are lost).
+    pub fn store_manifest(
+        &self,
+        ctx: &PipelineCtx<'_>,
+        key: Digest128,
+        manifest: &RequestManifest,
+    ) {
+        let _ = self.store.put(key, encode_manifest(ctx, manifest));
+    }
+
+    /// The lookup → compute → store spine for the baseline-training
+    /// artifact: one code path shared by
+    /// [`crate::pipeline::stages::characterize::PrepareStage`] and the
+    /// characterization service.
+    pub fn cached_training(
+        &self,
+        ctx: &PipelineCtx<'_>,
+        kind: NetworkKind,
+        key: Digest128,
+        compute: impl FnOnce() -> Prepared,
+    ) -> Prepared {
+        if let Some(hit) = self.lookup_training(ctx, kind, key) {
+            return hit;
+        }
+        let mut fresh = compute();
+        self.store_training(ctx, key, &mut fresh);
+        fresh
+    }
+
+    /// The lookup → compute → store spine for the GEMM-capture artifact.
+    pub fn cached_captures(
+        &self,
+        ctx: &PipelineCtx<'_>,
+        key: Digest128,
+        compute: impl FnOnce() -> Vec<GemmCapture>,
+    ) -> Vec<GemmCapture> {
+        if let Some(hit) = self.lookup_captures(key) {
+            return hit;
+        }
+        let fresh = compute();
+        self.store_captures(ctx, key, &fresh);
+        fresh
+    }
+
+    /// The lookup → compute → store spine for the power-characterization
+    /// artifact.
+    pub fn cached_characterization(
+        &self,
+        ctx: &PipelineCtx<'_>,
+        key: Digest128,
+        compute: impl FnOnce() -> Characterization,
+    ) -> Characterization {
+        if let Some(hit) = self.lookup_characterization(key) {
+            return hit;
+        }
+        let fresh = compute();
+        self.store_characterization(ctx, key, &fresh);
+        fresh
+    }
+
+    /// The lookup → compute → store spine for the timing artifact.
+    pub fn cached_timing(
+        &self,
+        ctx: &PipelineCtx<'_>,
+        key: Digest128,
+        compute: impl FnOnce() -> WeightTimingProfile,
+    ) -> WeightTimingProfile {
+        if let Some(hit) = self.lookup_timing(key) {
+            return hit;
+        }
+        let fresh = compute();
+        self.store_timing(ctx, key, &fresh);
+        fresh
     }
 }
 
@@ -823,6 +1060,60 @@ mod tests {
             }
         });
         assert_ne!(base, capture_key(&ctx, &mut prepared));
+    }
+
+    #[test]
+    fn request_key_commits_to_scale_network_and_seed() {
+        let cfg = {
+            let mut cfg = PipelineConfig::for_scale(Scale::Micro);
+            cfg.cache = false;
+            cfg
+        };
+        let base = request_key(&cfg, NetworkKind::LeNet5);
+        assert_eq!(base, request_key(&cfg, NetworkKind::LeNet5));
+        assert_ne!(base, request_key(&cfg, NetworkKind::ResNet20));
+        let mut cfg2 = cfg;
+        cfg2.seed ^= 1;
+        assert_ne!(base, request_key(&cfg2, NetworkKind::LeNet5));
+        let mut mini = PipelineConfig::for_scale(Scale::Mini);
+        mini.cache = false;
+        assert_ne!(base, request_key(&mini, NetworkKind::LeNet5));
+        // Request keys live in their own domain: they can never collide
+        // with a stage artifact key.
+        let p = micro_ctx_pipeline();
+        assert_ne!(base, training_key(&p.ctx(), NetworkKind::LeNet5));
+    }
+
+    #[test]
+    fn manifest_round_trips_through_its_container() {
+        let p = micro_ctx_pipeline();
+        let ctx = p.ctx();
+        let manifest = RequestManifest {
+            training: training_key(&ctx, NetworkKind::LeNet5),
+            capture: timing_key(&ctx, 1.0),
+            characterization: characterization_key(&ctx, &[]),
+            timing: timing_key(&ctx, f64::MAX),
+            accuracy: 0.875,
+            captures: 3,
+            power_codes: 255,
+        };
+        let sections = encode_manifest(&ctx, &manifest);
+        let decoded = decode_manifest(&sections).expect("decode manifest");
+        assert_eq!(decoded, manifest);
+        // Provenance rides along and labels the artifact.
+        assert!(decode_provenance(&sections)
+            .iter()
+            .any(|(k, v)| k == "artifact" && v == "request-manifest"));
+        // A truncated payload is a decode error (degrades to a miss),
+        // never a panic.
+        let mut truncated = sections;
+        for s in &mut truncated {
+            if s.id == section::MANIFEST {
+                s.bytes.truncate(20);
+            }
+        }
+        assert!(decode_manifest(&truncated).is_err());
+        assert!(decode_manifest(&[]).is_err());
     }
 
     #[test]

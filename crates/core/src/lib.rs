@@ -43,7 +43,7 @@ pub mod retrain;
 pub mod select;
 pub mod voltage;
 
-pub use cache::{CacheCounters, CharCache};
+pub use cache::{CacheCounters, CharCache, CharacterizationRun, RequestManifest};
 pub use chars::{MacHardware, PsumBinning, WeightPowerProfile, WeightTimingProfile};
 pub use pipeline::{NetworkKind, Pipeline, PipelineConfig, Scale};
 pub use report::Table1Row;

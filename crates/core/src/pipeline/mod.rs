@@ -77,7 +77,7 @@ pub struct Pipeline {
     hw: MacHardware,
     array: SystolicArray,
     voltage: VoltageModel,
-    cache: Option<crate::cache::CharCache>,
+    cache: Option<std::sync::Arc<crate::cache::CharCache>>,
 }
 
 impl Pipeline {
@@ -111,6 +111,27 @@ impl Pipeline {
     }
 
     fn with_cache(cfg: PipelineConfig, cache: Option<crate::cache::CharCache>) -> Self {
+        Pipeline::with_cache_arc(cfg, cache.map(std::sync::Arc::new))
+    }
+
+    /// Creates a pipeline over an already-shared artifact cache — the
+    /// `charserve` daemon path, where every worker thread serves
+    /// requests through one store instance and one set of counters.
+    /// Attaches the cache unconditionally: a service explicitly handed
+    /// a store must keep answering from it regardless of `cfg.cache` or
+    /// the environment kill switch.
+    #[must_use]
+    pub fn with_shared_cache(
+        cfg: PipelineConfig,
+        cache: std::sync::Arc<crate::cache::CharCache>,
+    ) -> Self {
+        Pipeline::with_cache_arc(cfg, Some(cache))
+    }
+
+    fn with_cache_arc(
+        cfg: PipelineConfig,
+        cache: Option<std::sync::Arc<crate::cache::CharCache>>,
+    ) -> Self {
         Pipeline {
             hw: MacHardware::paper_default(),
             array: SystolicArray::new(cfg.array_config()),
@@ -135,7 +156,7 @@ impl Pipeline {
     /// The attached artifact cache, if caching is enabled.
     #[must_use]
     pub fn cache(&self) -> Option<&crate::cache::CharCache> {
-        self.cache.as_ref()
+        self.cache.as_deref()
     }
 
     /// The shared stage context of this pipeline.
@@ -146,7 +167,7 @@ impl Pipeline {
             hw: &self.hw,
             array: &self.array,
             voltage: &self.voltage,
-            cache: self.cache.as_ref(),
+            cache: self.cache.as_deref(),
         }
     }
 
@@ -175,6 +196,70 @@ impl Pipeline {
     #[must_use]
     pub fn characterize_timing(&self, slow_floor_ps: f64) -> WeightTimingProfile {
         TimingStage.run(&self.ctx(), slow_floor_ps)
+    }
+
+    /// Serves one full characterization request — the unit the
+    /// `charserve` daemon deduplicates: baseline training, GEMM
+    /// capture, power characterization and the probe-floor timing pass,
+    /// every stage consulting the attached cache through the same
+    /// lookup → compute → store path the standalone pipeline uses.
+    ///
+    /// A stored [`crate::cache::RequestManifest`] under the request key
+    /// answers the whole request without touching a single stage; a
+    /// computed request writes that manifest so the next identical
+    /// request (from any process sharing the store) is a pure store
+    /// read. The returned [`crate::cache::CharacterizationRun`] reports
+    /// the training-epoch and gate-transition cost paid — exactly zero
+    /// for any request answered from a warm store; under concurrent
+    /// *distinct* computations in one process the counters are
+    /// process-global, so a computing request reports an upper bound on
+    /// its own work (see [`crate::cache::CharacterizationRun`]).
+    #[must_use]
+    pub fn characterization_request(&self, kind: NetworkKind) -> crate::cache::CharacterizationRun {
+        let request_key = crate::cache::request_key(&self.cfg, kind);
+        if let Some(cache) = self.cache() {
+            if let Some(manifest) = cache.lookup_manifest(request_key) {
+                return crate::cache::CharacterizationRun {
+                    request_key,
+                    manifest,
+                    manifest_hit: true,
+                    training_epochs: 0,
+                    sim_transitions: 0,
+                };
+            }
+        }
+        let epochs_before = nn::train::epochs_run();
+        let transitions_before = gatesim::sim_transitions();
+        let ctx = self.ctx();
+        let mut prepared = self.prepare(kind);
+        let training = crate::cache::training_key(&ctx, kind);
+        // Capture key before the capture runs: the key commits to the
+        // exact network state the forward pass reads.
+        let capture = crate::cache::capture_key(&ctx, &mut prepared);
+        let captures = self.capture(&mut prepared);
+        let characterization = crate::cache::characterization_key(&ctx, &captures);
+        let chars = self.characterize(&captures);
+        let timing = crate::cache::timing_key(&ctx, f64::MAX);
+        let _ = self.characterize_timing(f64::MAX);
+        let manifest = crate::cache::RequestManifest {
+            training,
+            capture,
+            characterization,
+            timing,
+            accuracy: prepared.accuracy,
+            captures: captures.len() as u64,
+            power_codes: chars.power_profile.codes().len() as u64,
+        };
+        if let Some(cache) = self.cache() {
+            cache.store_manifest(&ctx, request_key, &manifest);
+        }
+        crate::cache::CharacterizationRun {
+            request_key,
+            manifest,
+            manifest_hit: false,
+            training_epochs: nn::train::epochs_run() - epochs_before,
+            sim_transitions: gatesim::sim_transitions() - transitions_before,
+        }
     }
 
     /// Measures total power on both hardware variants, mW.

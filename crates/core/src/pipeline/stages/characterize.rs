@@ -109,16 +109,11 @@ impl Stage<NetworkKind> for PrepareStage {
     }
 
     fn run(&self, ctx: &PipelineCtx<'_>, kind: NetworkKind) -> Prepared {
-        if let Some(cache) = ctx.cache {
-            let key = crate::cache::training_key(ctx, kind);
-            if let Some(prepared) = cache.lookup_training(ctx, kind, key) {
-                return prepared;
-            }
-            let mut prepared = prepare_uncached(ctx, kind);
-            cache.store_training(ctx, key, &mut prepared);
-            return prepared;
-        }
-        prepare_uncached(ctx, kind)
+        let Some(cache) = ctx.cache else {
+            return prepare_uncached(ctx, kind);
+        };
+        let key = crate::cache::training_key(ctx, kind);
+        cache.cached_training(ctx, kind, key, || prepare_uncached(ctx, kind))
     }
 }
 
@@ -154,16 +149,11 @@ impl Stage<&mut Prepared> for CaptureStage {
     }
 
     fn run(&self, ctx: &PipelineCtx<'_>, prepared: &mut Prepared) -> Vec<GemmCapture> {
-        if let Some(cache) = ctx.cache {
-            let key = crate::cache::capture_key(ctx, prepared);
-            if let Some(captures) = cache.lookup_captures(key) {
-                return captures;
-            }
-            let captures = capture_uncached(ctx, prepared);
-            cache.store_captures(ctx, key, &captures);
-            return captures;
-        }
-        capture_uncached(ctx, prepared)
+        let Some(cache) = ctx.cache else {
+            return capture_uncached(ctx, prepared);
+        };
+        let key = crate::cache::capture_key(ctx, prepared);
+        cache.cached_captures(ctx, key, || capture_uncached(ctx, prepared))
     }
 }
 
@@ -194,16 +184,11 @@ impl Stage<&[GemmCapture]> for CharacterizeStage {
         // stats pass *and* every BatchSim settle/transition round-trip.
         // Key derivation hashes every captured code stream, so it only
         // runs when a cache is actually attached.
-        if let Some(cache) = ctx.cache {
-            let key = crate::cache::characterization_key(ctx, captures);
-            if let Some(chars) = cache.lookup_characterization(key) {
-                return chars;
-            }
-            let chars = characterize_uncached(ctx, captures);
-            cache.store_characterization(ctx, key, &chars);
-            return chars;
-        }
-        characterize_uncached(ctx, captures)
+        let Some(cache) = ctx.cache else {
+            return characterize_uncached(ctx, captures);
+        };
+        let key = crate::cache::characterization_key(ctx, captures);
+        cache.cached_characterization(ctx, key, || characterize_uncached(ctx, captures))
     }
 }
 
@@ -253,16 +238,11 @@ impl Stage<f64> for TimingStage {
     }
 
     fn run(&self, ctx: &PipelineCtx<'_>, slow_floor_ps: f64) -> WeightTimingProfile {
-        if let Some(cache) = ctx.cache {
-            let key = crate::cache::timing_key(ctx, slow_floor_ps);
-            if let Some(profile) = cache.lookup_timing(key) {
-                return profile;
-            }
-            let profile = timing_uncached(ctx, slow_floor_ps);
-            cache.store_timing(ctx, key, &profile);
-            return profile;
-        }
-        timing_uncached(ctx, slow_floor_ps)
+        let Some(cache) = ctx.cache else {
+            return timing_uncached(ctx, slow_floor_ps);
+        };
+        let key = crate::cache::timing_key(ctx, slow_floor_ps);
+        cache.cached_timing(ctx, key, || timing_uncached(ctx, slow_floor_ps))
     }
 }
 

@@ -10,10 +10,13 @@
 //!   voltage-scaling flow.
 //! * [`charstore`] — the persistent content-addressed characterization
 //!   artifact store behind the pipeline's warm starts.
+//! * [`charserve`] — the long-running characterization service over
+//!   that store (HTTP daemon, worker pool, single-flight dedup).
 //!
 //! See `README.md` for the quickstart and `DESIGN.md` for the system
 //! inventory.
 
+pub use charserve;
 pub use charstore;
 pub use gatesim;
 pub use nn;

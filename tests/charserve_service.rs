@@ -1,0 +1,148 @@
+//! End-to-end test of the charserve daemon: health, single-flight
+//! deduplication under concurrent clients, store-hit answers for
+//! repeated requests, input validation, clean shutdown.
+//!
+//! This lives in its own integration-test binary (one `#[test]`)
+//! because it asserts the process-global `nn::train::epochs_run()` /
+//! `gatesim::sim_transitions()` counters around the warm request — the
+//! in-process server's workers share this process, so any concurrently
+//! running test that trains or simulates would pollute the deltas.
+
+use charserve::json::{self, JsonValue};
+use charserve::{Client, ServeConfig, Server};
+
+fn u64_field(v: &JsonValue, name: &str) -> u64 {
+    v.get(name)
+        .and_then(JsonValue::as_u64)
+        .unwrap_or_else(|| panic!("missing numeric field `{name}` in {v:?}"))
+}
+
+fn bool_field(v: &JsonValue, name: &str) -> bool {
+    v.get(name)
+        .and_then(JsonValue::as_bool)
+        .unwrap_or_else(|| panic!("missing bool field `{name}` in {v:?}"))
+}
+
+#[test]
+fn daemon_single_flights_concurrent_clients_and_serves_repeats_from_store() {
+    let dir = std::env::temp_dir().join(format!("charserve-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        store_dir: dir.clone(),
+    })
+    .expect("bind charserve");
+    let addr = server.local_addr().to_string();
+    let daemon = std::thread::spawn(move || server.serve().expect("serve"));
+    let client = Client::new(&addr);
+
+    // Liveness.
+    let health = json::parse(&client.healthz().expect("healthz")).expect("health json");
+    assert_eq!(health.get("status").and_then(JsonValue::as_str), Some("ok"));
+
+    // Four concurrent clients issue the SAME cold request: single-flight
+    // must run the expensive computation once — 1 miss, 3 deduped
+    // waiters served from the leader's flight.
+    let bodies: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Client::new(&addr);
+                s.spawn(move || {
+                    c.characterize(r#"{"scale": "micro", "network": "lenet5"}"#)
+                        .expect("characterize")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let parsed: Vec<JsonValue> = bodies
+        .iter()
+        .map(|b| json::parse(b).expect("response json"))
+        .collect();
+    let deduped = parsed.iter().filter(|v| bool_field(v, "deduped")).count();
+    assert_eq!(deduped, 3, "expected exactly 3 deduped waiters");
+    assert!(
+        parsed.iter().all(|v| !bool_field(v, "store_hit")),
+        "cold concurrent requests cannot be store hits"
+    );
+    // Everyone shares the leader's computation, so every response
+    // carries identical artifact digests.
+    let artifacts: Vec<&JsonValue> = parsed
+        .iter()
+        .map(|v| v.get("artifacts").expect("artifacts"))
+        .collect();
+    assert!(
+        artifacts.iter().all(|a| *a == artifacts[0]),
+        "waiters saw different artifacts than the leader"
+    );
+
+    let stats = json::parse(&client.stats().expect("stats")).expect("stats json");
+    assert_eq!(u64_field(&stats, "requests"), 4);
+    assert_eq!(u64_field(&stats, "request_hits"), 0);
+    assert_eq!(u64_field(&stats, "request_misses"), 1);
+    assert_eq!(u64_field(&stats, "request_deduped"), 3);
+    assert_eq!(u64_field(&stats, "inflight"), 0);
+    assert_eq!(u64_field(&stats, "workers"), 2);
+
+    // The acceptance bar: a repeated request is answered straight from
+    // the store — zero training epochs and zero simulated transitions,
+    // checked against the process-global counters (the server's workers
+    // run in this process).
+    let epochs_before = nn::train::epochs_run();
+    let transitions_before = gatesim::sim_transitions();
+    let warm = json::parse(
+        &client
+            .characterize(r#"{"scale": "micro", "network": "lenet5"}"#)
+            .expect("warm characterize"),
+    )
+    .expect("warm json");
+    assert_eq!(
+        nn::train::epochs_run() - epochs_before,
+        0,
+        "repeated request trained"
+    );
+    assert_eq!(
+        gatesim::sim_transitions() - transitions_before,
+        0,
+        "repeated request simulated"
+    );
+    assert!(bool_field(&warm, "store_hit"), "repeat must hit the store");
+    assert!(!bool_field(&warm, "deduped"));
+    assert_eq!(u64_field(&warm, "training_epochs"), 0);
+    assert_eq!(u64_field(&warm, "sim_transitions"), 0);
+    assert_eq!(
+        warm.get("artifacts").expect("artifacts"),
+        artifacts[0],
+        "store answer diverged from the computed one"
+    );
+
+    let stats = json::parse(&client.stats().expect("stats")).expect("stats json");
+    assert_eq!(u64_field(&stats, "requests"), 5);
+    assert_eq!(u64_field(&stats, "request_hits"), 1);
+
+    // Validation: bad inputs are a client error, not a daemon crash.
+    let err = client
+        .characterize(r#"{"scale": "galactic"}"#)
+        .expect_err("bad scale must be rejected");
+    assert!(err.contains("400"), "expected a 400, got: {err}");
+    let err = client
+        .characterize("{not json")
+        .expect_err("malformed body must be rejected");
+    assert!(err.contains("400"), "expected a 400, got: {err}");
+
+    // Clean shutdown: the daemon answers, stops accepting, and the
+    // serve loop returns.
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon thread");
+    assert!(
+        Client::new(&addr).healthz().is_err(),
+        "daemon still answering after shutdown"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
