@@ -2,9 +2,10 @@
 //! `charserve` daemon over it.
 //!
 //! ```text
-//! charstore [--dir DIR] ls                     list stored artifacts
-//! charstore [--dir DIR] stat [KEY-PREFIX]      store totals, or one artifact's provenance
-//! charstore [--dir DIR] warm [--scale S] [--all-networks]
+//! charstore [--dir DIR] [--remote ADDR] ls     list stored artifacts
+//! charstore [--dir DIR] [--remote ADDR] stat [KEY-PREFIX]
+//!                                              store totals, or one artifact's provenance
+//! charstore [--dir DIR] [--remote ADDR] warm [--scale S] [--all-networks]
 //!                                              run the full cacheable pipeline (prepare,
 //!                                              capture, characterize, timing) against the
 //!                                              store and report hits/misses plus the
@@ -20,23 +21,31 @@
 //! ```
 //!
 //! `--dir` falls back to `POWERPRUNING_CACHE_DIR`, then to the default
-//! `.powerpruning-cache`. `warm` run twice against the same store must
-//! report `misses=0 training_epochs=0 sim_transitions=0` on the second
-//! run — a fully warmed store answers all four stages without a single
-//! training epoch or gate-level transition. The CI cache-smoke job
-//! asserts exactly that, then runs `verify` over the resulting store;
-//! the service-smoke job drives `serve`/`request` end to end and
-//! asserts single-flight deduplication via `/stats`.
+//! `.powerpruning-cache`; `--remote` (accepted by `warm`, `stat` and
+//! `ls`) falls back to `POWERPRUNING_REMOTE_STORE` and attaches a
+//! `charserve` object endpoint as the store's remote tier — `warm
+//! --remote` against an empty local store answers every stage from the
+//! warmed daemon with zero training epochs and zero simulated
+//! transitions, pulling the artifacts into the local disk tier as it
+//! goes. `warm` run twice against the same store must report `misses=0
+//! training_epochs=0 sim_transitions=0` on the second run — a fully
+//! warmed store answers all four stages without a single training
+//! epoch or gate-level transition. The CI cache-smoke job asserts
+//! exactly that, then runs `verify` over the resulting store; the
+//! service-smoke job drives `serve`/`request` end to end, asserts
+//! single-flight deduplication via `/stats`, and replays the warm run
+//! from a second empty store over `--remote`.
 
 use charserve::{Client, ServeConfig, Server};
-use charstore::Store;
-use powerpruning::cache::{decode_provenance, CharCache, DEFAULT_CACHE_DIR};
+use charstore::{RemoteTier, Store};
+use powerpruning::cache::{decode_provenance, CharCache, DEFAULT_CACHE_DIR, REMOTE_STORE_ENV};
 use powerpruning::pipeline::{NetworkKind, Pipeline, PipelineConfig, Scale};
 use std::process::ExitCode;
 use std::time::SystemTime;
 
 struct Args {
     dir: String,
+    remote: Option<String>,
     command: String,
     rest: Vec<String>,
 }
@@ -44,6 +53,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut dir =
         std::env::var("POWERPRUNING_CACHE_DIR").unwrap_or_else(|_| DEFAULT_CACHE_DIR.to_string());
+    let mut explicit_remote = None;
     let mut command = None;
     let mut rest = Vec::new();
     let mut argv = std::env::args().skip(1);
@@ -52,20 +62,42 @@ fn parse_args() -> Result<Args, String> {
             "--dir" => {
                 dir = argv.next().ok_or("--dir needs a value")?;
             }
+            "--remote" => {
+                explicit_remote = Some(argv.next().ok_or("--remote needs a value")?);
+            }
             _ if command.is_none() => command = Some(arg),
             _ => rest.push(arg),
         }
     }
+    let command =
+        command.ok_or("missing command (ls | stat | warm | gc | verify | serve | request)")?;
+    let remote_commands = matches!(command.as_str(), "warm" | "stat" | "ls");
+    if explicit_remote.is_some() && !remote_commands {
+        return Err(format!(
+            "--remote applies to warm, stat and ls, not `{command}`"
+        ));
+    }
+    // The env fallback only ever *adds* the tier to commands that take
+    // it; it must not turn `serve` or `gc` into an error.
+    let remote = explicit_remote.or_else(|| {
+        std::env::var(REMOTE_STORE_ENV)
+            .ok()
+            .filter(|a| !a.trim().is_empty() && remote_commands)
+    });
     Ok(Args {
         dir,
-        command: command
-            .ok_or("missing command (ls | stat | warm | gc | verify | serve | request)")?,
+        remote,
+        command,
         rest,
     })
 }
 
-fn open_store(dir: &str) -> Result<Store, String> {
-    Store::open(dir).map_err(|e| format!("cannot open store at `{dir}`: {e}"))
+fn open_store(dir: &str, remote: Option<&str>) -> Result<Store, String> {
+    let store = Store::open(dir).map_err(|e| format!("cannot open store at `{dir}`: {e}"))?;
+    Ok(match remote {
+        Some(addr) => store.with_remote(RemoteTier::new(addr)),
+        None => store,
+    })
 }
 
 fn age(modified: SystemTime) -> String {
@@ -77,19 +109,26 @@ fn age(modified: SystemTime) -> String {
     }
 }
 
-fn cmd_ls(dir: &str) -> Result<(), String> {
-    let store = open_store(dir)?;
+fn cmd_ls(dir: &str, remote: Option<&str>) -> Result<(), String> {
+    let store = open_store(dir, remote)?;
     let mut entries = store.entries().map_err(|e| e.to_string())?;
     entries.sort_by_key(|e| e.modified);
-    println!("store {dir}: {} artifacts", entries.len());
+    match store.remote() {
+        Some(tier) => println!(
+            "store {dir} (remote {}): {} local artifacts",
+            tier.addr(),
+            entries.len()
+        ),
+        None => println!("store {dir}: {} artifacts", entries.len()),
+    }
     for e in &entries {
         println!("  {}  {:>9} bytes  {}", e.key, e.bytes, age(e.modified));
     }
     Ok(())
 }
 
-fn cmd_stat(dir: &str, rest: &[String]) -> Result<(), String> {
-    let store = open_store(dir)?;
+fn cmd_stat(dir: &str, remote: Option<&str>, rest: &[String]) -> Result<(), String> {
+    let store = open_store(dir, remote)?;
     let entries = store.entries().map_err(|e| e.to_string())?;
     if let Some(prefix) = rest.first() {
         let matches: Vec<_> = entries
@@ -121,10 +160,13 @@ fn cmd_stat(dir: &str, rest: &[String]) -> Result<(), String> {
         "store {dir}: {} artifacts, {total} bytes on disk",
         entries.len()
     );
+    if let Some(tier) = store.remote() {
+        println!("remote tier: {}", tier.addr());
+    }
     Ok(())
 }
 
-fn cmd_warm(dir: &str, rest: &[String]) -> Result<(), String> {
+fn cmd_warm(dir: &str, remote: Option<&str>, rest: &[String]) -> Result<(), String> {
     let mut scale = Scale::Micro;
     let mut all_networks = false;
     let mut it = rest.iter();
@@ -143,7 +185,7 @@ fn cmd_warm(dir: &str, rest: &[String]) -> Result<(), String> {
         }
     }
     let cfg = PipelineConfig::for_scale(scale);
-    let pipeline = Pipeline::with_cache_dir(cfg, dir);
+    let pipeline = Pipeline::with_cache_dir_remote(cfg, dir, remote);
     let cache: &CharCache = pipeline
         .cache()
         .ok_or("cache disabled (POWERPRUNING_CACHE=off?) — nothing to warm")?;
@@ -170,11 +212,15 @@ fn cmd_warm(dir: &str, rest: &[String]) -> Result<(), String> {
         );
     }
     let c = cache.counters();
+    let store = cache.store().counters();
     println!(
-        "warm complete: scale={scale:?} networks={} hits={} misses={} training_epochs={} sim_transitions={}",
+        "warm complete: scale={scale:?} networks={} hits={} misses={} remote_hits={} remote_publishes={} remote_errors={} training_epochs={} sim_transitions={}",
         kinds.len(),
         c.hits,
         c.misses,
+        store.remote_hits,
+        store.remote_publishes,
+        store.remote_errors,
         nn::train::epochs_run() - epochs_before,
         gatesim::sim_transitions() - transitions_before,
     );
@@ -182,7 +228,7 @@ fn cmd_warm(dir: &str, rest: &[String]) -> Result<(), String> {
 }
 
 fn cmd_verify(dir: &str) -> Result<(), String> {
-    let store = open_store(dir)?;
+    let store = open_store(dir, None)?;
     let report = store.verify().map_err(|e| e.to_string())?;
     println!(
         "verify: {} objects checked, {} ok, {} corrupt",
@@ -216,7 +262,7 @@ fn cmd_gc(dir: &str, rest: &[String]) -> Result<(), String> {
         }
     }
     let max_bytes = max_bytes.ok_or("gc requires --max-bytes N")?;
-    let store = open_store(dir)?;
+    let store = open_store(dir, None)?;
     let report = store.gc(max_bytes).map_err(|e| e.to_string())?;
     println!(
         "gc: deleted {} artifacts ({} bytes), kept {} ({} bytes)",
@@ -314,9 +360,9 @@ fn cmd_request(rest: &[String]) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let result = parse_args().and_then(|args| match args.command.as_str() {
-        "ls" => cmd_ls(&args.dir),
-        "stat" => cmd_stat(&args.dir, &args.rest),
-        "warm" => cmd_warm(&args.dir, &args.rest),
+        "ls" => cmd_ls(&args.dir, args.remote.as_deref()),
+        "stat" => cmd_stat(&args.dir, args.remote.as_deref(), &args.rest),
+        "warm" => cmd_warm(&args.dir, args.remote.as_deref(), &args.rest),
         "gc" => cmd_gc(&args.dir, &args.rest),
         "verify" => cmd_verify(&args.dir),
         "serve" => cmd_serve(&args.dir, &args.rest),

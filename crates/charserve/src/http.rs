@@ -4,7 +4,15 @@
 //! connection (`Connection: close`), `Content-Length` bodies only, no
 //! chunked encoding, no keep-alive — so the whole wire layer stays
 //! auditable and dependency-free. Limits are enforced before
-//! allocation, the same discipline as `charstore::wire::Reader`.
+//! allocation, the same discipline as `charstore::wire::Reader`:
+//! reading is split into [`read_head`] (request line + headers, with
+//! the declared `Content-Length` parsed but **no body buffer touched**)
+//! and [`read_body`] (which checks the declared length against the
+//! route's limit *before* allocating). An oversized declaration is a
+//! typed [`is_too_large`] error the server answers with `413`; a
+//! malformed or overflowing declaration is a plain framing error
+//! answered with `400`. Either way a hostile client cannot make the
+//! daemon allocate a byte more than the route allows.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -16,22 +24,97 @@ pub const MAX_LINE_BYTES: usize = 8 * 1024;
 /// idle timeout from firing) and pin the connection thread — and with
 /// it the shutdown join.
 pub const MAX_HEADER_LINES: usize = 64;
-/// Maximum accepted body length.
+/// Maximum accepted body length for JSON endpoints.
 pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+/// Maximum accepted body length for object ingest (`PUT /object/…`):
+/// checksummed containers of captured GEMM streams run far past the
+/// JSON limit at Full scale. Defined as the client-side fetch cap so
+/// the two ends of the object protocol can never drift apart — a
+/// daemon that stored objects larger than the fetch cap would force
+/// permanent recomputes fleet-wide.
+pub const MAX_OBJECT_BYTES: usize = charstore::remote::MAX_OBJECT_BYTES;
 
-/// A parsed request (or response) head plus its body.
+/// A parsed request head plus its body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
-    /// `GET` / `POST` / ….
+    /// `GET` / `POST` / `PUT` / ….
     pub method: String,
     /// Absolute path, e.g. `/characterize`.
     pub path: String,
-    /// Decoded body (empty when there was none).
-    pub body: String,
+    /// Raw body bytes (empty when there was none). JSON endpoints
+    /// decode UTF-8 themselves; object endpoints take the bytes as-is.
+    pub body: Vec<u8>,
+}
+
+/// A parsed request line + headers, before any body byte is read (and
+/// before any body buffer exists). The server routes on this to pick
+/// the body limit for [`read_body`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Head {
+    /// `GET` / `POST` / `PUT` / ….
+    pub method: String,
+    /// Absolute path.
+    pub path: String,
+    /// Declared `Content-Length` (0 when the header is absent).
+    pub content_length: u64,
 }
 
 fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Marker payload of the "declared body exceeds the route limit"
+/// error, so the server can answer `413` instead of a generic `400`.
+#[derive(Debug)]
+struct PayloadTooLarge {
+    declared: u64,
+    limit: usize,
+}
+
+impl std::fmt::Display for PayloadTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "declared body of {} bytes exceeds the {}-byte limit",
+            self.declared, self.limit
+        )
+    }
+}
+
+impl std::error::Error for PayloadTooLarge {}
+
+fn too_large(declared: u64, limit: usize) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        PayloadTooLarge { declared, limit },
+    )
+}
+
+/// Whether an error is the oversized-body rejection from
+/// [`read_body`] — the server maps it to `413 Payload Too Large`.
+#[must_use]
+pub fn is_too_large(e: &io::Error) -> bool {
+    e.get_ref()
+        .is_some_and(|inner| inner.is::<PayloadTooLarge>())
+}
+
+/// Whether an error means the client went away (or stalled past the
+/// read timeout) rather than sent something malformed. Responding is
+/// pointless and the condition is routine under real traffic, so the
+/// server logs these per-connection and keeps accepting instead of
+/// treating them as request errors.
+#[must_use]
+pub fn is_disconnect(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::NotConnected
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::TimedOut
+    )
 }
 
 /// Reads one CRLF- (or LF-) terminated line, bounded by
@@ -68,12 +151,14 @@ fn read_line(reader: &mut impl BufRead) -> io::Result<String> {
     String::from_utf8(line).map_err(|_| invalid("header line is not UTF-8"))
 }
 
-/// Parses `Content-Length` out of header lines until the blank line,
-/// then reads exactly that many body bytes. Bounded in every
-/// dimension: line length ([`MAX_LINE_BYTES`]), line count
-/// ([`MAX_HEADER_LINES`]) and body size ([`MAX_BODY_BYTES`]).
-fn read_headers_and_body(reader: &mut impl BufRead) -> io::Result<String> {
-    let mut content_length: usize = 0;
+/// Parses header lines until the blank line and returns the declared
+/// `Content-Length` (0 when absent). Bounded by [`MAX_LINE_BYTES`] and
+/// [`MAX_HEADER_LINES`]; a `Content-Length` that does not parse as a
+/// `u64` (negative, garbage, or overflowing) is a framing error. No
+/// body limit is applied here — that is route-dependent and belongs to
+/// [`read_body`].
+fn read_content_length(reader: &mut impl BufRead) -> io::Result<u64> {
+    let mut content_length: u64 = 0;
     let mut lines = 0usize;
     loop {
         let line = read_line(reader)?;
@@ -90,27 +175,22 @@ fn read_headers_and_body(reader: &mut impl BufRead) -> io::Result<String> {
         if name.eq_ignore_ascii_case("content-length") {
             content_length = value
                 .trim()
-                .parse::<usize>()
+                .parse::<u64>()
                 .map_err(|_| invalid("bad Content-Length"))?;
-            if content_length > MAX_BODY_BYTES {
-                return Err(invalid("body too large"));
-            }
         }
     }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
-    String::from_utf8(body).map_err(|_| invalid("body is not UTF-8"))
+    Ok(content_length)
 }
 
-/// Reads one request from a server-side connection.
+/// Reads a request head: request line plus headers, stopping before
+/// the body. No buffer is sized from client input here.
 ///
 /// # Errors
 ///
-/// Returns an `InvalidData` error on any framing violation (the server
-/// answers those with `400`).
-pub fn read_request(stream: &TcpStream) -> io::Result<Request> {
-    let mut reader = BufReader::new(stream);
-    let request_line = read_line(&mut reader)?;
+/// Returns an `InvalidData` error on any framing violation, or an
+/// [`is_disconnect`] error if the client went away mid-head.
+pub fn read_head(reader: &mut impl BufRead) -> io::Result<Head> {
+    let request_line = read_line(reader)?;
     let mut parts = request_line.split_whitespace();
     let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
     else {
@@ -119,12 +199,71 @@ pub fn read_request(stream: &TcpStream) -> io::Result<Request> {
     if !version.starts_with("HTTP/1.") {
         return Err(invalid(format!("unsupported version `{version}`")));
     }
-    let body = read_headers_and_body(&mut reader)?;
-    Ok(Request {
+    let content_length = read_content_length(reader)?;
+    Ok(Head {
         method: method.to_string(),
         path: path.to_string(),
+        content_length,
+    })
+}
+
+/// Reads exactly `declared` body bytes, rejecting a declaration over
+/// `limit` **before the buffer is allocated** — the load-bearing OOM
+/// defense: a hostile `Content-Length` can never size an allocation.
+///
+/// # Errors
+///
+/// An [`is_too_large`] error when `declared > limit` (the server
+/// answers `413`), or the underlying I/O error on a short read.
+pub fn read_body(reader: &mut impl BufRead, declared: u64, limit: usize) -> io::Result<Vec<u8>> {
+    if declared > limit as u64 {
+        return Err(too_large(declared, limit));
+    }
+    let mut body = vec![0u8; declared as usize];
+    reader.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Reads one request from a server-side connection, with the JSON
+/// body limit ([`MAX_BODY_BYTES`]). The daemon's connection handler
+/// uses the two-phase [`read_head`] + [`read_body`] instead so object
+/// routes get their own limit.
+///
+/// # Errors
+///
+/// Returns an `InvalidData` error on any framing violation (the server
+/// answers those with `400`).
+pub fn read_request(stream: &TcpStream) -> io::Result<Request> {
+    let mut reader = BufReader::new(stream);
+    let head = read_head(&mut reader)?;
+    let body = read_body(&mut reader, head.content_length, MAX_BODY_BYTES)?;
+    Ok(Request {
+        method: head.method,
+        path: head.path,
         body,
     })
+}
+
+/// Writes a response with an explicit content type and raw body bytes,
+/// then flushes — the object-serving path.
+///
+/// # Errors
+///
+/// Returns any I/O error from the stream.
+pub fn write_response_bytes(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
 }
 
 /// Writes a JSON response and flushes.
@@ -138,13 +277,7 @@ pub fn write_response(
     reason: &str,
     body: &str,
 ) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
+    write_response_bytes(stream, status, reason, "application/json", body.as_bytes())
 }
 
 /// Writes one client request and flushes.
@@ -185,8 +318,11 @@ pub fn read_response(stream: &TcpStream) -> io::Result<(u16, String)> {
     let status = status
         .parse::<u16>()
         .map_err(|_| invalid("non-numeric status"))?;
-    let body = read_headers_and_body(&mut reader)?;
-    Ok((status, body))
+    let content_length = read_content_length(&mut reader)?;
+    let body = read_body(&mut reader, content_length, MAX_BODY_BYTES)?;
+    String::from_utf8(body)
+        .map(|body| (status, body))
+        .map_err(|_| invalid("body is not UTF-8"))
 }
 
 #[cfg(test)]
@@ -204,7 +340,7 @@ mod tests {
             let req = read_request(&stream).unwrap();
             assert_eq!(req.method, "POST");
             assert_eq!(req.path, "/characterize");
-            assert_eq!(req.body, r#"{"scale": "micro"}"#);
+            assert_eq!(req.body, br#"{"scale": "micro"}"#);
             let mut stream = stream;
             write_response(&mut stream, 200, "OK", r#"{"ok": true}"#).unwrap();
         });
@@ -225,7 +361,9 @@ mod tests {
     #[test]
     fn truncated_requests_are_framing_errors_not_empty_requests() {
         // A client that disconnects mid-headers must yield an error —
-        // never a parsed request with an empty body.
+        // never a parsed request with an empty body. All of these are
+        // disconnects (the client went away), which the server logs and
+        // drops rather than answering.
         for partial in [
             &b""[..],
             b"POST /characterize HTTP/1.1\r\n",
@@ -241,10 +379,11 @@ mod tests {
             stream.write_all(partial).unwrap();
             stream.flush().unwrap();
             drop(stream);
-            assert!(
-                server.join().unwrap().is_err(),
-                "truncated request {partial:?} parsed as complete"
-            );
+            let err = server
+                .join()
+                .unwrap()
+                .expect_err("truncated request parsed as complete");
+            assert!(is_disconnect(&err), "not classified as disconnect: {err}");
         }
     }
 
@@ -277,12 +416,77 @@ mod tests {
             read_request(&stream)
         });
         let mut stream = TcpStream::connect(addr).unwrap();
-        use std::io::Write;
         stream
             .write_all(b"POST /x HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n")
             .unwrap();
         stream.flush().unwrap();
         let err = server.join().unwrap().unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(is_too_large(&err), "oversized body not typed as 413: {err}");
+    }
+
+    #[test]
+    fn overflowing_content_length_is_a_framing_error_not_a_413() {
+        // A length that does not even fit in u64 is malformed input
+        // (400), not an honest-but-oversized declaration (413). Either
+        // way, no buffer is allocated.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            read_request(&stream)
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"POST /x HTTP/1.1\r\nContent-Length: 99999999999999999999999999\r\n\r\n")
+            .unwrap();
+        stream.flush().unwrap();
+        let err = server.join().unwrap().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(!is_too_large(&err), "overflow misclassified as 413");
+        // Same for a negative length.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            read_request(&stream)
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"POST /x HTTP/1.1\r\nContent-Length: -5\r\n\r\n")
+            .unwrap();
+        stream.flush().unwrap();
+        let err = server.join().unwrap().unwrap_err();
+        assert!(!is_too_large(&err));
+    }
+
+    #[test]
+    fn head_and_body_split_lets_routes_pick_their_limit() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(&stream);
+            let head = read_head(&mut reader).unwrap();
+            assert_eq!(head.method, "PUT");
+            assert_eq!(head.path, "/object/abc");
+            assert_eq!(head.content_length, 4);
+            // A JSON-limit read of the same head would reject it…
+            assert!(is_too_large(
+                &read_body(&mut reader, head.content_length, 2).unwrap_err()
+            ));
+            // …while the object limit admits it (the reader is intact:
+            // the rejection above never consumed a byte).
+            assert_eq!(
+                read_body(&mut reader, head.content_length, 8).unwrap(),
+                b"BODY"
+            );
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"PUT /object/abc HTTP/1.1\r\nContent-Length: 4\r\n\r\nBODY")
+            .unwrap();
+        stream.flush().unwrap();
+        server.join().unwrap();
     }
 }

@@ -25,9 +25,17 @@
 //! | endpoint | answer |
 //! |---|---|
 //! | `GET /healthz` | liveness + store root |
-//! | `GET /stats` | request hit/miss/dedup, inflight, worker and store counters |
+//! | `GET /stats` | request hit/miss/dedup, object hit/miss/publish, inflight, worker and store counters |
 //! | `POST /characterize` | scale + network + seed → artifact digests + provenance |
+//! | `GET /object/<key>` | raw checksummed container bytes (404 on miss; the client re-checksums) |
+//! | `PUT /object/<key>` | validated object ingest through the store's atomic put path |
 //! | `POST /shutdown` | stops the accept loop after responding |
+//!
+//! The object endpoints are the serving side of the store's **remote
+//! tier** ([`charstore::RemoteTier`]): a worker with an empty local
+//! store pointed at a warmed daemon answers `get` misses over the wire
+//! and write-through-publishes its own `put`s, so a fleet shares one
+//! warm cache without a shared filesystem.
 //!
 //! A `POST /characterize` request is keyed by
 //! [`powerpruning::cache::request_key`]; a repeat answered from the

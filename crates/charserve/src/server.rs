@@ -21,9 +21,10 @@ use crate::http::{self, Request};
 use crate::json::{self, JsonValue};
 use crate::pool::WorkerPool;
 use crate::singleflight::{Joined, SingleFlight};
+use charstore::Digest128;
 use powerpruning::cache::CharacterizationRun;
 use powerpruning::{CharCache, NetworkKind, Pipeline, PipelineConfig, Scale};
-use std::io;
+use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -61,6 +62,13 @@ struct Stats {
     misses: AtomicU64,
     /// Requests that waited on another request's computation.
     deduped: AtomicU64,
+    /// `GET /object/…` requests answered with container bytes — the
+    /// remote tier's hits, as seen from the serving side.
+    object_hits: AtomicU64,
+    /// `GET /object/…` requests answered `404`.
+    object_misses: AtomicU64,
+    /// `PUT /object/…` ingests accepted (validated and stored).
+    object_publishes: AtomicU64,
 }
 
 struct Shared {
@@ -176,9 +184,50 @@ fn error_body(msg: &str) -> String {
     format!("{{\"error\": \"{}\"}}\n", json::escape(msg))
 }
 
+/// The body limit for a routed request head: object ingest accepts
+/// full container payloads, every JSON endpoint keeps the tight cap.
+fn body_limit(head: &http::Head) -> usize {
+    if head.method == "PUT" && head.path.starts_with("/object/") {
+        http::MAX_OBJECT_BYTES
+    } else {
+        http::MAX_BODY_BYTES
+    }
+}
+
 fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
-    let request = match http::read_request(&stream) {
+    // Two-phase read: the head alone decides the route (and with it the
+    // body limit), so no buffer is ever sized from client input before
+    // the route's cap has vetted the declared length.
+    let parsed = (|| -> io::Result<Request> {
+        let mut reader = BufReader::new(&stream);
+        let head = http::read_head(&mut reader)?;
+        let limit = body_limit(&head);
+        let body = http::read_body(&mut reader, head.content_length, limit)?;
+        Ok(Request {
+            method: head.method,
+            path: head.path,
+            body,
+        })
+    })();
+    let request = match parsed {
         Ok(r) => r,
+        // A client that went away (or stalled past the read timeout)
+        // is routine churn, not a request: log it and keep the accept
+        // loop's world clean — no response to a dead socket, no error
+        // escaping the connection thread.
+        Err(e) if http::is_disconnect(&e) => {
+            eprintln!("charserve: client disconnected mid-request: {e}");
+            return;
+        }
+        Err(e) if http::is_too_large(&e) => {
+            respond(
+                &mut stream,
+                413,
+                "Payload Too Large",
+                &error_body(&e.to_string()),
+            );
+            return;
+        }
         Err(e) => {
             respond(&mut stream, 400, "Bad Request", &error_body(&e.to_string()));
             return;
@@ -197,6 +246,12 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
             respond(&mut stream, 200, "OK", &render_stats(shared));
         }
         ("POST", "/characterize") => handle_characterize(shared, &mut stream, &request),
+        ("GET", path) if path.starts_with("/object/") => {
+            handle_object_get(shared, &mut stream, path);
+        }
+        ("PUT", path) if path.starts_with("/object/") => {
+            handle_object_put(shared, &mut stream, path, &request.body);
+        }
         ("POST", "/shutdown") => {
             respond(&mut stream, 200, "OK", "{\"status\": \"shutting down\"}\n");
             shared.shutdown.store(true, Ordering::Release);
@@ -227,6 +282,9 @@ fn render_stats(shared: &Shared) -> String {
             "  \"request_hits\": {},\n",
             "  \"request_misses\": {},\n",
             "  \"request_deduped\": {},\n",
+            "  \"object_hits\": {},\n",
+            "  \"object_misses\": {},\n",
+            "  \"object_publishes\": {},\n",
             "  \"inflight\": {},\n",
             "  \"workers\": {},\n",
             "  \"store\": {{\"mem_hits\": {}, \"disk_hits\": {}, \"misses\": {}, \"puts\": {}}}\n",
@@ -236,6 +294,9 @@ fn render_stats(shared: &Shared) -> String {
         s.hits.load(Ordering::Relaxed),
         s.misses.load(Ordering::Relaxed),
         s.deduped.load(Ordering::Relaxed),
+        s.object_hits.load(Ordering::Relaxed),
+        s.object_misses.load(Ordering::Relaxed),
+        s.object_publishes.load(Ordering::Relaxed),
         shared.flights.inflight(),
         shared.pool.size(),
         store.mem_hits,
@@ -243,6 +304,89 @@ fn render_stats(shared: &Shared) -> String {
         store.misses,
         store.puts,
     )
+}
+
+/// Parses the `<32-hex-key>` tail of an `/object/` path.
+fn object_key(path: &str) -> Option<Digest128> {
+    path.strip_prefix("/object/").and_then(Digest128::from_hex)
+}
+
+/// `GET /object/<key>`: streams the raw checksummed container bytes.
+/// The bytes are served as stored, **without** a server-side decode —
+/// the whole-file checksum travels inside the container and the client
+/// re-validates it, so a corrupt stored object degrades to a miss at
+/// the requesting worker instead of costing this daemon a decode per
+/// serve.
+fn handle_object_get(shared: &Arc<Shared>, stream: &mut TcpStream, path: &str) {
+    let Some(key) = object_key(path) else {
+        respond(
+            stream,
+            400,
+            "Bad Request",
+            &error_body("object path must be /object/<32-hex-key>"),
+        );
+        return;
+    };
+    match shared.cache.store().get_encoded(key) {
+        Some(bytes) => {
+            shared.stats.object_hits.fetch_add(1, Ordering::Relaxed);
+            let _ =
+                http::write_response_bytes(stream, 200, "OK", "application/octet-stream", &bytes);
+        }
+        None => {
+            shared.stats.object_misses.fetch_add(1, Ordering::Relaxed);
+            respond(
+                stream,
+                404,
+                "Not Found",
+                &error_body(&format!("no object {key}")),
+            );
+        }
+    }
+}
+
+/// `PUT /object/<key>`: validates the container (every checksum, every
+/// bound) and ingests it through the store's atomic put path. A corrupt
+/// or oversized payload is a client error — it can never poison the
+/// store.
+fn handle_object_put(shared: &Arc<Shared>, stream: &mut TcpStream, path: &str, body: &[u8]) {
+    let Some(key) = object_key(path) else {
+        respond(
+            stream,
+            400,
+            "Bad Request",
+            &error_body("object path must be /object/<32-hex-key>"),
+        );
+        return;
+    };
+    // `put_encoded` validates every checksum before the atomic ingest
+    // and stores the received bytes as-is — no re-encode of a buffer
+    // already in hand. A failed validation is the client's fault.
+    match shared.cache.store().put_encoded(key, body) {
+        Ok(()) => {
+            shared
+                .stats
+                .object_publishes
+                .fetch_add(1, Ordering::Relaxed);
+            respond(stream, 200, "OK", "{\"status\": \"stored\"}\n");
+        }
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            respond(
+                stream,
+                400,
+                "Bad Request",
+                &error_body(&format!("corrupt object payload: {e}")),
+            );
+        }
+        Err(e) => {
+            respond(
+                stream,
+                500,
+                "Internal Server Error",
+                &error_body(&format!("object store failed: {e}")),
+            );
+        }
+    }
 }
 
 /// Parses the request body into a pipeline configuration and network.
@@ -346,7 +490,16 @@ fn render_run(
 }
 
 fn handle_characterize(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) {
-    let (cfg, kind) = match parse_characterize(&request.body) {
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        respond(
+            stream,
+            400,
+            "Bad Request",
+            &error_body("characterize body is not UTF-8"),
+        );
+        return;
+    };
+    let (cfg, kind) = match parse_characterize(body) {
         Ok(parsed) => parsed,
         Err(e) => {
             respond(stream, 400, "Bad Request", &error_body(&e));
@@ -408,5 +561,148 @@ fn handle_characterize(shared: &Arc<Shared>, stream: &mut TcpStream, request: &R
     match flight.wait().as_ref() {
         Ok(run) => respond(stream, 200, "OK", &render_run(&cfg, kind, run, deduped)),
         Err(e) => respond(stream, 500, "Internal Server Error", &error_body(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use charstore::{container, digest_bytes, RemoteTier, Section};
+    use std::io::Write;
+
+    fn u64_field(v: &JsonValue, name: &str) -> u64 {
+        v.get(name)
+            .and_then(JsonValue::as_u64)
+            .unwrap_or_else(|| panic!("missing numeric field `{name}` in {v:?}"))
+    }
+
+    fn boot() -> (PathBuf, String, std::thread::JoinHandle<()>) {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "charserve-server-test-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = Server::bind(&ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            store_dir: dir.clone(),
+        })
+        .expect("bind charserve");
+        let addr = server.local_addr().to_string();
+        let daemon = std::thread::spawn(move || server.serve().expect("serve"));
+        (dir, addr, daemon)
+    }
+
+    /// The satellite regression: a client killed mid-request must be
+    /// logged-and-dropped by its connection thread — the daemon keeps
+    /// accepting and `/healthz` still answers.
+    #[test]
+    fn mid_request_disconnects_do_not_stop_the_daemon() {
+        let (dir, addr, daemon) = boot();
+        let client = Client::new(&addr);
+
+        // Killed mid-body: the declared 64 bytes never arrive.
+        let mut s = TcpStream::connect(&addr).unwrap();
+        s.write_all(b"POST /characterize HTTP/1.1\r\nContent-Length: 64\r\n\r\nhalf")
+            .unwrap();
+        s.flush().unwrap();
+        drop(s);
+        // Killed mid-request-line.
+        let mut s = TcpStream::connect(&addr).unwrap();
+        s.write_all(b"GET /healthz HTT").unwrap();
+        drop(s);
+        // Killed mid-headers.
+        let mut s = TcpStream::connect(&addr).unwrap();
+        s.write_all(b"PUT /object/00 HTTP/1.1\r\nContent-Len")
+            .unwrap();
+        drop(s);
+
+        client
+            .healthz()
+            .expect("daemon stopped answering after mid-request disconnects");
+
+        client.shutdown().expect("shutdown");
+        daemon.join().expect("daemon thread");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// Object endpoints: publish/fetch round-trips bit-identical bytes,
+    /// misses are 404s, corrupt payloads and bad keys are client
+    /// errors, oversized declarations are 413s — and `/stats` accounts
+    /// for all of it.
+    #[test]
+    fn object_endpoints_serve_validate_and_count() {
+        let (dir, addr, daemon) = boot();
+        let client = Client::new(&addr);
+        let tier = RemoteTier::new(&addr);
+        let key = digest_bytes("server-test", b"obj");
+
+        // Miss before anything is stored.
+        assert_eq!(tier.fetch(key).unwrap(), None);
+
+        // Publish a valid container; fetch returns the exact bytes.
+        let sections = vec![
+            Section::new(3, vec![7u8; 128]),
+            Section::new(9, vec![1, 2, 3]),
+        ];
+        let encoded = container::encode(&sections);
+        tier.publish(key, &encoded).unwrap();
+        assert_eq!(tier.fetch(key).unwrap(), Some(encoded.clone()));
+
+        // A corrupt payload is rejected (400) and never stored.
+        let key2 = digest_bytes("server-test", b"obj2");
+        let mut bad = encoded.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x01;
+        assert!(tier.publish(key2, &bad).is_err());
+        assert_eq!(tier.fetch(key2).unwrap(), None);
+
+        // A non-hex key is a 400.
+        let mut s = TcpStream::connect(&addr).unwrap();
+        s.write_all(b"GET /object/nothex HTTP/1.1\r\n\r\n").unwrap();
+        s.flush().unwrap();
+        let (status, _) = http::read_response(&s).unwrap();
+        assert_eq!(status, 400);
+
+        // An oversized declared body is a 413 — rejected before any
+        // allocation, even on the object route's generous limit.
+        let mut s = TcpStream::connect(&addr).unwrap();
+        s.write_all(
+            format!(
+                "PUT /object/{key} HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                http::MAX_OBJECT_BYTES + 1
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+        s.flush().unwrap();
+        let (status, _) = http::read_response(&s).unwrap();
+        assert_eq!(status, 413);
+        // …while the same declaration on a JSON route also 413s at the
+        // much lower JSON cap.
+        let mut s = TcpStream::connect(&addr).unwrap();
+        s.write_all(
+            format!(
+                "POST /characterize HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                http::MAX_BODY_BYTES + 1
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+        s.flush().unwrap();
+        let (status, _) = http::read_response(&s).unwrap();
+        assert_eq!(status, 413);
+
+        let stats = json::parse(&client.stats().unwrap()).unwrap();
+        assert_eq!(u64_field(&stats, "object_hits"), 1);
+        assert_eq!(u64_field(&stats, "object_misses"), 2);
+        assert_eq!(u64_field(&stats, "object_publishes"), 1);
+
+        client.shutdown().expect("shutdown");
+        daemon.join().expect("daemon thread");
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

@@ -14,12 +14,19 @@
 //!   [`wire::Reader`] hardened against hostile or truncated input.
 //! * [`container`] — the versioned on-disk format: magic, version,
 //!   section table, per-section and whole-file checksums.
-//! * [`store`] — the two-tier [`Store`]: in-memory LRU over decoded
+//! * [`store`] — the tiered [`Store`]: in-memory LRU over decoded
 //!   sections plus a prefix-sharded directory of container files, with
 //!   advisory file locking so concurrent experiment binaries share one
 //!   store, an oldest-first [`Store::gc`] sweep, and a re-checksumming
 //!   [`Store::verify`] audit. Legacy flat-layout stores migrate into
 //!   the sharded layout transparently as they are read.
+//! * [`remote`] — the optional third tier: a [`RemoteTier`] client for
+//!   a `charserve`-style object endpoint. Local `get` misses fall
+//!   through to `GET /object/<key>` (the fetched container is
+//!   re-checksummed client-side, so wire corruption degrades to a miss
+//!   exactly like disk corruption) and local `put`s are
+//!   write-through-published with `PUT /object/<key>`; any remote
+//!   failure degrades the store to local-only operation.
 //!
 //! This crate is domain-agnostic (sections are opaque bytes); the
 //! `powerpruning` crate layers typed characterization artifacts and
@@ -31,9 +38,11 @@
 
 pub mod container;
 pub mod digest;
+pub mod remote;
 pub mod store;
 pub mod wire;
 
 pub use container::{Section, FORMAT_VERSION};
 pub use digest::{digest_bytes, Digest128, Hasher128};
+pub use remote::RemoteTier;
 pub use store::{EntryInfo, GcReport, Store, StoreCounters, VerifyReport};

@@ -1,10 +1,15 @@
-//! The two-tier content-addressed artifact store.
+//! The tiered content-addressed artifact store.
 //!
 //! Tier 1 is an in-memory LRU over decoded section lists (shared
 //! `Arc`s, bounded by a byte budget); tier 2 is a directory of
 //! checksummed container files named by the artifact key, sharded into
 //! 256 subdirectories by the first key byte so directory listings stay
-//! cheap as cached pipeline stages multiply entries:
+//! cheap as cached pipeline stages multiply entries; an optional tier 3
+//! is a [`RemoteTier`] pointing at a `charserve` object endpoint —
+//! `get` misses fall through to it (fetched containers are
+//! re-checksummed client-side and written into the local disk tier)
+//! and `put`s are write-through-published, so a fleet of workers
+//! shares one warm cache without a shared filesystem:
 //!
 //! ```text
 //! <root>/
@@ -36,13 +41,14 @@
 
 use crate::container::{self, Section};
 use crate::digest::Digest128;
+use crate::remote::RemoteTier;
 use std::collections::HashMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::SystemTime;
+use std::time::{Duration, Instant, SystemTime};
 
 /// Default in-memory tier budget: plenty for a full Mini-scale
 /// characterization set while staying irrelevant next to the pipeline's
@@ -50,6 +56,14 @@ use std::time::SystemTime;
 pub const DEFAULT_MEM_BUDGET_BYTES: usize = 64 << 20;
 
 const OBJECT_EXT: &str = "ppc";
+
+/// How long the remote tier is skipped after a transport failure. One
+/// failed operation pays the connect timeout; everything else inside
+/// the window degrades to local-only immediately, so a dead or
+/// unroutable daemon costs a sweep one timeout per window instead of
+/// one per artifact. Any successful remote operation closes the window
+/// early, so a daemon restart is picked up on the next attempt.
+const REMOTE_BACKOFF: Duration = Duration::from_secs(5);
 
 /// Monotonic hit/miss counters of one [`Store`] instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -62,13 +76,26 @@ pub struct StoreCounters {
     pub misses: u64,
     /// Artifacts written.
     pub puts: u64,
+    /// Lookups served from the remote tier (validated, then written
+    /// into the local disk tier).
+    pub remote_hits: u64,
+    /// Remote lookups the daemon answered `404` for, or whose bytes
+    /// failed the client-side checksum (wire corruption degrades to a
+    /// miss, exactly like disk corruption).
+    pub remote_misses: u64,
+    /// Local puts write-through-published to the remote tier.
+    pub remote_publishes: u64,
+    /// Remote operations that failed at the transport level (daemon
+    /// down, timeout, protocol violation). The store degrades to
+    /// local-only on every one of these.
+    pub remote_errors: u64,
 }
 
 impl StoreCounters {
-    /// Total lookups served from either tier.
+    /// Total lookups served from any tier.
     #[must_use]
     pub fn hits(&self) -> u64 {
-        self.mem_hits + self.disk_hits
+        self.mem_hits + self.disk_hits + self.remote_hits
     }
 }
 
@@ -175,16 +202,24 @@ impl MemTier {
     }
 }
 
-/// The two-tier content-addressed store.
+/// The tiered content-addressed store: memory LRU → local disk →
+/// optional remote object endpoint.
 #[derive(Debug)]
 pub struct Store {
     root: PathBuf,
     mem_budget: usize,
     mem: Mutex<MemTier>,
+    remote: Option<RemoteTier>,
+    /// End of the current remote-failure backoff window, if one is open.
+    remote_retry_after: Mutex<Option<Instant>>,
     mem_hits: AtomicU64,
     disk_hits: AtomicU64,
     misses: AtomicU64,
     puts: AtomicU64,
+    remote_hits: AtomicU64,
+    remote_misses: AtomicU64,
+    remote_publishes: AtomicU64,
+    remote_errors: AtomicU64,
 }
 
 impl Store {
@@ -210,11 +245,37 @@ impl Store {
             root,
             mem_budget,
             mem: Mutex::new(MemTier::default()),
+            remote: None,
+            remote_retry_after: Mutex::new(None),
             mem_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             puts: AtomicU64::new(0),
+            remote_hits: AtomicU64::new(0),
+            remote_misses: AtomicU64::new(0),
+            remote_publishes: AtomicU64::new(0),
+            remote_errors: AtomicU64::new(0),
         })
+    }
+
+    /// Attaches a remote object tier behind the local tiers: `get`
+    /// misses fall through to the endpoint (the fetched container is
+    /// re-checksummed client-side, written into the local disk tier and
+    /// promoted to memory, so the next lookup is local), and every
+    /// successful `put` is write-through-published so other workers
+    /// sharing the same daemon see it. Every remote failure — daemon
+    /// down, timeout, corrupt bytes — degrades to local-only operation
+    /// with a counter bump, never an error.
+    #[must_use]
+    pub fn with_remote(mut self, remote: RemoteTier) -> Store {
+        self.remote = Some(remote);
+        self
+    }
+
+    /// The attached remote tier, if any.
+    #[must_use]
+    pub fn remote(&self) -> Option<&RemoteTier> {
+        self.remote.as_ref()
     }
 
     /// The store's root directory.
@@ -231,6 +292,10 @@ impl Store {
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             puts: self.puts.load(Ordering::Relaxed),
+            remote_hits: self.remote_hits.load(Ordering::Relaxed),
+            remote_misses: self.remote_misses.load(Ordering::Relaxed),
+            remote_publishes: self.remote_publishes.load(Ordering::Relaxed),
+            remote_errors: self.remote_errors.load(Ordering::Relaxed),
         }
     }
 
@@ -259,8 +324,11 @@ impl Store {
     }
 
     /// Looks up an artifact: memory tier first, then disk (verifying
-    /// checksums and promoting to memory). A corrupted or unreadable
-    /// object counts as a miss.
+    /// checksums and promoting to memory), then — when a remote tier is
+    /// attached — the remote endpoint (re-checksumming the fetched
+    /// bytes and writing them into the local disk tier, so the next
+    /// lookup is local). A corrupted or unreadable object counts as a
+    /// miss, whichever tier it came from.
     ///
     /// Lookups that find the object at the legacy flat path migrate it
     /// into its shard (atomic rename) so flat-layout stores converge to
@@ -322,10 +390,111 @@ impl Store {
                 Some(sections)
             }
             Err(_) => {
+                if let Some(sections) = self.fetch_remote(key) {
+                    return Some(sections);
+                }
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
+    }
+
+    /// Whether the remote tier is inside its post-failure backoff
+    /// window. A skipped operation counts as a remote error — it
+    /// degraded to local-only for the same reason the window opened.
+    fn remote_backed_off(&self) -> bool {
+        let backed_off = matches!(
+            *self.remote_retry_after.lock().expect("backoff poisoned"),
+            Some(until) if Instant::now() < until
+        );
+        if backed_off {
+            self.remote_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        backed_off
+    }
+
+    /// Records a remote transport failure: bump the counter and open
+    /// (or extend) the backoff window.
+    fn remote_failed(&self) {
+        self.remote_errors.fetch_add(1, Ordering::Relaxed);
+        *self.remote_retry_after.lock().expect("backoff poisoned") =
+            Some(Instant::now() + REMOTE_BACKOFF);
+    }
+
+    /// Records a successful remote round trip: close any backoff window.
+    fn remote_recovered(&self) {
+        *self.remote_retry_after.lock().expect("backoff poisoned") = None;
+    }
+
+    /// The remote leg of [`Store::get`]: fetch, validate client-side,
+    /// populate the local tiers. `None` on any remote miss, corruption
+    /// or transport failure (counted separately — a dead daemon is not
+    /// the same signal as an object nobody has computed yet).
+    fn fetch_remote(&self, key: Digest128) -> Option<Arc<Vec<Section>>> {
+        let remote = self.remote.as_ref()?;
+        if self.remote_backed_off() {
+            return None;
+        }
+        let bytes = match remote.fetch(key) {
+            Ok(Some(bytes)) => {
+                self.remote_recovered();
+                bytes
+            }
+            Ok(None) => {
+                self.remote_recovered();
+                self.remote_misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            Err(_) => {
+                self.remote_failed();
+                return None;
+            }
+        };
+        // The whole-file checksum is re-validated here, client-side: a
+        // flipped byte anywhere on the wire (or on the daemon's disk)
+        // degrades to a miss exactly like local disk corruption.
+        let Ok(sections) = container::decode(&bytes) else {
+            self.remote_misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        self.remote_hits.fetch_add(1, Ordering::Relaxed);
+        // Populate the local disk tier with the already-validated bytes
+        // (best-effort: a full disk only costs the next lookup a
+        // re-fetch), then promote to memory.
+        let _ = self.write_encoded(key, &bytes);
+        let sections = Arc::new(sections);
+        self.mem.lock().expect("mem tier poisoned").insert(
+            key,
+            Arc::clone(&sections),
+            self.mem_budget,
+        );
+        Some(sections)
+    }
+
+    /// Raw container bytes of an object, for serving over the wire:
+    /// the disk file read **without** validation — the consumer
+    /// re-checksums client-side, so a corrupt file degrades to a miss
+    /// at the far end instead of costing this process a decode. Always
+    /// reads disk (a put lands there synchronously, and re-encoding a
+    /// memory-tier hit would cost a full checksum recomputation per
+    /// serve for bytes the page cache already holds). Never consults
+    /// the remote tier and touches no hit/miss counters (object
+    /// servers account for themselves).
+    #[must_use]
+    pub fn get_encoded(&self, key: Digest128) -> Option<Vec<u8>> {
+        let lock = self.lock_file().ok()?;
+        lock.lock_shared().ok()?;
+        // Same probe order as `get`: sharded, then flat, then sharded
+        // again — a concurrent reader may migrate a flat object between
+        // the first two probes (migration runs under the shared lock
+        // too), and answering a spurious miss for an object we hold
+        // would cost the far end a full recompute.
+        let bytes = fs::read(self.object_path(key))
+            .or_else(|_| fs::read(self.flat_object_path(key)))
+            .or_else(|_| fs::read(self.object_path(key)))
+            .ok();
+        let _ = lock.unlock();
+        bytes
     }
 
     /// Whether an artifact exists (either tier, either disk layout),
@@ -341,17 +510,12 @@ impl Store {
             || self.flat_object_path(key).exists()
     }
 
-    /// Stores an artifact under `key`, populating both tiers. Safe
-    /// against concurrent writers of the same key: both stage to unique
-    /// temp files and the last atomic rename wins (contents are
-    /// identical by construction — the key commits to the inputs).
-    ///
-    /// # Errors
-    ///
-    /// Returns any I/O error from staging or renaming the object file.
-    pub fn put(&self, key: Digest128, sections: Vec<Section>) -> io::Result<()> {
+    /// Stages already-encoded container bytes into the sharded disk
+    /// tier under the shared advisory lock, with the writer-unique
+    /// temp-file + atomic-rename discipline. Shared by [`Store::put`]
+    /// and the remote-hit populate path.
+    fn write_encoded(&self, key: Digest128, encoded: &[u8]) -> io::Result<()> {
         static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
-        let encoded = container::encode(&sections);
         let final_path = self.object_path(key);
         // Unique per process *and* per thread: concurrent writers must
         // never stage into the same temp file.
@@ -366,26 +530,99 @@ impl Store {
             if let Some(shard) = final_path.parent() {
                 fs::create_dir_all(shard)?;
             }
-            fs::write(&tmp_path, &encoded)?;
+            fs::write(&tmp_path, encoded)?;
             fs::rename(&tmp_path, &final_path)
         })();
         let _ = lock.unlock();
         if result.is_err() {
             let _ = fs::remove_file(&tmp_path);
         }
-        result?;
+        result
+    }
+
+    /// Stores an artifact under `key`, populating both local tiers and
+    /// — when a remote tier is attached — write-through-publishing the
+    /// encoded container to the endpoint (best-effort: a dead daemon
+    /// bumps `remote_errors` and the put still succeeds locally). Safe
+    /// against concurrent writers of the same key: both stage to unique
+    /// temp files and the last atomic rename wins (contents are
+    /// identical by construction — the key commits to the inputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from staging or renaming the object file.
+    pub fn put(&self, key: Digest128, sections: Vec<Section>) -> io::Result<()> {
+        let encoded = container::encode(&sections);
+        self.finish_put(key, &encoded, sections)
+    }
+
+    /// Ingests an **already-encoded** container: validates every
+    /// checksum, then stores the bytes exactly as received. This is the
+    /// daemon's `PUT /object/…` path — the received buffer *is* the
+    /// canonical encoding, so re-encoding the decoded sections (as
+    /// [`Store::put`] must) would only rebuild, byte for byte, an
+    /// allocation already in hand.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` if the container fails validation (the payload is
+    /// never stored), or any I/O error from staging the object file.
+    pub fn put_encoded(&self, key: Digest128, encoded: &[u8]) -> io::Result<()> {
+        let sections = container::decode(encoded)?;
+        self.finish_put(key, encoded, sections)
+    }
+
+    /// The shared tail of [`Store::put`] / [`Store::put_encoded`]:
+    /// stage the bytes, populate the memory tier, publish write-through.
+    fn finish_put(&self, key: Digest128, encoded: &[u8], sections: Vec<Section>) -> io::Result<()> {
+        self.write_encoded(key, encoded)?;
         self.puts.fetch_add(1, Ordering::Relaxed);
         self.mem.lock().expect("mem tier poisoned").insert(
             key,
             Arc::new(sections),
             self.mem_budget,
         );
+        if let Some(remote) = &self.remote {
+            if !self.remote_backed_off() {
+                match remote.publish(key, encoded) {
+                    Ok(()) => {
+                        self.remote_recovered();
+                        self.remote_publishes.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        self.remote_failed();
+                    }
+                }
+            }
+        }
         Ok(())
     }
 
     /// Whether a directory name is a 2-hex-digit shard.
     fn is_shard_name(name: &str) -> bool {
         name.len() == 2 && name.bytes().all(|b| b.is_ascii_hexdigit())
+    }
+
+    /// Collects a directory's entries, treating the directory (or any
+    /// entry) vanishing mid-walk as "nothing there" rather than an
+    /// error — the same `NotFound` tolerance `entries()` applies to
+    /// per-file stats, extended to the directory level so a concurrent
+    /// gc or migration can never error a stats or sweep call.
+    fn read_dir_tolerant(dir: &Path) -> io::Result<Vec<fs::DirEntry>> {
+        let iter = match fs::read_dir(dir) {
+            Ok(iter) => iter,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut out = Vec::new();
+        for entry in iter {
+            match entry {
+                Ok(e) => out.push(e),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
     }
 
     /// Parses `<32-hex>.ppc` into its key.
@@ -454,8 +691,7 @@ impl Store {
             }
             Ok(())
         };
-        for entry in fs::read_dir(self.root.join("objects"))? {
-            let entry = entry?;
+        for entry in Store::read_dir_tolerant(&self.root.join("objects"))? {
             let path = entry.path();
             let is_shard = path.is_dir()
                 && path
@@ -463,8 +699,8 @@ impl Store {
                     .and_then(|n| n.to_str())
                     .is_some_and(Store::is_shard_name);
             if is_shard {
-                for sub in fs::read_dir(&path)? {
-                    record(&sub?, true)?;
+                for sub in Store::read_dir_tolerant(&path)? {
+                    record(&sub, true)?;
                 }
             } else {
                 record(&entry, false)?;
@@ -473,7 +709,10 @@ impl Store {
         Ok(seen.into_values().collect())
     }
 
-    /// Total bytes of all disk objects.
+    /// Total bytes of all disk objects. Shares the `NotFound`-tolerant
+    /// walk of [`Store::entries`], so files vanishing under a
+    /// concurrent gc or migration shrink the total instead of erroring
+    /// the stats call.
     ///
     /// # Errors
     ///
@@ -524,8 +763,8 @@ impl Store {
         lock.lock()?;
         let result = (|| -> io::Result<GcReport> {
             let sweep_orphans = |dir: &Path| -> io::Result<()> {
-                for entry in fs::read_dir(dir)? {
-                    let path = entry?.path();
+                for entry in Store::read_dir_tolerant(dir)? {
+                    let path = entry.path();
                     let is_orphan_tmp = path
                         .file_name()
                         .and_then(|n| n.to_str())
@@ -538,8 +777,8 @@ impl Store {
             };
             let objects = self.root.join("objects");
             sweep_orphans(&objects)?;
-            for entry in fs::read_dir(&objects)? {
-                let path = entry?.path();
+            for entry in Store::read_dir_tolerant(&objects)? {
+                let path = entry.path();
                 let is_shard = path.is_dir()
                     && path
                         .file_name()
@@ -563,7 +802,15 @@ impl Store {
                 if total <= max_bytes {
                     break;
                 }
-                self.remove_object(e.key)?;
+                // An object that vanished between the listing and the
+                // delete (another process's sweep, a same-process
+                // migration) is already the outcome gc wanted — count
+                // it freed rather than erroring the sweep.
+                match self.remove_object(e.key) {
+                    Ok(()) => {}
+                    Err(err) if err.kind() == io::ErrorKind::NotFound => {}
+                    Err(err) => return Err(err),
+                }
                 mem.remove(&e.key);
                 total -= e.bytes;
                 report.deleted += 1;
@@ -600,16 +847,16 @@ impl Store {
             let mut report = VerifyReport::default();
             let mut files: Vec<PathBuf> = Vec::new();
             let objects = self.root.join("objects");
-            for entry in fs::read_dir(&objects)? {
-                let path = entry?.path();
+            for entry in Store::read_dir_tolerant(&objects)? {
+                let path = entry.path();
                 let is_shard = path.is_dir()
                     && path
                         .file_name()
                         .and_then(|n| n.to_str())
                         .is_some_and(Store::is_shard_name);
                 if is_shard {
-                    for sub in fs::read_dir(&path)? {
-                        files.push(sub?.path());
+                    for sub in Store::read_dir_tolerant(&path)? {
+                        files.push(sub.path());
                     }
                 } else {
                     files.push(path);

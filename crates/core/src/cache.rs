@@ -25,6 +25,13 @@
 //! * `POWERPRUNING_CACHE=off|0|false` — disable the cache entirely.
 //! * `POWERPRUNING_CACHE_DIR=<dir>` — store root (default
 //!   `.powerpruning-cache` under the working directory).
+//! * `POWERPRUNING_REMOTE_STORE=<host:port>` — attach a remote object
+//!   tier behind the local store: `get` misses are answered from a
+//!   `charserve` daemon's object endpoint (fetched containers are
+//!   re-checksummed client-side and land in the local disk tier) and
+//!   local `put`s are write-through-published, so a fleet of workers
+//!   shares one warm cache without a shared filesystem. A dead daemon
+//!   degrades every operation to local-only.
 //!
 //! A key hit is provably the same computation, so a warmed store lets a
 //! second pipeline run skip baseline training entirely (zero epochs,
@@ -53,6 +60,10 @@ use systolic::MacEnergyModel;
 
 /// Default store directory (relative to the working directory).
 pub const DEFAULT_CACHE_DIR: &str = ".powerpruning-cache";
+
+/// Environment variable naming a `charserve` object endpoint
+/// (`host:port`) to attach as the store's remote tier.
+pub const REMOTE_STORE_ENV: &str = "POWERPRUNING_REMOTE_STORE";
 
 /// Version of the characterization *algorithms* folded into every
 /// cache key. The keys commit to all inputs, but a persistent
@@ -688,7 +699,24 @@ impl CharCache {
     ///
     /// Returns any I/O error from creating the store layout.
     pub fn open(dir: impl AsRef<Path>) -> io::Result<CharCache> {
-        Ok(CharCache::with_store(Arc::new(Store::open(dir.as_ref())?)))
+        CharCache::open_with_remote(dir, None)
+    }
+
+    /// Opens a cache rooted at `dir` with an optional remote object
+    /// tier (`host:port` of a `charserve` daemon) behind the local
+    /// tiers. Every remote failure degrades to local-only operation, so
+    /// attaching a dead endpoint costs counters, never correctness.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the local store layout (the
+    /// remote endpoint is not contacted here).
+    pub fn open_with_remote(dir: impl AsRef<Path>, remote: Option<&str>) -> io::Result<CharCache> {
+        let mut store = Store::open(dir.as_ref())?;
+        if let Some(addr) = remote {
+            store = store.with_remote(charstore::RemoteTier::new(addr));
+        }
+        Ok(CharCache::with_store(Arc::new(store)))
     }
 
     /// Wraps an already-open shared store — the `charserve` daemon path,
@@ -714,7 +742,8 @@ impl CharCache {
     /// Opens the cache described by the environment: `None` when
     /// `POWERPRUNING_CACHE` is `off`/`0`/`false` or the store directory
     /// cannot be created (the pipeline silently runs uncached — a cache
-    /// must never turn a runnable experiment into an error).
+    /// must never turn a runnable experiment into an error). A
+    /// non-empty `POWERPRUNING_REMOTE_STORE` attaches the remote tier.
     #[must_use]
     pub fn from_env() -> Option<CharCache> {
         if CharCache::disabled_by_env() {
@@ -722,7 +751,10 @@ impl CharCache {
         }
         let dir = std::env::var("POWERPRUNING_CACHE_DIR")
             .unwrap_or_else(|_| DEFAULT_CACHE_DIR.to_string());
-        CharCache::open(dir).ok()
+        let remote = std::env::var(REMOTE_STORE_ENV)
+            .ok()
+            .filter(|addr| !addr.trim().is_empty());
+        CharCache::open_with_remote(dir, remote.as_deref()).ok()
     }
 
     /// The underlying store (for the CLI and tests).

@@ -102,8 +102,22 @@ impl Pipeline {
     /// `POWERPRUNING_CACHE=off` kill switch both still disable caching.
     #[must_use]
     pub fn with_cache_dir(cfg: PipelineConfig, dir: impl AsRef<std::path::Path>) -> Self {
+        Pipeline::with_cache_dir_remote(cfg, dir, None)
+    }
+
+    /// [`Pipeline::with_cache_dir`] with an optional remote object tier
+    /// (`host:port` of a `charserve` daemon) behind the local store —
+    /// the `charstore warm --remote` path, and the way a fleet worker
+    /// with an empty local store answers every stage from a warmed
+    /// daemon. The same cache kill switches apply.
+    #[must_use]
+    pub fn with_cache_dir_remote(
+        cfg: PipelineConfig,
+        dir: impl AsRef<std::path::Path>,
+        remote: Option<&str>,
+    ) -> Self {
         let cache = if cfg.cache && !crate::cache::CharCache::disabled_by_env() {
-            crate::cache::CharCache::open(dir).ok()
+            crate::cache::CharCache::open_with_remote(dir, remote).ok()
         } else {
             None
         };

@@ -1,0 +1,136 @@
+//! The remote tier's acceptance bar, end to end: an **empty** local
+//! store pointed at a warmed `charserve` daemon completes the full
+//! Micro pipeline (prepare, capture, characterize, timing) with zero
+//! training epochs and zero simulated transitions — every stage
+//! artifact arrives over the wire, is re-checksummed client-side, and
+//! lands in the local disk tier. A corrupted remote object degrades to
+//! a miss and the stage recomputes instead of erroring.
+//!
+//! This lives in its own integration-test binary (one `#[test]`)
+//! because it asserts the process-global `nn::train::epochs_run()` /
+//! `gatesim::sim_transitions()` counters around the warm run — any
+//! concurrently running test that trains or simulates would pollute
+//! the deltas.
+
+use charserve::{Client, ServeConfig, Server};
+use charstore::Store;
+use powerpruning::pipeline::{NetworkKind, Pipeline, PipelineConfig, Scale};
+
+fn boot_daemon(store_dir: &std::path::Path) -> (String, std::thread::JoinHandle<()>) {
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        store_dir: store_dir.to_path_buf(),
+    })
+    .expect("bind charserve");
+    let addr = server.local_addr().to_string();
+    let daemon = std::thread::spawn(move || server.serve().expect("serve"));
+    (addr, daemon)
+}
+
+#[test]
+fn empty_store_with_remote_tier_completes_micro_pipeline_with_zero_work() {
+    let base = std::env::temp_dir().join(format!("remote-pipeline-{}", std::process::id()));
+    let dir_a = base.join("daemon");
+    let dir_b = base.join("worker-warm");
+    let dir_c = base.join("worker-after-corruption");
+    let _ = std::fs::remove_dir_all(&base);
+
+    let cfg = PipelineConfig::for_scale(Scale::Micro);
+    let kind = NetworkKind::LeNet5;
+
+    // Warm the daemon's store the expensive way, recording the
+    // baseline outputs every remote answer must reproduce bit-exactly.
+    let warmer = Pipeline::with_cache_dir(cfg, &dir_a);
+    let mut prepared = warmer.prepare(kind);
+    let captures = warmer.capture(&mut prepared);
+    let chars = warmer.characterize(&captures);
+    let probe = warmer.characterize_timing(f64::MAX);
+    let timing_key = powerpruning::cache::timing_key(&warmer.ctx(), f64::MAX);
+    drop(warmer);
+
+    let (addr, daemon) = boot_daemon(&dir_a);
+
+    // The acceptance bar: an empty local store, every stage answered
+    // over the wire, zero training epochs and zero simulated
+    // transitions.
+    let worker = Pipeline::with_cache_dir_remote(cfg, &dir_b, Some(&addr));
+    let epochs_before = nn::train::epochs_run();
+    let transitions_before = gatesim::sim_transitions();
+    let mut prepared_b = worker.prepare(kind);
+    let captures_b = worker.capture(&mut prepared_b);
+    let chars_b = worker.characterize(&captures_b);
+    let probe_b = worker.characterize_timing(f64::MAX);
+    assert_eq!(
+        nn::train::epochs_run() - epochs_before,
+        0,
+        "remote-warmed worker trained"
+    );
+    assert_eq!(
+        gatesim::sim_transitions() - transitions_before,
+        0,
+        "remote-warmed worker simulated"
+    );
+    // Bit-identical results, not merely cheap ones.
+    assert_eq!(prepared_b.accuracy, prepared.accuracy);
+    assert_eq!(captures_b, captures);
+    assert_eq!(
+        chars_b.power_profile.codes(),
+        chars.power_profile.codes(),
+        "remote power profile diverged"
+    );
+    assert_eq!(probe_b.psum_floor_ps, probe.psum_floor_ps);
+    let cache = worker.cache().expect("worker cache attached");
+    assert_eq!(cache.counters().hits, 4, "all four stages must hit");
+    assert_eq!(cache.counters().misses, 0);
+    let store = cache.store().counters();
+    assert_eq!(store.remote_hits, 4, "all four artifacts fetched remotely");
+    assert_eq!(store.remote_misses, 0);
+    assert_eq!(store.remote_errors, 0);
+    // The artifacts landed locally: a second, local-only pipeline over
+    // the same directory is warm without the daemon.
+    assert_eq!(Store::open(&dir_b).unwrap().entries().unwrap().len(), 4);
+
+    // Corruption leg: flip one byte of the daemon's timing artifact
+    // and point a fresh worker (fresh daemon instance, cold memory
+    // tier) at it. The stage degrades to a miss, recomputes without
+    // erroring, and write-through-publishes the healed artifact.
+    Client::new(&addr).shutdown().expect("shutdown");
+    daemon.join().expect("daemon thread");
+    let object = dir_a
+        .join("objects")
+        .join(format!("{:02x}", timing_key.0[0]))
+        .join(format!("{}.ppc", timing_key.to_hex()));
+    let mut bytes = std::fs::read(&object).expect("timing artifact on daemon disk");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&object, &bytes).unwrap();
+    let (addr, daemon) = boot_daemon(&dir_a);
+
+    let worker_c = Pipeline::with_cache_dir_remote(cfg, &dir_c, Some(&addr));
+    let transitions_before = gatesim::sim_transitions();
+    let probe_c = worker_c.characterize_timing(f64::MAX);
+    assert!(
+        gatesim::sim_transitions() - transitions_before > 0,
+        "corrupt remote artifact must fall through to recompute"
+    );
+    assert_eq!(probe_c.psum_floor_ps, probe.psum_floor_ps);
+    let store_c = worker_c.cache().expect("cache").store().counters();
+    assert_eq!(
+        store_c.remote_misses, 1,
+        "corruption must count as a remote miss"
+    );
+    assert_eq!(
+        store_c.remote_publishes, 1,
+        "recompute must publish the heal"
+    );
+
+    Client::new(&addr).shutdown().expect("shutdown");
+    daemon.join().expect("daemon thread");
+    // The write-through publish healed the daemon's corrupt object.
+    assert!(
+        Store::open(&dir_a).unwrap().verify().unwrap().is_clean(),
+        "daemon store still corrupt after healing publish"
+    );
+    let _ = std::fs::remove_dir_all(base);
+}

@@ -1,0 +1,207 @@
+//! Store-level tests of the remote object tier: a `charstore::Store`
+//! with a `RemoteTier` pointed at an in-process `charserve` daemon.
+//!
+//! Covers the degrade ladder the tier promises: a remote hit populates
+//! the local disk tier (the next get is local), wire corruption fails
+//! the client-side checksum and degrades to a miss (and the healing
+//! re-put write-through-publishes the good bytes back to the daemon),
+//! and a dead daemon degrades every operation to local-only with a
+//! counter bump — no panic, no hang.
+
+use charserve::{Client, ServeConfig, Server};
+use charstore::{digest_bytes, Digest128, RemoteTier, Section, Store};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "remote-store-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Boots a daemon over `store_dir`; returns its address and the serve
+/// thread to join after `Client::shutdown`.
+fn boot_daemon(store_dir: &std::path::Path) -> (String, std::thread::JoinHandle<()>) {
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        store_dir: store_dir.to_path_buf(),
+    })
+    .expect("bind charserve");
+    let addr = server.local_addr().to_string();
+    let daemon = std::thread::spawn(move || server.serve().expect("serve"));
+    (addr, daemon)
+}
+
+fn key(n: u8) -> Digest128 {
+    digest_bytes("remote-store-test", &[n])
+}
+
+fn artifact(n: u8) -> Vec<Section> {
+    vec![
+        Section::new(1, vec![n; 300]),
+        Section::new(2, vec![n ^ 0xff; 32]),
+    ]
+}
+
+#[test]
+fn remote_hit_populates_local_disk_tier() {
+    let dir_a = temp_dir("daemon-a");
+    let dir_b = temp_dir("worker-b");
+
+    // Warm the daemon's store, then serve it.
+    Store::open(&dir_a)
+        .unwrap()
+        .put(key(1), artifact(1))
+        .unwrap();
+    let (addr, daemon) = boot_daemon(&dir_a);
+
+    // An empty local store with the daemon as its remote tier answers
+    // the get over the wire…
+    let b = Store::open(&dir_b)
+        .unwrap()
+        .with_remote(RemoteTier::new(&addr));
+    assert_eq!(*b.get(key(1)).expect("remote get"), artifact(1));
+    let c = b.counters();
+    assert_eq!(c.remote_hits, 1);
+    assert_eq!(c.disk_hits, 0);
+    assert_eq!(c.misses, 0, "a remote hit is not a store miss");
+
+    // …and the fetched container landed in B's local disk tier: a
+    // fresh local-only instance (daemon still up but unused) serves it
+    // from disk.
+    let b_local = Store::open(&dir_b).unwrap();
+    assert_eq!(*b_local.get(key(1)).expect("local get"), artifact(1));
+    assert_eq!(b_local.counters().disk_hits, 1);
+    assert!(b_local.verify().unwrap().is_clean());
+
+    Client::new(&addr).shutdown().expect("shutdown");
+    daemon.join().expect("daemon thread");
+    let _ = std::fs::remove_dir_all(dir_a);
+    let _ = std::fs::remove_dir_all(dir_b);
+}
+
+#[test]
+fn put_write_through_publishes_to_the_daemon() {
+    let dir_a = temp_dir("daemon-a");
+    let dir_b = temp_dir("worker-b");
+    let dir_c = temp_dir("worker-c");
+    let (addr, daemon) = boot_daemon(&dir_a);
+
+    // A local put on worker B is published to the daemon…
+    let b = Store::open(&dir_b)
+        .unwrap()
+        .with_remote(RemoteTier::new(&addr));
+    b.put(key(2), artifact(2)).unwrap();
+    assert_eq!(b.counters().remote_publishes, 1);
+    assert_eq!(b.counters().remote_errors, 0);
+
+    // …so worker C (empty local store, same daemon) sees it without
+    // any shared filesystem.
+    let c = Store::open(&dir_c)
+        .unwrap()
+        .with_remote(RemoteTier::new(&addr));
+    assert_eq!(*c.get(key(2)).expect("fleet-shared get"), artifact(2));
+    assert_eq!(c.counters().remote_hits, 1);
+
+    Client::new(&addr).shutdown().expect("shutdown");
+    daemon.join().expect("daemon thread");
+    // The daemon's own store holds the published object durably.
+    let a = Store::open(&dir_a).unwrap();
+    assert_eq!(*a.get(key(2)).expect("daemon-side get"), artifact(2));
+    assert!(a.verify().unwrap().is_clean());
+    let _ = std::fs::remove_dir_all(dir_a);
+    let _ = std::fs::remove_dir_all(dir_b);
+    let _ = std::fs::remove_dir_all(dir_c);
+}
+
+#[test]
+fn corrupt_remote_object_degrades_to_miss_and_reput_heals_both_stores() {
+    let dir_a = temp_dir("daemon-a");
+    let dir_b = temp_dir("worker-b");
+
+    // Store a valid object on the daemon's disk, then flip one byte in
+    // it. The daemon streams objects raw (the client re-checksums), so
+    // this models corruption anywhere between its disk and our socket.
+    let a = Store::open(&dir_a).unwrap();
+    a.put(key(3), artifact(3)).unwrap();
+    let object = dir_a
+        .join("objects")
+        .join(format!("{:02x}", key(3).0[0]))
+        .join(format!("{}.ppc", key(3).to_hex()));
+    let mut bytes = std::fs::read(&object).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&object, &bytes).unwrap();
+    drop(a); // the daemon opens its own instance (cold memory tier)
+    let (addr, daemon) = boot_daemon(&dir_a);
+
+    // The client-side checksum catches the flip: miss, not error, and
+    // nothing corrupt lands in the local disk tier.
+    let b = Store::open(&dir_b)
+        .unwrap()
+        .with_remote(RemoteTier::new(&addr));
+    assert!(b.get(key(3)).is_none(), "corrupt remote bytes must miss");
+    let c = b.counters();
+    assert_eq!(c.remote_misses, 1);
+    assert_eq!(c.misses, 1);
+    assert!(b.verify().unwrap().is_clean());
+    assert!(b.entries().unwrap().is_empty());
+
+    // The caller's recompute-and-put path heals: the fresh artifact is
+    // stored locally and write-through-published, overwriting the
+    // daemon's corrupt copy.
+    b.put(key(3), artifact(3)).unwrap();
+    assert_eq!(b.counters().remote_publishes, 1);
+    assert_eq!(*b.get(key(3)).expect("healed get"), artifact(3));
+
+    Client::new(&addr).shutdown().expect("shutdown");
+    daemon.join().expect("daemon thread");
+    let healed = Store::open(&dir_a).unwrap();
+    assert!(
+        healed.verify().unwrap().is_clean(),
+        "publish did not heal the daemon's corrupt object"
+    );
+    assert_eq!(*healed.get(key(3)).unwrap(), artifact(3));
+    let _ = std::fs::remove_dir_all(dir_a);
+    let _ = std::fs::remove_dir_all(dir_b);
+}
+
+#[test]
+fn dead_daemon_degrades_to_local_only_with_counter_bumps() {
+    let dir_b = temp_dir("worker-b");
+    // Nothing listens on port 1; short timeouts bound the worst case.
+    let b = Store::open(&dir_b).unwrap().with_remote(
+        RemoteTier::new("127.0.0.1:1")
+            .with_timeouts(Duration::from_millis(300), Duration::from_millis(300)),
+    );
+
+    // A get that misses locally tries the remote, fails fast, and is a
+    // plain miss.
+    assert!(b.get(key(4)).is_none());
+    let c = b.counters();
+    assert_eq!(c.remote_errors, 1);
+    assert_eq!(c.misses, 1);
+
+    // A put still succeeds locally; only the publish is lost. The
+    // failure above opened the backoff window, so this publish is
+    // skipped without even connecting — still counted as a remote
+    // error, because the operation degraded to local-only.
+    b.put(key(4), artifact(4)).unwrap();
+    let c = b.counters();
+    assert_eq!(c.puts, 1);
+    assert_eq!(c.remote_publishes, 0);
+    assert_eq!(c.remote_errors, 2);
+
+    // And the stored artifact serves from the local tiers as usual.
+    assert_eq!(*b.get(key(4)).expect("local get"), artifact(4));
+    assert!(Store::open(&dir_b).unwrap().verify().unwrap().is_clean());
+    let _ = std::fs::remove_dir_all(dir_b);
+}
