@@ -1,6 +1,8 @@
 //! Characterization of MAC power and timing per weight value.
 //!
 //! * [`bins`] — partial-sum transition-space reduction (paper §III-A2).
+//! * [`CharConfigError`] — shared validation errors for the power and
+//!   timing configurations.
 //! * [`power`] — average power per weight value from sampled realistic
 //!   transitions (paper §III-A, Fig. 2).
 //! * [`timing`] — per-weight dynamic timing of the multiplier composed
@@ -12,8 +14,9 @@ pub mod timing;
 
 pub use bins::PsumBinning;
 pub use power::{
-    characterize_power, characterize_power_scalar, characterize_power_with_threads, strided_codes,
-    PowerConfig, WeightPowerProfile,
+    characterize_power, characterize_power_batched, characterize_power_batched_with_threads,
+    characterize_power_scalar, characterize_power_with_threads, strided_codes, PowerConfig,
+    WeightPowerProfile,
 };
 pub use timing::{
     characterize_timing, characterize_timing_scalar, characterize_timing_with_threads,
@@ -25,6 +28,39 @@ use gatesim::circuits::{
 };
 use gatesim::netlist::to_bits_into;
 use gatesim::{CellLibrary, Netlist};
+use std::error::Error;
+use std::fmt;
+
+/// A rejected characterization configuration.
+///
+/// Both [`PowerConfig`] and [`TimingConfig`] validate before any work
+/// starts, so a zeroed field fails fast with a clear message instead of
+/// a downstream panic (or, for `weight_stride`, a silently coerced
+/// stride).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CharConfigError {
+    /// The sample budget is zero, so no transition would ever be
+    /// simulated and every energy/delay would be a 0/0 artifact.
+    ZeroSamples,
+    /// The weight stride is zero, which selects no codes to simulate.
+    ZeroStride,
+}
+
+impl fmt::Display for CharConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CharConfigError::ZeroSamples => {
+                write!(f, "samples per weight must be at least 1, got 0")
+            }
+            CharConfigError::ZeroStride => {
+                write!(f, "weight_stride must be at least 1, got 0")
+            }
+        }
+    }
+}
+
+impl Error for CharConfigError {}
 
 /// The characterized hardware: a MAC unit netlist, the standalone
 /// multiplier netlist (identical structure to the one embedded in the

@@ -6,9 +6,18 @@
 //! systolic array) are applied to the other inputs. The average
 //! switching energy per transition, divided by the clock period, is the
 //! weight's average power — the quantity plotted in the paper's Fig. 2.
+//!
+//! The hot path runs on the bit-parallel [`BitSim`] engine: each
+//! weight's sample stream is chunked into blocks of 64 stimulus
+//! vectors, packed one `u64` lane per net, and simulated word-wide —
+//! composing with the per-code thread fan-out so threads × bit-lanes
+//! multiply. The batched ([`characterize_power_batched`]) and scalar
+//! ([`characterize_power_scalar`]) paths are kept as bit-exact
+//! references and bench baselines; all three produce **identical**
+//! profiles, energies included.
 
-use crate::chars::{MacHardware, PsumBinning};
-use gatesim::{BatchAccumulator, BatchSim, Simulator};
+use crate::chars::{CharConfigError, MacHardware, PsumBinning};
+use gatesim::{BatchAccumulator, BatchSim, BitSim, Simulator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use systolic::stats::TransitionStats;
@@ -33,6 +42,25 @@ pub struct PowerConfig {
     /// this is the floor that keeps even weight 0 at a few hundred µW
     /// in the paper's Fig. 2.
     pub baseline_fj_per_cycle: f64,
+}
+
+impl PowerConfig {
+    /// Checks the configuration for values that cannot produce a
+    /// meaningful profile.
+    ///
+    /// # Errors
+    ///
+    /// [`CharConfigError::ZeroSamples`] if `samples_per_weight` is 0,
+    /// [`CharConfigError::ZeroStride`] if `weight_stride` is 0.
+    pub fn validate(&self) -> Result<(), CharConfigError> {
+        if self.samples_per_weight == 0 {
+            return Err(CharConfigError::ZeroSamples);
+        }
+        if self.weight_stride == 0 {
+            return Err(CharConfigError::ZeroStride);
+        }
+        Ok(())
+    }
 }
 
 impl Default for PowerConfig {
@@ -203,9 +231,9 @@ impl WeightPowerProfile {
 }
 
 /// The weight codes actually simulated under a stride configuration:
-/// every `stride`-th code plus the two extremes. Shared by the batched
-/// and scalar characterization paths, and by the throughput bench to
-/// count simulated codes.
+/// every `stride`-th code plus the two extremes. Shared by the
+/// bit-parallel, batched and scalar characterization paths, and by the
+/// throughput bench to count simulated codes.
 ///
 /// # Panics
 ///
@@ -234,12 +262,14 @@ fn code_rng(cfg: &PowerConfig, code_idx: usize) -> StdRng {
 /// The weight input is fixed per run; activation transitions are drawn
 /// from `act_stats` and partial-sum transitions from `binning`, so the
 /// sampled input stream reflects real network execution. Weights are
-/// characterized in parallel on the batched [`BatchSim`] engine.
+/// characterized in parallel on the bit-parallel [`BitSim`] engine —
+/// 64 sampled transitions per simulated word on top of the per-code
+/// thread fan-out.
 ///
 /// # Panics
 ///
-/// Panics if `act_stats` has no recorded transitions or
-/// `cfg.samples_per_weight` is zero.
+/// Panics if `act_stats` has no recorded transitions or the
+/// configuration fails [`PowerConfig::validate`].
 #[must_use]
 pub fn characterize_power(
     hw: &MacHardware,
@@ -256,8 +286,8 @@ pub fn characterize_power(
 ///
 /// # Panics
 ///
-/// Panics if `act_stats` has no recorded transitions or
-/// `cfg.samples_per_weight` is zero.
+/// Panics if `act_stats` has no recorded transitions or the
+/// configuration fails [`PowerConfig::validate`].
 #[must_use]
 pub fn characterize_power_with_threads(
     hw: &MacHardware,
@@ -266,7 +296,112 @@ pub fn characterize_power_with_threads(
     cfg: &PowerConfig,
     threads: Option<usize>,
 ) -> WeightPowerProfile {
-    assert!(cfg.samples_per_weight > 0, "need at least one sample");
+    if let Err(e) = cfg.validate() {
+        panic!("invalid PowerConfig: {e}");
+    }
+    let all_codes = hw.weight_codes();
+    let codes = strided_codes(&all_codes, cfg.weight_stride);
+    let mut energy_fj = vec![0.0f64; codes.len()];
+    let input_count = hw.mac().netlist().inputs().len();
+
+    parallel::par_rows_mut_with_threads(
+        threads.unwrap_or_else(parallel::max_threads),
+        &mut energy_fj,
+        1,
+        || {
+            (
+                BitSim::new(hw.mac().netlist(), hw.lib()),
+                Vec::new(),
+                Vec::new(),
+                vec![0u64; input_count],
+                vec![0u64; input_count],
+            )
+        },
+        |(sim, from, to, from_words, to_words), idx, slot| {
+            let code = codes[idx];
+            let mut rng = code_rng(cfg, idx);
+            let acts = act_stats.sample_activation_transitions(cfg.samples_per_weight, &mut rng);
+            let psums = binning.sample_transitions(cfg.samples_per_weight, &mut rng);
+            let mut total = 0.0f64;
+            let mut base = 0usize;
+            // Blocks of up to 64 samples, one bit-lane each; the final
+            // partial block relies on the engine's tail masking. The
+            // lane-order energy fold reproduces the scalar reference's
+            // per-sample f64 sum exactly.
+            while base < cfg.samples_per_weight {
+                let lanes = (cfg.samples_per_weight - base).min(64);
+                from_words.fill(0);
+                to_words.fill(0);
+                for lane in 0..lanes {
+                    let (af, at) = acts[base + lane];
+                    let (pf, pt) = psums[base + lane];
+                    hw.mac()
+                        .encode_into(code as i64, af as u64, pf as i64, from);
+                    hw.mac().encode_into(code as i64, at as u64, pt as i64, to);
+                    for (i, &bit) in from.iter().enumerate() {
+                        from_words[i] |= u64::from(bit) << lane;
+                    }
+                    for (i, &bit) in to.iter().enumerate() {
+                        to_words[i] |= u64::from(bit) << lane;
+                    }
+                }
+                sim.settle(from_words, lanes);
+                let view = sim.transition(to_words);
+                // Fold lane energies straight into the running total:
+                // `total += block_subtotal` would re-associate the f64
+                // sum and drift off the scalar reference.
+                for lane in 0..lanes {
+                    total += view.lane_energy_fj(lane);
+                }
+                base += lanes;
+            }
+            slot[0] = total / cfg.samples_per_weight as f64 + cfg.baseline_fj_per_cycle;
+        },
+    );
+
+    expand_profile(cfg, &all_codes, &codes, &energy_fj)
+}
+
+/// The characterization loop on the batched [`BatchSim`] engine: one
+/// stimulus vector per settle/transition, allocation-free. This was the
+/// hot path before the bit-parallel engine; it is kept as a bit-exact
+/// reference and as the baseline the `bench_characterization` speedup
+/// targets are measured against.
+///
+/// Produces **bit-identical** profiles to [`characterize_power`].
+///
+/// # Panics
+///
+/// Panics if `act_stats` has no recorded transitions or the
+/// configuration fails [`PowerConfig::validate`].
+#[must_use]
+pub fn characterize_power_batched(
+    hw: &MacHardware,
+    act_stats: &TransitionStats,
+    binning: &PsumBinning,
+    cfg: &PowerConfig,
+) -> WeightPowerProfile {
+    characterize_power_batched_with_threads(hw, act_stats, binning, cfg, None)
+}
+
+/// [`characterize_power_batched`] with an explicit worker-thread count
+/// (`None` uses the machine's available parallelism).
+///
+/// # Panics
+///
+/// Panics if `act_stats` has no recorded transitions or the
+/// configuration fails [`PowerConfig::validate`].
+#[must_use]
+pub fn characterize_power_batched_with_threads(
+    hw: &MacHardware,
+    act_stats: &TransitionStats,
+    binning: &PsumBinning,
+    cfg: &PowerConfig,
+    threads: Option<usize>,
+) -> WeightPowerProfile {
+    if let Err(e) = cfg.validate() {
+        panic!("invalid PowerConfig: {e}");
+    }
     let all_codes = hw.weight_codes();
     let codes = strided_codes(&all_codes, cfg.weight_stride);
     let mut energy_fj = vec![0.0f64; codes.len()];
@@ -314,8 +449,8 @@ pub fn characterize_power_with_threads(
 ///
 /// # Panics
 ///
-/// Panics if `act_stats` has no recorded transitions or
-/// `cfg.samples_per_weight` is zero.
+/// Panics if `act_stats` has no recorded transitions or the
+/// configuration fails [`PowerConfig::validate`].
 #[must_use]
 pub fn characterize_power_scalar(
     hw: &MacHardware,
@@ -323,7 +458,9 @@ pub fn characterize_power_scalar(
     binning: &PsumBinning,
     cfg: &PowerConfig,
 ) -> WeightPowerProfile {
-    assert!(cfg.samples_per_weight > 0, "need at least one sample");
+    if let Err(e) = cfg.validate() {
+        panic!("invalid PowerConfig: {e}");
+    }
     let all_codes = hw.weight_codes();
     let codes = strided_codes(&all_codes, cfg.weight_stride);
     let mut energy_fj = vec![0.0f64; codes.len()];
@@ -481,18 +618,67 @@ mod tests {
     }
 
     #[test]
-    fn batched_profile_matches_scalar_reference() {
-        // The BatchSim engine must be bit-identical to the scalar
-        // Simulator path, energies included.
+    fn all_three_engines_produce_identical_profiles() {
+        // The BitSim hot path and the BatchSim reference must both be
+        // bit-identical to the scalar Simulator path, energies included.
         let hw = MacHardware::small();
         let (stats, binning) = fake_stats();
         let cfg = PowerConfig {
             weight_stride: 2,
             ..quick_cfg()
         };
-        let batched = characterize_power(&hw, &stats, &binning, &cfg);
+        let bitsim = characterize_power(&hw, &stats, &binning, &cfg);
+        let batched = characterize_power_batched(&hw, &stats, &binning, &cfg);
         let scalar = characterize_power_scalar(&hw, &stats, &binning, &cfg);
+        assert_eq!(bitsim, scalar);
         assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn non_multiple_of_64_sample_counts_stay_identical() {
+        // Tail masking: sample budgets below, at and just above the
+        // 64-lane word width must all reproduce the scalar fold.
+        let hw = MacHardware::small();
+        let (stats, binning) = fake_stats();
+        for samples in [1, 63, 64, 65, 70, 130] {
+            let cfg = PowerConfig {
+                samples_per_weight: samples,
+                weight_stride: 4,
+                ..quick_cfg()
+            };
+            let bitsim = characterize_power(&hw, &stats, &binning, &cfg);
+            let scalar = characterize_power_scalar(&hw, &stats, &binning, &cfg);
+            assert_eq!(bitsim, scalar, "diverged at {samples} samples");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "samples per weight must be at least 1")]
+    fn zero_samples_is_rejected_with_clear_error() {
+        let hw = MacHardware::small();
+        let (stats, binning) = fake_stats();
+        let cfg = PowerConfig {
+            samples_per_weight: 0,
+            ..quick_cfg()
+        };
+        let _ = characterize_power(&hw, &stats, &binning, &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight_stride must be at least 1")]
+    fn zero_stride_is_rejected_with_clear_error() {
+        let hw = MacHardware::small();
+        let (stats, binning) = fake_stats();
+        let cfg = PowerConfig {
+            weight_stride: 0,
+            ..quick_cfg()
+        };
+        let _ = characterize_power(&hw, &stats, &binning, &cfg);
+    }
+
+    #[test]
+    fn validate_accepts_default_config() {
+        assert_eq!(PowerConfig::default().validate(), Ok(()));
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! `max_j (dta_arrival[j] + sta_from_product[j])` — Fig. 5 — with the
 //! partial-sum STA path as a weight-independent floor.
 
-use crate::chars::MacHardware;
+use crate::chars::{CharConfigError, MacHardware};
 use gatesim::{BatchSim, Simulator, Sta};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -36,6 +36,26 @@ pub struct TimingConfig {
     /// extremes); skipped codes inherit the nearest characterized
     /// profile. 1 (the default) characterizes everything.
     pub weight_stride: usize,
+}
+
+impl TimingConfig {
+    /// Checks the configuration for values that cannot produce a
+    /// meaningful profile.
+    ///
+    /// # Errors
+    ///
+    /// [`CharConfigError::ZeroSamples`] if sampled mode is requested
+    /// with `samples == 0`, [`CharConfigError::ZeroStride`] if
+    /// `weight_stride` is 0.
+    pub fn validate(&self) -> Result<(), CharConfigError> {
+        if !self.exhaustive && self.samples == 0 {
+            return Err(CharConfigError::ZeroSamples);
+        }
+        if self.weight_stride == 0 {
+            return Err(CharConfigError::ZeroStride);
+        }
+        Ok(())
+    }
 }
 
 impl Default for TimingConfig {
@@ -287,7 +307,7 @@ fn for_each_transition_pair(
 ///
 /// # Panics
 ///
-/// Panics if sampled mode is requested with zero samples.
+/// Panics if the configuration fails [`TimingConfig::validate`].
 #[must_use]
 pub fn characterize_timing(hw: &MacHardware, cfg: &TimingConfig) -> WeightTimingProfile {
     characterize_timing_with_threads(hw, cfg, None)
@@ -299,17 +319,16 @@ pub fn characterize_timing(hw: &MacHardware, cfg: &TimingConfig) -> WeightTiming
 ///
 /// # Panics
 ///
-/// Panics if sampled mode is requested with zero samples.
+/// Panics if the configuration fails [`TimingConfig::validate`].
 #[must_use]
 pub fn characterize_timing_with_threads(
     hw: &MacHardware,
     cfg: &TimingConfig,
     threads: Option<usize>,
 ) -> WeightTimingProfile {
-    assert!(
-        cfg.exhaustive || cfg.samples > 0,
-        "sampled mode needs at least one sample"
-    );
+    if let Err(e) = cfg.validate() {
+        panic!("invalid TimingConfig: {e}");
+    }
     let (adder_from_product_ps, psum_floor_ps) = adder_sta(hw);
     let all_codes = hw.weight_codes();
     let codes = super::power::strided_codes(&all_codes, cfg.weight_stride);
@@ -380,13 +399,12 @@ pub fn characterize_timing_with_threads(
 ///
 /// # Panics
 ///
-/// Panics if sampled mode is requested with zero samples.
+/// Panics if the configuration fails [`TimingConfig::validate`].
 #[must_use]
 pub fn characterize_timing_scalar(hw: &MacHardware, cfg: &TimingConfig) -> WeightTimingProfile {
-    assert!(
-        cfg.exhaustive || cfg.samples > 0,
-        "sampled mode needs at least one sample"
-    );
+    if let Err(e) = cfg.validate() {
+        panic!("invalid TimingConfig: {e}");
+    }
     let (adder_from_product_ps, psum_floor_ps) = adder_sta(hw);
     let all_codes = hw.weight_codes();
     let codes = super::power::strided_codes(&all_codes, cfg.weight_stride);
@@ -634,6 +652,39 @@ mod tests {
             let scalar = characterize_timing_scalar(&hw, &cfg);
             assert_eq!(batched, scalar);
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "samples per weight must be at least 1")]
+    fn sampled_mode_with_zero_samples_is_rejected() {
+        let hw = MacHardware::small();
+        let cfg = TimingConfig {
+            exhaustive: false,
+            samples: 0,
+            ..quick_cfg()
+        };
+        let _ = characterize_timing(&hw, &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight_stride must be at least 1")]
+    fn zero_stride_is_rejected() {
+        let hw = MacHardware::small();
+        let cfg = TimingConfig {
+            weight_stride: 0,
+            ..quick_cfg()
+        };
+        let _ = characterize_timing(&hw, &cfg);
+    }
+
+    #[test]
+    fn validate_accepts_exhaustive_mode_with_zero_samples() {
+        let cfg = TimingConfig {
+            exhaustive: true,
+            samples: 0,
+            ..TimingConfig::default()
+        };
+        assert_eq!(cfg.validate(), Ok(()));
     }
 
     #[test]

@@ -96,6 +96,23 @@ impl CellKind {
         }
     }
 
+    /// The cell's boolean function as an 8-entry truth table: bit
+    /// `a | b << 1 | c << 2` holds `eval(a, b, c)`.
+    ///
+    /// This is the representation the simulation engines compile gates
+    /// to — [`crate::BatchSim`] indexes it one minterm at a time, while
+    /// [`crate::BitSim`] expands it into word-wide boolean formulas.
+    #[must_use]
+    pub fn truth_table(self) -> u8 {
+        let mut tt = 0u8;
+        for idx in 0..8u8 {
+            if self.eval(idx & 1 != 0, idx & 2 != 0, idx & 4 != 0) {
+                tt |= 1 << idx;
+            }
+        }
+        tt
+    }
+
     /// All cell kinds, in a stable order.
     #[must_use]
     pub fn all() -> &'static [CellKind] {
@@ -326,6 +343,21 @@ mod tests {
             let c = bits & 4 != 0;
             assert_eq!(CellKind::Aoi21.eval(a, b, c), !((a && b) || c));
             assert_eq!(CellKind::Oai21.eval(a, b, c), !((a || b) && c));
+        }
+    }
+
+    #[test]
+    fn truth_table_matches_eval_for_every_kind() {
+        for &kind in CellKind::all() {
+            let tt = kind.truth_table();
+            for idx in 0..8u8 {
+                let (a, b, c) = (idx & 1 != 0, idx & 2 != 0, idx & 4 != 0);
+                assert_eq!(
+                    tt >> idx & 1 == 1,
+                    kind.eval(a, b, c),
+                    "{kind} minterm {idx}"
+                );
+            }
         }
     }
 

@@ -7,6 +7,11 @@
 //! characterization bench can assert that a cache-served pipeline run
 //! triggered *no* simulation at all — not just that it was fast.
 //!
+//! The unit is one *stimulus vector* transition, regardless of engine:
+//! a [`crate::BitSim::transition`] call that evaluates 64 packed
+//! vectors in one pass records 64, so counts stay comparable across
+//! the scalar, batched and bit-parallel engines.
+//!
 //! The counter is monotonic for the life of the process; callers
 //! interested in a window take a snapshot before and subtract after.
 //! One relaxed atomic add per transition is noise next to the hundreds
@@ -29,6 +34,13 @@ pub(crate) fn record_transition() {
     SIM_TRANSITIONS.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Records `n` simulated transitions at once — the bit-parallel engine
+/// counts one per *active lane*, not one per word (crate-internal).
+#[inline]
+pub(crate) fn record_transitions(n: u64) {
+    SIM_TRANSITIONS.fetch_add(n, Ordering::Relaxed);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -41,5 +53,13 @@ mod tests {
         // Other tests in this process may also record; the counter only
         // ever grows.
         assert!(sim_transitions() >= before + 2);
+    }
+
+    #[test]
+    fn bulk_record_counts_per_vector() {
+        let before = sim_transitions();
+        record_transitions(64);
+        record_transitions(17);
+        assert!(sim_transitions() >= before + 81);
     }
 }

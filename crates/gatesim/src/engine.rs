@@ -376,13 +376,6 @@ impl<'a> BatchSim<'a> {
             .gates()
             .iter()
             .map(|g| {
-                let mut tt = 0u8;
-                for idx in 0..8u8 {
-                    let (a, b, c) = (idx & 1 != 0, idx & 2 != 0, idx & 4 != 0);
-                    if g.kind.eval(a, b, c) {
-                        tt |= 1 << idx;
-                    }
-                }
                 let delay_fs = (lib.params(g.kind).delay_ps * FS_PER_PS).round() as u32;
                 let lane = delays
                     .iter()
@@ -397,7 +390,7 @@ impl<'a> BatchSim<'a> {
                     in2: g.inputs[2].0,
                     out: g.output.0,
                     delay_fs,
-                    lut: tt,
+                    lut: g.kind.truth_table(),
                     lane: u8::try_from(lane).expect("more than 255 distinct gate delays"),
                 }
             })

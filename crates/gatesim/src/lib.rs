@@ -17,8 +17,12 @@
 //! * [`engine`] — the batched simulation engine ([`BatchSim`]): same
 //!   semantics as [`sim`], but allocation-free with incremental settles,
 //!   a reusable lane-based event queue and streaming aggregation — the
-//!   hot path of the characterization loops (2.5×+ the scalar
-//!   throughput, bit-identical results).
+//!   per-sample-timing hot path (2.5×+ the scalar throughput,
+//!   bit-identical results).
+//! * [`bitsim`] — the bit-parallel engine ([`BitSim`]): 64 stimulus
+//!   vectors packed into one `u64` per net, word-wide truth-table
+//!   evaluation and popcount toggle counting — the power
+//!   characterization hot path, lane-exactly bit-identical to [`sim`].
 //! * [`sta`] — static timing analysis: longest structural path from any
 //!   net to any net, used for the accumulator adder exactly as the paper
 //!   describes (Fig. 5).
@@ -47,6 +51,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod bitsim;
 pub mod builder;
 pub mod cells;
 pub mod circuits;
@@ -58,6 +63,7 @@ pub mod sim;
 pub mod sta;
 pub mod transform;
 
+pub use bitsim::{BitSim, BitTransitionView};
 pub use builder::NetlistBuilder;
 pub use cells::{CellKind, CellLibrary, CellParams};
 pub use counters::sim_transitions;
