@@ -18,7 +18,15 @@
 //!                                              POST a characterization request
 //! charstore request [--addr A] (--healthz | --stats | --shutdown)
 //!                                              daemon health / counters / clean stop
+//! charstore request [--addr A] (--metrics | --trace)
+//!                                              daemon Prometheus metrics / span dump
 //! ```
+//!
+//! `stat` and `warm` also print the process-wide per-tier counter
+//! table from the `obs` metrics registry (memory/disk/remote hits,
+//! misses, writes, errors); characterization requests run under a
+//! fresh trace ID that is logged here and forwarded to the daemon as
+//! `X-Trace-Id`, so client and daemon logs/spans join up.
 //!
 //! `--dir` falls back to `POWERPRUNING_CACHE_DIR`, then to the default
 //! `.powerpruning-cache`; `--remote` (accepted by `warm`, `stat` and
@@ -100,6 +108,51 @@ fn open_store(dir: &str, remote: Option<&str>) -> Result<Store, String> {
     })
 }
 
+/// Prints the full per-tier counter set from the metrics registry as
+/// one aligned table. Counters are process-wide (they aggregate every
+/// store instance this process opened); a `-` marks a counter the
+/// tier does not have.
+fn print_tier_table() {
+    let cell = |name: &str| {
+        if name.is_empty() {
+            "-".to_string()
+        } else {
+            obs::metrics::counter_value(name).map_or_else(|| "-".to_string(), |v| v.to_string())
+        }
+    };
+    println!("per-tier counters (this process):");
+    println!(
+        "  {:<8}{:>10}{:>10}{:>10}{:>10}",
+        "tier", "hits", "misses", "writes", "errors"
+    );
+    for (tier, hits, misses, writes, errors) in [
+        ("memory", "charstore_mem_hits_total", "", "", ""),
+        (
+            "disk",
+            "charstore_disk_hits_total",
+            "charstore_misses_total",
+            "charstore_puts_total",
+            "",
+        ),
+        (
+            "remote",
+            "charstore_remote_hits_total",
+            "charstore_remote_misses_total",
+            "charstore_remote_publishes_total",
+            "charstore_remote_errors_total",
+        ),
+    ] {
+        println!(
+            "  {:<8}{:>10}{:>10}{:>10}{:>10}",
+            tier,
+            cell(hits),
+            cell(misses),
+            cell(writes),
+            cell(errors)
+        );
+    }
+}
+
 fn age(modified: SystemTime) -> String {
     match modified.elapsed() {
         Ok(d) if d.as_secs() < 120 => format!("{}s ago", d.as_secs()),
@@ -163,6 +216,7 @@ fn cmd_stat(dir: &str, remote: Option<&str>, rest: &[String]) -> Result<(), Stri
     if let Some(tier) = store.remote() {
         println!("remote tier: {}", tier.addr());
     }
+    print_tier_table();
     Ok(())
 }
 
@@ -198,18 +252,27 @@ fn cmd_warm(dir: &str, remote: Option<&str>, rest: &[String]) -> Result<(), Stri
     let epochs_before = nn::train::epochs_run();
     let transitions_before = gatesim::sim_transitions();
     for &kind in kinds {
-        eprintln!("warming {} at {scale:?} scale...", kind.label());
-        let mut prepared = pipeline.prepare(kind);
-        let captures = pipeline.capture(&mut prepared);
-        let chars = pipeline.characterize(&captures);
-        let probe = pipeline.characterize_timing(f64::MAX);
+        // One trace per warmed network: the stage spans recorded below
+        // and any remote-tier fetches (which forward the ID as
+        // `X-Trace-Id`) land in daemon logs under the same trace.
+        let trace = obs::TraceId::generate();
         eprintln!(
-            "  accuracy {:.3}, {} captures, {} power codes, timing floor {:.1} ps",
-            prepared.accuracy,
-            captures.len(),
-            chars.power_profile.codes().len(),
-            probe.psum_floor_ps
+            "warming {} at {scale:?} scale (trace {trace})...",
+            kind.label()
         );
+        obs::with_trace(trace, || {
+            let mut prepared = pipeline.prepare(kind);
+            let captures = pipeline.capture(&mut prepared);
+            let chars = pipeline.characterize(&captures);
+            let probe = pipeline.characterize_timing(f64::MAX);
+            eprintln!(
+                "  accuracy {:.3}, {} captures, {} power codes, timing floor {:.1} ps",
+                prepared.accuracy,
+                captures.len(),
+                chars.power_profile.codes().len(),
+                probe.psum_floor_ps
+            );
+        });
     }
     let c = cache.counters();
     let store = cache.store().counters();
@@ -224,6 +287,18 @@ fn cmd_warm(dir: &str, remote: Option<&str>, rest: &[String]) -> Result<(), Stri
         nn::train::epochs_run() - epochs_before,
         gatesim::sim_transitions() - transitions_before,
     );
+    print_tier_table();
+    let gets = obs::metrics::histogram("charstore_get_seconds", obs::metrics::LATENCY_SECONDS);
+    if gets.count() > 0 {
+        let (p50, p95, p99) = gets.percentiles();
+        println!(
+            "store get latency: p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms over {} gets",
+            p50 * 1e3,
+            p95 * 1e3,
+            p99 * 1e3,
+            gets.count()
+        );
+    }
     Ok(())
 }
 
@@ -331,7 +406,9 @@ fn cmd_request(rest: &[String]) -> Result<(), String> {
                 }
                 seed = Some(parsed);
             }
-            "--healthz" | "--stats" | "--shutdown" => action = Some(arg.clone()),
+            "--healthz" | "--stats" | "--shutdown" | "--metrics" | "--trace" => {
+                action = Some(arg.clone());
+            }
             other => return Err(format!("unknown request option `{other}`")),
         }
     }
@@ -340,6 +417,8 @@ fn cmd_request(rest: &[String]) -> Result<(), String> {
         Some("--healthz") => client.healthz()?,
         Some("--stats") => client.stats()?,
         Some("--shutdown") => client.shutdown()?,
+        Some("--metrics") => client.metrics()?,
+        Some("--trace") => client.trace_dump()?,
         _ => {
             let mut fields = Vec::new();
             if let Some(s) = scale {
@@ -351,7 +430,14 @@ fn cmd_request(rest: &[String]) -> Result<(), String> {
             if let Some(s) = seed {
                 fields.push(format!("\"seed\": {s}"));
             }
-            client.characterize(&format!("{{{}}}", fields.join(", ")))?
+            // The request travels under a fresh trace ID (sent as
+            // `X-Trace-Id`): grep the daemon's logs or /trace dump for
+            // it to see this request's span tree.
+            let trace = obs::TraceId::generate();
+            eprintln!("request trace {trace}");
+            obs::with_trace(trace, || {
+                client.characterize(&format!("{{{}}}", fields.join(", ")))
+            })?
         }
     };
     print!("{body}");

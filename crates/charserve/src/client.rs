@@ -84,6 +84,26 @@ impl Client {
         self.expect_ok("POST", "/characterize", body)
     }
 
+    /// `GET /metrics` — the daemon's process-wide metrics registry in
+    /// Prometheus text exposition format.
+    ///
+    /// # Errors
+    ///
+    /// Fails on any non-200 answer or transport error.
+    pub fn metrics(&self) -> Result<String, String> {
+        self.expect_ok("GET", "/metrics", "")
+    }
+
+    /// `GET /trace` — the daemon's recent spans as chrome://tracing
+    /// JSON (load the dump via `about:tracing` or Perfetto).
+    ///
+    /// # Errors
+    ///
+    /// Fails on any non-200 answer or transport error.
+    pub fn trace_dump(&self) -> Result<String, String> {
+        self.expect_ok("GET", "/trace", "")
+    }
+
     /// `POST /shutdown`.
     ///
     /// # Errors

@@ -57,6 +57,11 @@ pub struct Head {
     pub path: String,
     /// Declared `Content-Length` (0 when the header is absent).
     pub content_length: u64,
+    /// Raw `X-Trace-Id` header value, if the client sent one — the
+    /// caller's trace identity, adopted by the server so cross-process
+    /// request traces join up. Validation (16 hex digits) is the
+    /// server's job; a garbage value is simply ignored there.
+    pub trace_id: Option<String>,
 }
 
 fn invalid(msg: impl Into<String>) -> io::Error {
@@ -151,14 +156,23 @@ fn read_line(reader: &mut impl BufRead) -> io::Result<String> {
     String::from_utf8(line).map_err(|_| invalid("header line is not UTF-8"))
 }
 
+/// The headers this server cares about, parsed in one pass.
+struct Headers {
+    content_length: u64,
+    trace_id: Option<String>,
+}
+
 /// Parses header lines until the blank line and returns the declared
-/// `Content-Length` (0 when absent). Bounded by [`MAX_LINE_BYTES`] and
-/// [`MAX_HEADER_LINES`]; a `Content-Length` that does not parse as a
-/// `u64` (negative, garbage, or overflowing) is a framing error. No
-/// body limit is applied here — that is route-dependent and belongs to
-/// [`read_body`].
-fn read_content_length(reader: &mut impl BufRead) -> io::Result<u64> {
-    let mut content_length: u64 = 0;
+/// `Content-Length` (0 when absent) plus any `X-Trace-Id` value.
+/// Bounded by [`MAX_LINE_BYTES`] and [`MAX_HEADER_LINES`]; a
+/// `Content-Length` that does not parse as a `u64` (negative, garbage,
+/// or overflowing) is a framing error. No body limit is applied here —
+/// that is route-dependent and belongs to [`read_body`].
+fn read_headers(reader: &mut impl BufRead) -> io::Result<Headers> {
+    let mut headers = Headers {
+        content_length: 0,
+        trace_id: None,
+    };
     let mut lines = 0usize;
     loop {
         let line = read_line(reader)?;
@@ -173,13 +187,15 @@ fn read_content_length(reader: &mut impl BufRead) -> io::Result<u64> {
             continue;
         };
         if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
+            headers.content_length = value
                 .trim()
                 .parse::<u64>()
                 .map_err(|_| invalid("bad Content-Length"))?;
+        } else if name.eq_ignore_ascii_case("x-trace-id") {
+            headers.trace_id = Some(value.trim().to_string());
         }
     }
-    Ok(content_length)
+    Ok(headers)
 }
 
 /// Reads a request head: request line plus headers, stopping before
@@ -199,11 +215,12 @@ pub fn read_head(reader: &mut impl BufRead) -> io::Result<Head> {
     if !version.starts_with("HTTP/1.") {
         return Err(invalid(format!("unsupported version `{version}`")));
     }
-    let content_length = read_content_length(reader)?;
+    let headers = read_headers(reader)?;
     Ok(Head {
         method: method.to_string(),
         path: path.to_string(),
-        content_length,
+        content_length: headers.content_length,
+        trace_id: headers.trace_id,
     })
 }
 
@@ -247,6 +264,11 @@ pub fn read_request(stream: &TcpStream) -> io::Result<Request> {
 /// Writes a response with an explicit content type and raw body bytes,
 /// then flushes — the object-serving path.
 ///
+/// When the writing thread is inside an [`obs::with_trace`] scope the
+/// response carries an `X-Trace-Id` header, so a client that did not
+/// send a trace of its own still learns the ID the daemon logged
+/// under.
+///
 /// # Errors
 ///
 /// Returns any I/O error from the stream.
@@ -257,8 +279,12 @@ pub fn write_response_bytes(
     content_type: &str,
     body: &[u8],
 ) -> io::Result<()> {
+    let trace = match obs::current_trace() {
+        Some(trace) => format!("X-Trace-Id: {trace}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{trace}Connection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes())?;
@@ -280,7 +306,10 @@ pub fn write_response(
     write_response_bytes(stream, status, reason, "application/json", body.as_bytes())
 }
 
-/// Writes one client request and flushes.
+/// Writes one client request and flushes. Inside an
+/// [`obs::with_trace`] scope the request carries an `X-Trace-Id`
+/// header, which the daemon adopts — client-side spans and daemon-side
+/// spans land in the same trace.
 ///
 /// # Errors
 ///
@@ -291,8 +320,12 @@ pub fn write_request(
     path: &str,
     body: &str,
 ) -> io::Result<()> {
+    let trace = match obs::current_trace() {
+        Some(trace) => format!("X-Trace-Id: {trace}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: charserve\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nHost: charserve\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{trace}Connection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes())?;
@@ -318,7 +351,7 @@ pub fn read_response(stream: &TcpStream) -> io::Result<(u16, String)> {
     let status = status
         .parse::<u16>()
         .map_err(|_| invalid("non-numeric status"))?;
-    let content_length = read_content_length(&mut reader)?;
+    let content_length = read_headers(&mut reader)?.content_length;
     let body = read_body(&mut reader, content_length, MAX_BODY_BYTES)?;
     String::from_utf8(body)
         .map(|body| (status, body))

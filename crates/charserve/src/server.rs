@@ -28,7 +28,8 @@ use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, LazyLock};
+use std::time::Instant;
 
 /// Configuration of one daemon instance.
 #[derive(Debug, Clone)]
@@ -71,6 +72,38 @@ struct Stats {
     object_publishes: AtomicU64,
 }
 
+/// Registry mirrors of the per-instance [`Stats`] counters, plus the
+/// request latency histogram behind `charserve_request_seconds` on
+/// `GET /metrics`. [`Stats`] stays authoritative for `/stats` — it is
+/// per-daemon (tests run several daemons in one process and assert
+/// exact values) — while the registry aggregates process-wide for the
+/// Prometheus endpoint.
+struct ServeMetrics {
+    requests: obs::metrics::Counter,
+    request_hits: obs::metrics::Counter,
+    request_misses: obs::metrics::Counter,
+    request_deduped: obs::metrics::Counter,
+    object_hits: obs::metrics::Counter,
+    object_misses: obs::metrics::Counter,
+    object_publishes: obs::metrics::Counter,
+    /// Wall time per handled request, parse to response, any route.
+    request_seconds: obs::metrics::Histogram,
+}
+
+static METRICS: LazyLock<ServeMetrics> = LazyLock::new(|| ServeMetrics {
+    requests: obs::metrics::counter("charserve_requests_total"),
+    request_hits: obs::metrics::counter("charserve_request_hits_total"),
+    request_misses: obs::metrics::counter("charserve_request_misses_total"),
+    request_deduped: obs::metrics::counter("charserve_request_deduped_total"),
+    object_hits: obs::metrics::counter("charserve_object_hits_total"),
+    object_misses: obs::metrics::counter("charserve_object_misses_total"),
+    object_publishes: obs::metrics::counter("charserve_object_publishes_total"),
+    request_seconds: obs::metrics::histogram(
+        "charserve_request_seconds",
+        obs::metrics::LATENCY_SECONDS,
+    ),
+});
+
 struct Shared {
     cache: Arc<CharCache>,
     flights: SingleFlight<CharacterizationRun>,
@@ -106,9 +139,22 @@ impl Server {
     ///
     /// Returns any I/O error from opening the store or binding.
     pub fn bind(cfg: &ServeConfig) -> io::Result<Server> {
+        // Eager registration: an idle daemon's `GET /metrics` must
+        // already expose the full counter set at zero, including the
+        // simulator counters no request has touched yet. The store's
+        // own metrics register when `CharCache::open` builds it.
+        LazyLock::force(&METRICS);
+        gatesim::register_metrics();
         let cache = Arc::new(CharCache::open(&cfg.store_dir)?);
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
+        obs::info!(
+            "charserve",
+            "listening on {}, {} workers, store {}",
+            listener.local_addr()?,
+            cfg.workers,
+            cfg.store_dir.display()
+        );
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
@@ -168,6 +214,11 @@ impl Server {
                 connections.push(handle);
             }
         }
+        obs::info!(
+            "charserve",
+            "shutdown: draining pool and {} live connections",
+            connections.iter().filter(|h| !h.is_finished()).count()
+        );
         self.shared.pool.shutdown();
         for handle in connections {
             let _ = handle.join();
@@ -195,28 +246,36 @@ fn body_limit(head: &http::Head) -> usize {
 }
 
 fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let started = Instant::now();
+    let peer = stream
+        .peer_addr()
+        .map_or_else(|_| "unknown".to_string(), |a| a.to_string());
     // Two-phase read: the head alone decides the route (and with it the
     // body limit), so no buffer is ever sized from client input before
     // the route's cap has vetted the declared length.
-    let parsed = (|| -> io::Result<Request> {
+    let parsed = (|| -> io::Result<(Request, Option<String>)> {
         let mut reader = BufReader::new(&stream);
         let head = http::read_head(&mut reader)?;
         let limit = body_limit(&head);
         let body = http::read_body(&mut reader, head.content_length, limit)?;
-        Ok(Request {
-            method: head.method,
-            path: head.path,
-            body,
-        })
+        let trace_id = head.trace_id;
+        Ok((
+            Request {
+                method: head.method,
+                path: head.path,
+                body,
+            },
+            trace_id,
+        ))
     })();
-    let request = match parsed {
-        Ok(r) => r,
+    let (request, client_trace) = match parsed {
+        Ok(parsed) => parsed,
         // A client that went away (or stalled past the read timeout)
         // is routine churn, not a request: log it and keep the accept
         // loop's world clean — no response to a dead socket, no error
         // escaping the connection thread.
         Err(e) if http::is_disconnect(&e) => {
-            eprintln!("charserve: client disconnected mid-request: {e}");
+            obs::info!("charserve", "client {peer} disconnected mid-request: {e}");
             return;
         }
         Err(e) if http::is_too_large(&e) => {
@@ -233,42 +292,82 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
             return;
         }
     };
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => {
-            let body = format!(
-                "{{\"status\": \"ok\", \"store\": \"{}\", \"workers\": {}}}\n",
-                json::escape(&shared.store_dir),
-                shared.pool.size()
-            );
-            respond(&mut stream, 200, "OK", &body);
+    // Adopt the client's trace when it sent a valid one, otherwise mint
+    // a fresh ID. Everything below — log lines, recorded spans, and the
+    // store's remote-tier fetches from upstream daemons — carries it,
+    // so one request is one joinable trace across processes.
+    let trace = client_trace
+        .as_deref()
+        .and_then(obs::TraceId::parse)
+        .unwrap_or_else(obs::TraceId::generate);
+    obs::with_trace(trace, || {
+        let mut span = obs::span("http_request");
+        span.field("method", &request.method);
+        span.field("path", &request.path);
+        span.field("peer", &peer);
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => {
+                let body = format!(
+                    "{{\"status\": \"ok\", \"store\": \"{}\", \"workers\": {}}}\n",
+                    json::escape(&shared.store_dir),
+                    shared.pool.size()
+                );
+                respond(&mut stream, 200, "OK", &body);
+            }
+            ("GET", "/stats") => {
+                respond(&mut stream, 200, "OK", &render_stats(shared));
+            }
+            ("GET", "/metrics") => {
+                let _ = http::write_response_bytes(
+                    &mut stream,
+                    200,
+                    "OK",
+                    "text/plain; version=0.0.4",
+                    obs::metrics::render_prometheus().as_bytes(),
+                );
+            }
+            ("GET", "/trace") => {
+                let _ = http::write_response_bytes(
+                    &mut stream,
+                    200,
+                    "OK",
+                    "application/json",
+                    obs::trace::trace_json().as_bytes(),
+                );
+            }
+            ("POST", "/characterize") => handle_characterize(shared, &mut stream, &request),
+            ("GET", path) if path.starts_with("/object/") => {
+                handle_object_get(shared, &mut stream, path);
+            }
+            ("PUT", path) if path.starts_with("/object/") => {
+                handle_object_put(shared, &mut stream, path, &request.body);
+            }
+            ("POST", "/shutdown") => {
+                respond(&mut stream, 200, "OK", "{\"status\": \"shutting down\"}\n");
+                shared.shutdown.store(true, Ordering::Release);
+                // The accept loop is blocked in accept(); poke it so it
+                // observes the flag. The dummy connection is then dropped
+                // by the loop's shutdown check before being handled.
+                let _ = TcpStream::connect(shared.addr);
+            }
+            (_, path) => {
+                respond(
+                    &mut stream,
+                    404,
+                    "Not Found",
+                    &error_body(&format!("no such endpoint {path}")),
+                );
+            }
         }
-        ("GET", "/stats") => {
-            respond(&mut stream, 200, "OK", &render_stats(shared));
-        }
-        ("POST", "/characterize") => handle_characterize(shared, &mut stream, &request),
-        ("GET", path) if path.starts_with("/object/") => {
-            handle_object_get(shared, &mut stream, path);
-        }
-        ("PUT", path) if path.starts_with("/object/") => {
-            handle_object_put(shared, &mut stream, path, &request.body);
-        }
-        ("POST", "/shutdown") => {
-            respond(&mut stream, 200, "OK", "{\"status\": \"shutting down\"}\n");
-            shared.shutdown.store(true, Ordering::Release);
-            // The accept loop is blocked in accept(); poke it so it
-            // observes the flag. The dummy connection is then dropped
-            // by the loop's shutdown check before being handled.
-            let _ = TcpStream::connect(shared.addr);
-        }
-        (_, path) => {
-            respond(
-                &mut stream,
-                404,
-                "Not Found",
-                &error_body(&format!("no such endpoint {path}")),
-            );
-        }
-    }
+        METRICS.request_seconds.observe_duration(started.elapsed());
+        obs::debug!(
+            "charserve",
+            "{} {} from {peer} handled in {:.1}ms",
+            request.method,
+            request.path,
+            started.elapsed().as_secs_f64() * 1e3
+        );
+    });
 }
 
 fn render_stats(shared: &Shared) -> String {
@@ -330,11 +429,13 @@ fn handle_object_get(shared: &Arc<Shared>, stream: &mut TcpStream, path: &str) {
     match shared.cache.store().get_encoded(key) {
         Some(bytes) => {
             shared.stats.object_hits.fetch_add(1, Ordering::Relaxed);
+            METRICS.object_hits.inc();
             let _ =
                 http::write_response_bytes(stream, 200, "OK", "application/octet-stream", &bytes);
         }
         None => {
             shared.stats.object_misses.fetch_add(1, Ordering::Relaxed);
+            METRICS.object_misses.inc();
             respond(
                 stream,
                 404,
@@ -368,6 +469,7 @@ fn handle_object_put(shared: &Arc<Shared>, stream: &mut TcpStream, path: &str, b
                 .stats
                 .object_publishes
                 .fetch_add(1, Ordering::Relaxed);
+            METRICS.object_publishes.inc();
             respond(stream, 200, "OK", "{\"status\": \"stored\"}\n");
         }
         Err(e) if e.kind() == io::ErrorKind::InvalidData => {
@@ -507,11 +609,13 @@ fn handle_characterize(shared: &Arc<Shared>, stream: &mut TcpStream, request: &R
         }
     };
     shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    METRICS.requests.inc();
     let key = powerpruning::cache::request_key(&cfg, kind);
 
     // 1. Store hit: a stored manifest answers without any pipeline.
     if let Some(manifest) = shared.cache.lookup_manifest(key) {
         shared.stats.hits.fetch_add(1, Ordering::Relaxed);
+        METRICS.request_hits.inc();
         let run = CharacterizationRun {
             request_key: key,
             manifest,
@@ -528,24 +632,35 @@ fn handle_characterize(shared: &Arc<Shared>, stream: &mut TcpStream, request: &R
     let (flight, deduped) = match shared.flights.join(key) {
         Joined::Leader(flight) => {
             shared.stats.misses.fetch_add(1, Ordering::Relaxed);
+            METRICS.request_misses.inc();
             // The worker re-runs the same code path the standalone
             // pipeline uses; stage-level warm artifacts still hit.
+            // The request's trace re-enters scope on the pool thread,
+            // so the pipeline's stage spans and the store's remote
+            // fetches stay under the one trace the client saw.
             let job_shared = Arc::clone(shared);
             let job_flight = Arc::clone(&flight);
+            let job_trace = obs::current_trace();
             let submitted = shared.pool.submit(move || {
-                let cache = Arc::clone(&job_shared.cache);
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    Pipeline::with_shared_cache(cfg, cache).characterization_request(kind)
-                }))
-                .map_err(|panic| {
-                    let msg = panic
-                        .downcast_ref::<&str>()
-                        .map(|s| (*s).to_string())
-                        .or_else(|| panic.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "worker panicked".to_string());
-                    format!("characterization failed: {msg}")
-                });
-                job_shared.flights.complete(key, &job_flight, result);
+                let job = || {
+                    let cache = Arc::clone(&job_shared.cache);
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        Pipeline::with_shared_cache(cfg, cache).characterization_request(kind)
+                    }))
+                    .map_err(|panic| {
+                        let msg = panic
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| panic.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "worker panicked".to_string());
+                        format!("characterization failed: {msg}")
+                    });
+                    job_shared.flights.complete(key, &job_flight, result);
+                };
+                match job_trace {
+                    Some(trace) => obs::with_trace(trace, job),
+                    None => job(),
+                }
             });
             if let Err(e) = submitted {
                 shared.flights.complete(key, &flight, Err(e));
@@ -554,13 +669,17 @@ fn handle_characterize(shared: &Arc<Shared>, stream: &mut TcpStream, request: &R
         }
         Joined::Waiter(flight) => {
             shared.stats.deduped.fetch_add(1, Ordering::Relaxed);
+            METRICS.request_deduped.inc();
             (flight, true)
         }
     };
 
     match flight.wait().as_ref() {
         Ok(run) => respond(stream, 200, "OK", &render_run(&cfg, kind, run, deduped)),
-        Err(e) => respond(stream, 500, "Internal Server Error", &error_body(e)),
+        Err(e) => {
+            obs::error!("charserve", "characterization for key {key} failed: {e}");
+            respond(stream, 500, "Internal Server Error", &error_body(e));
+        }
     }
 }
 
@@ -623,6 +742,59 @@ mod tests {
         client
             .healthz()
             .expect("daemon stopped answering after mid-request disconnects");
+
+        client.shutdown().expect("shutdown");
+        daemon.join().expect("daemon thread");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// `GET /metrics` serves the process-wide registry in Prometheus
+    /// text form (request, store-tier and simulator families all
+    /// registered at bind), and a client-sent `X-Trace-Id` is adopted:
+    /// echoed on the response and stamped on the recorded spans.
+    #[test]
+    fn metrics_endpoint_serves_registry_and_traces_are_adopted() {
+        let (dir, addr, daemon) = boot();
+        let client = Client::new(&addr);
+
+        let metrics = client.metrics().expect("GET /metrics");
+        for family in [
+            "# TYPE charserve_requests_total counter",
+            "# TYPE charserve_request_seconds histogram",
+            "charstore_remote_hits_total",
+            "charstore_mem_hits_total",
+            "gatesim_sim_transitions_total",
+        ] {
+            assert!(
+                metrics.contains(family),
+                "missing `{family}` in:\n{metrics}"
+            );
+        }
+
+        // Hand-rolled request so we control the X-Trace-Id header.
+        let trace = obs::TraceId::generate();
+        let mut s = TcpStream::connect(&addr).unwrap();
+        s.write_all(format!("GET /healthz HTTP/1.1\r\nX-Trace-Id: {trace}\r\n\r\n").as_bytes())
+            .unwrap();
+        s.flush().unwrap();
+        let mut raw = String::new();
+        std::io::Read::read_to_string(&mut s, &mut raw).unwrap();
+        assert!(
+            raw.contains(&format!("X-Trace-Id: {trace}")),
+            "adopted trace not echoed on the response:\n{raw}"
+        );
+        let (spans, _) = obs::trace::snapshot();
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.trace == trace.0 && s.name == "http_request"),
+            "no http_request span recorded under trace {trace}"
+        );
+
+        // The trace dump endpoint returns chrome://tracing JSON.
+        let dump = client.trace_dump().expect("GET /trace");
+        assert!(dump.starts_with("{"), "not a JSON object: {dump}");
+        assert!(dump.contains("\"traceEvents\""));
 
         client.shutdown().expect("shutdown");
         daemon.join().expect("daemon thread");

@@ -52,6 +52,17 @@ fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
+/// The `X-Trace-Id: <16-hex>\r\n` header line for the thread's current
+/// trace, or empty when outside any trace scope. Forwarding the ID lets
+/// the far daemon's logs and trace dump join this client's spans — the
+/// cross-tier leg of request tracing.
+fn trace_header() -> String {
+    match obs::current_trace() {
+        Some(trace) => format!("X-Trace-Id: {trace}\r\n"),
+        None => String::new(),
+    }
+}
+
 /// A client for one remote object endpoint (`host:port`).
 #[derive(Debug, Clone)]
 pub struct RemoteTier {
@@ -116,8 +127,10 @@ impl RemoteTier {
     /// `200`/`404`.
     pub fn fetch(&self, key: Digest128) -> io::Result<Option<Vec<u8>>> {
         let mut stream = self.connect()?;
-        let head =
-            format!("GET /object/{key} HTTP/1.1\r\nHost: charstore\r\nConnection: close\r\n\r\n");
+        let head = format!(
+            "GET /object/{key} HTTP/1.1\r\nHost: charstore\r\n{}Connection: close\r\n\r\n",
+            trace_header()
+        );
         stream.write_all(head.as_bytes())?;
         stream.flush()?;
         let (status, body) = read_response(&stream)?;
@@ -137,8 +150,9 @@ impl RemoteTier {
     pub fn publish(&self, key: Digest128, encoded: &[u8]) -> io::Result<()> {
         let mut stream = self.connect()?;
         let head = format!(
-            "PUT /object/{key} HTTP/1.1\r\nHost: charstore\r\nContent-Type: application/octet-stream\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-            encoded.len()
+            "PUT /object/{key} HTTP/1.1\r\nHost: charstore\r\nContent-Type: application/octet-stream\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n",
+            encoded.len(),
+            trace_header()
         );
         stream.write_all(head.as_bytes())?;
         stream.write_all(encoded)?;
@@ -271,6 +285,30 @@ mod tests {
         let tier = RemoteTier::new(addr);
         assert_eq!(tier.fetch(key()).unwrap(), None);
         server.join().unwrap();
+    }
+
+    #[test]
+    fn trace_id_propagates_as_a_request_header() {
+        let (addr, server) =
+            one_shot_server(b"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n".to_vec());
+        let tier = RemoteTier::new(addr);
+        let trace = obs::TraceId::generate();
+        obs::with_trace(trace, || {
+            assert_eq!(tier.fetch(key()).unwrap(), None);
+        });
+        let request = String::from_utf8(server.join().unwrap()).unwrap();
+        assert!(
+            request.contains(&format!("X-Trace-Id: {trace}\r\n")),
+            "trace header missing from request:\n{request}"
+        );
+
+        // Outside a trace scope, no header is sent at all.
+        let (addr, server) =
+            one_shot_server(b"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n".to_vec());
+        let tier = RemoteTier::new(addr);
+        assert_eq!(tier.fetch(key()).unwrap(), None);
+        let request = String::from_utf8(server.join().unwrap()).unwrap();
+        assert!(!request.contains("X-Trace-Id"));
     }
 
     #[test]

@@ -47,8 +47,53 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, LazyLock, Mutex};
 use std::time::{Duration, Instant, SystemTime};
+
+/// Process-global registry mirrors of the per-instance
+/// [`StoreCounters`], plus tier latency histograms. The per-instance
+/// atomics stay authoritative for `Store::counters()` (tests and the
+/// daemon's `/stats` rely on instance-local exactness); these mirrors
+/// aggregate across every store in the process for `/metrics`.
+struct StoreMetrics {
+    mem_hits: obs::metrics::Counter,
+    disk_hits: obs::metrics::Counter,
+    misses: obs::metrics::Counter,
+    puts: obs::metrics::Counter,
+    remote_hits: obs::metrics::Counter,
+    remote_misses: obs::metrics::Counter,
+    remote_publishes: obs::metrics::Counter,
+    remote_errors: obs::metrics::Counter,
+    get_seconds: obs::metrics::Histogram,
+    put_seconds: obs::metrics::Histogram,
+    remote_fetch_seconds: obs::metrics::Histogram,
+}
+
+static METRICS: LazyLock<StoreMetrics> = LazyLock::new(|| StoreMetrics {
+    mem_hits: obs::metrics::counter("charstore_mem_hits_total"),
+    disk_hits: obs::metrics::counter("charstore_disk_hits_total"),
+    misses: obs::metrics::counter("charstore_misses_total"),
+    puts: obs::metrics::counter("charstore_puts_total"),
+    remote_hits: obs::metrics::counter("charstore_remote_hits_total"),
+    remote_misses: obs::metrics::counter("charstore_remote_misses_total"),
+    remote_publishes: obs::metrics::counter("charstore_remote_publishes_total"),
+    remote_errors: obs::metrics::counter("charstore_remote_errors_total"),
+    get_seconds: obs::metrics::histogram("charstore_get_seconds", obs::metrics::LATENCY_SECONDS),
+    put_seconds: obs::metrics::histogram("charstore_put_seconds", obs::metrics::LATENCY_SECONDS),
+    remote_fetch_seconds: obs::metrics::histogram(
+        "charstore_remote_fetch_seconds",
+        obs::metrics::LATENCY_SECONDS,
+    ),
+});
+
+/// Forces registration of every `charstore_*` metric so it renders in
+/// Prometheus exposition (at zero) before any store traffic. Called on
+/// [`Store`] construction: a daemon that has served nothing — and whose
+/// remote hits all happen in *client* processes — still exposes the
+/// full counter set.
+pub fn register_metrics() {
+    LazyLock::force(&METRICS);
+}
 
 /// Default in-memory tier budget: plenty for a full Mini-scale
 /// characterization set while staying irrelevant next to the pipeline's
@@ -239,6 +284,7 @@ impl Store {
     ///
     /// Returns any I/O error from creating the directory layout.
     pub fn with_mem_budget(root: impl Into<PathBuf>, mem_budget: usize) -> io::Result<Store> {
+        register_metrics();
         let root = root.into();
         fs::create_dir_all(root.join("objects"))?;
         Ok(Store {
@@ -335,8 +381,17 @@ impl Store {
     /// the sharded layout as they are read.
     #[must_use]
     pub fn get(&self, key: Digest128) -> Option<Arc<Vec<Section>>> {
+        let mut span = obs::span("store_get");
+        let result = METRICS.get_seconds.time(|| self.get_inner(key));
+        span.field("key", key.to_hex());
+        span.field("hit", result.is_some());
+        result
+    }
+
+    fn get_inner(&self, key: Digest128) -> Option<Arc<Vec<Section>>> {
         if let Some(hit) = self.mem.lock().expect("mem tier poisoned").touch(&key) {
             self.mem_hits.fetch_add(1, Ordering::Relaxed);
+            METRICS.mem_hits.inc();
             return Some(hit);
         }
         let loaded = (|| -> io::Result<Arc<Vec<Section>>> {
@@ -382,6 +437,7 @@ impl Store {
         match loaded {
             Ok(sections) => {
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                METRICS.disk_hits.inc();
                 self.mem.lock().expect("mem tier poisoned").insert(
                     key,
                     Arc::clone(&sections),
@@ -394,6 +450,7 @@ impl Store {
                     return Some(sections);
                 }
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                METRICS.misses.inc();
                 None
             }
         }
@@ -409,6 +466,7 @@ impl Store {
         );
         if backed_off {
             self.remote_errors.fetch_add(1, Ordering::Relaxed);
+            METRICS.remote_errors.inc();
         }
         backed_off
     }
@@ -417,6 +475,7 @@ impl Store {
     /// (or extend) the backoff window.
     fn remote_failed(&self) {
         self.remote_errors.fetch_add(1, Ordering::Relaxed);
+        METRICS.remote_errors.inc();
         *self.remote_retry_after.lock().expect("backoff poisoned") =
             Some(Instant::now() + REMOTE_BACKOFF);
     }
@@ -435,7 +494,14 @@ impl Store {
         if self.remote_backed_off() {
             return None;
         }
-        let bytes = match remote.fetch(key) {
+        let mut span = obs::span("store_remote_fetch");
+        span.field("key", key.to_hex());
+        let fetch_started = Instant::now();
+        let fetched = remote.fetch(key);
+        METRICS
+            .remote_fetch_seconds
+            .observe_duration(fetch_started.elapsed());
+        let bytes = match fetched {
             Ok(Some(bytes)) => {
                 self.remote_recovered();
                 bytes
@@ -443,6 +509,7 @@ impl Store {
             Ok(None) => {
                 self.remote_recovered();
                 self.remote_misses.fetch_add(1, Ordering::Relaxed);
+                METRICS.remote_misses.inc();
                 return None;
             }
             Err(_) => {
@@ -455,9 +522,11 @@ impl Store {
         // degrades to a miss exactly like local disk corruption.
         let Ok(sections) = container::decode(&bytes) else {
             self.remote_misses.fetch_add(1, Ordering::Relaxed);
+            METRICS.remote_misses.inc();
             return None;
         };
         self.remote_hits.fetch_add(1, Ordering::Relaxed);
+        METRICS.remote_hits.inc();
         // Populate the local disk tier with the already-validated bytes
         // (best-effort: a full disk only costs the next lookup a
         // re-fetch), then promote to memory.
@@ -575,8 +644,14 @@ impl Store {
     /// The shared tail of [`Store::put`] / [`Store::put_encoded`]:
     /// stage the bytes, populate the memory tier, publish write-through.
     fn finish_put(&self, key: Digest128, encoded: &[u8], sections: Vec<Section>) -> io::Result<()> {
+        let mut span = obs::span("store_put");
+        span.field("key", key.to_hex());
+        span.field("bytes", encoded.len());
+        let put_started = Instant::now();
         self.write_encoded(key, encoded)?;
+        METRICS.put_seconds.observe_duration(put_started.elapsed());
         self.puts.fetch_add(1, Ordering::Relaxed);
+        METRICS.puts.inc();
         self.mem.lock().expect("mem tier poisoned").insert(
             key,
             Arc::new(sections),
@@ -588,6 +663,7 @@ impl Store {
                     Ok(()) => {
                         self.remote_recovered();
                         self.remote_publishes.fetch_add(1, Ordering::Relaxed);
+                        METRICS.remote_publishes.inc();
                     }
                     Err(_) => {
                         self.remote_failed();

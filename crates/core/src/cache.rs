@@ -55,8 +55,47 @@ use nn::model::Network;
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, LazyLock};
 use systolic::MacEnergyModel;
+
+/// Per-artifact-kind registry counters: the typed `lookup_*` methods
+/// know which stage's artifact they answer, so `/metrics` can break
+/// cache effectiveness down by stage where the per-instance
+/// [`CacheCounters`] only totals.
+struct StageCacheMetrics {
+    hits: obs::metrics::Counter,
+    misses: obs::metrics::Counter,
+}
+
+macro_rules! stage_cache_metrics {
+    ($name:ident, $hits:literal, $misses:literal) => {
+        static $name: LazyLock<StageCacheMetrics> = LazyLock::new(|| StageCacheMetrics {
+            hits: obs::metrics::counter($hits),
+            misses: obs::metrics::counter($misses),
+        });
+    };
+}
+
+stage_cache_metrics!(
+    TRAINING_CACHE,
+    "charcache_training_hits_total",
+    "charcache_training_misses_total"
+);
+stage_cache_metrics!(
+    CAPTURES_CACHE,
+    "charcache_captures_hits_total",
+    "charcache_captures_misses_total"
+);
+stage_cache_metrics!(
+    CHARACTERIZATION_CACHE,
+    "charcache_characterization_hits_total",
+    "charcache_characterization_misses_total"
+);
+stage_cache_metrics!(
+    TIMING_CACHE,
+    "charcache_timing_hits_total",
+    "charcache_timing_misses_total"
+);
 
 /// Default store directory (relative to the working directory).
 pub const DEFAULT_CACHE_DIR: &str = ".powerpruning-cache";
@@ -778,14 +817,16 @@ impl CharCache {
         }
     }
 
-    fn record<T>(&self, result: Option<T>) -> Option<T> {
+    fn record<T>(&self, metrics: &StageCacheMetrics, result: Option<T>) -> Option<T> {
         match result {
             Some(v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                metrics.hits.inc();
                 Some(v)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                metrics.misses.inc();
                 None
             }
         }
@@ -799,7 +840,7 @@ impl CharCache {
             .store
             .get(key)
             .and_then(|s| decode_characterization(&s).ok());
-        self.record(decoded)
+        self.record(&CHARACTERIZATION_CACHE, decoded)
     }
 
     /// Stores a characterization artifact. Failures are swallowed (the
@@ -819,7 +860,7 @@ impl CharCache {
     #[must_use]
     pub fn lookup_timing(&self, key: Digest128) -> Option<WeightTimingProfile> {
         let decoded = self.store.get(key).and_then(|s| decode_timing(&s).ok());
-        self.record(decoded)
+        self.record(&TIMING_CACHE, decoded)
     }
 
     /// Stores a timing artifact (failures swallowed, as above).
@@ -847,7 +888,7 @@ impl CharCache {
             .store
             .get(key)
             .and_then(|s| decode_training(ctx, kind, &s).ok());
-        self.record(decoded)
+        self.record(&TRAINING_CACHE, decoded)
     }
 
     /// Stores a baseline training artifact (failures swallowed; only
@@ -863,7 +904,7 @@ impl CharCache {
     #[must_use]
     pub fn lookup_captures(&self, key: Digest128) -> Option<Vec<GemmCapture>> {
         let decoded = self.store.get(key).and_then(|s| decode_captures(&s).ok());
-        self.record(decoded)
+        self.record(&CAPTURES_CACHE, decoded)
     }
 
     /// Stores a GEMM capture artifact (failures swallowed, as above).

@@ -41,7 +41,24 @@ use stages::select::{
     PowerSelectStage,
 };
 use stages::{PipelineCtx, Stage};
+use std::sync::LazyLock;
 use systolic::{HwVariant, MacEnergyModel, SystolicArray, TransitionStats};
+
+/// One registered wall-clock histogram per pipeline stage (the registry
+/// has no labels, so each stage gets its own metric name), plus the
+/// whole-request histogram the service percentiles come from.
+macro_rules! stage_seconds {
+    ($name:ident, $metric:literal) => {
+        static $name: LazyLock<obs::metrics::Histogram> =
+            LazyLock::new(|| obs::metrics::histogram($metric, obs::metrics::LATENCY_SECONDS));
+    };
+}
+
+stage_seconds!(PREPARE_SECONDS, "pipeline_prepare_seconds");
+stage_seconds!(CAPTURE_SECONDS, "pipeline_capture_seconds");
+stage_seconds!(CHARACTERIZE_SECONDS, "pipeline_characterize_seconds");
+stage_seconds!(TIMING_SECONDS, "pipeline_timing_seconds");
+stage_seconds!(REQUEST_SECONDS, "pipeline_request_seconds");
 
 /// A trained network with its datasets.
 #[derive(Debug)]
@@ -188,28 +205,32 @@ impl Pipeline {
     /// Trains the quantization-aware baseline for a network kind.
     #[must_use]
     pub fn prepare(&self, kind: NetworkKind) -> Prepared {
-        PrepareStage.run(&self.ctx(), kind)
+        let _span = obs::span(PrepareStage.name());
+        PREPARE_SECONDS.time(|| PrepareStage.run(&self.ctx(), kind))
     }
 
     /// Captures the quantized GEMMs of a forward pass over a fixed
     /// evaluation batch.
     #[must_use]
     pub fn capture(&self, prepared: &mut Prepared) -> Vec<GemmCapture> {
-        CaptureStage.run(&self.ctx(), prepared)
+        let _span = obs::span(CaptureStage.name());
+        CAPTURE_SECONDS.time(|| CaptureStage.run(&self.ctx(), prepared))
     }
 
     /// Runs statistics collection + power characterization from captured
     /// GEMMs (paper Figs. 2 and 4).
     #[must_use]
     pub fn characterize(&self, captures: &[GemmCapture]) -> Characterization {
-        CharacterizeStage.run(&self.ctx(), captures)
+        let _span = obs::span(CharacterizeStage.name());
+        CHARACTERIZE_SECONDS.time(|| CharacterizeStage.run(&self.ctx(), captures))
     }
 
     /// Runs the timing characterization with the given slow-combination
     /// floor (paper Fig. 3).
     #[must_use]
     pub fn characterize_timing(&self, slow_floor_ps: f64) -> WeightTimingProfile {
-        TimingStage.run(&self.ctx(), slow_floor_ps)
+        let _span = obs::span(TimingStage.name());
+        TIMING_SECONDS.time(|| TimingStage.run(&self.ctx(), slow_floor_ps))
     }
 
     /// Serves one full characterization request — the unit the
@@ -230,6 +251,19 @@ impl Pipeline {
     /// its own work (see [`crate::cache::CharacterizationRun`]).
     #[must_use]
     pub fn characterization_request(&self, kind: NetworkKind) -> crate::cache::CharacterizationRun {
+        let mut span = obs::span("characterization_request");
+        span.field("kind", format!("{kind:?}"));
+        let started = std::time::Instant::now();
+        let run = self.characterization_request_inner(kind);
+        REQUEST_SECONDS.observe_duration(started.elapsed());
+        span.field("manifest_hit", run.manifest_hit);
+        run
+    }
+
+    fn characterization_request_inner(
+        &self,
+        kind: NetworkKind,
+    ) -> crate::cache::CharacterizationRun {
         let request_key = crate::cache::request_key(&self.cfg, kind);
         if let Some(cache) = self.cache() {
             if let Some(manifest) = cache.lookup_manifest(request_key) {

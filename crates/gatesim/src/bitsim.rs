@@ -513,6 +513,10 @@ impl<'a> BitSim<'a> {
         self.lane_toggles.fill(0);
         self.queue.clear();
         let mut seq: u32 = 0;
+        // Word-wide fanout re-evaluations suppressed by push-time
+        // filtering; kept in a local and flushed to the registry once
+        // per transition so the hot loop stays atomic-free.
+        let mut filtered: u64 = 0;
 
         // Split borrows once so the event loop indexes plain slices.
         let BitSim {
@@ -568,6 +572,8 @@ impl<'a> BitSim<'a> {
                         WordEvent::new(u64::from(gate.delay_fs), seq, gate.out, out),
                     );
                     seq += 1;
+                } else {
+                    filtered += 1;
                 }
             }
         }
@@ -605,10 +611,13 @@ impl<'a> BitSim<'a> {
                         WordEvent::new(ev.time_fs + u64::from(gate.delay_fs), seq, gate.out, out),
                     );
                     seq += 1;
+                } else {
+                    filtered += 1;
                 }
             }
         }
 
+        crate::counters::record_events(u64::from(seq), filtered);
         BitTransitionView {
             energy_fj: &self.lane_energy_fj,
             toggles: &self.lane_toggles,

@@ -16,10 +16,44 @@
 //! interested in a window take a snapshot before and subtract after.
 //! One relaxed atomic add per transition is noise next to the hundreds
 //! of gate events each transition propagates.
+//!
+//! Every count is *mirrored* into the process-global [`obs`] metrics
+//! registry (`gatesim_*` names) for the daemon's `/metrics` endpoint
+//! and the CLI tables. The local atomic stays authoritative on
+//! purpose: `sim_transitions()` backs the warm-cache "zero gate-level
+//! work" *correctness* assertions, which must keep counting even when
+//! the bench harness flips `obs::set_enabled(false)` to measure
+//! registry overhead. The per-transition event totals (scheduled vs.
+//! push-time-filtered) and the settle-time histogram live only on the
+//! registry — they are observability, not contract.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::LazyLock;
+
+use obs::metrics::{counter, histogram, Counter, Histogram, SETTLE_PS};
 
 static SIM_TRANSITIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Registry mirrors, registered once on first gate-level activity.
+struct Registry {
+    transitions: Counter,
+    events_scheduled: Counter,
+    events_filtered: Counter,
+    settle_ps: Histogram,
+}
+
+static REGISTRY: LazyLock<Registry> = LazyLock::new(|| Registry {
+    transitions: counter("gatesim_sim_transitions_total"),
+    events_scheduled: counter("gatesim_events_scheduled_total"),
+    events_filtered: counter("gatesim_events_filtered_total"),
+    settle_ps: histogram("gatesim_settle_time_ps", SETTLE_PS),
+});
+
+/// Forces registration of the `gatesim_*` metrics so they render in
+/// Prometheus exposition (at zero) before any simulation has run.
+pub fn register_metrics() {
+    LazyLock::force(&REGISTRY);
+}
 
 /// Total gate-level transitions simulated by this process so far, over
 /// both the scalar and the batched engine.
@@ -32,6 +66,7 @@ pub fn sim_transitions() -> u64 {
 #[inline]
 pub(crate) fn record_transition() {
     SIM_TRANSITIONS.fetch_add(1, Ordering::Relaxed);
+    REGISTRY.transitions.inc();
 }
 
 /// Records `n` simulated transitions at once — the bit-parallel engine
@@ -39,6 +74,24 @@ pub(crate) fn record_transition() {
 #[inline]
 pub(crate) fn record_transitions(n: u64) {
     SIM_TRANSITIONS.fetch_add(n, Ordering::Relaxed);
+    REGISTRY.transitions.add(n);
+}
+
+/// Records one transition's event accounting: how many gate events the
+/// engine scheduled versus how many re-evaluations push-time filtering
+/// suppressed. Called once per `transition()` — the tallies are kept in
+/// locals inside the hot loop (crate-internal).
+#[inline]
+pub(crate) fn record_events(scheduled: u64, filtered: u64) {
+    REGISTRY.events_scheduled.add(scheduled);
+    REGISTRY.events_filtered.add(filtered);
+}
+
+/// Records a transition's settle time (last primary-output toggle) in
+/// picoseconds (crate-internal).
+#[inline]
+pub(crate) fn record_settle_ps(ps: f64) {
+    REGISTRY.settle_ps.observe(ps);
 }
 
 #[cfg(test)]

@@ -589,6 +589,10 @@ impl<'a> BatchSim<'a> {
         self.observed_arrival_fs.fill(0);
         self.queue.clear();
         let mut seq: u32 = 0;
+        // Fanout re-evaluations suppressed by push-time filtering;
+        // tallied locally and flushed to the metrics registry once per
+        // transition to keep atomics out of the event loop.
+        let mut filtered: u64 = 0;
         let mut energy_fj = 0.0f64;
         let mut toggles = 0u64;
         let mut last_output_toggle_fs = 0u64;
@@ -618,6 +622,8 @@ impl<'a> BatchSim<'a> {
                             Event::new(u64::from(gate.delay_fs), seq, gate.out, out),
                         );
                         seq += 1;
+                    } else {
+                        filtered += 1;
                     }
                 }
             }
@@ -658,10 +664,14 @@ impl<'a> BatchSim<'a> {
                         Event::new(t + u64::from(gate.delay_fs), seq, gate.out, out),
                     );
                     seq += 1;
+                } else {
+                    filtered += 1;
                 }
             }
         }
 
+        crate::counters::record_events(u64::from(seq), filtered);
+        crate::counters::record_settle_ps(last_output_toggle_fs as f64 / FS_PER_PS);
         self.current_inputs.copy_from_slice(new_inputs);
         TransitionView {
             energy_fj,

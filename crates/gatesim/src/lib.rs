@@ -66,7 +66,7 @@ pub mod transform;
 pub use bitsim::{BitSim, BitTransitionView};
 pub use builder::NetlistBuilder;
 pub use cells::{CellKind, CellLibrary, CellParams};
-pub use counters::sim_transitions;
+pub use counters::{register_metrics, sim_transitions};
 pub use engine::{BatchAccumulator, BatchSim, TransitionView};
 pub use netlist::{Gate, GateId, NetId, Netlist};
 pub use sim::{Simulator, TransitionStats};

@@ -212,10 +212,15 @@ impl<'a> Simulator<'a> {
             }
         }
 
+        // The scalar engine filters at pop time, not push time; count
+        // the discarded pops so the engines' scheduled/filtered metrics
+        // stay comparable. Flushed to the registry once per transition.
+        let mut filtered: u64 = 0;
         let mut last_output_toggle_fs: u64 = 0;
         while let Some(Reverse((t, _s, net_raw, value))) = heap.pop() {
             let net = NetId(net_raw);
             if self.values[net.index()] == value {
+                filtered += 1;
                 continue; // no toggle: value already current
             }
             self.values[net.index()] = value;
@@ -249,6 +254,8 @@ impl<'a> Simulator<'a> {
         }
 
         stats.delay_ps = last_output_toggle_fs as f64 / FS_PER_PS;
+        crate::counters::record_events(seq, filtered);
+        crate::counters::record_settle_ps(stats.delay_ps);
         self.current_inputs = new_inputs.to_vec();
         stats
     }

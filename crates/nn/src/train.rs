@@ -6,6 +6,7 @@ use crate::model::Network;
 use crate::optim::Sgd;
 use rand::rngs::StdRng;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::LazyLock;
 
 /// Process-wide count of training epochs executed by [`train`].
 ///
@@ -14,7 +15,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// characterization bench snapshot [`epochs_run`] around a pipeline run
 /// and assert the delta is zero when the baseline artifact is served
 /// from the store.
+///
+/// The local atomic stays authoritative (it must keep counting even
+/// when the bench disables the metrics registry to measure overhead);
+/// each bump is mirrored onto `nn_training_epochs_total` for
+/// `/metrics`, alongside a wall-clock per-epoch histogram.
 static EPOCHS_RUN: AtomicU64 = AtomicU64::new(0);
+
+static EPOCHS_METRIC: LazyLock<obs::metrics::Counter> =
+    LazyLock::new(|| obs::metrics::counter("nn_training_epochs_total"));
+
+static EPOCH_SECONDS: LazyLock<obs::metrics::Histogram> = LazyLock::new(|| {
+    obs::metrics::histogram("nn_training_epoch_seconds", obs::metrics::LATENCY_SECONDS)
+});
 
 /// Total training epochs executed by this process so far (monotonic;
 /// snapshot-and-subtract to measure a window).
@@ -106,6 +119,10 @@ pub fn train(
     let mut history = Vec::with_capacity(config.epochs);
     for epoch in 0..config.epochs {
         EPOCHS_RUN.fetch_add(1, Ordering::Relaxed);
+        EPOCHS_METRIC.inc();
+        let epoch_started = std::time::Instant::now();
+        let mut _epoch_span = obs::span("nn_train_epoch");
+        _epoch_span.field("epoch", epoch);
         let mut total_loss = 0.0f32;
         let mut total_correct = 0.0f64;
         let mut total_seen = 0usize;
@@ -124,6 +141,7 @@ pub fn train(
             opt.step(net);
         }
         opt.lr *= config.lr_decay;
+        EPOCH_SECONDS.observe_duration(epoch_started.elapsed());
         history.push(EpochStats {
             epoch,
             loss: total_loss / total_seen as f32,

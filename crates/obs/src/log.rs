@@ -1,0 +1,227 @@
+//! Leveled, timestamped structured logging to stderr.
+//!
+//! Replaces the tree's ad-hoc `eprintln!` calls. Every line carries a
+//! UTC timestamp, the level, a target (usually the crate or subsystem
+//! name) and — when the thread is inside a [`crate::with_trace`] scope
+//! — the current trace ID, so daemon logs can be joined against trace
+//! dumps and remote-store requests:
+//!
+//! ```text
+//! 2026-08-08T12:00:00.123Z INFO charserve [trace=4f2a…] request complete path=/characterize
+//! ```
+//!
+//! The level comes from the `POWERPRUNING_LOG` env var
+//! (`off | error | info | debug`, default `info`) read once at first
+//! use; [`set_level`] overrides it at runtime (tests, CLI `--quiet`).
+//! Each line is written with a single locked `write_all`, so concurrent
+//! threads never interleave mid-line.
+
+use std::fmt;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log verbosity, ordered: `Off < Error < Info < Debug`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    Off = 0,
+    Error = 1,
+    Info = 2,
+    Debug = 3,
+}
+
+impl Level {
+    fn label(self) -> &'static str {
+        match self {
+            Level::Off => "OFF",
+            Level::Error => "ERROR",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+        }
+    }
+
+    /// Parses the `POWERPRUNING_LOG` spellings. `None` on unknown
+    /// input (the caller falls back to the default rather than
+    /// guessing).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => Some(Level::Off),
+            "error" | "err" => Some(Level::Error),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// Env var consulted for the initial level.
+pub const ENV_KNOB: &str = "POWERPRUNING_LOG";
+
+/// Sentinel for "not initialized yet" in the level cell.
+const UNSET: u8 = u8::MAX;
+
+static LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+
+/// The active log level (reads `POWERPRUNING_LOG` on first call).
+#[must_use]
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Off,
+        1 => Level::Error,
+        2 => Level::Info,
+        3 => Level::Debug,
+        _ => {
+            let from_env = std::env::var(ENV_KNOB)
+                .ok()
+                .as_deref()
+                .and_then(Level::parse)
+                .unwrap_or(Level::Info);
+            LEVEL.store(from_env as u8, Ordering::Relaxed);
+            from_env
+        }
+    }
+}
+
+/// Overrides the log level at runtime (wins over the env knob).
+pub fn set_level(l: Level) {
+    LEVEL.store(l as u8, Ordering::Relaxed);
+}
+
+/// Whether a message at `l` would currently be emitted — guard any
+/// log call whose arguments are expensive to format.
+#[must_use]
+pub fn enabled(l: Level) -> bool {
+    l != Level::Off && l <= level()
+}
+
+/// Formats `t` seconds-since-epoch as `YYYY-MM-DDTHH:MM:SS.mmmZ`.
+/// Hand-rolled civil-from-days conversion (Hinnant's algorithm) —
+/// std has no calendar and this tree takes no external deps.
+fn format_timestamp(out: &mut String, t: SystemTime) {
+    use fmt::Write as _;
+    let d = t.duration_since(UNIX_EPOCH).unwrap_or_default();
+    let secs = d.as_secs();
+    let millis = d.subsec_millis();
+    let days = (secs / 86_400) as i64;
+    let tod = secs % 86_400;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { y + 1 } else { y };
+    let _ = write!(
+        out,
+        "{year:04}-{month:02}-{day:02}T{:02}:{:02}:{:02}.{millis:03}Z",
+        tod / 3600,
+        (tod / 60) % 60,
+        tod % 60,
+    );
+}
+
+/// Emits one log line. Prefer the [`error!`](crate::error) /
+/// [`info!`](crate::info) / [`debug!`](crate::debug) macros, which
+/// skip argument formatting when the level is off.
+pub fn emit(l: Level, target: &str, args: fmt::Arguments<'_>) {
+    if !enabled(l) {
+        return;
+    }
+    let mut line = String::with_capacity(96);
+    format_timestamp(&mut line, SystemTime::now());
+    use fmt::Write as _;
+    let _ = write!(line, " {} {target}", l.label());
+    if let Some(trace) = crate::current_trace() {
+        let _ = write!(line, " [trace={trace}]");
+    }
+    let _ = write!(line, " {args}");
+    line.push('\n');
+    let stderr = std::io::stderr();
+    let _ = stderr.lock().write_all(line.as_bytes());
+}
+
+/// Logs at `Error` level: `obs::error!("charserve", "bind failed: {e}")`.
+#[macro_export]
+macro_rules! error {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::emit($crate::log::Level::Error, $target, format_args!($($arg)*))
+    };
+}
+
+/// Logs at `Info` level: `obs::info!("charserve", "listening on {addr}")`.
+#[macro_export]
+macro_rules! info {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::emit($crate::log::Level::Info, $target, format_args!($($arg)*))
+    };
+}
+
+/// Logs at `Debug` level: `obs::debug!("charstore", "disk probe {key}")`.
+#[macro_export]
+macro_rules! debug {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::emit($crate::log::Level::Debug, $target, format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing_and_ordering() {
+        assert_eq!(Level::parse("off"), Some(Level::Off));
+        assert_eq!(Level::parse("ERROR"), Some(Level::Error));
+        assert_eq!(Level::parse(" info "), Some(Level::Info));
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("verbose"), None);
+        assert!(Level::Error < Level::Info && Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn set_level_gates_enabled() {
+        let before = level();
+        set_level(Level::Error);
+        assert!(enabled(Level::Error));
+        assert!(!enabled(Level::Info));
+        assert!(!enabled(Level::Off), "Off is never emitted");
+        set_level(Level::Debug);
+        assert!(enabled(Level::Debug));
+        set_level(before);
+    }
+
+    #[test]
+    fn timestamps_render_utc_iso8601() {
+        let mut s = String::new();
+        // 2026-08-08 00:00:00 UTC == 1786147200.
+        format_timestamp(
+            &mut s,
+            UNIX_EPOCH + std::time::Duration::from_millis(1_786_147_200_042),
+        );
+        assert_eq!(s, "2026-08-08T00:00:00.042Z");
+        s.clear();
+        format_timestamp(&mut s, UNIX_EPOCH);
+        assert_eq!(s, "1970-01-01T00:00:00.000Z");
+        s.clear();
+        // Leap-day check: 2024-02-29 12:34:56 UTC == 1709210096.
+        format_timestamp(
+            &mut s,
+            UNIX_EPOCH + std::time::Duration::from_secs(1_709_210_096),
+        );
+        assert_eq!(s, "2024-02-29T12:34:56.000Z");
+    }
+
+    #[test]
+    fn emit_respects_off() {
+        let before = level();
+        set_level(Level::Off);
+        // Must not panic or write; nothing to assert beyond "returns".
+        emit(Level::Error, "obs_test", format_args!("dropped"));
+        set_level(before);
+    }
+}

@@ -79,6 +79,9 @@ pub fn par_rows_mut_with_threads<T, S, I, W>(
         "data length {} is not a multiple of row_len {row_len}",
         data.len()
     );
+    static JOBS: std::sync::LazyLock<obs::metrics::Counter> =
+        std::sync::LazyLock::new(|| obs::metrics::counter("parallel_jobs_total"));
+    JOBS.inc();
     let rows = data.len() / row_len;
     let threads = threads.max(1).min(rows.max(1));
     if threads <= 1 {

@@ -268,10 +268,16 @@ impl SystolicArray {
     /// Runs a whole network collecting transition statistics.
     #[must_use]
     pub fn run_network_stats(&self, gemms: &[GemmCapture]) -> TransitionStats {
+        static GEMMS_RUN: std::sync::LazyLock<obs::metrics::Counter> =
+            std::sync::LazyLock::new(|| obs::metrics::counter("systolic_gemms_captured_total"));
+        let mut span = obs::span("systolic_run_network_stats");
+        span.field("gemms", gemms.len());
         let mut stats = TransitionStats::new();
         for g in gemms {
             self.run_gemm_stats(g, &mut stats);
         }
+        GEMMS_RUN.add(gemms.len() as u64);
+        span.field("mac_ops", stats.mac_ops());
         stats
     }
 }

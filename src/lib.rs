@@ -12,6 +12,8 @@
 //!   artifact store behind the pipeline's warm starts.
 //! * [`charserve`] — the long-running characterization service over
 //!   that store (HTTP daemon, worker pool, single-flight dedup).
+//! * [`obs`] — unified observability: the process-global metrics
+//!   registry, span tracing and the leveled logger.
 //!
 //! See `README.md` for the quickstart and `DESIGN.md` for the system
 //! inventory.
@@ -20,5 +22,6 @@ pub use charserve;
 pub use charstore;
 pub use gatesim;
 pub use nn;
+pub use obs;
 pub use powerpruning;
 pub use systolic;
