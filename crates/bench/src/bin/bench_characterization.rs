@@ -389,6 +389,92 @@ fn measure_full_warm() -> FullWarm {
     }
 }
 
+struct RetrainWarm {
+    cold_s: f64,
+    warm_s: f64,
+    /// Retrain-cache misses of the cold sweep (every retraining point).
+    cold_retrain_misses: u64,
+    /// Retrain-cache hits of the warm sweep (expected: all points).
+    warm_retrain_hits: u64,
+    warm_retrain_misses: u64,
+    /// Training epochs executed during the warm sweep (expected: 0).
+    warm_training_epochs: u64,
+    /// Whether the warm sweep's series was bit-identical to the cold one.
+    identical: bool,
+}
+
+impl RetrainWarm {
+    fn speedup(&self) -> f64 {
+        self.cold_s / self.warm_s
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"cold_s\": {:.4}, \"warm_s\": {:.6}, \"speedup\": {:.1}, ",
+                "\"cold_retrain_misses\": {}, \"warm_retrain_hits\": {}, ",
+                "\"warm_retrain_misses\": {}, \"warm_training_epochs\": {}, ",
+                "\"identical\": {}}}"
+            ),
+            self.cold_s,
+            self.warm_s,
+            self.speedup(),
+            self.cold_retrain_misses,
+            self.warm_retrain_hits,
+            self.warm_retrain_misses,
+            self.warm_training_epochs,
+            self.identical,
+        )
+    }
+}
+
+/// Times the Micro power-threshold sweep — which retrains the network
+/// at every kept-count point — cold against an empty charstore and then
+/// warm on a fresh pipeline sharing only the store directory. The warm
+/// sweep must replay every retraining from stored artifacts: zero
+/// training epochs, zero retrain-cache misses, a bit-identical series.
+fn measure_retrain_warm() -> RetrainWarm {
+    let retrain_counter = |name: &str| obs::metrics::counter_value(name).unwrap_or(0);
+    // Bit-pattern view of a series: the unconstrained first sweep point
+    // has a NaN delay bound, and NaN != NaN under PartialEq.
+    let series_bits = |s: &powerpruning::report::Fig8Series| -> Vec<(u64, usize, u64, u64, u64)> {
+        s.points
+            .iter()
+            .map(|&(a, n, b, c, d)| (a.to_bits(), n, b.to_bits(), c.to_bits(), d.to_bits()))
+            .collect()
+    };
+    let dir = std::env::temp_dir().join(format!("charstore-bench-retrain-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = PipelineConfig::for_scale(Scale::Micro);
+
+    let misses_before = retrain_counter("charcache_retrain_misses_total");
+    let cold = Pipeline::with_cache_dir(cfg, &dir);
+    let t = Instant::now();
+    let cold_series = cold.power_threshold_sweep(NetworkKind::LeNet5);
+    let cold_s = t.elapsed().as_secs_f64();
+    let cold_retrain_misses = retrain_counter("charcache_retrain_misses_total") - misses_before;
+
+    let epochs_before = nn::train::epochs_run();
+    let hits_before = retrain_counter("charcache_retrain_hits_total");
+    let misses_before = retrain_counter("charcache_retrain_misses_total");
+    let warm = Pipeline::with_cache_dir(cfg, &dir);
+    let t = Instant::now();
+    let warm_series = warm.power_threshold_sweep(NetworkKind::LeNet5);
+    let warm_s = t.elapsed().as_secs_f64();
+
+    let _ = std::fs::remove_dir_all(&dir);
+    RetrainWarm {
+        cold_s,
+        warm_s: warm_s.max(1e-9),
+        cold_retrain_misses,
+        warm_retrain_hits: retrain_counter("charcache_retrain_hits_total") - hits_before,
+        warm_retrain_misses: retrain_counter("charcache_retrain_misses_total") - misses_before,
+        warm_training_epochs: nn::train::epochs_run() - epochs_before,
+        identical: warm_series.network == cold_series.network
+            && series_bits(&warm_series) == series_bits(&cold_series),
+    }
+}
+
 fn main() {
     let hw = MacHardware::paper_default();
     let stride = env_usize("POWERPRUNING_BENCH_STRIDE", 16);
@@ -505,6 +591,18 @@ fn main() {
         full.speedup(),
     );
 
+    // --- Warm retrain sweep (Fig. 8 power-threshold sweep replay) ---
+    let retrain = measure_retrain_warm();
+    eprintln!(
+        "retrain-warm: cold {:.2}s ({} retrain misses), warm {:.4}s ({} hits, {} epochs) -> {:.0}x",
+        retrain.cold_s,
+        retrain.cold_retrain_misses,
+        retrain.warm_s,
+        retrain.warm_retrain_hits,
+        retrain.warm_training_epochs,
+        retrain.speedup(),
+    );
+
     let json = format!(
         concat!(
             "{{\n",
@@ -517,7 +615,8 @@ fn main() {
             "  \"obs_overhead\": {},\n",
             "  \"timing\": {},\n",
             "  \"pipeline_warm_start\": {},\n",
-            "  \"pipeline_full_warm\": {}\n",
+            "  \"pipeline_full_warm\": {},\n",
+            "  \"retrain_warm\": {}\n",
             "}}"
         ),
         codes,
@@ -528,6 +627,7 @@ fn main() {
         timing.json(),
         warm.json(),
         full.json(),
+        retrain.json(),
     );
     println!("{json}");
     if let Err(e) = std::fs::write("BENCH_CHARACTERIZATION.json", format!("{json}\n")) {
@@ -592,5 +692,30 @@ fn main() {
         full.speedup() >= 10.0,
         "fully-warm pipeline only {:.1}x faster than cold",
         full.speedup()
+    );
+    assert!(
+        retrain.cold_retrain_misses > 0,
+        "cold sweep consulted the retrain cache zero times"
+    );
+    assert_eq!(
+        retrain.warm_retrain_misses, 0,
+        "warm sweep fell through the retrain cache"
+    );
+    assert_eq!(
+        retrain.warm_retrain_hits, retrain.cold_retrain_misses,
+        "warm sweep should hit exactly the artifacts the cold sweep stored"
+    );
+    assert_eq!(
+        retrain.warm_training_epochs, 0,
+        "warm sweep ran training epochs despite a warmed store"
+    );
+    assert!(
+        retrain.identical,
+        "warm sweep series diverged from the cold run"
+    );
+    assert!(
+        retrain.speedup() >= 5.0,
+        "warm retrain sweep only {:.1}x faster than cold",
+        retrain.speedup()
     );
 }

@@ -5,11 +5,14 @@
 //! charstore [--dir DIR] [--remote ADDR] ls     list stored artifacts
 //! charstore [--dir DIR] [--remote ADDR] stat [KEY-PREFIX]
 //!                                              store totals, or one artifact's provenance
-//! charstore [--dir DIR] [--remote ADDR] warm [--scale S] [--all-networks]
+//! charstore [--dir DIR] [--remote ADDR] warm [--scale S] [--all-networks] [--sweep]
 //!                                              run the full cacheable pipeline (prepare,
 //!                                              capture, characterize, timing) against the
 //!                                              store and report hits/misses plus the
-//!                                              training-epoch and gate-transition counters
+//!                                              training-epoch and gate-transition counters;
+//!                                              --sweep also runs the power-threshold sweep
+//!                                              so every sweep-point retrain artifact is
+//!                                              warmed (reported as retrain_hits/misses)
 //! charstore [--dir DIR] gc --max-bytes N       delete oldest artifacts over the budget
 //! charstore [--dir DIR] verify                 re-checksum every object on disk
 //! charstore [--dir DIR] serve [--addr A] [--workers N]
@@ -38,7 +41,9 @@
 //! goes. `warm` run twice against the same store must report `misses=0
 //! training_epochs=0 sim_transitions=0` on the second run — a fully
 //! warmed store answers all four stages without a single training
-//! epoch or gate-level transition. The CI cache-smoke job asserts
+//! epoch or gate-level transition; with `--sweep` the second run must
+//! additionally report `retrain_misses=0`, the sweep replaying every
+//! retraining point from stored artifacts. The CI cache-smoke job asserts
 //! exactly that, then runs `verify` over the resulting store; the
 //! service-smoke job drives `serve`/`request` end to end, asserts
 //! single-flight deduplication via `/stats`, and replays the warm run
@@ -223,6 +228,7 @@ fn cmd_stat(dir: &str, remote: Option<&str>, rest: &[String]) -> Result<(), Stri
 fn cmd_warm(dir: &str, remote: Option<&str>, rest: &[String]) -> Result<(), String> {
     let mut scale = Scale::Micro;
     let mut all_networks = false;
+    let mut sweep = false;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -235,6 +241,7 @@ fn cmd_warm(dir: &str, remote: Option<&str>, rest: &[String]) -> Result<(), Stri
                 }
             }
             "--all-networks" => all_networks = true,
+            "--sweep" => sweep = true,
             other => return Err(format!("unknown warm option `{other}`")),
         }
     }
@@ -249,8 +256,11 @@ fn cmd_warm(dir: &str, remote: Option<&str>, rest: &[String]) -> Result<(), Stri
     } else {
         &[NetworkKind::LeNet5]
     };
+    let retrain_counter = |name: &str| obs::metrics::counter_value(name).unwrap_or(0);
     let epochs_before = nn::train::epochs_run();
     let transitions_before = gatesim::sim_transitions();
+    let retrain_hits_before = retrain_counter("charcache_retrain_hits_total");
+    let retrain_misses_before = retrain_counter("charcache_retrain_misses_total");
     for &kind in kinds {
         // One trace per warmed network: the stage spans recorded below
         // and any remote-tier fetches (which forward the ID as
@@ -272,12 +282,22 @@ fn cmd_warm(dir: &str, remote: Option<&str>, rest: &[String]) -> Result<(), Stri
                 chars.power_profile.codes().len(),
                 probe.psum_floor_ps
             );
+            if sweep {
+                // Warm the sweep-point retrain artifacts too: the power
+                // threshold sweep retrains at every kept-count point,
+                // each call keyed through the retrain cache.
+                let series = pipeline.power_threshold_sweep(kind);
+                eprintln!(
+                    "  sweep: {} retrained points warmed",
+                    series.points.len().saturating_sub(1)
+                );
+            }
         });
     }
     let c = cache.counters();
     let store = cache.store().counters();
     println!(
-        "warm complete: scale={scale:?} networks={} hits={} misses={} remote_hits={} remote_publishes={} remote_errors={} training_epochs={} sim_transitions={}",
+        "warm complete: scale={scale:?} networks={} hits={} misses={} remote_hits={} remote_publishes={} remote_errors={} training_epochs={} sim_transitions={} retrain_hits={} retrain_misses={}",
         kinds.len(),
         c.hits,
         c.misses,
@@ -286,6 +306,8 @@ fn cmd_warm(dir: &str, remote: Option<&str>, rest: &[String]) -> Result<(), Stri
         store.remote_errors,
         nn::train::epochs_run() - epochs_before,
         gatesim::sim_transitions() - transitions_before,
+        retrain_counter("charcache_retrain_hits_total") - retrain_hits_before,
+        retrain_counter("charcache_retrain_misses_total") - retrain_misses_before,
     );
     print_tier_table();
     let gets = obs::metrics::histogram("charstore_get_seconds", obs::metrics::LATENCY_SECONDS);

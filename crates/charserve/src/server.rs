@@ -384,6 +384,8 @@ fn render_stats(shared: &Shared) -> String {
             "  \"object_hits\": {},\n",
             "  \"object_misses\": {},\n",
             "  \"object_publishes\": {},\n",
+            "  \"retrain_hits\": {},\n",
+            "  \"retrain_misses\": {},\n",
             "  \"inflight\": {},\n",
             "  \"workers\": {},\n",
             "  \"store\": {{\"mem_hits\": {}, \"disk_hits\": {}, \"misses\": {}, \"puts\": {}}}\n",
@@ -396,6 +398,8 @@ fn render_stats(shared: &Shared) -> String {
         s.object_hits.load(Ordering::Relaxed),
         s.object_misses.load(Ordering::Relaxed),
         s.object_publishes.load(Ordering::Relaxed),
+        obs::metrics::counter_value("charcache_retrain_hits_total").unwrap_or(0),
+        obs::metrics::counter_value("charcache_retrain_misses_total").unwrap_or(0),
         shared.flights.inflight(),
         shared.pool.size(),
         store.mem_hits,

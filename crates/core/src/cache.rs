@@ -15,6 +15,13 @@
 //! * power **characterization** ([`characterization_key`]) and
 //!   **timing** ([`timing_key`]) — as before, committing to the cell
 //!   library, netlist structures, seeds, budgets and capture content.
+//! * sweep-point **retraining** ([`retrain_key`]) — commits to the
+//!   entering network state (parameters, buffers, installed
+//!   restrictions), the requested mode (pruning sparsity or the value
+//!   sets to install), the full retrain configuration and the exact RNG
+//!   stream position; the artifact is the post-retrain network state,
+//!   the measured accuracy and the **exit** RNG state, so a hit resumes
+//!   the sweep bit-identically without replaying a single epoch.
 //!
 //! Keys are derived through [`KeyFields`], an order-insensitive named
 //! field builder: the digest depends on *which* fields carry *which*
@@ -45,6 +52,7 @@ use crate::chars::{MacHardware, PsumBinning, WeightPowerProfile};
 use crate::pipeline::stages::characterize::{dataset_spec, untrained_prepared};
 use crate::pipeline::stages::PipelineCtx;
 use crate::pipeline::{Characterization, NetworkKind, Prepared};
+use crate::retrain::RetrainConfig;
 use crate::WeightTimingProfile;
 use charstore::container::find;
 use charstore::wire::{self, Reader};
@@ -52,6 +60,7 @@ use charstore::{Digest128, Hasher128, Section, Store};
 use gatesim::{CellKind, CellLibrary};
 use nn::layers::GemmCapture;
 use nn::model::Network;
+use rand::rngs::StdRng;
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -96,6 +105,11 @@ stage_cache_metrics!(
     "charcache_timing_hits_total",
     "charcache_timing_misses_total"
 );
+stage_cache_metrics!(
+    RETRAIN_CACHE,
+    "charcache_retrain_hits_total",
+    "charcache_retrain_misses_total"
+);
 
 /// Default store directory (relative to the working directory).
 pub const DEFAULT_CACHE_DIR: &str = ".powerpruning-cache";
@@ -126,6 +140,7 @@ mod section {
     pub const ACCURACY: u32 = 8;
     pub const CAPTURES: u32 = 9;
     pub const MANIFEST: u32 = 10;
+    pub const RNG_STATE: u32 = 11;
 }
 
 /// An order-insensitive named-field cache-key builder.
@@ -429,6 +444,104 @@ pub fn capture_key(ctx: &PipelineCtx<'_>, prepared: &mut Prepared) -> Digest128 
     k.finalize("powerpruning.capture.v1")
 }
 
+/// Which retraining flavour a [`retrain_key`] commits to — the two call
+/// shapes of `crate::retrain`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RetrainMode<'a> {
+    /// [`crate::retrain::prune_retrain`]: magnitude pruning to the given
+    /// sparsity, then masked retraining.
+    Prune {
+        /// Requested pruned fraction.
+        sparsity: f64,
+    },
+    /// [`crate::retrain::restricted_retrain`]: retraining with the given
+    /// value-set restrictions installed (`None` leaves the network's
+    /// current restriction in place — which the entering restriction
+    /// digest already commits to).
+    Restricted {
+        /// Weight value set to install, if any.
+        weights: Option<&'a [i32]>,
+        /// Activation value set to install, if any.
+        activations: Option<&'a [i32]>,
+    },
+}
+
+fn value_codes_digest(codes: &[i32]) -> Digest128 {
+    let mut h = Hasher128::new("powerpruning.valueset.v1");
+    h.write_usize(codes.len());
+    for &c in codes {
+        h.write_i64(i64::from(c));
+    }
+    h.finalize()
+}
+
+/// The cache key of one retraining call — the commit-to-state discipline
+/// applied to the sweeps' inner loops.
+///
+/// A retraining run is a pure function of the **entering** network state
+/// ([`network_state_digest`] over parameters and buffers, plus the
+/// already-installed restriction sets and quantizer ranges), the
+/// requested mode (sparsity for the pruned baseline; the weight and
+/// activation value sets for restricted retraining), every optimizer
+/// hyperparameter of the [`RetrainConfig`], and the **exact RNG stream
+/// position** (training consumes draws for batch shuffling, so the same
+/// net at a different stream position is a different computation). The
+/// stored artifact carries the exit RNG state so a hit can resume the
+/// stream bit-identically — without that, every downstream sweep-point
+/// key would diverge on a warm run.
+#[must_use]
+pub fn retrain_key(
+    ctx: &PipelineCtx<'_>,
+    net: &mut Network,
+    mode: RetrainMode<'_>,
+    cfg: &RetrainConfig,
+    rng: &StdRng,
+) -> Digest128 {
+    let mut k = KeyFields::new();
+    k.u32("algo_version", ARTIFACT_ALGO_VERSION);
+    k.str("scale", &format!("{:?}", ctx.cfg.scale));
+    let name = net.name().to_string();
+    k.str("net.name", &name);
+    k.digest("net.state", network_state_digest(net));
+    k.digest("net.restrictions", network_restriction_digest(net));
+    match mode {
+        RetrainMode::Prune { sparsity } => {
+            k.str("mode", "prune");
+            k.f64("sparsity", sparsity);
+        }
+        RetrainMode::Restricted {
+            weights,
+            activations,
+        } => {
+            k.str("mode", "restricted");
+            k.bool("weights.set", weights.is_some());
+            k.digest(
+                "weights.codes",
+                value_codes_digest(weights.unwrap_or_default()),
+            );
+            k.bool("activations.set", activations.is_some());
+            k.digest(
+                "activations.codes",
+                value_codes_digest(activations.unwrap_or_default()),
+            );
+        }
+    }
+    k.usize("opt.epochs", cfg.train.epochs);
+    k.usize("opt.batch_size", cfg.train.batch_size);
+    k.f32("opt.lr", cfg.train.lr);
+    k.f32("opt.momentum", cfg.train.momentum);
+    k.f32("opt.weight_decay", cfg.train.weight_decay);
+    k.f32("opt.lr_decay", cfg.train.lr_decay);
+    k.bool("opt.clip", cfg.train.clip_norm.is_some());
+    k.f32("opt.clip_norm", cfg.train.clip_norm.unwrap_or(0.0));
+    k.usize("eval_batch", cfg.eval_batch);
+    let s = rng.state();
+    for (i, &word) in s.iter().enumerate() {
+        k.u64(&format!("rng.s{i}"), word);
+    }
+    k.finalize("powerpruning.retrain.v1")
+}
+
 /// The cache key of a full characterization *request* — the unit the
 /// `charserve` daemon deduplicates and answers from the store.
 ///
@@ -708,6 +821,58 @@ fn decode_captures(sections: &[Section]) -> io::Result<Vec<GemmCapture>> {
     Ok(captures)
 }
 
+/// Decoded retrain artifact: the post-retrain network state (raw
+/// `nn::serialize` bytes, applied by the lookup), the test accuracy the
+/// retraining measured, and the RNG state at exit.
+struct RetrainArtifact {
+    state: Vec<u8>,
+    accuracy: f64,
+    rng_state: [u64; 4],
+}
+
+fn encode_retrain(
+    ctx: &PipelineCtx<'_>,
+    net: &mut Network,
+    accuracy: f64,
+    rng: &StdRng,
+) -> Vec<Section> {
+    let mut state = Vec::new();
+    nn::serialize::save_state(net, &mut state).expect("Vec writes cannot fail");
+    let mut acc = Vec::new();
+    wire::put_f64(&mut acc, accuracy);
+    let mut rng_buf = Vec::new();
+    for word in rng.state() {
+        wire::put_u64(&mut rng_buf, word);
+    }
+    vec![
+        provenance_section(ctx, "retrain"),
+        Section::new(section::NET_STATE, state),
+        Section::new(section::ACCURACY, acc),
+        Section::new(section::RNG_STATE, rng_buf),
+    ]
+}
+
+fn decode_retrain(sections: &[Section]) -> io::Result<RetrainArtifact> {
+    let state = find(sections, section::NET_STATE)
+        .ok_or_else(|| wire::invalid("retrain artifact is missing the network state"))?
+        .bytes
+        .clone();
+    let mut r = required(sections, section::ACCURACY)?;
+    let accuracy = r.f64()?;
+    r.finish()?;
+    let mut r = required(sections, section::RNG_STATE)?;
+    let mut rng_state = [0u64; 4];
+    for word in &mut rng_state {
+        *word = r.u64()?;
+    }
+    r.finish()?;
+    Ok(RetrainArtifact {
+        state,
+        accuracy,
+        rng_state,
+    })
+}
+
 /// Typed hit/miss counters of one [`CharCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheCounters {
@@ -910,6 +1075,58 @@ impl CharCache {
     /// Stores a GEMM capture artifact (failures swallowed, as above).
     pub fn store_captures(&self, ctx: &PipelineCtx<'_>, key: Digest128, captures: &[GemmCapture]) {
         let _ = self.store.put(key, encode_captures(ctx, captures));
+    }
+
+    /// Looks up a retrain artifact and, on a hit, loads the post-retrain
+    /// state over `net` bit-exactly, returning the stored test accuracy
+    /// and the exit RNG state (for the caller to resume its stream at
+    /// the position the original retraining left it).
+    ///
+    /// Any store miss or decode failure is a cache miss. A state-load
+    /// failure (e.g. structure skew after a model-code change) restores
+    /// the entering parameters and buffers before reporting the miss, so
+    /// the recompute path never starts from a half-loaded network.
+    #[must_use]
+    pub fn lookup_retrain(&self, net: &mut Network, key: Digest128) -> Option<(f64, [u64; 4])> {
+        let applied = self
+            .store
+            .get(key)
+            .and_then(|s| decode_retrain(&s).ok())
+            .and_then(|artifact| {
+                let params = net.snapshot();
+                let mut buffers: Vec<Vec<f32>> = Vec::new();
+                net.visit_buffers(&mut |b| buffers.push(b.clone()));
+                match nn::serialize::load_state(net, artifact.state.as_slice()) {
+                    Ok(()) => Some((artifact.accuracy, artifact.rng_state)),
+                    Err(_) => {
+                        net.restore(&params);
+                        let mut idx = 0usize;
+                        net.visit_buffers(&mut |b| {
+                            if let Some(saved) = buffers.get(idx) {
+                                b.copy_from_slice(saved);
+                            }
+                            idx += 1;
+                        });
+                        None
+                    }
+                }
+            });
+        self.record(&RETRAIN_CACHE, applied)
+    }
+
+    /// Stores a retrain artifact: the network's post-retrain state, the
+    /// measured accuracy and the exit RNG state (failures swallowed, as
+    /// above). Takes the network mutably because state serialization
+    /// visits parameters through `&mut` hooks.
+    pub fn store_retrain(
+        &self,
+        ctx: &PipelineCtx<'_>,
+        key: Digest128,
+        net: &mut Network,
+        accuracy: f64,
+        rng: &StdRng,
+    ) {
+        let _ = self.store.put(key, encode_retrain(ctx, net, accuracy, rng));
     }
 
     /// Looks up a stored request manifest. Deliberately does **not**
@@ -1187,6 +1404,141 @@ mod tests {
         }
         assert!(decode_manifest(&truncated).is_err());
         assert!(decode_manifest(&[]).is_err());
+    }
+
+    #[test]
+    fn retrain_key_commits_to_state_mode_and_rng_position() {
+        use rand::{Rng, SeedableRng};
+        let p = micro_ctx_pipeline();
+        let ctx = p.ctx();
+        let (mut prepared, _) = untrained_prepared(&ctx, NetworkKind::LeNet5);
+        let cfg = ctx.cfg.retrain_config();
+        let rng = StdRng::seed_from_u64(1);
+        let w: &[i32] = &[-2, 0, 2];
+        let restricted = RetrainMode::Restricted {
+            weights: Some(w),
+            activations: None,
+        };
+        let base = retrain_key(&ctx, &mut prepared.net, restricted, &cfg, &rng);
+        assert_eq!(
+            base,
+            retrain_key(&ctx, &mut prepared.net, restricted, &cfg, &rng)
+        );
+        // The mode moves the key.
+        assert_ne!(
+            base,
+            retrain_key(
+                &ctx,
+                &mut prepared.net,
+                RetrainMode::Prune { sparsity: 0.5 },
+                &cfg,
+                &rng
+            )
+        );
+        assert_ne!(
+            retrain_key(
+                &ctx,
+                &mut prepared.net,
+                RetrainMode::Prune { sparsity: 0.5 },
+                &cfg,
+                &rng
+            ),
+            retrain_key(
+                &ctx,
+                &mut prepared.net,
+                RetrainMode::Prune { sparsity: 0.6 },
+                &cfg,
+                &rng
+            )
+        );
+        // The requested sets move the key — including None vs Some.
+        assert_ne!(
+            base,
+            retrain_key(
+                &ctx,
+                &mut prepared.net,
+                RetrainMode::Restricted {
+                    weights: None,
+                    activations: None
+                },
+                &cfg,
+                &rng
+            )
+        );
+        assert_ne!(
+            base,
+            retrain_key(
+                &ctx,
+                &mut prepared.net,
+                RetrainMode::Restricted {
+                    weights: Some(w),
+                    activations: Some(w)
+                },
+                &cfg,
+                &rng
+            )
+        );
+        // The RNG stream position moves the key.
+        let mut advanced = rng.clone();
+        let _: u64 = advanced.random();
+        assert_ne!(
+            base,
+            retrain_key(&ctx, &mut prepared.net, restricted, &cfg, &advanced)
+        );
+        // The entering network state moves the key.
+        prepared.net.visit_params(&mut |p| {
+            if let Some(v) = p.value.data_mut().first_mut() {
+                *v += 0.5;
+            }
+        });
+        assert_ne!(
+            base,
+            retrain_key(&ctx, &mut prepared.net, restricted, &cfg, &rng)
+        );
+    }
+
+    #[test]
+    fn retrain_artifact_restores_the_network_bit_exactly() {
+        use rand::SeedableRng;
+        let p = micro_ctx_pipeline();
+        let ctx = p.ctx();
+        let (mut prepared, _) = untrained_prepared(&ctx, NetworkKind::LeNet5);
+        let dir = std::env::temp_dir().join(format!(
+            "powerpruning-retrain-artifact-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = CharCache::open(&dir).expect("open cache");
+        let rng_exit = StdRng::seed_from_u64(9);
+        let key = training_key(&ctx, NetworkKind::LeNet5);
+
+        let mut stored_state = Vec::new();
+        nn::serialize::save_state(&mut prepared.net, &mut stored_state).unwrap();
+        cache.store_retrain(&ctx, key, &mut prepared.net, 0.75, &rng_exit);
+
+        // Perturb every parameter; the hit must restore the stored bits.
+        prepared.net.visit_params(&mut |p| {
+            for v in p.value.data_mut() {
+                *v += 1.0;
+            }
+        });
+        let (acc, exit) = cache
+            .lookup_retrain(&mut prepared.net, key)
+            .expect("stored artifact should hit");
+        assert_eq!(acc.to_bits(), 0.75f64.to_bits());
+        assert_eq!(exit, rng_exit.state());
+        let mut restored = Vec::new();
+        nn::serialize::save_state(&mut prepared.net, &mut restored).unwrap();
+        assert_eq!(restored, stored_state, "hit did not restore bit-exactly");
+
+        // An absent key is a miss and leaves the network untouched.
+        let other = timing_key(&ctx, 1.0);
+        assert!(cache.lookup_retrain(&mut prepared.net, other).is_none());
+        let mut after_miss = Vec::new();
+        nn::serialize::save_state(&mut prepared.net, &mut after_miss).unwrap();
+        assert_eq!(after_miss, stored_state);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

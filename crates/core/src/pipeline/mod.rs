@@ -26,7 +26,6 @@ pub use config::{NetworkKind, PipelineConfig, Scale};
 
 use crate::chars::{MacHardware, PsumBinning, WeightPowerProfile, WeightTimingProfile};
 use crate::report::{Fig7Entry, Fig8Series, Fig9Series, Table1Row};
-use crate::retrain::prune_retrain;
 use crate::select::power::{select_by_power, threshold_for_count};
 use crate::voltage::VoltageModel;
 use nn::data::Dataset;
@@ -37,8 +36,8 @@ use rand::SeedableRng;
 use stages::characterize::{CaptureStage, CharacterizeStage, PrepareStage, TimingStage};
 use stages::scale::{MeasureInput, MeasurePowerStage, VoltageScaleStage};
 use stages::select::{
-    delay_window, retrain_with_retry, DelaySelectInput, DelaySelectStage, PowerSelectInput,
-    PowerSelectStage,
+    cached_prune_retrain, delay_window, retrain_with_retry, DelaySelectInput, DelaySelectStage,
+    PowerSelectInput, PowerSelectStage,
 };
 use stages::{PipelineCtx, Stage};
 use std::sync::LazyLock;
@@ -326,7 +325,6 @@ impl Pipeline {
     pub fn run_table1_row(&self, kind: NetworkKind) -> Table1Row {
         let ctx = self.ctx();
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xf00d ^ (kind as u64));
-        let retrain_cfg = self.cfg.retrain_config();
 
         // 1. Baseline QAT.
         let mut prepared = self.prepare(kind);
@@ -338,14 +336,7 @@ impl Pipeline {
         let (std_orig, opt_orig) = self.measure_power(&captures_orig, &chars.energy_model);
 
         // 3. Conventional pruning.
-        let _ = prune_retrain(
-            &mut prepared.net,
-            &prepared.train_data,
-            &prepared.test_data,
-            self.cfg.prune_sparsity,
-            &retrain_cfg,
-            &mut rng,
-        );
+        let _ = cached_prune_retrain(&ctx, &mut prepared, self.cfg.prune_sparsity, &mut rng);
 
         // 4. Weight selection by power threshold (targeting the paper's
         //    per-network weight-value count).
@@ -472,7 +463,6 @@ impl Pipeline {
     pub fn compare_conventional(&self, kind: NetworkKind) -> Fig7Entry {
         let ctx = self.ctx();
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x716 ^ (kind as u64));
-        let retrain_cfg = self.cfg.retrain_config();
         let mut prepared = self.prepare(kind);
         let captures = self.capture(&mut prepared);
         let chars = self.characterize(&captures);
@@ -488,14 +478,8 @@ impl Pipeline {
             prepared.accuracy,
         ));
 
-        let acc_pruned = prune_retrain(
-            &mut prepared.net,
-            &prepared.train_data,
-            &prepared.test_data,
-            self.cfg.prune_sparsity,
-            &retrain_cfg,
-            &mut rng,
-        );
+        let acc_pruned =
+            cached_prune_retrain(&ctx, &mut prepared, self.cfg.prune_sparsity, &mut rng);
         let captures_pruned = self.capture(&mut prepared);
         let opt_pruned = self.array.run_network_energy(
             &captures_pruned,

@@ -13,11 +13,9 @@
 //!   exactly as described with reference [15].
 
 use nn::data::Dataset;
-use nn::loss::cross_entropy;
 use nn::model::Network;
-use nn::optim::Sgd;
 use nn::quant::ValueSet;
-use nn::train::{evaluate, train, TrainConfig};
+use nn::train::{evaluate, train, train_with_hook, TrainConfig};
 use rand::rngs::StdRng;
 
 /// Retraining configuration.
@@ -69,6 +67,12 @@ pub fn restricted_retrain(
 
 /// Forces the smallest-magnitude fraction of each weight tensor to zero
 /// and returns per-parameter masks (`true` = pruned) in visit order.
+///
+/// Each weight tensor prunes exactly `⌊len · sparsity⌋` elements on
+/// tie-free magnitudes (ties at the cut threshold are all pruned, so the
+/// count can only exceed the floor by the tie multiplicity). `sparsity =
+/// 0.0` is a guaranteed no-op: no weight is touched and every mask is
+/// all-false.
 pub fn magnitude_prune(net: &mut Network, sparsity: f64) -> Vec<Vec<bool>> {
     let sparsity = sparsity.clamp(0.0, 1.0);
     let mut masks = Vec::new();
@@ -77,10 +81,15 @@ pub fn magnitude_prune(net: &mut Network, sparsity: f64) -> Vec<Vec<bool>> {
             masks.push(Vec::new()); // placeholder for non-weight params
             return;
         }
+        let len = p.value.data().len();
+        let cut_count = (len as f64 * sparsity) as usize;
+        if cut_count == 0 {
+            masks.push(vec![false; len]);
+            return;
+        }
         let mut mags: Vec<f32> = p.value.data().iter().map(|v| v.abs()).collect();
         mags.sort_by(|a, b| a.partial_cmp(b).expect("finite weights"));
-        let cut = ((mags.len() as f64 * sparsity) as usize).min(mags.len().saturating_sub(1));
-        let threshold = if mags.is_empty() { 0.0 } else { mags[cut] };
+        let threshold = mags[cut_count - 1];
         let mask: Vec<bool> = p
             .value
             .data()
@@ -116,6 +125,11 @@ fn apply_masks(net: &mut Network, masks: &[Vec<bool>]) {
 /// Conventional pruning baseline: magnitude-prunes to `sparsity`, then
 /// retrains while holding pruned weights at zero. Returns the test
 /// accuracy.
+///
+/// The retraining loop is [`train_with_hook`] with a post-step hook
+/// re-applying the pruning masks, so its epochs are counted by
+/// [`nn::train::epochs_run`] and `nn_training_epochs_total` exactly
+/// like every other training flavour.
 pub fn prune_retrain(
     net: &mut Network,
     train_data: &Dataset,
@@ -126,22 +140,9 @@ pub fn prune_retrain(
 ) -> f64 {
     net.quantize = true;
     let masks = magnitude_prune(net, sparsity);
-    let mut opt = Sgd::new(cfg.train.lr, cfg.train.momentum, cfg.train.weight_decay);
-    for _ in 0..cfg.train.epochs {
-        for batch in train_data.epoch_batches(cfg.train.batch_size, rng) {
-            let (x, labels) = train_data.batch(&batch);
-            net.zero_grads();
-            let logits = net.forward_train(&x);
-            let (_, grad) = cross_entropy(&logits, &labels);
-            let _ = net.backward(&grad);
-            if let Some(max_norm) = cfg.train.clip_norm {
-                let _ = nn::train::clip_gradients(net, max_norm);
-            }
-            opt.step(net);
-            apply_masks(net, &masks);
-        }
-        opt.lr *= cfg.train.lr_decay;
-    }
+    let _ = train_with_hook(net, train_data, &cfg.train, rng, |net| {
+        apply_masks(net, &masks);
+    });
     evaluate(net, test_data, cfg.eval_batch)
 }
 

@@ -115,6 +115,26 @@ pub fn train(
     config: &TrainConfig,
     rng: &mut StdRng,
 ) -> Vec<EpochStats> {
+    train_with_hook(net, data, config, rng, |_| {})
+}
+
+/// [`train`] with a callback invoked after every optimizer step.
+///
+/// The hook is the extension point for training variants that must
+/// re-impose an invariant the optimizer would otherwise erode — e.g.
+/// pruned-baseline retraining re-zeroing masked weights after each
+/// update. Routing such loops through here (rather than hand-rolling
+/// them) keeps epoch accounting — [`epochs_run`],
+/// `nn_training_epochs_total`, `nn_training_epoch_seconds` — in one
+/// place so the zero-work contracts can't silently miss a flavour of
+/// training.
+pub fn train_with_hook(
+    net: &mut Network,
+    data: &Dataset,
+    config: &TrainConfig,
+    rng: &mut StdRng,
+    mut post_step: impl FnMut(&mut Network),
+) -> Vec<EpochStats> {
     let mut opt = Sgd::new(config.lr, config.momentum, config.weight_decay);
     let mut history = Vec::with_capacity(config.epochs);
     for epoch in 0..config.epochs {
@@ -139,6 +159,7 @@ pub fn train(
                 let _ = clip_gradients(net, max_norm);
             }
             opt.step(net);
+            post_step(net);
         }
         opt.lr *= config.lr_decay;
         EPOCH_SECONDS.observe_duration(epoch_started.elapsed());

@@ -196,3 +196,77 @@ proptest! {
         prop_assert!(sel.weights.contains(&0));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `magnitude_prune` zeroes exactly `⌊len·sparsity⌋` weights per
+    /// tensor on tie-free magnitudes; ties at the cut threshold are all
+    /// pruned, so the count can only exceed the floor by the tie
+    /// multiplicity at the threshold.
+    #[test]
+    fn magnitude_prune_prunes_floor_of_len_times_sparsity(
+        seed in 0u64..1024,
+        sparsity in 0.0f64..1.0,
+    ) {
+        use powerpruning::retrain::magnitude_prune;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = nn::models::tiny_cnn("prop-prune", 1, 8, 3, &mut rng);
+        // Collect each decayed tensor's magnitudes before pruning, in
+        // visit order (matching the returned masks).
+        let mut mags_per_tensor: Vec<Option<Vec<f32>>> = Vec::new();
+        net.visit_params(&mut |p| {
+            mags_per_tensor.push(if p.decay {
+                Some(p.value.data().iter().map(|v| v.abs()).collect())
+            } else {
+                None
+            });
+        });
+        let masks = magnitude_prune(&mut net, sparsity);
+        prop_assert_eq!(masks.len(), mags_per_tensor.len());
+        for (mask, mags) in masks.iter().zip(&mags_per_tensor) {
+            let Some(mags) = mags else {
+                prop_assert!(mask.is_empty(), "non-weight params get empty masks");
+                continue;
+            };
+            let pruned = mask.iter().filter(|&&m| m).count();
+            let floor = (mags.len() as f64 * sparsity) as usize;
+            if floor == 0 {
+                prop_assert_eq!(pruned, 0, "sparsity below one weight must prune nothing");
+                continue;
+            }
+            let mut sorted = mags.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let threshold = sorted[floor - 1];
+            let ties = mags.iter().filter(|&&m| m == threshold).count();
+            let ties_below_cut = sorted[..floor].iter().filter(|&&m| m == threshold).count();
+            prop_assert!(
+                pruned >= floor && pruned <= floor + (ties - ties_below_cut),
+                "pruned {} outside [{}, {} + ties] for len {} sparsity {}",
+                pruned, floor, floor, mags.len(), sparsity
+            );
+        }
+    }
+
+    /// `sparsity = 0.0` is a provable no-op: every weight keeps its
+    /// exact bit pattern and every mask is all-false.
+    #[test]
+    fn magnitude_prune_zero_sparsity_is_identity(seed in 0u64..1024) {
+        use powerpruning::retrain::magnitude_prune;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = nn::models::tiny_cnn("prop-noop", 1, 8, 3, &mut rng);
+        let mut before = Vec::new();
+        nn::serialize::save_state(&mut net, &mut before).unwrap();
+        let masks = magnitude_prune(&mut net, 0.0);
+        let mut after = Vec::new();
+        nn::serialize::save_state(&mut net, &mut after).unwrap();
+        prop_assert_eq!(before, after, "sparsity 0.0 changed the network");
+        prop_assert!(masks.iter().all(|m| m.iter().all(|&b| !b)));
+    }
+}

@@ -1,0 +1,81 @@
+//! Epoch accounting of the retraining paths: every flavour of training
+//! must bump `nn::train::epochs_run()` — the observable the zero-work
+//! contracts (warm CLI output, CI cache-smoke, the bench gates) are
+//! built on. `prune_retrain` historically ran a hand-rolled epoch loop
+//! that skipped the counter, making pruned-baseline retraining
+//! invisible to all of them.
+//!
+//! This lives in its own integration-test binary because
+//! `nn::train::epochs_run()` is a process-global counter: any
+//! concurrently running test that trains would pollute the deltas.
+//! Keep this file to the single counter test.
+
+use nn::data::{Dataset, SyntheticSpec};
+use nn::train::TrainConfig;
+use powerpruning::retrain::{prune_retrain, restricted_retrain, RetrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn datasets() -> (Dataset, Dataset) {
+    let train = SyntheticSpec {
+        classes: 3,
+        size: 8,
+        channels: 1,
+        samples: 120,
+        noise: 0.05,
+        seed: 41,
+    }
+    .generate();
+    let test = SyntheticSpec {
+        classes: 3,
+        size: 8,
+        channels: 1,
+        samples: 48,
+        noise: 0.05,
+        seed: 42,
+    }
+    .generate();
+    (train, test)
+}
+
+#[test]
+fn every_retrain_flavour_counts_its_epochs() {
+    let (train_data, test_data) = datasets();
+    let cfg = RetrainConfig {
+        train: TrainConfig {
+            epochs: 4,
+            batch_size: 16,
+            lr: 0.05,
+            ..TrainConfig::default()
+        },
+        eval_batch: 32,
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut net = nn::models::tiny_cnn("count-prune", 1, 8, 3, &mut rng);
+
+    let before = nn::train::epochs_run();
+    let _ = prune_retrain(&mut net, &train_data, &test_data, 0.5, &cfg, &mut rng);
+    assert_eq!(
+        nn::train::epochs_run() - before,
+        cfg.train.epochs as u64,
+        "prune_retrain must count exactly its configured epochs"
+    );
+
+    let mut net = nn::models::tiny_cnn("count-restricted", 1, 8, 3, &mut rng);
+    let allowed: Vec<i32> = vec![-64, -32, -16, -8, -4, -2, 0, 2, 4, 8, 16, 32, 64];
+    let before = nn::train::epochs_run();
+    let _ = restricted_retrain(
+        &mut net,
+        &train_data,
+        &test_data,
+        Some(&allowed),
+        None,
+        &cfg,
+        &mut rng,
+    );
+    assert_eq!(
+        nn::train::epochs_run() - before,
+        cfg.train.epochs as u64,
+        "restricted_retrain must count exactly its configured epochs"
+    );
+}
