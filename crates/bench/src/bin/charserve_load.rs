@@ -1,0 +1,301 @@
+//! Measured load generator for the charserve daemon.
+//!
+//! ```text
+//! charserve_load --store DIR [--requests N] [--burst N] [--out FILE]
+//! ```
+//!
+//! Boots an in-process daemon over `--store` (an ephemeral port, a
+//! deliberately small connection cap) and drives four measured legs:
+//!
+//! 1. **characterize latency** — `--requests` warm `POST /characterize`
+//!    round trips on one keep-alive connection; reports client-side
+//!    p50/p95/p99 and throughput. Run against a warmed store these are
+//!    pure request-hit serves — the daemon's fast path.
+//! 2. **keep-alive vs close** — `GET /healthz` throughput with pooled
+//!    keep-alive connections versus one fresh connection per request
+//!    (`Connection: close`). The ratio is the measured value of the
+//!    reactor's keep-alive support.
+//! 3. **overload burst** — opens `--burst` more connections than the
+//!    daemon admits; counts the explicit `429 Too Many Requests`
+//!    rejections and verifies `/healthz` stays responsive on an
+//!    already-admitted connection throughout.
+//! 4. **accounting cross-check** — the daemon's `/stats` request count
+//!    must equal the client-side tally, and the
+//!    `charserve_request_seconds` histogram on `GET /metrics` must have
+//!    observed at least that many requests.
+//!
+//! Results land in `BENCH_CHARSERVE.json` (override with `--out`); the
+//! service-smoke CI job gates on the keep-alive speedup, on rejections
+//! being explicit 429s, and on the counters agreeing.
+
+use charserve::{Client, ServeConfig, Server};
+use httpwire::{ClientConfig, HttpClient, HttpConnection, RequestSpec};
+use std::io::Read;
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+/// Connection cap for the bench daemon: small enough that the overload
+/// leg can exceed it with a modest burst, large enough that the
+/// measured legs never brush against it.
+const MAX_CONNECTIONS: usize = 32;
+
+/// Response-body cap for bench requests.
+const RESPONSE_LIMIT: usize = 1 << 20;
+
+struct Args {
+    store: String,
+    requests: usize,
+    burst: usize,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut store = None;
+    let mut requests = 200usize;
+    let mut burst = 16usize;
+    let mut out = "BENCH_CHARSERVE.json".to_string();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--store" => store = Some(argv.next().ok_or("--store needs a value")?),
+            "--requests" => {
+                requests = argv
+                    .next()
+                    .ok_or("--requests needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --requests: {e}"))?;
+            }
+            "--burst" => {
+                burst = argv
+                    .next()
+                    .ok_or("--burst needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --burst: {e}"))?;
+            }
+            "--out" => out = argv.next().ok_or("--out needs a value")?,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(Args {
+        store: store.ok_or("charserve_load requires --store DIR")?,
+        requests: requests.max(10),
+        burst: burst.max(1),
+        out,
+    })
+}
+
+/// Sorted-latency percentile in milliseconds.
+fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64) * p).ceil() as usize;
+    sorted[idx.clamp(1, sorted.len()) - 1] * 1e3
+}
+
+/// Extracts `name value` from Prometheus text exposition.
+fn prom_value(metrics: &str, name: &str) -> Option<f64> {
+    metrics
+        .lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l[name.len()..].trim().parse().ok())
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        store_dir: args.store.clone().into(),
+        max_connections: MAX_CONNECTIONS,
+        ..ServeConfig::default()
+    })
+    .map_err(|e| format!("cannot boot bench daemon: {e}"))?;
+    let addr = server.local_addr().to_string();
+    let daemon = std::thread::spawn(move || server.serve());
+    eprintln!("bench daemon on {addr} over store {}", args.store);
+
+    let client = Client::new(&addr);
+    client.healthz().map_err(|e| format!("healthz: {e}"))?;
+    let http = HttpClient::new(&addr, ClientConfig::default());
+    let characterize_body = br#"{"scale": "micro", "network": "lenet5"}"#;
+    let characterize = |keep_alive: bool| RequestSpec {
+        method: "POST",
+        path: "/characterize",
+        content_type: "application/json",
+        body: characterize_body,
+        trace: None,
+        response_limit: RESPONSE_LIMIT,
+        keep_alive,
+    };
+    let mut client_requests = 0u64;
+
+    // Prime: the first request may compute (cold store) — everything
+    // after it is the warm request-hit path the latency leg measures.
+    let primed = http
+        .send(&characterize(true))
+        .map_err(|e| format!("prime characterize: {e}"))?;
+    client_requests += 1;
+    if primed.status != 200 {
+        return Err(format!(
+            "prime characterize answered {}: {}",
+            primed.status,
+            String::from_utf8_lossy(&primed.body)
+        ));
+    }
+
+    // Leg 1: warm characterize latency over one keep-alive connection.
+    let mut latencies = Vec::with_capacity(args.requests);
+    let leg = Instant::now();
+    for _ in 0..args.requests {
+        let t = Instant::now();
+        let resp = http
+            .send(&characterize(true))
+            .map_err(|e| format!("characterize: {e}"))?;
+        client_requests += 1;
+        if resp.status != 200 {
+            return Err(format!("characterize answered {}", resp.status));
+        }
+        latencies.push(t.elapsed().as_secs_f64());
+    }
+    let characterize_rps = args.requests as f64 / leg.elapsed().as_secs_f64();
+    latencies.sort_by(f64::total_cmp);
+    let (p50, p95, p99) = (
+        percentile_ms(&latencies, 0.50),
+        percentile_ms(&latencies, 0.95),
+        percentile_ms(&latencies, 0.99),
+    );
+    eprintln!(
+        "characterize (warm): {:.0} req/s, p50 {p50:.3} ms, p95 {p95:.3} ms, p99 {p99:.3} ms",
+        characterize_rps
+    );
+
+    // Leg 2: keep-alive vs close-per-request throughput on /healthz.
+    let healthz_n = args.requests;
+    let spec = RequestSpec::get("/healthz", RESPONSE_LIMIT);
+    let t = Instant::now();
+    for _ in 0..healthz_n {
+        let resp = http.send(&spec).map_err(|e| format!("healthz ka: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!("healthz (keep-alive) answered {}", resp.status));
+        }
+    }
+    let keepalive_rps = healthz_n as f64 / t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    for _ in 0..healthz_n {
+        // A fresh dial per request, explicitly closing: the pre-reactor
+        // daemon's connection discipline.
+        let mut conn = HttpConnection::connect(&addr, &ClientConfig::default())
+            .map_err(|e| format!("dial: {e}"))?;
+        conn.send(&spec.closing())
+            .map_err(|e| format!("send: {e}"))?;
+        let (head, _body) = conn
+            .read_response(RESPONSE_LIMIT)
+            .map_err(|e| format!("healthz close: {e}"))?;
+        if head.status != 200 {
+            return Err(format!("healthz (close) answered {}", head.status));
+        }
+    }
+    let close_rps = healthz_n as f64 / t.elapsed().as_secs_f64();
+    let speedup = keepalive_rps / close_rps;
+    eprintln!(
+        "healthz: keep-alive {keepalive_rps:.0} req/s vs close {close_rps:.0} req/s ({speedup:.2}x)"
+    );
+
+    // Leg 3: overload burst. Open enough raw connections to blow past
+    // the admission cap; rejected ones receive an immediate 429 and a
+    // close, admitted ones (which never send a request) receive nothing
+    // until their read probe times out.
+    let burst_total = MAX_CONNECTIONS + args.burst;
+    let mut burst_conns = Vec::with_capacity(burst_total);
+    for _ in 0..burst_total {
+        burst_conns.push(TcpStream::connect(&addr).map_err(|e| format!("burst dial: {e}"))?);
+    }
+    let mut rejected_429 = 0usize;
+    let mut admitted = 0usize;
+    for conn in &mut burst_conns {
+        conn.set_read_timeout(Some(Duration::from_millis(500)))
+            .map_err(|e| e.to_string())?;
+        let mut head = [0u8; 16];
+        match conn.read(&mut head) {
+            Ok(n) if n > 0 && String::from_utf8_lossy(&head[..n]).contains("429") => {
+                rejected_429 += 1;
+            }
+            Ok(_) => {}              // closed without a 429 (hard-drop tier)
+            Err(_) => admitted += 1, // no bytes: the connection was admitted and idles
+        }
+    }
+    // While the burst still holds its admitted slots, an
+    // already-admitted keep-alive connection keeps being served.
+    let healthz_ok = http.send(&spec).map(|r| r.status == 200).unwrap_or(false);
+    drop(burst_conns);
+    eprintln!(
+        "overload: {burst_total} connections -> {admitted} admitted, {rejected_429} told 429, healthz_ok={healthz_ok}"
+    );
+
+    // Leg 4: accounting cross-check.
+    let stats = client.stats().map_err(|e| format!("stats: {e}"))?;
+    let stats_requests = charserve::json::parse(&stats)
+        .map_err(|e| format!("stats json: {e}"))?
+        .get("requests")
+        .and_then(charserve::json::JsonValue::as_u64)
+        .ok_or("no `requests` counter in /stats")?;
+    let metrics = client.metrics().map_err(|e| format!("metrics: {e}"))?;
+    let observed = prom_value(&metrics, "charserve_request_seconds_count")
+        .ok_or("no charserve_request_seconds_count in /metrics")?;
+    let counters_agree = stats_requests == client_requests && observed >= client_requests as f64;
+    eprintln!(
+        "accounting: client sent {client_requests} characterize, /stats says {stats_requests}, \
+         request_seconds observed {observed}"
+    );
+
+    let report = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"charserve_load\",\n",
+            "  \"requests\": {},\n",
+            "  \"characterize\": {{\"rps\": {:.1}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}}},\n",
+            "  \"healthz\": {{\"keepalive_rps\": {:.1}, \"close_rps\": {:.1}, \"keepalive_speedup\": {:.3}}},\n",
+            "  \"overload\": {{\"burst\": {}, \"admitted\": {}, \"rejected_429\": {}, \"healthz_ok\": {}}},\n",
+            "  \"accounting\": {{\"client_requests\": {}, \"stats_requests\": {}, \"request_seconds_count\": {:.0}, \"agree\": {}}}\n",
+            "}}\n"
+        ),
+        args.requests,
+        characterize_rps,
+        p50,
+        p95,
+        p99,
+        keepalive_rps,
+        close_rps,
+        speedup,
+        burst_total,
+        admitted,
+        rejected_429,
+        healthz_ok,
+        client_requests,
+        stats_requests,
+        observed,
+        counters_agree,
+    );
+    std::fs::write(&args.out, &report).map_err(|e| format!("write {}: {e}", args.out))?;
+    print!("{report}");
+    eprintln!("wrote {}", args.out);
+
+    client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    daemon
+        .join()
+        .map_err(|_| "daemon thread panicked".to_string())?
+        .map_err(|e| format!("daemon: {e}"))?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("charserve_load: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -16,7 +16,12 @@
 //! charstore [--dir DIR] gc --max-bytes N       delete oldest artifacts over the budget
 //! charstore [--dir DIR] verify                 re-checksum every object on disk
 //! charstore [--dir DIR] serve [--addr A] [--workers N]
+//!                            [--max-connections N] [--max-pending N]
+//!                            [--header-timeout-ms N] [--idle-timeout-ms N]
 //!                                              run the charserve daemon over the store
+//!                                              (connection/pending caps answer 429 with
+//!                                              Retry-After; the timeouts bound slowloris
+//!                                              reads and idle keep-alive connections)
 //! charstore request [--addr A] [--scale S] [--network N] [--seed X]
 //!                                              POST a characterization request
 //! charstore request [--addr A] (--healthz | --stats | --shutdown)
@@ -376,26 +381,45 @@ fn cmd_serve(dir: &str, rest: &[String]) -> Result<(), String> {
         addr: DEFAULT_ADDR.to_string(),
         workers: 2,
         store_dir: dir.into(),
+        ..ServeConfig::default()
+    };
+    let parse_num = |name: &str, value: Option<&String>| -> Result<u64, String> {
+        value
+            .ok_or(format!("{name} needs a value"))?
+            .parse()
+            .map_err(|e| format!("bad {name}: {e}"))
     };
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--addr" => cfg.addr = it.next().ok_or("--addr needs a value")?.clone(),
             "--workers" => {
-                cfg.workers = it
-                    .next()
-                    .ok_or("--workers needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --workers: {e}"))?;
+                cfg.workers = parse_num("--workers", it.next())? as usize;
+            }
+            "--max-connections" => {
+                cfg.max_connections = parse_num("--max-connections", it.next())? as usize;
+            }
+            "--max-pending" => {
+                cfg.max_pending = parse_num("--max-pending", it.next())? as usize;
+            }
+            "--header-timeout-ms" => {
+                cfg.header_timeout =
+                    std::time::Duration::from_millis(parse_num("--header-timeout-ms", it.next())?);
+            }
+            "--idle-timeout-ms" => {
+                cfg.idle_timeout =
+                    std::time::Duration::from_millis(parse_num("--idle-timeout-ms", it.next())?);
             }
             other => return Err(format!("unknown serve option `{other}`")),
         }
     }
     let server = Server::bind(&cfg).map_err(|e| format!("cannot start charserve: {e}"))?;
     println!(
-        "charserve listening on {} over store {dir} ({} workers)",
+        "charserve listening on {} over store {dir} ({} workers, {} connections / {} pending max)",
         server.local_addr(),
-        cfg.workers
+        cfg.workers,
+        cfg.max_connections,
+        cfg.max_pending
     );
     server.serve().map_err(|e| e.to_string())?;
     println!("charserve stopped");

@@ -1,8 +1,13 @@
 //! A small blocking client for the daemon — the engine behind
 //! `charstore request`, the integration tests and the CI smoke job.
+//!
+//! Built on the shared [`httpwire::HttpClient`], so consecutive calls
+//! reuse one keep-alive connection instead of dialing per request —
+//! the same client core [`charstore::RemoteTier`] uses for the object
+//! protocol.
 
 use crate::http;
-use std::net::TcpStream;
+use httpwire::{ClientConfig, HttpClient, RequestSpec};
 use std::time::Duration;
 
 /// Default read timeout: characterizations at Mini/Full scale take
@@ -10,11 +15,11 @@ use std::time::Duration;
 /// computation the server will finish.
 pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(3600);
 
-/// A blocking client bound to one daemon address.
+/// A blocking keep-alive client bound to one daemon address. Clones
+/// share the underlying connection pool.
 #[derive(Debug, Clone)]
 pub struct Client {
-    addr: String,
-    timeout: Duration,
+    http: HttpClient,
 }
 
 impl Client {
@@ -22,31 +27,56 @@ impl Client {
     #[must_use]
     pub fn new(addr: impl Into<String>) -> Client {
         Client {
-            addr: addr.into(),
-            timeout: DEFAULT_TIMEOUT,
+            http: HttpClient::new(
+                &addr.into(),
+                ClientConfig {
+                    io_timeout: DEFAULT_TIMEOUT,
+                    ..ClientConfig::default()
+                },
+            ),
         }
     }
 
-    /// Overrides the read timeout (tests use short ones).
+    /// Overrides the read timeout (tests use short ones). Existing
+    /// pooled connections are dropped; the next request re-dials.
     #[must_use]
-    pub fn with_timeout(mut self, timeout: Duration) -> Client {
-        self.timeout = timeout;
-        self
+    pub fn with_timeout(self, timeout: Duration) -> Client {
+        Client {
+            http: HttpClient::new(
+                self.http.addr(),
+                ClientConfig {
+                    io_timeout: timeout,
+                    ..ClientConfig::default()
+                },
+            ),
+        }
     }
 
-    /// One request/response round trip: `(status, body)`.
+    /// One request/response round trip: `(status, body)`. Inside an
+    /// [`obs::with_trace`] scope the request carries an `X-Trace-Id`
+    /// header, which the daemon adopts — client-side spans and
+    /// daemon-side spans land in the same trace.
     ///
     /// # Errors
     ///
     /// Returns a description on connect, I/O or framing failure.
     pub fn roundtrip(&self, method: &str, path: &str, body: &str) -> Result<(u16, String), String> {
-        let mut stream = TcpStream::connect(&self.addr)
-            .map_err(|e| format!("cannot connect to charserve at {}: {e}", self.addr))?;
-        stream
-            .set_read_timeout(Some(self.timeout))
-            .map_err(|e| e.to_string())?;
-        http::write_request(&mut stream, method, path, body).map_err(|e| e.to_string())?;
-        http::read_response(&stream).map_err(|e| e.to_string())
+        let trace = obs::current_trace().map(|t| t.to_string());
+        let response = self
+            .http
+            .send(&RequestSpec {
+                method,
+                path,
+                content_type: "application/json",
+                body: body.as_bytes(),
+                trace: trace.as_deref(),
+                response_limit: http::MAX_BODY_BYTES,
+                keep_alive: true,
+            })
+            .map_err(|e| format!("cannot reach charserve at {}: {e}", self.http.addr()))?;
+        String::from_utf8(response.body)
+            .map(|body| (response.status, body))
+            .map_err(|_| format!("{path} answered a non-UTF-8 body"))
     }
 
     fn expect_ok(&self, method: &str, path: &str, body: &str) -> Result<String, String> {

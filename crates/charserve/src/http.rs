@@ -1,29 +1,34 @@
-//! Just-enough HTTP/1.1 framing over [`std::net`] streams.
+//! The daemon's HTTP surface: route body limits plus blocking framing
+//! helpers over the shared sans-IO [`httpwire`] core.
 //!
-//! The daemon speaks a deliberately tiny subset — one request per
-//! connection (`Connection: close`), `Content-Length` bodies only, no
-//! chunked encoding, no keep-alive — so the whole wire layer stays
-//! auditable and dependency-free. Limits are enforced before
-//! allocation, the same discipline as `charstore::wire::Reader`:
-//! reading is split into [`read_head`] (request line + headers, with
-//! the declared `Content-Length` parsed but **no body buffer touched**)
-//! and [`read_body`] (which checks the declared length against the
-//! route's limit *before* allocating). An oversized declaration is a
-//! typed [`is_too_large`] error the server answers with `413`; a
-//! malformed or overflowing declaration is a plain framing error
-//! answered with `400`. Either way a hostile client cannot make the
-//! daemon allocate a byte more than the route allows.
+//! The protocol itself — incremental head parsing, keep-alive
+//! semantics, response serialization, the before-allocation limit
+//! discipline — lives in [`httpwire`], where the nonblocking reactor,
+//! the blocking clients and the tests all drive the exact same parser.
+//! This module keeps what is charserve *policy* rather than wire
+//! mechanics: the per-route body caps ([`MAX_BODY_BYTES`] for JSON
+//! endpoints, [`MAX_OBJECT_BYTES`] for object ingest) and a handful of
+//! blocking convenience helpers the tests and tools use to speak the
+//! protocol over plain [`std::net`] streams.
+//!
+//! The blocking readers here deliberately consume **one byte past
+//! nothing**: they feed the sans-IO parser exactly the bytes a head
+//! occupies, so the stream position after [`read_head`] is the first
+//! body byte, and after [`read_response`] the first byte of the next
+//! pipelined response — no buffered look-ahead is ever discarded.
 
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, Read, Write};
 use std::net::TcpStream;
 
-/// Maximum accepted request-line + header-line length.
-pub const MAX_LINE_BYTES: usize = 8 * 1024;
-/// Maximum accepted number of header lines per request. Without a cap
-/// a client could stream headers forever (one byte per read keeps the
-/// idle timeout from firing) and pin the connection thread — and with
-/// it the shutdown join.
-pub const MAX_HEADER_LINES: usize = 64;
+pub use httpwire::{
+    is_disconnect, is_too_large, parse_request_head, parse_response_head, Parsed, Response,
+    ResponseHead, MAX_HEADER_LINES, MAX_LINE_BYTES,
+};
+
+/// A parsed request line + headers, before any body byte is read. The
+/// server routes on this to pick the body limit for [`read_body`].
+pub type Head = httpwire::RequestHead;
+
 /// Maximum accepted body length for JSON endpoints.
 pub const MAX_BODY_BYTES: usize = 1024 * 1024;
 /// Maximum accepted body length for object ingest (`PUT /object/…`):
@@ -34,7 +39,9 @@ pub const MAX_BODY_BYTES: usize = 1024 * 1024;
 /// permanent recomputes fleet-wide.
 pub const MAX_OBJECT_BYTES: usize = charstore::remote::MAX_OBJECT_BYTES;
 
-/// A parsed request head plus its body.
+/// A parsed request head plus its body — the value route handlers
+/// receive. Handlers never see a socket; the reactor (or a test)
+/// assembles this from parsed bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// `GET` / `POST` / `PUT` / ….
@@ -46,156 +53,59 @@ pub struct Request {
     pub body: Vec<u8>,
 }
 
-/// A parsed request line + headers, before any body byte is read (and
-/// before any body buffer exists). The server routes on this to pick
-/// the body limit for [`read_body`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Head {
-    /// `GET` / `POST` / `PUT` / ….
-    pub method: String,
-    /// Absolute path.
-    pub path: String,
-    /// Declared `Content-Length` (0 when the header is absent).
-    pub content_length: u64,
-    /// Raw `X-Trace-Id` header value, if the client sent one — the
-    /// caller's trace identity, adopted by the server so cross-process
-    /// request traces join up. Validation (16 hex digits) is the
-    /// server's job; a garbage value is simply ignored there.
-    pub trace_id: Option<String>,
-}
+impl Request {
+    /// A body-less request — the common case in handler unit tests.
+    #[must_use]
+    pub fn new(method: &str, path: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            body: Vec::new(),
+        }
+    }
 
-fn invalid(msg: impl Into<String>) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.into())
-}
-
-/// Marker payload of the "declared body exceeds the route limit"
-/// error, so the server can answer `413` instead of a generic `400`.
-#[derive(Debug)]
-struct PayloadTooLarge {
-    declared: u64,
-    limit: usize,
-}
-
-impl std::fmt::Display for PayloadTooLarge {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "declared body of {} bytes exceeds the {}-byte limit",
-            self.declared, self.limit
-        )
+    /// Attaches a body.
+    #[must_use]
+    pub fn with_body(mut self, body: impl Into<Vec<u8>>) -> Request {
+        self.body = body.into();
+        self
     }
 }
 
-impl std::error::Error for PayloadTooLarge {}
-
-fn too_large(declared: u64, limit: usize) -> io::Error {
-    io::Error::new(
-        io::ErrorKind::InvalidData,
-        PayloadTooLarge { declared, limit },
-    )
-}
-
-/// Whether an error is the oversized-body rejection from
-/// [`read_body`] — the server maps it to `413 Payload Too Large`.
+/// The body limit for a routed request head: object ingest accepts
+/// full container payloads, every JSON endpoint keeps the tight cap.
 #[must_use]
-pub fn is_too_large(e: &io::Error) -> bool {
-    e.get_ref()
-        .is_some_and(|inner| inner.is::<PayloadTooLarge>())
+pub fn body_limit(head: &Head) -> usize {
+    if head.method == "PUT" && head.path.starts_with("/object/") {
+        MAX_OBJECT_BYTES
+    } else {
+        MAX_BODY_BYTES
+    }
 }
 
-/// Whether an error means the client went away (or stalled past the
-/// read timeout) rather than sent something malformed. Responding is
-/// pointless and the condition is routine under real traffic, so the
-/// server logs these per-connection and keeps accepting instead of
-/// treating them as request errors.
-#[must_use]
-pub fn is_disconnect(e: &io::Error) -> bool {
-    matches!(
-        e.kind(),
-        io::ErrorKind::UnexpectedEof
-            | io::ErrorKind::ConnectionReset
-            | io::ErrorKind::ConnectionAborted
-            | io::ErrorKind::BrokenPipe
-            | io::ErrorKind::NotConnected
-            | io::ErrorKind::WouldBlock
-            | io::ErrorKind::TimedOut
-    )
-}
-
-/// Reads one CRLF- (or LF-) terminated line, bounded by
-/// [`MAX_LINE_BYTES`]. EOF before the terminator is a framing error —
-/// treating a truncated connection as an empty line would let a
-/// half-sent request parse as a complete one (and e.g. launch a
-/// default characterization for a request that never finished
-/// arriving).
-fn read_line(reader: &mut impl BufRead) -> io::Result<String> {
-    let mut line = Vec::new();
+/// Feeds `reader` one byte at a time into `parse` until it yields a
+/// complete head. Byte-at-a-time keeps the reader positioned exactly at
+/// the first post-head byte. Callers reading several responses off one
+/// stream must NOT wrap it in a fresh `BufReader` per call — the
+/// prefetched tail of the next response dies with the wrapper.
+fn read_parsed<T>(
+    reader: &mut impl Read,
+    parse: impl Fn(&[u8]) -> io::Result<Parsed<T>>,
+) -> io::Result<T> {
+    let mut buf = Vec::new();
     loop {
+        if let Parsed::Complete { head, .. } = parse(&buf)? {
+            return Ok(head);
+        }
         let mut byte = [0u8; 1];
-        match reader.read(&mut byte)? {
-            0 => {
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "connection closed mid-line",
-                ))
-            }
-            _ => {
-                if byte[0] == b'\n' {
-                    break;
-                }
-                line.push(byte[0]);
-                if line.len() > MAX_LINE_BYTES {
-                    return Err(invalid("header line too long"));
-                }
-            }
+        if reader.read(&mut byte)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-head",
+            ));
         }
+        buf.push(byte[0]);
     }
-    if line.last() == Some(&b'\r') {
-        line.pop();
-    }
-    String::from_utf8(line).map_err(|_| invalid("header line is not UTF-8"))
-}
-
-/// The headers this server cares about, parsed in one pass.
-struct Headers {
-    content_length: u64,
-    trace_id: Option<String>,
-}
-
-/// Parses header lines until the blank line and returns the declared
-/// `Content-Length` (0 when absent) plus any `X-Trace-Id` value.
-/// Bounded by [`MAX_LINE_BYTES`] and [`MAX_HEADER_LINES`]; a
-/// `Content-Length` that does not parse as a `u64` (negative, garbage,
-/// or overflowing) is a framing error. No body limit is applied here —
-/// that is route-dependent and belongs to [`read_body`].
-fn read_headers(reader: &mut impl BufRead) -> io::Result<Headers> {
-    let mut headers = Headers {
-        content_length: 0,
-        trace_id: None,
-    };
-    let mut lines = 0usize;
-    loop {
-        let line = read_line(reader)?;
-        if line.is_empty() {
-            break;
-        }
-        lines += 1;
-        if lines > MAX_HEADER_LINES {
-            return Err(invalid("too many header lines"));
-        }
-        let Some((name, value)) = line.split_once(':') else {
-            continue;
-        };
-        if name.eq_ignore_ascii_case("content-length") {
-            headers.content_length = value
-                .trim()
-                .parse::<u64>()
-                .map_err(|_| invalid("bad Content-Length"))?;
-        } else if name.eq_ignore_ascii_case("x-trace-id") {
-            headers.trace_id = Some(value.trim().to_string());
-        }
-    }
-    Ok(headers)
 }
 
 /// Reads a request head: request line plus headers, stopping before
@@ -205,23 +115,8 @@ fn read_headers(reader: &mut impl BufRead) -> io::Result<Headers> {
 ///
 /// Returns an `InvalidData` error on any framing violation, or an
 /// [`is_disconnect`] error if the client went away mid-head.
-pub fn read_head(reader: &mut impl BufRead) -> io::Result<Head> {
-    let request_line = read_line(reader)?;
-    let mut parts = request_line.split_whitespace();
-    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
-    else {
-        return Err(invalid(format!("malformed request line `{request_line}`")));
-    };
-    if !version.starts_with("HTTP/1.") {
-        return Err(invalid(format!("unsupported version `{version}`")));
-    }
-    let headers = read_headers(reader)?;
-    Ok(Head {
-        method: method.to_string(),
-        path: path.to_string(),
-        content_length: headers.content_length,
-        trace_id: headers.trace_id,
-    })
+pub fn read_head(reader: &mut impl Read) -> io::Result<Head> {
+    read_parsed(reader, httpwire::parse_request_head)
 }
 
 /// Reads exactly `declared` body bytes, rejecting a declaration over
@@ -232,9 +127,9 @@ pub fn read_head(reader: &mut impl BufRead) -> io::Result<Head> {
 ///
 /// An [`is_too_large`] error when `declared > limit` (the server
 /// answers `413`), or the underlying I/O error on a short read.
-pub fn read_body(reader: &mut impl BufRead, declared: u64, limit: usize) -> io::Result<Vec<u8>> {
+pub fn read_body(reader: &mut impl Read, declared: u64, limit: usize) -> io::Result<Vec<u8>> {
     if declared > limit as u64 {
-        return Err(too_large(declared, limit));
+        return Err(httpwire::too_large(declared, limit));
     }
     let mut body = vec![0u8; declared as usize];
     reader.read_exact(&mut body)?;
@@ -242,16 +137,17 @@ pub fn read_body(reader: &mut impl BufRead, declared: u64, limit: usize) -> io::
 }
 
 /// Reads one request from a server-side connection, with the JSON
-/// body limit ([`MAX_BODY_BYTES`]). The daemon's connection handler
-/// uses the two-phase [`read_head`] + [`read_body`] instead so object
-/// routes get their own limit.
+/// body limit ([`MAX_BODY_BYTES`]). The daemon's reactor parses from
+/// its own buffers instead; this is the test-side helper.
 ///
 /// # Errors
 ///
 /// Returns an `InvalidData` error on any framing violation (the server
 /// answers those with `400`).
 pub fn read_request(stream: &TcpStream) -> io::Result<Request> {
-    let mut reader = BufReader::new(stream);
+    // Unbuffered on purpose: a `BufReader` created here would prefetch
+    // bytes of the next pipelined request and lose them on drop.
+    let mut reader = stream;
     let head = read_head(&mut reader)?;
     let body = read_body(&mut reader, head.content_length, MAX_BODY_BYTES)?;
     Ok(Request {
@@ -262,7 +158,9 @@ pub fn read_request(stream: &TcpStream) -> io::Result<Request> {
 }
 
 /// Writes a response with an explicit content type and raw body bytes,
-/// then flushes — the object-serving path.
+/// then flushes, answering `Connection: close` — the one-shot test and
+/// tool path (the daemon's reactor serializes through
+/// [`httpwire::Response`] with real keep-alive semantics instead).
 ///
 /// When the writing thread is inside an [`obs::with_trace`] scope the
 /// response carries an `X-Trace-Id` header, so a client that did not
@@ -275,20 +173,12 @@ pub fn read_request(stream: &TcpStream) -> io::Result<Request> {
 pub fn write_response_bytes(
     stream: &mut TcpStream,
     status: u16,
-    reason: &str,
-    content_type: &str,
+    content_type: &'static str,
     body: &[u8],
 ) -> io::Result<()> {
-    let trace = match obs::current_trace() {
-        Some(trace) => format!("X-Trace-Id: {trace}\r\n"),
-        None => String::new(),
-    };
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{trace}Connection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
+    let trace = obs::current_trace().map(|t| t.to_string());
+    let response = Response::bytes(status, content_type, body.to_vec());
+    stream.write_all(&response.encode(false, trace.as_deref()))?;
     stream.flush()
 }
 
@@ -297,17 +187,12 @@ pub fn write_response_bytes(
 /// # Errors
 ///
 /// Returns any I/O error from the stream.
-pub fn write_response(
-    stream: &mut TcpStream,
-    status: u16,
-    reason: &str,
-    body: &str,
-) -> io::Result<()> {
-    write_response_bytes(stream, status, reason, "application/json", body.as_bytes())
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    write_response_bytes(stream, status, "application/json", body.as_bytes())
 }
 
-/// Writes one client request and flushes. Inside an
-/// [`obs::with_trace`] scope the request carries an `X-Trace-Id`
+/// Writes one client request and flushes, offering keep-alive. Inside
+/// an [`obs::with_trace`] scope the request carries an `X-Trace-Id`
 /// header, which the daemon adopts — client-side spans and daemon-side
 /// spans land in the same trace.
 ///
@@ -320,47 +205,53 @@ pub fn write_request(
     path: &str,
     body: &str,
 ) -> io::Result<()> {
-    let trace = match obs::current_trace() {
-        Some(trace) => format!("X-Trace-Id: {trace}\r\n"),
-        None => String::new(),
-    };
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: charserve\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{trace}Connection: close\r\n\r\n",
-        body.len()
+    let trace = obs::current_trace().map(|t| t.to_string());
+    let head = httpwire::encode_request_head(
+        method,
+        path,
+        "application/json",
+        body.len(),
+        trace.as_deref(),
+        true,
     );
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
 }
 
+/// Reads a response head (status line + headers), stopping before the
+/// body — for callers that need the parsed head (status, declared
+/// length, keep-alive) rather than just `(status, body)`.
+///
+/// # Errors
+///
+/// Returns an `InvalidData` error on framing violations, or an
+/// [`is_disconnect`] error if the server went away mid-head.
+pub fn read_response_head(reader: &mut impl Read) -> io::Result<ResponseHead> {
+    read_parsed(reader, httpwire::parse_response_head)
+}
+
 /// Reads one response from a client-side connection: `(status, body)`.
+/// Reads exactly one response's bytes, so pipelined callers can invoke
+/// it repeatedly on the same stream.
 ///
 /// # Errors
 ///
 /// Returns an `InvalidData` error on framing violations.
 pub fn read_response(stream: &TcpStream) -> io::Result<(u16, String)> {
-    let mut reader = BufReader::new(stream);
-    let status_line = read_line(&mut reader)?;
-    let mut parts = status_line.split_whitespace();
-    let (Some(version), Some(status)) = (parts.next(), parts.next()) else {
-        return Err(invalid(format!("malformed status line `{status_line}`")));
-    };
-    if !version.starts_with("HTTP/1.") {
-        return Err(invalid(format!("unsupported version `{version}`")));
-    }
-    let status = status
-        .parse::<u16>()
-        .map_err(|_| invalid("non-numeric status"))?;
-    let content_length = read_headers(&mut reader)?.content_length;
-    let body = read_body(&mut reader, content_length, MAX_BODY_BYTES)?;
+    // Unbuffered on purpose: see `read_request`.
+    let mut reader = stream;
+    let head: ResponseHead = read_parsed(&mut reader, httpwire::parse_response_head)?;
+    let body = read_body(&mut reader, head.content_length, MAX_BODY_BYTES)?;
     String::from_utf8(body)
-        .map(|body| (status, body))
-        .map_err(|_| invalid("body is not UTF-8"))
+        .map(|body| (head.status, body))
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "body is not UTF-8"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::BufReader;
     use std::net::TcpListener;
 
     /// Round-trips one request/response pair over a real socket.
@@ -375,7 +266,7 @@ mod tests {
             assert_eq!(req.path, "/characterize");
             assert_eq!(req.body, br#"{"scale": "micro"}"#);
             let mut stream = stream;
-            write_response(&mut stream, 200, "OK", r#"{"ok": true}"#).unwrap();
+            write_response(&mut stream, 200, r#"{"ok": true}"#).unwrap();
         });
         let mut stream = TcpStream::connect(addr).unwrap();
         write_request(
@@ -504,6 +395,7 @@ mod tests {
             assert_eq!(head.method, "PUT");
             assert_eq!(head.path, "/object/abc");
             assert_eq!(head.content_length, 4);
+            assert_eq!(body_limit(&head), MAX_OBJECT_BYTES);
             // A JSON-limit read of the same head would reject it…
             assert!(is_too_large(
                 &read_body(&mut reader, head.content_length, 2).unwrap_err()
@@ -520,6 +412,24 @@ mod tests {
             .write_all(b"PUT /object/abc HTTP/1.1\r\nContent-Length: 4\r\n\r\nBODY")
             .unwrap();
         stream.flush().unwrap();
+        server.join().unwrap();
+    }
+
+    /// Two pipelined responses on one stream read back in order, each
+    /// call consuming exactly one response's bytes.
+    #[test]
+    fn read_response_consumes_exactly_one_pipelined_response() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut wire = Response::json(200, "first").encode(true, None);
+            wire.extend_from_slice(&Response::json(404, "second").encode(false, None));
+            stream.write_all(&wire).unwrap();
+        });
+        let stream = TcpStream::connect(addr).unwrap();
+        assert_eq!(read_response(&stream).unwrap(), (200, "first".to_string()));
+        assert_eq!(read_response(&stream).unwrap(), (404, "second".to_string()));
         server.join().unwrap();
     }
 }

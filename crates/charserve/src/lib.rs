@@ -6,19 +6,30 @@
 //! many clients share one warm store through a persistent server
 //! instead of each warming their own.
 //!
-//! * [`server`] — the daemon: hand-rolled HTTP/1.1 over
-//!   [`std::net::TcpListener`] (no network dependencies, matching the
-//!   offline compat-crate approach), answering request hits straight
-//!   from the shared [`charstore::Store`] and scheduling misses onto a
-//!   bounded worker-thread pool.
+//! * [`reactor`] — the nonblocking event loop: **one** thread drives
+//!   every connection through epoll (via the `polling` compat shim —
+//!   no network dependencies, matching the offline compat-crate
+//!   approach), with HTTP/1.1 keep-alive + pipelining, header/idle
+//!   deadlines, and bounded admission (`429` + `Retry-After` past the
+//!   connection cap).
+//! * [`router`] — the typed route table: handlers are
+//!   `fn(&Ctx, &Request, &Deferred) -> Reply` values that never touch
+//!   a socket, so every route unit-tests as a bare function call.
+//! * [`server`] — the policy layer: answers request hits straight from
+//!   the shared [`charstore::Store`] and schedules misses onto a
+//!   bounded worker-thread pool, suspending the connection
+//!   ([`router::Reply::Later`]) instead of blocking a thread.
 //! * [`singleflight`] — request deduplication: N concurrent requests
 //!   for the same key run the expensive computation **once**; the
-//!   other N−1 wait on the leader's flight and share its result.
+//!   other N−1 register completion callbacks on the leader's flight
+//!   and share its result.
 //! * [`pool`] — the bounded worker pool the leaders schedule onto.
-//! * [`http`] / [`json`] — just-enough HTTP/1.1 framing and a small
-//!   JSON reader for the wire format.
-//! * [`client`] — a blocking client for the CLI
-//!   (`charstore request`), tests and CI.
+//! * [`http`] / [`json`] — charserve's body-limit policy and blocking
+//!   framing helpers over the shared sans-IO [`httpwire`] core, and a
+//!   small JSON reader for the wire format.
+//! * [`client`] — a blocking keep-alive client (over
+//!   [`httpwire::HttpClient`]) for the CLI (`charstore request`),
+//!   tests and CI.
 //!
 //! Endpoints:
 //!
@@ -50,6 +61,8 @@ pub mod client;
 pub mod http;
 pub mod json;
 pub mod pool;
+pub mod reactor;
+pub mod router;
 pub mod server;
 pub mod singleflight;
 

@@ -1,16 +1,37 @@
-//! The charserve daemon: accept loop, request routing, and the
-//! hit / single-flight / worker-pool serving policy.
+//! The charserve daemon: a typed router over the nonblocking reactor,
+//! plus the hit / single-flight / worker-pool serving policy.
+//!
+//! Transport and policy are split across three layers:
+//!
+//! * [`crate::reactor`] owns every socket — epoll readiness, keep-alive
+//!   and pipelining, header/idle deadlines, and the connection-count
+//!   admission gate (`429` + `Retry-After` beyond
+//!   [`ServeConfig::max_connections`]).
+//! * [`crate::router`] maps `(method, path)` to typed handlers
+//!   `fn(&Arc<Ctx>, &Request, &Deferred) -> Reply` — handlers compute
+//!   values, never touch sockets, and unit-test as bare function calls.
+//! * This module is the policy: the serving order for
+//!   `POST /characterize`, the second admission gate
+//!   ([`ServeConfig::max_pending`] bounds *pending computations*, not
+//!   connections), and the `/stats`–`/metrics` accounting.
 //!
 //! Serving policy for `POST /characterize`, in order:
 //!
 //! 1. **Store hit** — a [`powerpruning::cache::RequestManifest`] stored
 //!    under the request key answers immediately, without touching a
 //!    pipeline (zero training epochs, zero simulated transitions).
-//! 2. **Single-flight** — otherwise the request joins the flight for
-//!    its key: the first requester (leader) schedules the computation
-//!    onto the bounded worker pool; every concurrent duplicate waits on
-//!    the same flight and shares the one result.
-//! 3. **Compute** — the worker builds a pipeline over the **shared**
+//! 2. **Backpressure** — a request that would *lead* a new computation
+//!    while [`ServeConfig::max_pending`] flights are already open gets
+//!    `429` + `Retry-After`. Joining an open flight is always free — a
+//!    duplicate costs nothing and is never throttled.
+//! 3. **Single-flight** — the request joins the flight for its key: the
+//!    first requester (leader) schedules the computation onto the
+//!    bounded worker pool; every concurrent duplicate registers a
+//!    completion callback on the same flight and shares the one result.
+//!    The handler returns [`Reply::Later`]; the reactor parks the
+//!    connection (no thread waits) until the flight's callback delivers
+//!    the rendered response through the connection's [`Deferred`].
+//! 4. **Compute** — the worker builds a pipeline over the **shared**
 //!    cache ([`powerpruning::Pipeline::with_shared_cache`]) and serves
 //!    the request through the exact lookup → compute → store path the
 //!    standalone pipeline uses, so per-stage artifacts warmed by other
@@ -20,16 +41,19 @@
 use crate::http::{self, Request};
 use crate::json::{self, JsonValue};
 use crate::pool::WorkerPool;
-use crate::singleflight::{Joined, SingleFlight};
+use crate::reactor::{Reactor, ReactorConfig, Service, RETRY_AFTER_SECS};
+use crate::router::{error_body, Deferred, Reply, Router};
+use crate::singleflight::{FlightBoard, Joined};
 use charstore::Digest128;
+use httpwire::Response;
 use powerpruning::cache::CharacterizationRun;
 use powerpruning::{CharCache, NetworkKind, Pipeline, PipelineConfig, Scale};
-use std::io::{self, BufReader};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, LazyLock};
-use std::time::Instant;
+use std::time::Duration;
 
 /// Configuration of one daemon instance.
 #[derive(Debug, Clone)]
@@ -40,6 +64,18 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Root of the shared artifact store.
     pub store_dir: PathBuf,
+    /// Live-connection cap; arrivals beyond it answer `429` and close.
+    pub max_connections: usize,
+    /// Pending-computation cap: a `POST /characterize` that would lead
+    /// a **new** flight while this many are open answers `429` +
+    /// `Retry-After`. Joining an open flight is never throttled.
+    pub max_pending: usize,
+    /// Deadline for a partially-received request to finish arriving
+    /// (the slowloris bound; expiry answers `408`).
+    pub header_timeout: Duration,
+    /// How long an idle keep-alive connection may sit between requests
+    /// before the daemon closes it.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +84,10 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:7878".to_string(),
             workers: 2,
             store_dir: PathBuf::from(powerpruning::cache::DEFAULT_CACHE_DIR),
+            max_connections: 256,
+            max_pending: 32,
+            header_timeout: Duration::from_secs(30),
+            idle_timeout: Duration::from_secs(60),
         }
     }
 }
@@ -70,6 +110,12 @@ struct Stats {
     object_misses: AtomicU64,
     /// `PUT /object/…` ingests accepted (validated and stored).
     object_publishes: AtomicU64,
+    /// Connections turned away at the door (`429`, over
+    /// [`ServeConfig::max_connections`]).
+    rejected: AtomicU64,
+    /// Characterize requests refused for pending-work backpressure
+    /// (`429`, over [`ServeConfig::max_pending`]).
+    throttled: AtomicU64,
 }
 
 /// Registry mirrors of the per-instance [`Stats`] counters, plus the
@@ -86,6 +132,8 @@ struct ServeMetrics {
     object_hits: obs::metrics::Counter,
     object_misses: obs::metrics::Counter,
     object_publishes: obs::metrics::Counter,
+    rejected: obs::metrics::Counter,
+    throttled: obs::metrics::Counter,
     /// Wall time per handled request, parse to response, any route.
     request_seconds: obs::metrics::Histogram,
 }
@@ -98,25 +146,29 @@ static METRICS: LazyLock<ServeMetrics> = LazyLock::new(|| ServeMetrics {
     object_hits: obs::metrics::counter("charserve_object_hits_total"),
     object_misses: obs::metrics::counter("charserve_object_misses_total"),
     object_publishes: obs::metrics::counter("charserve_object_publishes_total"),
+    rejected: obs::metrics::counter("charserve_rejected_total"),
+    throttled: obs::metrics::counter("charserve_throttled_total"),
     request_seconds: obs::metrics::histogram(
         "charserve_request_seconds",
         obs::metrics::LATENCY_SECONDS,
     ),
 });
 
-struct Shared {
+/// The daemon's shared context — everything a route handler can reach.
+struct Ctx {
     cache: Arc<CharCache>,
-    flights: SingleFlight<CharacterizationRun>,
+    flights: FlightBoard<CharacterizationRun>,
     pool: WorkerPool,
     stats: Stats,
     shutdown: AtomicBool,
     addr: SocketAddr,
     store_dir: String,
+    max_pending: usize,
 }
 
-impl std::fmt::Debug for Shared {
+impl std::fmt::Debug for Ctx {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Shared")
+        f.debug_struct("Ctx")
             .field("addr", &self.addr)
             .field("store_dir", &self.store_dir)
             .finish_non_exhaustive()
@@ -129,7 +181,8 @@ impl std::fmt::Debug for Shared {
 #[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
-    shared: Arc<Shared>,
+    ctx: Arc<Ctx>,
+    reactor: ReactorConfig,
 }
 
 impl Server {
@@ -150,229 +203,147 @@ impl Server {
         let addr = listener.local_addr()?;
         obs::info!(
             "charserve",
-            "listening on {}, {} workers, store {}",
-            listener.local_addr()?,
+            "listening on {}, {} workers, store {}, {} connections / {} pending max",
+            addr,
             cfg.workers,
-            cfg.store_dir.display()
+            cfg.store_dir.display(),
+            cfg.max_connections,
+            cfg.max_pending
         );
         Ok(Server {
             listener,
-            shared: Arc::new(Shared {
+            ctx: Arc::new(Ctx {
                 cache,
-                flights: SingleFlight::new(),
+                flights: FlightBoard::new(),
                 pool: WorkerPool::new(cfg.workers),
                 stats: Stats::default(),
                 shutdown: AtomicBool::new(false),
                 addr,
                 store_dir: cfg.store_dir.display().to_string(),
+                max_pending: cfg.max_pending,
             }),
+            reactor: ReactorConfig {
+                max_connections: cfg.max_connections,
+                header_timeout: cfg.header_timeout,
+                idle_timeout: cfg.idle_timeout,
+            },
         })
     }
 
     /// The bound address (resolves port 0).
-    ///
-    /// # Panics
-    ///
-    /// Never — the address was resolved at bind time.
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
-        self.shared.addr
+        self.ctx.addr
     }
 
-    /// Runs the accept loop until shutdown, then drains and joins the
-    /// worker pool **and every live connection thread** — a response in
-    /// flight at shutdown is still written before `serve` returns, so a
+    /// Runs the reactor until shutdown. The drain order guarantees a
     /// waiter that spent minutes on a computation never gets its
-    /// connection cut by process exit. Each connection is handled on
-    /// its own thread; the expensive work happens on the bounded pool,
-    /// so connection threads only parse, wait and write.
+    /// connection cut by process exit: the reactor keeps suspended
+    /// connections alive until their flights deliver, and the worker
+    /// pool (still running underneath it) is joined only after the
+    /// reactor has returned.
     ///
     /// # Errors
     ///
-    /// Returns any I/O error from the accept loop itself (per-connection
-    /// errors are answered with 4xx/5xx and do not stop the daemon).
+    /// Returns any `epoll_wait` error from the event loop itself
+    /// (per-connection errors are answered with 4xx/5xx or dropped and
+    /// never stop the daemon).
     pub fn serve(self) -> io::Result<()> {
-        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
-        for stream in self.listener.incoming() {
-            if self.shared.shutdown.load(Ordering::Acquire) {
-                break;
-            }
-            // Reap finished handler threads so the daemon's bookkeeping
-            // stays proportional to live connections, not total served.
-            connections.retain(|h| !h.is_finished());
-            let Ok(stream) = stream else { continue };
-            // Bound the request-reading phase so a half-open connection
-            // can never pin a handler thread (and the shutdown join)
-            // forever. Responses are written after the (unbounded)
-            // computation completes; only the *read* is on the clock.
-            let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
-            let shared = Arc::clone(&self.shared);
-            if let Ok(handle) = std::thread::Builder::new()
-                .name("charserve-conn".to_string())
-                .spawn(move || handle_connection(&shared, stream))
-            {
-                connections.push(handle);
-            }
-        }
-        obs::info!(
-            "charserve",
-            "shutdown: draining pool and {} live connections",
-            connections.iter().filter(|h| !h.is_finished()).count()
-        );
-        self.shared.pool.shutdown();
-        for handle in connections {
-            let _ = handle.join();
-        }
+        let service = Arc::new(ServeService {
+            ctx: Arc::clone(&self.ctx),
+            router: build_router(),
+        });
+        Reactor::new(self.listener, service, self.reactor)?.run()?;
+        obs::info!("charserve", "shutdown: draining worker pool");
+        self.ctx.pool.shutdown();
         Ok(())
     }
 }
 
-fn respond(stream: &mut TcpStream, status: u16, reason: &str, body: &str) {
-    let _ = http::write_response(stream, status, reason, body);
+/// The glue between the transport and the routes: the reactor calls
+/// these per-request hooks, the router picks the handler.
+struct ServeService {
+    ctx: Arc<Ctx>,
+    router: Router<Arc<Ctx>>,
 }
 
-fn error_body(msg: &str) -> String {
-    format!("{{\"error\": \"{}\"}}\n", json::escape(msg))
-}
+impl Service for ServeService {
+    fn body_limit(&self, head: &http::Head) -> usize {
+        http::body_limit(head)
+    }
 
-/// The body limit for a routed request head: object ingest accepts
-/// full container payloads, every JSON endpoint keeps the tight cap.
-fn body_limit(head: &http::Head) -> usize {
-    if head.method == "PUT" && head.path.starts_with("/object/") {
-        http::MAX_OBJECT_BYTES
-    } else {
-        http::MAX_BODY_BYTES
+    fn handle(&self, request: &Request, deferred: &Deferred) -> Reply {
+        self.router.dispatch(&self.ctx, request, deferred)
+    }
+
+    fn shutdown_requested(&self) -> bool {
+        self.ctx.shutdown.load(Ordering::Acquire)
+    }
+
+    fn on_rejected(&self) {
+        self.ctx.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        METRICS.rejected.inc();
+    }
+
+    fn on_request_done(&self, elapsed: Duration) {
+        METRICS.request_seconds.observe_duration(elapsed);
     }
 }
 
-fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
-    let started = Instant::now();
-    let peer = stream
-        .peer_addr()
-        .map_or_else(|_| "unknown".to_string(), |a| a.to_string());
-    // Two-phase read: the head alone decides the route (and with it the
-    // body limit), so no buffer is ever sized from client input before
-    // the route's cap has vetted the declared length.
-    let parsed = (|| -> io::Result<(Request, Option<String>)> {
-        let mut reader = BufReader::new(&stream);
-        let head = http::read_head(&mut reader)?;
-        let limit = body_limit(&head);
-        let body = http::read_body(&mut reader, head.content_length, limit)?;
-        let trace_id = head.trace_id;
-        Ok((
-            Request {
-                method: head.method,
-                path: head.path,
-                body,
-            },
-            trace_id,
-        ))
-    })();
-    let (request, client_trace) = match parsed {
-        Ok(parsed) => parsed,
-        // A client that went away (or stalled past the read timeout)
-        // is routine churn, not a request: log it and keep the accept
-        // loop's world clean — no response to a dead socket, no error
-        // escaping the connection thread.
-        Err(e) if http::is_disconnect(&e) => {
-            obs::info!("charserve", "client {peer} disconnected mid-request: {e}");
-            return;
-        }
-        Err(e) if http::is_too_large(&e) => {
-            respond(
-                &mut stream,
-                413,
-                "Payload Too Large",
-                &error_body(&e.to_string()),
-            );
-            return;
-        }
-        Err(e) => {
-            respond(&mut stream, 400, "Bad Request", &error_body(&e.to_string()));
-            return;
-        }
-    };
-    // Adopt the client's trace when it sent a valid one, otherwise mint
-    // a fresh ID. Everything below — log lines, recorded spans, and the
-    // store's remote-tier fetches from upstream daemons — carries it,
-    // so one request is one joinable trace across processes.
-    let trace = client_trace
-        .as_deref()
-        .and_then(obs::TraceId::parse)
-        .unwrap_or_else(obs::TraceId::generate);
-    obs::with_trace(trace, || {
-        let mut span = obs::span("http_request");
-        span.field("method", &request.method);
-        span.field("path", &request.path);
-        span.field("peer", &peer);
-        match (request.method.as_str(), request.path.as_str()) {
-            ("GET", "/healthz") => {
-                let body = format!(
-                    "{{\"status\": \"ok\", \"store\": \"{}\", \"workers\": {}}}\n",
-                    json::escape(&shared.store_dir),
-                    shared.pool.size()
-                );
-                respond(&mut stream, 200, "OK", &body);
-            }
-            ("GET", "/stats") => {
-                respond(&mut stream, 200, "OK", &render_stats(shared));
-            }
-            ("GET", "/metrics") => {
-                let _ = http::write_response_bytes(
-                    &mut stream,
-                    200,
-                    "OK",
-                    "text/plain; version=0.0.4",
-                    obs::metrics::render_prometheus().as_bytes(),
-                );
-            }
-            ("GET", "/trace") => {
-                let _ = http::write_response_bytes(
-                    &mut stream,
-                    200,
-                    "OK",
-                    "application/json",
-                    obs::trace::trace_json().as_bytes(),
-                );
-            }
-            ("POST", "/characterize") => handle_characterize(shared, &mut stream, &request),
-            ("GET", path) if path.starts_with("/object/") => {
-                handle_object_get(shared, &mut stream, path);
-            }
-            ("PUT", path) if path.starts_with("/object/") => {
-                handle_object_put(shared, &mut stream, path, &request.body);
-            }
-            ("POST", "/shutdown") => {
-                respond(&mut stream, 200, "OK", "{\"status\": \"shutting down\"}\n");
-                shared.shutdown.store(true, Ordering::Release);
-                // The accept loop is blocked in accept(); poke it so it
-                // observes the flag. The dummy connection is then dropped
-                // by the loop's shutdown check before being handled.
-                let _ = TcpStream::connect(shared.addr);
-            }
-            (_, path) => {
-                respond(
-                    &mut stream,
-                    404,
-                    "Not Found",
-                    &error_body(&format!("no such endpoint {path}")),
-                );
-            }
-        }
-        METRICS.request_seconds.observe_duration(started.elapsed());
-        obs::debug!(
-            "charserve",
-            "{} {} from {peer} handled in {:.1}ms",
-            request.method,
-            request.path,
-            started.elapsed().as_secs_f64() * 1e3
-        );
-    });
+fn build_router() -> Router<Arc<Ctx>> {
+    Router::new()
+        .route("GET", "/healthz", handle_healthz)
+        .route("GET", "/stats", handle_stats)
+        .route("GET", "/metrics", handle_metrics)
+        .route("GET", "/trace", handle_trace)
+        .route("POST", "/characterize", handle_characterize)
+        .route("POST", "/shutdown", handle_shutdown)
+        .route_prefix("GET", "/object/", handle_object_get)
+        .route_prefix("PUT", "/object/", handle_object_put)
 }
 
-fn render_stats(shared: &Shared) -> String {
-    let s = &shared.stats;
-    let store = shared.cache.store().counters();
+fn handle_healthz(ctx: &Arc<Ctx>, _request: &Request, _deferred: &Deferred) -> Reply {
+    Reply::Now(Response::json(
+        200,
+        format!(
+            "{{\"status\": \"ok\", \"store\": \"{}\", \"workers\": {}}}\n",
+            json::escape(&ctx.store_dir),
+            ctx.pool.size()
+        ),
+    ))
+}
+
+fn handle_stats(ctx: &Arc<Ctx>, _request: &Request, _deferred: &Deferred) -> Reply {
+    Reply::Now(Response::json(200, render_stats(ctx)))
+}
+
+fn handle_metrics(_ctx: &Arc<Ctx>, _request: &Request, _deferred: &Deferred) -> Reply {
+    Reply::Now(Response::bytes(
+        200,
+        "text/plain; version=0.0.4",
+        obs::metrics::render_prometheus().into_bytes(),
+    ))
+}
+
+fn handle_trace(_ctx: &Arc<Ctx>, _request: &Request, _deferred: &Deferred) -> Reply {
+    Reply::Now(Response::bytes(
+        200,
+        "application/json",
+        obs::trace::trace_json().into_bytes(),
+    ))
+}
+
+fn handle_shutdown(ctx: &Arc<Ctx>, _request: &Request, _deferred: &Deferred) -> Reply {
+    // The reactor polls the flag right after this response is queued —
+    // no accept-loop poke needed, the event that delivered this request
+    // already woke it.
+    ctx.shutdown.store(true, Ordering::Release);
+    Reply::Now(Response::json(200, "{\"status\": \"shutting down\"}\n"))
+}
+
+fn render_stats(ctx: &Ctx) -> String {
+    let s = &ctx.stats;
+    let store = ctx.cache.store().counters();
     format!(
         concat!(
             "{{\n",
@@ -384,6 +355,8 @@ fn render_stats(shared: &Shared) -> String {
             "  \"object_hits\": {},\n",
             "  \"object_misses\": {},\n",
             "  \"object_publishes\": {},\n",
+            "  \"rejected\": {},\n",
+            "  \"throttled\": {},\n",
             "  \"retrain_hits\": {},\n",
             "  \"retrain_misses\": {},\n",
             "  \"inflight\": {},\n",
@@ -398,10 +371,12 @@ fn render_stats(shared: &Shared) -> String {
         s.object_hits.load(Ordering::Relaxed),
         s.object_misses.load(Ordering::Relaxed),
         s.object_publishes.load(Ordering::Relaxed),
+        s.rejected.load(Ordering::Relaxed),
+        s.throttled.load(Ordering::Relaxed),
         obs::metrics::counter_value("charcache_retrain_hits_total").unwrap_or(0),
         obs::metrics::counter_value("charcache_retrain_misses_total").unwrap_or(0),
-        shared.flights.inflight(),
-        shared.pool.size(),
+        ctx.flights.inflight(),
+        ctx.pool.size(),
         store.mem_hits,
         store.disk_hits,
         store.misses,
@@ -414,85 +389,58 @@ fn object_key(path: &str) -> Option<Digest128> {
     path.strip_prefix("/object/").and_then(Digest128::from_hex)
 }
 
-/// `GET /object/<key>`: streams the raw checksummed container bytes.
-/// The bytes are served as stored, **without** a server-side decode —
-/// the whole-file checksum travels inside the container and the client
+/// `GET /object/<key>`: the raw checksummed container bytes. The bytes
+/// are served as stored, **without** a server-side decode — the
+/// whole-file checksum travels inside the container and the client
 /// re-validates it, so a corrupt stored object degrades to a miss at
 /// the requesting worker instead of costing this daemon a decode per
 /// serve.
-fn handle_object_get(shared: &Arc<Shared>, stream: &mut TcpStream, path: &str) {
-    let Some(key) = object_key(path) else {
-        respond(
-            stream,
+fn handle_object_get(ctx: &Arc<Ctx>, request: &Request, _deferred: &Deferred) -> Reply {
+    let Some(key) = object_key(&request.path) else {
+        return Reply::Now(Response::json(
             400,
-            "Bad Request",
-            &error_body("object path must be /object/<32-hex-key>"),
-        );
-        return;
+            error_body("object path must be /object/<32-hex-key>"),
+        ));
     };
-    match shared.cache.store().get_encoded(key) {
+    Reply::Now(match ctx.cache.store().get_encoded(key) {
         Some(bytes) => {
-            shared.stats.object_hits.fetch_add(1, Ordering::Relaxed);
+            ctx.stats.object_hits.fetch_add(1, Ordering::Relaxed);
             METRICS.object_hits.inc();
-            let _ =
-                http::write_response_bytes(stream, 200, "OK", "application/octet-stream", &bytes);
+            Response::bytes(200, "application/octet-stream", bytes)
         }
         None => {
-            shared.stats.object_misses.fetch_add(1, Ordering::Relaxed);
+            ctx.stats.object_misses.fetch_add(1, Ordering::Relaxed);
             METRICS.object_misses.inc();
-            respond(
-                stream,
-                404,
-                "Not Found",
-                &error_body(&format!("no object {key}")),
-            );
+            Response::json(404, error_body(&format!("no object {key}")))
         }
-    }
+    })
 }
 
 /// `PUT /object/<key>`: validates the container (every checksum, every
 /// bound) and ingests it through the store's atomic put path. A corrupt
 /// or oversized payload is a client error — it can never poison the
 /// store.
-fn handle_object_put(shared: &Arc<Shared>, stream: &mut TcpStream, path: &str, body: &[u8]) {
-    let Some(key) = object_key(path) else {
-        respond(
-            stream,
+fn handle_object_put(ctx: &Arc<Ctx>, request: &Request, _deferred: &Deferred) -> Reply {
+    let Some(key) = object_key(&request.path) else {
+        return Reply::Now(Response::json(
             400,
-            "Bad Request",
-            &error_body("object path must be /object/<32-hex-key>"),
-        );
-        return;
+            error_body("object path must be /object/<32-hex-key>"),
+        ));
     };
     // `put_encoded` validates every checksum before the atomic ingest
     // and stores the received bytes as-is — no re-encode of a buffer
     // already in hand. A failed validation is the client's fault.
-    match shared.cache.store().put_encoded(key, body) {
+    Reply::Now(match ctx.cache.store().put_encoded(key, &request.body) {
         Ok(()) => {
-            shared
-                .stats
-                .object_publishes
-                .fetch_add(1, Ordering::Relaxed);
+            ctx.stats.object_publishes.fetch_add(1, Ordering::Relaxed);
             METRICS.object_publishes.inc();
-            respond(stream, 200, "OK", "{\"status\": \"stored\"}\n");
+            Response::json(200, "{\"status\": \"stored\"}\n")
         }
         Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-            respond(
-                stream,
-                400,
-                "Bad Request",
-                &error_body(&format!("corrupt object payload: {e}")),
-            );
+            Response::json(400, error_body(&format!("corrupt object payload: {e}")))
         }
-        Err(e) => {
-            respond(
-                stream,
-                500,
-                "Internal Server Error",
-                &error_body(&format!("object store failed: {e}")),
-            );
-        }
-    }
+        Err(e) => Response::json(500, error_body(&format!("object store failed: {e}"))),
+    })
 }
 
 /// Parses the request body into a pipeline configuration and network.
@@ -595,30 +543,24 @@ fn render_run(
     )
 }
 
-fn handle_characterize(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) {
+fn handle_characterize(ctx: &Arc<Ctx>, request: &Request, deferred: &Deferred) -> Reply {
     let Ok(body) = std::str::from_utf8(&request.body) else {
-        respond(
-            stream,
+        return Reply::Now(Response::json(
             400,
-            "Bad Request",
-            &error_body("characterize body is not UTF-8"),
-        );
-        return;
+            error_body("characterize body is not UTF-8"),
+        ));
     };
     let (cfg, kind) = match parse_characterize(body) {
         Ok(parsed) => parsed,
-        Err(e) => {
-            respond(stream, 400, "Bad Request", &error_body(&e));
-            return;
-        }
+        Err(e) => return Reply::Now(Response::json(400, error_body(&e))),
     };
-    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    ctx.stats.requests.fetch_add(1, Ordering::Relaxed);
     METRICS.requests.inc();
     let key = powerpruning::cache::request_key(&cfg, kind);
 
     // 1. Store hit: a stored manifest answers without any pipeline.
-    if let Some(manifest) = shared.cache.lookup_manifest(key) {
-        shared.stats.hits.fetch_add(1, Ordering::Relaxed);
+    if let Some(manifest) = ctx.cache.lookup_manifest(key) {
+        ctx.stats.hits.fetch_add(1, Ordering::Relaxed);
         METRICS.request_hits.inc();
         let run = CharacterizationRun {
             request_key: key,
@@ -627,27 +569,50 @@ fn handle_characterize(shared: &Arc<Shared>, stream: &mut TcpStream, request: &R
             training_epochs: 0,
             sim_transitions: 0,
         };
-        respond(stream, 200, "OK", &render_run(&cfg, kind, &run, false));
-        return;
+        return Reply::Now(Response::json(200, render_run(&cfg, kind, &run, false)));
     }
 
-    // 2. Single-flight: lead the computation or wait on the one in
-    //    progress for this key.
-    let (flight, deduped) = match shared.flights.join(key) {
-        Joined::Leader(flight) => {
-            shared.stats.misses.fetch_add(1, Ordering::Relaxed);
+    // 2. Backpressure: leading a NEW computation is subject to the
+    //    pending-work cap; joining an open flight costs nothing and is
+    //    always admitted. Only the reactor thread creates flights, so
+    //    the contains/join pair cannot race with another admitter.
+    if !ctx.flights.contains(key) && ctx.flights.inflight() >= ctx.max_pending {
+        ctx.stats.throttled.fetch_add(1, Ordering::Relaxed);
+        METRICS.throttled.inc();
+        return Reply::Now(Response::too_many_requests(
+            RETRY_AFTER_SECS,
+            error_body("server is at its pending-computation limit, try again shortly"),
+        ));
+    }
+
+    // 3. Single-flight: register this connection's delivery on the
+    //    flight for the key, leading it if absent. The callback runs on
+    //    whichever pool thread completes the flight; the reactor keeps
+    //    the connection parked until the delivery lands.
+    let delivery = deferred.clone();
+    let role = ctx.flights.join(key, move |value, deduped| {
+        delivery.deliver(match value.as_ref() {
+            Ok(run) => Response::json(200, render_run(&cfg, kind, run, deduped)),
+            Err(e) => {
+                obs::error!("charserve", "characterization for key {key} failed: {e}");
+                Response::json(500, error_body(e))
+            }
+        });
+    });
+    match role {
+        Joined::Leader => {
+            ctx.stats.misses.fetch_add(1, Ordering::Relaxed);
             METRICS.request_misses.inc();
             // The worker re-runs the same code path the standalone
             // pipeline uses; stage-level warm artifacts still hit.
             // The request's trace re-enters scope on the pool thread,
             // so the pipeline's stage spans and the store's remote
             // fetches stay under the one trace the client saw.
-            let job_shared = Arc::clone(shared);
-            let job_flight = Arc::clone(&flight);
+            let job_ctx = Arc::clone(ctx);
             let job_trace = obs::current_trace();
-            let submitted = shared.pool.submit(move || {
+            let submitted = ctx.pool.submit(move || {
                 let job = || {
-                    let cache = Arc::clone(&job_shared.cache);
+                    let cache = Arc::clone(&job_ctx.cache);
                     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         Pipeline::with_shared_cache(cfg, cache).characterization_request(kind)
                     }))
@@ -659,7 +624,7 @@ fn handle_characterize(shared: &Arc<Shared>, stream: &mut TcpStream, request: &R
                             .unwrap_or_else(|| "worker panicked".to_string());
                         format!("characterization failed: {msg}")
                     });
-                    job_shared.flights.complete(key, &job_flight, result);
+                    job_ctx.flights.complete(key, result);
                 };
                 match job_trace {
                     Some(trace) => obs::with_trace(trace, job),
@@ -667,24 +632,15 @@ fn handle_characterize(shared: &Arc<Shared>, stream: &mut TcpStream, request: &R
                 }
             });
             if let Err(e) = submitted {
-                shared.flights.complete(key, &flight, Err(e));
+                ctx.flights.complete(key, Err(e));
             }
-            (flight, false)
         }
-        Joined::Waiter(flight) => {
-            shared.stats.deduped.fetch_add(1, Ordering::Relaxed);
+        Joined::Waiter => {
+            ctx.stats.deduped.fetch_add(1, Ordering::Relaxed);
             METRICS.request_deduped.inc();
-            (flight, true)
-        }
-    };
-
-    match flight.wait().as_ref() {
-        Ok(run) => respond(stream, 200, "OK", &render_run(&cfg, kind, run, deduped)),
-        Err(e) => {
-            obs::error!("charserve", "characterization for key {key} failed: {e}");
-            respond(stream, 500, "Internal Server Error", &error_body(e));
         }
     }
+    Reply::Later
 }
 
 #[cfg(test)]
@@ -692,7 +648,8 @@ mod tests {
     use super::*;
     use crate::client::Client;
     use charstore::{container, digest_bytes, RemoteTier, Section};
-    use std::io::Write;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
 
     fn u64_field(v: &JsonValue, name: &str) -> u64 {
         v.get(name)
@@ -700,7 +657,9 @@ mod tests {
             .unwrap_or_else(|| panic!("missing numeric field `{name}` in {v:?}"))
     }
 
-    fn boot() -> (PathBuf, String, std::thread::JoinHandle<()>) {
+    fn boot_with(
+        tweak: impl FnOnce(&mut ServeConfig),
+    ) -> (PathBuf, String, std::thread::JoinHandle<()>) {
         static SEQ: AtomicU64 = AtomicU64::new(0);
         let dir = std::env::temp_dir().join(format!(
             "charserve-server-test-{}-{}",
@@ -708,20 +667,26 @@ mod tests {
             SEQ.fetch_add(1, Ordering::Relaxed)
         ));
         let _ = std::fs::remove_dir_all(&dir);
-        let server = Server::bind(&ServeConfig {
+        let mut cfg = ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 1,
             store_dir: dir.clone(),
-        })
-        .expect("bind charserve");
+            ..ServeConfig::default()
+        };
+        tweak(&mut cfg);
+        let server = Server::bind(&cfg).expect("bind charserve");
         let addr = server.local_addr().to_string();
         let daemon = std::thread::spawn(move || server.serve().expect("serve"));
         (dir, addr, daemon)
     }
 
+    fn boot() -> (PathBuf, String, std::thread::JoinHandle<()>) {
+        boot_with(|_| ())
+    }
+
     /// The satellite regression: a client killed mid-request must be
-    /// logged-and-dropped by its connection thread — the daemon keeps
-    /// accepting and `/healthz` still answers.
+    /// logged-and-dropped by the reactor — the daemon keeps accepting
+    /// and `/healthz` still answers.
     #[test]
     fn mid_request_disconnects_do_not_stop_the_daemon() {
         let (dir, addr, daemon) = boot();
@@ -765,6 +730,8 @@ mod tests {
         for family in [
             "# TYPE charserve_requests_total counter",
             "# TYPE charserve_request_seconds histogram",
+            "# TYPE charserve_rejected_total counter",
+            "# TYPE charserve_throttled_total counter",
             "charstore_remote_hits_total",
             "charstore_mem_hits_total",
             "gatesim_sim_transitions_total",
@@ -775,14 +742,18 @@ mod tests {
             );
         }
 
-        // Hand-rolled request so we control the X-Trace-Id header.
+        // Hand-rolled request so we control the X-Trace-Id header. The
+        // explicit `Connection: close` makes read_to_string terminate.
         let trace = obs::TraceId::generate();
         let mut s = TcpStream::connect(&addr).unwrap();
-        s.write_all(format!("GET /healthz HTTP/1.1\r\nX-Trace-Id: {trace}\r\n\r\n").as_bytes())
-            .unwrap();
+        s.write_all(
+            format!("GET /healthz HTTP/1.1\r\nX-Trace-Id: {trace}\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .unwrap();
         s.flush().unwrap();
         let mut raw = String::new();
-        std::io::Read::read_to_string(&mut s, &mut raw).unwrap();
+        s.read_to_string(&mut raw).unwrap();
         assert!(
             raw.contains(&format!("X-Trace-Id: {trace}")),
             "adopted trace not echoed on the response:\n{raw}"
@@ -878,6 +849,119 @@ mod tests {
         assert_eq!(u64_field(&stats, "object_publishes"), 1);
 
         client.shutdown().expect("shutdown");
+        daemon.join().expect("daemon thread");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// Pipelined requests on one keep-alive connection answer in
+    /// request order, and each response can be read back individually.
+    #[test]
+    fn keep_alive_pipelining_answers_in_order() {
+        let (dir, addr, daemon) = boot();
+        let mut s = TcpStream::connect(&addr).unwrap();
+        s.write_all(
+            b"GET /healthz HTTP/1.1\r\n\r\n\
+              GET /nope HTTP/1.1\r\n\r\n\
+              GET /stats HTTP/1.1\r\n\r\n",
+        )
+        .unwrap();
+        s.flush().unwrap();
+        let (status, body) = http::read_response(&s).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\": \"ok\""), "not healthz: {body}");
+        let (status, _) = http::read_response(&s).unwrap();
+        assert_eq!(status, 404);
+        let (status, body) = http::read_response(&s).unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            body.contains("\"service\": \"charserve\""),
+            "not stats: {body}"
+        );
+        drop(s);
+
+        let client = Client::new(&addr);
+        client.shutdown().expect("shutdown");
+        daemon.join().expect("daemon thread");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// With the pending-computation cap at zero, a cold characterize is
+    /// throttled with `429` + `Retry-After` while cheap endpoints keep
+    /// answering — and `/stats` accounts for the refusal.
+    #[test]
+    fn cold_characterize_is_throttled_at_the_pending_cap() {
+        let (dir, addr, daemon) = boot_with(|cfg| cfg.max_pending = 0);
+        let client = Client::new(&addr);
+
+        let mut s = TcpStream::connect(&addr).unwrap();
+        s.write_all(
+            b"POST /characterize HTTP/1.1\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+        )
+        .unwrap();
+        s.flush().unwrap();
+        let mut raw = String::new();
+        s.read_to_string(&mut raw).unwrap();
+        assert!(
+            raw.starts_with("HTTP/1.1 429 "),
+            "expected a 429 throttle:\n{raw}"
+        );
+        assert!(
+            raw.contains(&format!("Retry-After: {RETRY_AFTER_SECS}")),
+            "throttle response must advertise Retry-After:\n{raw}"
+        );
+
+        client.healthz().expect("healthz under throttle");
+        let stats = json::parse(&client.stats().unwrap()).unwrap();
+        assert_eq!(u64_field(&stats, "requests"), 1);
+        assert_eq!(u64_field(&stats, "throttled"), 1);
+        assert_eq!(u64_field(&stats, "request_misses"), 0);
+
+        client.shutdown().expect("shutdown");
+        daemon.join().expect("daemon thread");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// Connections beyond `max_connections` are turned away with `429`
+    /// while admitted connections keep being served.
+    #[test]
+    fn excess_connections_are_rejected_with_429() {
+        let (dir, addr, daemon) = boot_with(|cfg| cfg.max_connections = 1);
+
+        // Fill the one slot with a live keep-alive connection.
+        let mut held = TcpStream::connect(&addr).unwrap();
+        held.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        let (status, _) = http::read_response(&held).unwrap();
+        assert_eq!(status, 200);
+
+        // The next arrival is told to back off…
+        let mut over = TcpStream::connect(&addr).unwrap();
+        let mut raw = String::new();
+        over.read_to_string(&mut raw).unwrap();
+        assert!(
+            raw.starts_with("HTTP/1.1 429 "),
+            "expected a 429 rejection:\n{raw}"
+        );
+
+        // …while the admitted connection still answers, and counts it.
+        held.write_all(b"GET /stats HTTP/1.1\r\n\r\n").unwrap();
+        let (status, body) = http::read_response(&held).unwrap();
+        assert_eq!(status, 200);
+        let stats = json::parse(&body).unwrap();
+        assert_eq!(u64_field(&stats, "rejected"), 1);
+        drop(held);
+
+        // The freed slot admits the shutdown request (allow a beat for
+        // the reactor to observe the close).
+        let client = Client::new(&addr);
+        let mut last = Err("never tried".to_string());
+        for _ in 0..50 {
+            last = client.shutdown();
+            if last.is_ok() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        last.expect("shutdown after slot freed");
         daemon.join().expect("daemon thread");
         let _ = std::fs::remove_dir_all(dir);
     }

@@ -3,121 +3,137 @@
 //!
 //! The first requester of a key becomes the **leader** and owns the
 //! computation; everyone who joins while the flight is open becomes a
-//! **waiter** and blocks on the leader's result. Completion removes the
-//! flight from the group *before* publishing the value, so a request
+//! **waiter** and shares the leader's result. Completion removes the
+//! flight from the board *before* publishing the value, so a request
 //! arriving after completion starts a fresh flight (whose answer then
 //! comes from the store) instead of attaching to a finished one.
+//!
+//! The board is **callback-based**, not blocking: joining registers a
+//! completion callback instead of handing back a condvar to park on.
+//! That is what lets the nonblocking reactor suspend a connection on a
+//! pending computation without pinning a thread — the callback fires on
+//! whichever thread completes the flight (a pool worker), renders the
+//! waiter's response, and wakes the reactor. A blocking caller is just
+//! the degenerate case of a callback that signals a channel.
 
 use charstore::Digest128;
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 
-/// One in-progress computation, shared between its leader and waiters.
-#[derive(Debug)]
-pub struct Flight<V> {
-    slot: Mutex<Option<Arc<Result<V, String>>>>,
-    ready: Condvar,
-}
-
-impl<V> Flight<V> {
-    fn new() -> Flight<V> {
-        Flight {
-            slot: Mutex::new(None),
-            ready: Condvar::new(),
-        }
-    }
-
-    /// Blocks until the flight completes and returns its shared result.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the flight's mutex is poisoned (a completer panicked
-    /// while holding it — the completer only stores a value, so this is
-    /// unreachable in practice).
-    #[must_use]
-    pub fn wait(&self) -> Arc<Result<V, String>> {
-        let mut slot = self.slot.lock().expect("flight poisoned");
-        while slot.is_none() {
-            slot = self.ready.wait(slot).expect("flight poisoned");
-        }
-        Arc::clone(slot.as_ref().expect("checked above"))
-    }
-
-    fn fulfill(&self, value: Result<V, String>) {
-        let mut slot = self.slot.lock().expect("flight poisoned");
-        *slot = Some(Arc::new(value));
-        self.ready.notify_all();
-    }
-}
+/// A completion callback: receives the shared result plus `deduped` —
+/// `false` for the flight's leader, `true` for every waiter.
+type Callback<V> = Box<dyn FnOnce(&Arc<Result<V, String>>, bool) + Send>;
 
 /// The role this requester got when joining a key.
-#[derive(Debug)]
-pub enum Joined<V> {
-    /// First in: run the computation and [`SingleFlight::complete`] it.
-    Leader(Arc<Flight<V>>),
-    /// A computation is already in flight: just [`Flight::wait`].
-    Waiter(Arc<Flight<V>>),
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Joined {
+    /// First in: run the computation and [`FlightBoard::complete`] it.
+    Leader,
+    /// A computation is already in flight: the registered callback
+    /// fires when the leader's computation completes.
+    Waiter,
 }
 
-/// A group of in-flight computations keyed by artifact digest.
-#[derive(Debug)]
-pub struct SingleFlight<V> {
-    flights: Mutex<HashMap<Digest128, Arc<Flight<V>>>>,
+/// A board of in-flight computations keyed by artifact digest.
+pub struct FlightBoard<V> {
+    flights: Mutex<HashMap<Digest128, Vec<Callback<V>>>>,
 }
 
-impl<V> Default for SingleFlight<V> {
+impl<V> std::fmt::Debug for FlightBoard<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightBoard")
+            .field("inflight", &self.inflight())
+            .finish()
+    }
+}
+
+impl<V> Default for FlightBoard<V> {
     fn default() -> Self {
-        SingleFlight {
+        FlightBoard {
             flights: Mutex::new(HashMap::new()),
         }
     }
 }
 
-impl<V> SingleFlight<V> {
-    /// An empty group.
+impl<V> FlightBoard<V> {
+    /// An empty board.
     #[must_use]
-    pub fn new() -> SingleFlight<V> {
-        SingleFlight::default()
+    pub fn new() -> FlightBoard<V> {
+        FlightBoard::default()
     }
 
-    /// Joins the flight for `key`, creating it if absent.
+    /// Joins the flight for `key`, creating it if absent, and registers
+    /// `callback` to fire on completion. The returned role tells the
+    /// caller whether it owns the computation.
     ///
     /// # Panics
     ///
-    /// Panics if the group mutex is poisoned.
+    /// Panics if the board mutex is poisoned.
     #[must_use]
-    pub fn join(&self, key: Digest128) -> Joined<V> {
-        let mut flights = self.flights.lock().expect("flight group poisoned");
-        if let Some(flight) = flights.get(&key) {
-            return Joined::Waiter(Arc::clone(flight));
+    pub fn join(
+        &self,
+        key: Digest128,
+        callback: impl FnOnce(&Arc<Result<V, String>>, bool) + Send + 'static,
+    ) -> Joined {
+        let mut flights = self.flights.lock().expect("flight board poisoned");
+        match flights.get_mut(&key) {
+            Some(callbacks) => {
+                callbacks.push(Box::new(callback));
+                Joined::Waiter
+            }
+            None => {
+                flights.insert(key, vec![Box::new(callback)]);
+                Joined::Leader
+            }
         }
-        let flight = Arc::new(Flight::new());
-        flights.insert(key, Arc::clone(&flight));
-        Joined::Leader(flight)
+    }
+
+    /// Whether a computation for `key` is currently in flight. Used for
+    /// admission: a request that would *join* an open flight costs
+    /// nothing extra, while one that would *lead* a new computation is
+    /// subject to the pending-work cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the board mutex is poisoned.
+    #[must_use]
+    pub fn contains(&self, key: Digest128) -> bool {
+        self.flights
+            .lock()
+            .expect("flight board poisoned")
+            .contains_key(&key)
     }
 
     /// Number of open flights (the server's `inflight` gauge).
     ///
     /// # Panics
     ///
-    /// Panics if the group mutex is poisoned.
+    /// Panics if the board mutex is poisoned.
     #[must_use]
     pub fn inflight(&self) -> usize {
-        self.flights.lock().expect("flight group poisoned").len()
+        self.flights.lock().expect("flight board poisoned").len()
     }
 
-    /// Completes `key`'s flight: removes it from the group, then
-    /// publishes `value` to the leader and every waiter.
+    /// Completes `key`'s flight: removes it from the board, then fires
+    /// every registered callback with the shared value — the leader's
+    /// (registered first) with `deduped == false`, each waiter's with
+    /// `true`. Callbacks run on the completing thread, outside the
+    /// board lock, so a callback may re-join the same key.
     ///
     /// # Panics
     ///
-    /// Panics if the group mutex is poisoned.
-    pub fn complete(&self, key: Digest128, flight: &Flight<V>, value: Result<V, String>) {
-        self.flights
+    /// Panics if the board mutex is poisoned.
+    pub fn complete(&self, key: Digest128, value: Result<V, String>) {
+        let callbacks = self
+            .flights
             .lock()
-            .expect("flight group poisoned")
-            .remove(&key);
-        flight.fulfill(value);
+            .expect("flight board poisoned")
+            .remove(&key)
+            .unwrap_or_default();
+        let value = Arc::new(value);
+        for (i, callback) in callbacks.into_iter().enumerate() {
+            callback(&value, i > 0);
+        }
     }
 }
 
@@ -125,53 +141,84 @@ impl<V> SingleFlight<V> {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::mpsc;
 
     fn key(n: u8) -> Digest128 {
         charstore::digest::digest_bytes("singleflight-test", &[n])
     }
 
     #[test]
-    fn one_leader_many_waiters_share_one_computation() {
-        let group: SingleFlight<u64> = SingleFlight::new();
-        let computed = AtomicU64::new(0);
-        let leaders = AtomicU64::new(0);
-        std::thread::scope(|s| {
-            for _ in 0..8 {
-                s.spawn(|| match group.join(key(1)) {
-                    Joined::Leader(flight) => {
-                        leaders.fetch_add(1, Ordering::SeqCst);
-                        // Linger so the other threads join as waiters.
-                        std::thread::sleep(std::time::Duration::from_millis(50));
-                        computed.fetch_add(1, Ordering::SeqCst);
-                        group.complete(key(1), &flight, Ok(42));
-                        assert_eq!(*flight.wait(), Ok(42));
-                    }
-                    Joined::Waiter(flight) => {
-                        assert_eq!(*flight.wait(), Ok(42));
-                    }
-                });
+    fn one_leader_many_waiters_share_one_completion() {
+        let board: FlightBoard<u64> = FlightBoard::new();
+        let delivered = Arc::new(AtomicU64::new(0));
+        let deduped_count = Arc::new(AtomicU64::new(0));
+        let mut leaders = 0;
+        for _ in 0..8 {
+            let (delivered, deduped_count) = (Arc::clone(&delivered), Arc::clone(&deduped_count));
+            let role = board.join(key(1), move |value, deduped| {
+                assert_eq!(**value, Ok(42));
+                delivered.fetch_add(1, Ordering::SeqCst);
+                if deduped {
+                    deduped_count.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            if role == Joined::Leader {
+                leaders += 1;
             }
-        });
-        assert_eq!(computed.load(Ordering::SeqCst), 1, "computation ran twice");
-        assert_eq!(leaders.load(Ordering::SeqCst), 1, "two leaders for one key");
-        assert_eq!(group.inflight(), 0);
+        }
+        assert_eq!(leaders, 1, "exactly one leader per key");
+        assert_eq!(board.inflight(), 1);
+        assert!(board.contains(key(1)));
+        board.complete(key(1), Ok(42));
+        assert_eq!(delivered.load(Ordering::SeqCst), 8);
+        assert_eq!(
+            deduped_count.load(Ordering::SeqCst),
+            7,
+            "every joiner but the leader is deduped"
+        );
+        assert_eq!(board.inflight(), 0);
     }
 
     #[test]
-    fn distinct_keys_fly_independently() {
-        let group: SingleFlight<u64> = SingleFlight::new();
-        let Joined::Leader(a) = group.join(key(1)) else {
-            panic!("fresh key must lead")
-        };
-        let Joined::Leader(b) = group.join(key(2)) else {
-            panic!("distinct fresh key must lead")
-        };
-        assert_eq!(group.inflight(), 2);
-        group.complete(key(1), &a, Ok(1));
-        group.complete(key(2), &b, Err("boom".into()));
-        assert_eq!(*a.wait(), Ok(1));
-        assert_eq!(*b.wait(), Err("boom".to_string()));
+    fn distinct_keys_fly_independently_and_errors_fan_out() {
+        let board: FlightBoard<u64> = FlightBoard::new();
+        let (tx, rx) = mpsc::channel();
+        let tx2 = tx.clone();
+        assert_eq!(
+            board.join(key(1), move |v, _| tx.send((1u8, (**v).clone())).unwrap()),
+            Joined::Leader
+        );
+        assert_eq!(
+            board.join(key(2), move |v, _| tx2.send((2u8, (**v).clone())).unwrap()),
+            Joined::Leader
+        );
+        assert_eq!(board.inflight(), 2);
+        board.complete(key(1), Ok(1));
+        board.complete(key(2), Err("boom".into()));
+        let mut got: Vec<_> = [rx.recv().unwrap(), rx.recv().unwrap()].into();
+        got.sort_by_key(|(k, _)| *k);
+        assert_eq!(got[0], (1, Ok(1)));
+        assert_eq!(got[1], (2, Err("boom".to_string())));
         // A completed key starts a fresh flight.
-        assert!(matches!(group.join(key(1)), Joined::Leader(_)));
+        assert_eq!(board.join(key(1), |_, _| {}), Joined::Leader);
+    }
+
+    #[test]
+    fn callbacks_run_cross_thread_like_the_pool_does() {
+        let board: Arc<FlightBoard<u64>> = Arc::new(FlightBoard::new());
+        let (tx, rx) = mpsc::channel();
+        assert_eq!(
+            board.join(key(3), move |v, deduped| {
+                tx.send(((**v).clone(), deduped)).unwrap();
+            }),
+            Joined::Leader
+        );
+        let worker = {
+            let board = Arc::clone(&board);
+            std::thread::spawn(move || board.complete(key(3), Ok(7)))
+        };
+        assert_eq!(rx.recv().unwrap(), (Ok(7), false));
+        worker.join().unwrap();
+        assert_eq!(board.inflight(), 0);
     }
 }

@@ -1,11 +1,11 @@
 //! The remote object tier: a blocking client for a charserve-style
 //! object endpoint.
 //!
-//! [`RemoteTier`] speaks the same deliberately tiny HTTP/1.1 subset as
-//! the `charserve` daemon — one request per connection, `Content-Length`
-//! bodies, `Connection: close` — but lives here rather than reusing the
-//! daemon's framing because the dependency points the other way:
-//! `charserve` is built *on* this crate. The wire discipline matches
+//! [`RemoteTier`] rides the workspace-shared [`httpwire::HttpClient`]
+//! — the same keep-alive client core under `charserve::Client` — so a
+//! warm-store workload fetching hundreds of objects reuses one TCP
+//! connection instead of paying a dial (and, on loopback, a `TIME_WAIT`
+//! entry) per object. The wire discipline matches
 //! [`crate::wire::Reader`]: every length is validated against a hard
 //! cap **before** any buffer is allocated, so a hostile or corrupted
 //! `Content-Length` can never trigger a huge allocation.
@@ -26,20 +26,14 @@
 //! this module panics on remote misbehavior.
 
 use crate::digest::Digest128;
-use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use httpwire::{ClientConfig, HttpClient, RequestSpec};
+use std::io;
 use std::time::Duration;
 
 /// Hard cap on a fetched object body. Matches the daemon's object
 /// ingest limit; a `Content-Length` beyond it is rejected before any
 /// allocation.
 pub const MAX_OBJECT_BYTES: usize = 64 << 20;
-
-/// Maximum accepted response status/header line length.
-const MAX_LINE_BYTES: usize = 8 * 1024;
-
-/// Maximum accepted number of response header lines.
-const MAX_HEADER_LINES: usize = 64;
 
 /// Default connect timeout: a dead or unroutable daemon must degrade
 /// the store to local-only quickly, not hang a pipeline stage.
@@ -52,23 +46,11 @@ fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-/// The `X-Trace-Id: <16-hex>\r\n` header line for the thread's current
-/// trace, or empty when outside any trace scope. Forwarding the ID lets
-/// the far daemon's logs and trace dump join this client's spans — the
-/// cross-tier leg of request tracing.
-fn trace_header() -> String {
-    match obs::current_trace() {
-        Some(trace) => format!("X-Trace-Id: {trace}\r\n"),
-        None => String::new(),
-    }
-}
-
-/// A client for one remote object endpoint (`host:port`).
+/// A client for one remote object endpoint (`host:port`). Clones share
+/// the keep-alive connection pool.
 #[derive(Debug, Clone)]
 pub struct RemoteTier {
-    addr: String,
-    connect_timeout: Duration,
-    io_timeout: Duration,
+    http: HttpClient,
 }
 
 impl RemoteTier {
@@ -76,66 +58,57 @@ impl RemoteTier {
     #[must_use]
     pub fn new(addr: impl Into<String>) -> RemoteTier {
         RemoteTier {
-            addr: addr.into(),
-            connect_timeout: DEFAULT_CONNECT_TIMEOUT,
-            io_timeout: DEFAULT_IO_TIMEOUT,
+            http: HttpClient::new(
+                &addr.into(),
+                ClientConfig {
+                    connect_timeout: DEFAULT_CONNECT_TIMEOUT,
+                    io_timeout: DEFAULT_IO_TIMEOUT,
+                },
+            ),
         }
     }
 
-    /// Overrides both timeouts (tests use short ones).
+    /// Overrides both timeouts (tests use short ones). Existing pooled
+    /// connections are dropped; the next request re-dials.
     #[must_use]
-    pub fn with_timeouts(mut self, connect: Duration, io: Duration) -> RemoteTier {
-        self.connect_timeout = connect;
-        self.io_timeout = io;
-        self
+    pub fn with_timeouts(self, connect: Duration, io: Duration) -> RemoteTier {
+        RemoteTier {
+            http: HttpClient::new(
+                self.http.addr(),
+                ClientConfig {
+                    connect_timeout: connect,
+                    io_timeout: io,
+                },
+            ),
+        }
     }
 
     /// The configured endpoint address.
     #[must_use]
     pub fn addr(&self) -> &str {
-        &self.addr
-    }
-
-    fn connect(&self) -> io::Result<TcpStream> {
-        let mut last = None;
-        for addr in self.addr.to_socket_addrs()? {
-            match TcpStream::connect_timeout(&addr, self.connect_timeout) {
-                Ok(stream) => {
-                    stream.set_read_timeout(Some(self.io_timeout))?;
-                    stream.set_write_timeout(Some(self.io_timeout))?;
-                    return Ok(stream);
-                }
-                Err(e) => last = Some(e),
-            }
-        }
-        Err(last.unwrap_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::AddrNotAvailable,
-                format!("`{}` resolved to no addresses", self.addr),
-            )
-        }))
+        self.http.addr()
     }
 
     /// Fetches an object's raw container bytes. `Ok(None)` means the
     /// daemon answered `404` (a clean remote miss); transport failures
     /// and protocol violations are `Err`. The returned bytes are not
-    /// validated — the caller re-checksums them.
+    /// validated — the caller re-checksums them. Inside an
+    /// [`obs::with_trace`] scope the request carries the trace ID, so
+    /// the far daemon's spans join this client's — the cross-tier leg
+    /// of request tracing.
     ///
     /// # Errors
     ///
     /// Any connect, I/O or framing error, or a status other than
     /// `200`/`404`.
     pub fn fetch(&self, key: Digest128) -> io::Result<Option<Vec<u8>>> {
-        let mut stream = self.connect()?;
-        let head = format!(
-            "GET /object/{key} HTTP/1.1\r\nHost: charstore\r\n{}Connection: close\r\n\r\n",
-            trace_header()
-        );
-        stream.write_all(head.as_bytes())?;
-        stream.flush()?;
-        let (status, body) = read_response(&stream)?;
-        match status {
-            200 => Ok(Some(body)),
+        let trace = obs::current_trace().map(|t| t.to_string());
+        let path = format!("/object/{key}");
+        let response = self
+            .http
+            .send(&RequestSpec::get(&path, MAX_OBJECT_BYTES).with_trace(trace.as_deref()))?;
+        match response.status {
+            200 => Ok(Some(response.body)),
             404 => Ok(None),
             other => Err(invalid(format!("object fetch answered {other}"))),
         }
@@ -148,98 +121,31 @@ impl RemoteTier {
     ///
     /// Any connect, I/O or framing error, or a non-200 answer.
     pub fn publish(&self, key: Digest128, encoded: &[u8]) -> io::Result<()> {
-        let mut stream = self.connect()?;
-        let head = format!(
-            "PUT /object/{key} HTTP/1.1\r\nHost: charstore\r\nContent-Type: application/octet-stream\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n",
-            encoded.len(),
-            trace_header()
-        );
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(encoded)?;
-        stream.flush()?;
-        let (status, _body) = read_response(&stream)?;
-        if status != 200 {
-            return Err(invalid(format!("object publish answered {status}")));
+        let trace = obs::current_trace().map(|t| t.to_string());
+        let path = format!("/object/{key}");
+        let response = self.http.send(&RequestSpec {
+            method: "PUT",
+            path: &path,
+            content_type: "application/octet-stream",
+            body: encoded,
+            trace: trace.as_deref(),
+            response_limit: MAX_OBJECT_BYTES,
+            keep_alive: true,
+        })?;
+        if response.status != 200 {
+            return Err(invalid(format!(
+                "object publish answered {}",
+                response.status
+            )));
         }
         Ok(())
     }
 }
 
-/// Reads one CRLF- (or LF-) terminated line, bounded by
-/// [`MAX_LINE_BYTES`]. EOF mid-line is a framing error.
-fn read_line(reader: &mut impl BufRead) -> io::Result<String> {
-    let mut line = Vec::new();
-    loop {
-        let mut byte = [0u8; 1];
-        if reader.read(&mut byte)? == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "connection closed mid-line",
-            ));
-        }
-        if byte[0] == b'\n' {
-            break;
-        }
-        line.push(byte[0]);
-        if line.len() > MAX_LINE_BYTES {
-            return Err(invalid("response header line too long"));
-        }
-    }
-    if line.last() == Some(&b'\r') {
-        line.pop();
-    }
-    String::from_utf8(line).map_err(|_| invalid("response header line is not UTF-8"))
-}
-
-/// Reads one response: status line, headers, then a `Content-Length`
-/// body bounded by [`MAX_OBJECT_BYTES`] **before** allocation.
-fn read_response(stream: &TcpStream) -> io::Result<(u16, Vec<u8>)> {
-    let mut reader = BufReader::new(stream);
-    let status_line = read_line(&mut reader)?;
-    let mut parts = status_line.split_whitespace();
-    let (Some(version), Some(status)) = (parts.next(), parts.next()) else {
-        return Err(invalid(format!("malformed status line `{status_line}`")));
-    };
-    if !version.starts_with("HTTP/1.") {
-        return Err(invalid(format!("unsupported version `{version}`")));
-    }
-    let status = status
-        .parse::<u16>()
-        .map_err(|_| invalid("non-numeric status"))?;
-    let mut content_length: u64 = 0;
-    let mut lines = 0usize;
-    loop {
-        let line = read_line(&mut reader)?;
-        if line.is_empty() {
-            break;
-        }
-        lines += 1;
-        if lines > MAX_HEADER_LINES {
-            return Err(invalid("too many response header lines"));
-        }
-        let Some((name, value)) = line.split_once(':') else {
-            continue;
-        };
-        if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .trim()
-                .parse::<u64>()
-                .map_err(|_| invalid("bad Content-Length in response"))?;
-        }
-    }
-    if content_length > MAX_OBJECT_BYTES as u64 {
-        return Err(invalid(format!(
-            "response body of {content_length} bytes exceeds the {MAX_OBJECT_BYTES}-byte cap"
-        )));
-    }
-    let mut body = vec![0u8; content_length as usize];
-    reader.read_exact(&mut body)?;
-    Ok((status, body))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::{Read, Write};
     use std::net::TcpListener;
 
     fn key() -> Digest128 {

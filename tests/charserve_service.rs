@@ -32,6 +32,7 @@ fn daemon_single_flights_concurrent_clients_and_serves_repeats_from_store() {
         addr: "127.0.0.1:0".to_string(),
         workers: 2,
         store_dir: dir.clone(),
+        ..ServeConfig::default()
     })
     .expect("bind charserve");
     let addr = server.local_addr().to_string();

@@ -21,6 +21,7 @@ fn boot_daemon(store_dir: &std::path::Path) -> (String, std::thread::JoinHandle<
         addr: "127.0.0.1:0".to_string(),
         workers: 1,
         store_dir: store_dir.to_path_buf(),
+        ..ServeConfig::default()
     })
     .expect("bind charserve");
     let addr = server.local_addr().to_string();
