@@ -266,6 +266,7 @@ fn cmd_warm(dir: &str, remote: Option<&str>, rest: &[String]) -> Result<(), Stri
     let transitions_before = gatesim::sim_transitions();
     let retrain_hits_before = retrain_counter("charcache_retrain_hits_total");
     let retrain_misses_before = retrain_counter("charcache_retrain_misses_total");
+    let gates_pruned_before = retrain_counter("gatesim_gates_pruned_total");
     for &kind in kinds {
         // One trace per warmed network: the stage spans recorded below
         // and any remote-tier fetches (which forward the ID as
@@ -302,7 +303,7 @@ fn cmd_warm(dir: &str, remote: Option<&str>, rest: &[String]) -> Result<(), Stri
     let c = cache.counters();
     let store = cache.store().counters();
     println!(
-        "warm complete: scale={scale:?} networks={} hits={} misses={} remote_hits={} remote_publishes={} remote_errors={} training_epochs={} sim_transitions={} retrain_hits={} retrain_misses={}",
+        "warm complete: scale={scale:?} networks={} hits={} misses={} remote_hits={} remote_publishes={} remote_errors={} training_epochs={} sim_transitions={} retrain_hits={} retrain_misses={} gates_pruned={}",
         kinds.len(),
         c.hits,
         c.misses,
@@ -313,6 +314,7 @@ fn cmd_warm(dir: &str, remote: Option<&str>, rest: &[String]) -> Result<(), Stri
         gatesim::sim_transitions() - transitions_before,
         retrain_counter("charcache_retrain_hits_total") - retrain_hits_before,
         retrain_counter("charcache_retrain_misses_total") - retrain_misses_before,
+        retrain_counter("gatesim_gates_pruned_total") - gates_pruned_before,
     );
     print_tier_table();
     let gets = obs::metrics::histogram("charstore_get_seconds", obs::metrics::LATENCY_SECONDS);

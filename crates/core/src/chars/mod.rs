@@ -15,8 +15,9 @@ pub mod timing;
 pub use bins::PsumBinning;
 pub use power::{
     characterize_power, characterize_power_batched, characterize_power_batched_with_threads,
-    characterize_power_scalar, characterize_power_with_threads, strided_codes, PowerConfig,
-    WeightPowerProfile,
+    characterize_power_scalar, characterize_power_unpruned,
+    characterize_power_unpruned_with_threads, characterize_power_with_threads, strided_codes,
+    PowerConfig, WeightPowerProfile,
 };
 pub use timing::{
     characterize_timing, characterize_timing_scalar, characterize_timing_with_threads,
@@ -189,6 +190,34 @@ impl MacHardware {
     #[must_use]
     pub fn lib(&self) -> &CellLibrary {
         &self.lib
+    }
+
+    /// Pin mask for [`gatesim::PrunePlan`] over the full MAC netlist:
+    /// the weight bus held at `code`, activation and partial-sum inputs
+    /// free. The MAC's input ports are weight, activation, partial sum
+    /// (LSB first), so the mask covers the first `weight_bits` ports —
+    /// exactly the bits [`MacCircuit::encode`] derives from the weight.
+    #[must_use]
+    pub fn mac_weight_pins(&self, code: i32) -> Vec<Option<bool>> {
+        self.weight_pins(code, self.mac.netlist().inputs().len())
+    }
+
+    /// Pin mask for the standalone multiplier netlist: the weight bus
+    /// held at `code`, the activation bus free (port layout per
+    /// [`MacHardware::encode_mult`]).
+    #[must_use]
+    pub fn mult_weight_pins(&self, code: i32) -> Vec<Option<bool>> {
+        self.weight_pins(code, self.mult_netlist.inputs().len())
+    }
+
+    fn weight_pins(&self, code: i32, input_count: usize) -> Vec<Option<bool>> {
+        let mut bits = Vec::with_capacity(self.weight_bits);
+        to_bits_into(code as i64, self.weight_bits, &mut bits);
+        let mut pins = vec![None; input_count];
+        for (pos, &bit) in bits.iter().enumerate() {
+            pins[pos] = Some(bit);
+        }
+        pins
     }
 
     /// Weight operand width in bits.

@@ -17,7 +17,7 @@
 //! profiles, energies included.
 
 use crate::chars::{CharConfigError, MacHardware, PsumBinning};
-use gatesim::{BatchAccumulator, BatchSim, BitSim, Simulator};
+use gatesim::{BatchAccumulator, BatchSim, BitSim, PrunePlan, Simulator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use systolic::stats::TransitionStats;
@@ -264,7 +264,12 @@ fn code_rng(cfg: &PowerConfig, code_idx: usize) -> StdRng {
 /// sampled input stream reflects real network execution. Weights are
 /// characterized in parallel on the bit-parallel [`BitSim`] engine —
 /// 64 sampled transitions per simulated word on top of the per-code
-/// thread fan-out.
+/// thread fan-out — under a per-code [`PrunePlan`]: the held weight
+/// bus is pinned, constant propagation proves the weight's dead cone
+/// silent, and only the live cone is simulated. Pruning is exact
+/// (pruned gates provably never toggle), so the profile is
+/// bit-identical to [`characterize_power_unpruned`] and to the batched
+/// and scalar references.
 ///
 /// # Panics
 ///
@@ -296,6 +301,58 @@ pub fn characterize_power_with_threads(
     cfg: &PowerConfig,
     threads: Option<usize>,
 ) -> WeightPowerProfile {
+    power_bitsim_impl(hw, act_stats, binning, cfg, threads, true)
+}
+
+/// The bit-parallel characterization loop *without* the per-code prune
+/// plan: every gate simulated, exactly the hot path before interval
+/// pruning landed. Kept as the A/B baseline for the
+/// `bench_characterization` `power_pruned` speedup measurement and as a
+/// bit-identity witness in tests.
+///
+/// # Panics
+///
+/// Panics if `act_stats` has no recorded transitions or the
+/// configuration fails [`PowerConfig::validate`].
+#[must_use]
+pub fn characterize_power_unpruned(
+    hw: &MacHardware,
+    act_stats: &TransitionStats,
+    binning: &PsumBinning,
+    cfg: &PowerConfig,
+) -> WeightPowerProfile {
+    power_bitsim_impl(hw, act_stats, binning, cfg, None, false)
+}
+
+/// [`characterize_power_unpruned`] with an explicit worker-thread count
+/// (`None` uses the machine's available parallelism). The
+/// `bench_characterization` pruning A/B runs both arms on one thread so
+/// the comparison measures per-sample simulation cost, not scheduler
+/// noise across the per-code fan-out.
+///
+/// # Panics
+///
+/// Panics if `act_stats` has no recorded transitions or the
+/// configuration fails [`PowerConfig::validate`].
+#[must_use]
+pub fn characterize_power_unpruned_with_threads(
+    hw: &MacHardware,
+    act_stats: &TransitionStats,
+    binning: &PsumBinning,
+    cfg: &PowerConfig,
+    threads: Option<usize>,
+) -> WeightPowerProfile {
+    power_bitsim_impl(hw, act_stats, binning, cfg, threads, false)
+}
+
+fn power_bitsim_impl(
+    hw: &MacHardware,
+    act_stats: &TransitionStats,
+    binning: &PsumBinning,
+    cfg: &PowerConfig,
+    threads: Option<usize>,
+    pruned: bool,
+) -> WeightPowerProfile {
     if let Err(e) = cfg.validate() {
         panic!("invalid PowerConfig: {e}");
     }
@@ -310,15 +367,25 @@ pub fn characterize_power_with_threads(
         1,
         || {
             (
-                BitSim::new(hw.mac().netlist(), hw.lib()),
                 Vec::new(),
                 Vec::new(),
                 vec![0u64; input_count],
                 vec![0u64; input_count],
             )
         },
-        |(sim, from, to, from_words, to_words), idx, slot| {
+        |(from, to, from_words, to_words), idx, slot| {
             let code = codes[idx];
+            // The engine is built per code, not per thread: with the
+            // weight bus pinned at this code, the prune plan proves the
+            // weight's dead cone silent and the engine never visits it.
+            // The plan pass is microseconds against thousands of
+            // simulated transitions per code.
+            let mut sim = if pruned {
+                let plan = PrunePlan::new(hw.mac().netlist(), hw.lib(), &hw.mac_weight_pins(code));
+                BitSim::with_plan(hw.mac().netlist(), hw.lib(), &plan)
+            } else {
+                BitSim::new(hw.mac().netlist(), hw.lib())
+            };
             let mut rng = code_rng(cfg, idx);
             let acts = act_stats.sample_activation_transitions(cfg.samples_per_weight, &mut rng);
             let psums = binning.sample_transitions(cfg.samples_per_weight, &mut rng);
@@ -632,6 +699,19 @@ mod tests {
         let scalar = characterize_power_scalar(&hw, &stats, &binning, &cfg);
         assert_eq!(bitsim, scalar);
         assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn pruned_profile_is_bit_identical_to_unpruned() {
+        // The per-code prune plan only removes gates it proved can
+        // never toggle with the weight bus held, so the profile must
+        // match the all-gates run to the last f64 bit.
+        let hw = MacHardware::small();
+        let (stats, binning) = fake_stats();
+        let cfg = quick_cfg();
+        let pruned = characterize_power(&hw, &stats, &binning, &cfg);
+        let unpruned = characterize_power_unpruned(&hw, &stats, &binning, &cfg);
+        assert_eq!(pruned, unpruned);
     }
 
     #[test]

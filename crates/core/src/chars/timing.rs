@@ -14,7 +14,7 @@
 //! partial-sum STA path as a weight-independent floor.
 
 use crate::chars::{CharConfigError, MacHardware};
-use gatesim::{BatchSim, Simulator, Sta};
+use gatesim::{BatchSim, PrunePlan, Simulator, Sta};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -303,7 +303,10 @@ fn for_each_transition_pair(
 /// multiplier embedded in the MAC (both come from the same generator),
 /// so product-bit arrival times measured on it compose exactly with the
 /// MAC-adder STA table. Per-weight dynamic timing runs on the batched
-/// [`BatchSim`] engine.
+/// [`BatchSim`] engine under a per-code [`PrunePlan`] that pins the
+/// held weight bus — the weight's desensitized cone is proven silent
+/// and skipped, with bit-identical arrivals (asserted against the
+/// unpruned scalar reference in the test suite).
 ///
 /// # Panics
 ///
@@ -349,13 +352,17 @@ pub fn characterize_timing_with_threads(
         threads.unwrap_or_else(parallel::max_threads),
         &mut per_weight,
         1,
-        || {
-            let mut sim = BatchSim::new(hw.mult_netlist(), hw.lib());
-            sim.observe(&product_nets);
-            (sim, Vec::new(), Vec::new())
-        },
-        |(sim, from_buf, to_buf), idx, slot| {
+        || (Vec::new(), Vec::new()),
+        |(from_buf, to_buf), idx, slot| {
             let code = slot[0].code;
+            // Per-code engine with the weight bus pinned: the prune
+            // plan proves the weight's dead multiplier cone silent, so
+            // the DTA sweep only simulates the sensitized logic.
+            // Arrival times are unchanged — pruned gates never toggle,
+            // hence never set an arrival.
+            let plan = PrunePlan::new(hw.mult_netlist(), hw.lib(), &hw.mult_weight_pins(code));
+            let mut sim = BatchSim::with_plan(hw.mult_netlist(), hw.lib(), &plan);
+            sim.observe(&product_nets);
             let mut hist = vec![0u64; 512];
             let mut max_delay = 0.0f64;
             let mut slow = Vec::new();

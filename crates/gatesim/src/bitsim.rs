@@ -64,8 +64,8 @@
 //! fanin cone ever toggles.
 
 use crate::cells::CellLibrary;
+use crate::intervals::{EngineBuild, GateRow, PrunePlan};
 use crate::netlist::{NetId, NetSource, Netlist};
-use crate::sim::FS_PER_PS;
 
 /// All-lanes mask for `active` lanes (1 ..= 64).
 #[inline]
@@ -210,19 +210,6 @@ impl WordQueue {
     }
 }
 
-/// Flat per-gate record for the word-wide hot loop (cf. the batched
-/// engine's equivalent): inputs, output, delay, truth table, queue lane.
-#[derive(Debug, Clone, Copy)]
-struct WordGate {
-    in0: u32,
-    in1: u32,
-    in2: u32,
-    out: u32,
-    delay_fs: u32,
-    lut: u8,
-    lane: u8,
-}
-
 /// Borrow of one word-transition's per-lane results over the engine's
 /// scratch buffers.
 ///
@@ -317,18 +304,25 @@ impl BitTransitionView<'_> {
 #[derive(Debug)]
 pub struct BitSim<'a> {
     netlist: &'a Netlist,
-    gates: Vec<WordGate>,
-    /// Fanout in compressed-sparse-row form with the gate records
-    /// materialized per edge: the gates reading net `n` are
-    /// `fanout_gates[fanout_offsets[n] .. fanout_offsets[n + 1]]`. The
-    /// event hot loop streams whole [`WordGate`] records from one
-    /// contiguous allocation instead of chasing `GateId` indices into
-    /// [`BitSim::gates`].
+    /// Live (non-pruned) gates in topological order — the settle sweep.
+    live_gates: Vec<GateRow>,
+    /// Live-filtered fanout in compressed-sparse-row form with the gate
+    /// records materialized per edge: the live gates reading net `n`
+    /// are `fanout_gates[fanout_offsets[n] .. fanout_offsets[n + 1]]`.
+    /// The event hot loop streams whole [`GateRow`] records from one
+    /// contiguous allocation instead of chasing `GateId` indices;
+    /// pruned gates are absent, so their cones are never re-evaluated.
     fanout_offsets: Vec<u32>,
-    fanout_gates: Vec<WordGate>,
+    fanout_gates: Vec<GateRow>,
     /// Switching energy (fJ) charged when a net toggles: the driving
     /// gate's energy, or 0 for inputs and constants.
     net_energy_fj: Vec<f64>,
+    /// Constant value words baked by the prune plan: `(net, word)`
+    /// where the word is all-zeros or all-ones across every lane.
+    pruned_words: Vec<(u32, u64)>,
+    /// Pinned primary inputs `(port position, value)` the plan assumed;
+    /// asserted against every settle/transition input block.
+    pins: Vec<(u32, bool)>,
     /// Current 64-lane value word per net.
     value: Vec<u64>,
     /// 64-lane word of each net's last *scheduled* value — the
@@ -349,58 +343,51 @@ pub struct BitSim<'a> {
 }
 
 impl<'a> BitSim<'a> {
-    /// Creates an engine for `netlist` with electrical data from `lib`.
+    /// Creates an engine for `netlist` with electrical data from `lib`
+    /// and no pinned inputs (every gate simulated unless fed purely by
+    /// constants).
     #[must_use]
     pub fn new(netlist: &'a Netlist, lib: &CellLibrary) -> Self {
-        let mut delays: Vec<u32> = Vec::new();
-        let gates: Vec<WordGate> = netlist
-            .gates()
+        Self::with_plan(netlist, lib, &PrunePlan::unpinned(netlist, lib))
+    }
+
+    /// Creates an engine that simulates only the gates `plan` left
+    /// live: gates the plan proved constant are baked as all-lane
+    /// constant words at settle time and excluded from the event hot
+    /// loop. Results are bit-identical to the unpruned engine for any
+    /// stimulus honoring the plan's pins (asserted).
+    #[must_use]
+    pub fn with_plan(netlist: &'a Netlist, lib: &CellLibrary, plan: &PrunePlan) -> Self {
+        let build = EngineBuild::new(netlist, lib, plan);
+        let live_gates: Vec<GateRow> = build
+            .live_rows
             .iter()
-            .map(|g| {
-                let delay_fs = (lib.params(g.kind).delay_ps * FS_PER_PS).round() as u32;
-                let lane = delays
-                    .iter()
-                    .position(|&d| d == delay_fs)
-                    .unwrap_or_else(|| {
-                        delays.push(delay_fs);
-                        delays.len() - 1
-                    });
-                WordGate {
-                    in0: g.inputs[0].0,
-                    in1: g.inputs[1].0,
-                    in2: g.inputs[2].0,
-                    out: g.output.0,
-                    delay_fs,
-                    lut: g.kind.truth_table(),
-                    lane: u8::try_from(lane).expect("more than 255 distinct gate delays"),
-                }
-            })
+            .map(|&gid| build.rows[gid as usize])
             .collect();
-        let mut net_energy_fj = vec![0.0f64; netlist.net_count()];
-        for gate in netlist.gates() {
-            net_energy_fj[gate.output.index()] = lib.params(gate.kind).energy_fj;
-        }
-        let mut fanout_offsets = Vec::with_capacity(netlist.net_count() + 1);
-        let mut fanout_gates = Vec::with_capacity(netlist.fanout_edge_count());
-        fanout_offsets.push(0);
-        for net in 0..netlist.net_count() {
-            for gid in netlist.fanout(NetId(net as u32)) {
-                fanout_gates.push(gates[gid.index()]);
-            }
-            fanout_offsets.push(fanout_gates.len() as u32);
-        }
+        let fanout_gates: Vec<GateRow> = build
+            .fanout_gate_ids
+            .iter()
+            .map(|&gid| build.rows[gid as usize])
+            .collect();
+        let pruned_words = build
+            .pruned_values
+            .iter()
+            .map(|&(net, v)| (net, if v { !0u64 } else { 0 }))
+            .collect();
         BitSim {
             netlist,
-            gates,
-            fanout_offsets,
+            live_gates,
+            fanout_offsets: build.fanout_offsets,
             fanout_gates,
-            net_energy_fj,
+            net_energy_fj: build.net_energy_fj,
+            pruned_words,
+            pins: build.pins,
             value: vec![0; netlist.net_count()],
             sched: vec![0; netlist.net_count()],
             current_inputs: vec![0; netlist.inputs().len()],
             active: 0,
             primed: false,
-            queue: WordQueue::with_lanes(delays.len()),
+            queue: WordQueue::with_lanes(build.lane_count),
             lane_energy_fj: vec![0.0; 64],
             lane_toggles: vec![0; 64],
             net_toggled: vec![false; netlist.net_count()],
@@ -435,6 +422,14 @@ impl<'a> BitSim<'a> {
             "active lanes must be in 1..=64, got {active}"
         );
         let mask = active_mask(active);
+        for &(pos, v) in &self.pins {
+            let w = inputs[pos as usize] & mask;
+            assert_eq!(
+                w,
+                if v { mask } else { 0 },
+                "pinned input {pos} violated in an active lane (plan pins it to {v})"
+            );
+        }
         self.active = active;
         for (idx, src) in self.netlist.sources().iter().enumerate() {
             match src {
@@ -449,6 +444,13 @@ impl<'a> BitSim<'a> {
                 _ => {}
             }
         }
+        // Bake the plan's proven constants: pruned gates are absent
+        // from the live sweep below, so their outputs are set once here
+        // and never touched again.
+        for &(net, w) in &self.pruned_words {
+            self.value[net as usize] = w;
+            self.sched[net as usize] = w;
+        }
         for (pos, &word) in inputs.iter().enumerate() {
             let net = self.netlist.inputs()[pos].index();
             let w = word & mask;
@@ -456,7 +458,7 @@ impl<'a> BitSim<'a> {
             self.sched[net] = w;
             self.current_inputs[pos] = w;
         }
-        for gate in &self.gates {
+        for gate in &self.live_gates {
             let w = eval_lut_word(
                 gate.lut,
                 self.value[gate.in0 as usize],
@@ -509,6 +511,14 @@ impl<'a> BitSim<'a> {
         );
         crate::counters::record_transitions(self.active as u64);
         let mask = active_mask(self.active);
+        for &(pos, v) in &self.pins {
+            let w = new_inputs[pos as usize] & mask;
+            assert_eq!(
+                w,
+                if v { mask } else { 0 },
+                "pinned input {pos} violated in an active lane (plan pins it to {v})"
+            );
+        }
         self.lane_energy_fj.fill(0.0);
         self.lane_toggles.fill(0);
         self.queue.clear();

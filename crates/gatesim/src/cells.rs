@@ -181,10 +181,36 @@ pub struct CellLibrary {
     params: [CellParams; 13],
 }
 
+/// Largest legal `delay_ps`: the femtosecond representation
+/// (`delay_ps * 1000`, rounded) must fit the engines' `u32` delay
+/// fields without truncation.
+const MAX_DELAY_PS: f64 = u32::MAX as f64 / 1000.0;
+
+/// Panics unless `delay_ps` is finite, non-negative and within the
+/// engines' femtosecond range. Every constructor and mutator of
+/// [`CellLibrary`] funnels through this, so a library in hand always
+/// holds simulatable delays.
+fn validate_delay_ps(delay_ps: f64) {
+    assert!(
+        delay_ps.is_finite() && delay_ps >= 0.0,
+        "cell delay must be finite and non-negative, got {delay_ps} ps"
+    );
+    assert!(
+        delay_ps <= MAX_DELAY_PS,
+        "cell delay {delay_ps} ps overflows the femtosecond range (max {MAX_DELAY_PS} ps)"
+    );
+}
+
 impl CellLibrary {
     /// A library with uniform parameters — useful in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay_ps` is NaN, infinite, negative, or too large
+    /// for the engines' femtosecond representation.
     #[must_use]
     pub fn uniform(delay_ps: f64, energy_fj: f64, leakage_nw: f64) -> Self {
+        validate_delay_ps(delay_ps);
         CellLibrary {
             params: [CellParams {
                 delay_ps,
@@ -241,7 +267,13 @@ impl CellLibrary {
     }
 
     /// Overrides the parameters of a cell kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.delay_ps` is NaN, infinite, negative, or too
+    /// large for the engines' femtosecond representation.
     pub fn set(&mut self, kind: CellKind, params: CellParams) {
+        validate_delay_ps(params.delay_ps);
         self.params[Self::index(kind)] = params;
     }
 
@@ -249,11 +281,17 @@ impl CellLibrary {
     ///
     /// Used by the voltage-scaling model: lowering VDD slows every cell by
     /// the same first-order factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any scaled delay leaves the legal range (e.g. a NaN,
+    /// negative or overflow-inducing `factor`).
     #[must_use]
     pub fn with_delay_scaled(&self, factor: f64) -> Self {
         let mut out = self.clone();
         for p in &mut out.params {
             p.delay_ps *= factor;
+            validate_delay_ps(p.delay_ps);
         }
         out
     }
@@ -364,6 +402,58 @@ mod tests {
     #[test]
     fn default_library_is_nangate_like() {
         assert_eq!(CellLibrary::default(), CellLibrary::nangate15_like());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn uniform_rejects_negative_delay() {
+        let _ = CellLibrary::uniform(-1.0, 0.1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn uniform_rejects_nan_delay() {
+        let _ = CellLibrary::uniform(f64::NAN, 0.1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn set_rejects_infinite_delay() {
+        let mut lib = CellLibrary::nangate15_like();
+        lib.set(
+            CellKind::Inv,
+            CellParams {
+                delay_ps: f64::INFINITY,
+                energy_fj: 0.1,
+                leakage_nw: 1.0,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the femtosecond range")]
+    fn set_rejects_delay_beyond_fs_range() {
+        let mut lib = CellLibrary::nangate15_like();
+        lib.set(
+            CellKind::Inv,
+            CellParams {
+                delay_ps: 5.0e6, // 5e9 fs > u32::MAX
+                energy_fj: 0.1,
+                leakage_nw: 1.0,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the femtosecond range")]
+    fn scaling_rejects_overflowing_factor() {
+        let _ = CellLibrary::nangate15_like().with_delay_scaled(1.0e9);
+    }
+
+    #[test]
+    fn zero_delay_is_legal() {
+        let lib = CellLibrary::uniform(0.0, 0.1, 1.0);
+        assert_eq!(lib.params(CellKind::Inv).delay_ps, 0.0);
     }
 
     #[test]

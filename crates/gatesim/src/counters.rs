@@ -30,7 +30,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::LazyLock;
 
-use obs::metrics::{counter, histogram, Counter, Histogram, SETTLE_PS};
+use obs::metrics::{counter, histogram, Counter, Histogram, LATENCY_SECONDS, SETTLE_PS};
 
 static SIM_TRANSITIONS: AtomicU64 = AtomicU64::new(0);
 
@@ -40,6 +40,8 @@ struct Registry {
     events_scheduled: Counter,
     events_filtered: Counter,
     settle_ps: Histogram,
+    gates_pruned: Counter,
+    prune_plan_seconds: Histogram,
 }
 
 static REGISTRY: LazyLock<Registry> = LazyLock::new(|| Registry {
@@ -47,6 +49,8 @@ static REGISTRY: LazyLock<Registry> = LazyLock::new(|| Registry {
     events_scheduled: counter("gatesim_events_scheduled_total"),
     events_filtered: counter("gatesim_events_filtered_total"),
     settle_ps: histogram("gatesim_settle_time_ps", SETTLE_PS),
+    gates_pruned: counter("gatesim_gates_pruned_total"),
+    prune_plan_seconds: histogram("gatesim_prune_plan_seconds", LATENCY_SECONDS),
 });
 
 /// Forces registration of the `gatesim_*` metrics so they render in
@@ -92,6 +96,14 @@ pub(crate) fn record_events(scheduled: u64, filtered: u64) {
 #[inline]
 pub(crate) fn record_settle_ps(ps: f64) {
     REGISTRY.settle_ps.observe(ps);
+}
+
+/// Records one [`crate::PrunePlan`] pass: how many gates it proved
+/// silent and how long the proof took (crate-internal).
+#[inline]
+pub(crate) fn record_prune_plan(pruned: u64, seconds: f64) {
+    REGISTRY.gates_pruned.add(pruned);
+    REGISTRY.prune_plan_seconds.observe(seconds);
 }
 
 #[cfg(test)]

@@ -28,6 +28,7 @@
 //! the adder, Booth-multiplier and MAC generators.
 
 use crate::cells::CellLibrary;
+use crate::intervals::{EngineBuild, GateRow, PrunePlan};
 use crate::netlist::{NetId, NetSource, Netlist};
 use crate::sim::FS_PER_PS;
 
@@ -48,6 +49,15 @@ fn output_slot_to_state(output_slot: &[u32]) -> Vec<u8> {
         .iter()
         .map(|&slot| if slot == NO_SLOT { 0 } else { INTEREST })
         .collect()
+}
+
+/// Evaluates one gate row against the packed per-net state bytes.
+#[inline]
+fn eval_row(state: &[u8], gate: &GateRow) -> bool {
+    let idx = usize::from(state[gate.in0 as usize] & VALUE)
+        | usize::from(state[gate.in1 as usize] & VALUE) << 1
+        | usize::from(state[gate.in2 as usize] & VALUE) << 2;
+    gate.lut >> idx & 1 == 1
 }
 
 /// One scheduled event, packed into 16 bytes.
@@ -293,22 +303,6 @@ impl BatchAccumulator {
     }
 }
 
-/// Flattened per-gate record: inputs, output, delay and truth table in
-/// one 24-byte row so the event hot loop touches a single cache stream
-/// instead of chasing the netlist's `Gate` structs.
-#[derive(Debug, Clone, Copy)]
-struct GateRec {
-    in0: u32,
-    in1: u32,
-    in2: u32,
-    out: u32,
-    delay_fs: u32,
-    /// Truth table over `a | b << 1 | c << 2`.
-    lut: u8,
-    /// Index of the [`EventQueue`] lane for this gate's delay.
-    lane: u8,
-}
-
 /// Batched event-driven simulator with persistent, reused buffers.
 ///
 /// Semantics match [`crate::Simulator`] exactly (see the module docs);
@@ -338,10 +332,10 @@ struct GateRec {
 #[derive(Debug)]
 pub struct BatchSim<'a> {
     netlist: &'a Netlist,
-    gates: Vec<GateRec>,
-    /// Switching energy (fJ) charged when a net toggles: the driving
-    /// gate's energy, or 0 for inputs and constants.
-    net_energy_fj: Vec<f64>,
+    /// Shared engine compilation: gate rows, live gate order, baked
+    /// constants, live-filtered fanout, per-net energies and pin
+    /// assertions (see [`crate::intervals`]).
+    build: EngineBuild,
     output_slot: Vec<u32>,
     observe_slot: Vec<u32>,
     observed_count: usize,
@@ -369,36 +363,23 @@ pub struct BatchSim<'a> {
 
 impl<'a> BatchSim<'a> {
     /// Creates an engine for `netlist` with electrical data from `lib`.
+    ///
+    /// Equivalent to [`BatchSim::with_plan`] with an unpinned
+    /// [`PrunePlan`]: constant-fed cones are still pruned, which never
+    /// changes any observable result.
     #[must_use]
     pub fn new(netlist: &'a Netlist, lib: &CellLibrary) -> Self {
-        let mut delays: Vec<u32> = Vec::new();
-        let gates: Vec<GateRec> = netlist
-            .gates()
-            .iter()
-            .map(|g| {
-                let delay_fs = (lib.params(g.kind).delay_ps * FS_PER_PS).round() as u32;
-                let lane = delays
-                    .iter()
-                    .position(|&d| d == delay_fs)
-                    .unwrap_or_else(|| {
-                        delays.push(delay_fs);
-                        delays.len() - 1
-                    });
-                GateRec {
-                    in0: g.inputs[0].0,
-                    in1: g.inputs[1].0,
-                    in2: g.inputs[2].0,
-                    out: g.output.0,
-                    delay_fs,
-                    lut: g.kind.truth_table(),
-                    lane: u8::try_from(lane).expect("more than 255 distinct gate delays"),
-                }
-            })
-            .collect();
-        let mut net_energy_fj = vec![0.0f64; netlist.net_count()];
-        for gate in netlist.gates() {
-            net_energy_fj[gate.output.index()] = lib.params(gate.kind).energy_fj;
-        }
+        Self::with_plan(netlist, lib, &PrunePlan::unpinned(netlist, lib))
+    }
+
+    /// Creates an engine that skips the gates `plan` proved silent:
+    /// their constant outputs are baked at settle time and no event is
+    /// ever scheduled through them. Results are exactly bit-identical
+    /// to the unpruned engine for any stimulus that respects the plan's
+    /// pinned inputs (asserted on every settle/transition).
+    #[must_use]
+    pub fn with_plan(netlist: &'a Netlist, lib: &CellLibrary, plan: &PrunePlan) -> Self {
+        let build = EngineBuild::new(netlist, lib, plan);
         let mut output_slot = vec![NO_SLOT; netlist.net_count()];
         for (slot, net) in netlist.outputs().iter().enumerate() {
             // First slot wins if a net is listed twice.
@@ -408,20 +389,31 @@ impl<'a> BatchSim<'a> {
         }
         let outputs = netlist.outputs().len();
         let state = output_slot_to_state(&output_slot);
+        let lanes = build.lane_count;
         BatchSim {
             netlist,
-            gates,
-            net_energy_fj,
+            build,
             output_slot,
             observe_slot: vec![NO_SLOT; netlist.net_count()],
             observed_count: 0,
             state,
             current_inputs: vec![false; netlist.inputs().len()],
             primed: false,
-            queue: EventQueue::with_lanes(delays.len()),
+            queue: EventQueue::with_lanes(lanes),
             gate_dirty: vec![false; netlist.gate_count()],
             output_arrival_fs: vec![0; outputs],
             observed_arrival_fs: Vec::new(),
+        }
+    }
+
+    /// Panics unless every pinned input holds its pinned value — the
+    /// pruning proofs are conditional on exactly that.
+    fn assert_pins(&self, inputs: &[bool]) {
+        for &(pos, v) in &self.build.pins {
+            assert_eq!(
+                inputs[pos as usize], v,
+                "pinned input {pos} violated (plan pins it to {v})"
+            );
         }
     }
 
@@ -457,11 +449,7 @@ impl<'a> BatchSim<'a> {
 
     #[inline]
     fn eval_gate(&self, gid: usize) -> bool {
-        let gate = &self.gates[gid];
-        let idx = usize::from(self.state[gate.in0 as usize] & VALUE)
-            | usize::from(self.state[gate.in1 as usize] & VALUE) << 1
-            | usize::from(self.state[gate.in2 as usize] & VALUE) << 2;
-        gate.lut >> idx & 1 == 1
+        eval_row(&self.state, &self.build.rows[gid])
     }
 
     /// Settles the circuit combinationally at `inputs`, updating the
@@ -477,6 +465,7 @@ impl<'a> BatchSim<'a> {
             self.current_inputs.len(),
             "input vector length mismatch"
         );
+        self.assert_pins(inputs);
         if self.primed {
             self.settle_incremental(inputs);
         } else {
@@ -494,12 +483,19 @@ impl<'a> BatchSim<'a> {
                 _ => {}
             }
         }
+        // Bake the constants the plan proved; pruned gates are skipped
+        // by the live sweep below and never touched again.
+        for i in 0..self.build.pruned_values.len() {
+            let (net, v) = self.build.pruned_values[i];
+            self.set_settled(net as usize, v);
+        }
         for pos in 0..inputs.len() {
             let net = self.netlist.inputs()[pos].index();
             self.set_settled(net, inputs[pos]);
         }
-        for gid in 0..self.gates.len() {
-            let out = self.gates[gid].out as usize;
+        for i in 0..self.build.live_rows.len() {
+            let gid = self.build.live_rows[i] as usize;
+            let out = self.build.rows[gid].out as usize;
             let v = self.eval_gate(gid);
             self.set_settled(out, v);
         }
@@ -510,10 +506,14 @@ impl<'a> BatchSim<'a> {
         let mut dirty_count = 0usize;
         for (pos, &new) in inputs.iter().enumerate() {
             if self.current_inputs[pos] != new {
-                let net = self.netlist.inputs()[pos];
-                self.set_settled(net.index(), new);
-                for &gid in self.netlist.fanout(net) {
-                    let gid = gid.index();
+                let net = self.netlist.inputs()[pos].index();
+                self.set_settled(net, new);
+                // Live-filtered fanout: pruned gates are never marked
+                // dirty, so their baked constants persist.
+                let start = self.build.fanout_offsets[net] as usize;
+                let end = self.build.fanout_offsets[net + 1] as usize;
+                for k in start..end {
+                    let gid = self.build.fanout_gate_ids[k] as usize;
                     if !self.gate_dirty[gid] {
                         self.gate_dirty[gid] = true;
                         dirty_count += 1;
@@ -533,12 +533,14 @@ impl<'a> BatchSim<'a> {
             if self.gate_dirty[gid] {
                 self.gate_dirty[gid] = false;
                 dirty_count -= 1;
-                let out_net = self.gates[gid].out as usize;
+                let out_net = self.build.rows[gid].out as usize;
                 let out = self.eval_gate(gid);
                 if (self.state[out_net] & VALUE != 0) != out {
                     self.set_settled(out_net, out);
-                    for &succ in self.netlist.fanout(NetId(out_net as u32)) {
-                        let succ = succ.index();
+                    let start = self.build.fanout_offsets[out_net] as usize;
+                    let end = self.build.fanout_offsets[out_net + 1] as usize;
+                    for k in start..end {
+                        let succ = self.build.fanout_gate_ids[k] as usize;
                         if !self.gate_dirty[succ] {
                             self.gate_dirty[succ] = true;
                             dirty_count += 1;
@@ -585,6 +587,7 @@ impl<'a> BatchSim<'a> {
             self.current_inputs.len(),
             "input vector length mismatch"
         );
+        self.assert_pins(new_inputs);
         self.output_arrival_fs.fill(0);
         self.observed_arrival_fs.fill(0);
         self.queue.clear();
@@ -597,27 +600,44 @@ impl<'a> BatchSim<'a> {
         let mut toggles = 0u64;
         let mut last_output_toggle_fs = 0u64;
 
+        // Split borrows once so the event loop indexes plain slices
+        // while the queue is borrowed mutably.
+        let BatchSim {
+            netlist,
+            build,
+            output_slot,
+            observe_slot,
+            state,
+            current_inputs,
+            queue,
+            output_arrival_fs,
+            observed_arrival_fs,
+            ..
+        } = self;
+
         // Primary-input toggles all happen at t = 0 and, in the scalar
         // simulator, all pop before any gate event — so they are
         // processed directly here instead of round-tripping the heap.
         for pos in 0..new_inputs.len() {
             let new = new_inputs[pos];
-            if self.current_inputs[pos] != new {
-                let net = self.netlist.inputs()[pos].index();
-                self.set_settled(net, new);
+            if current_inputs[pos] != new {
+                let net = netlist.inputs()[pos].index();
+                state[net] = (state[net] & !(VALUE | SCHED)) | if new { VALUE | SCHED } else { 0 };
                 toggles += 1;
                 // Inputs have no driving gate, so no energy is charged;
                 // an input net can still be a primary output or observed
-                // (its arrival buckets are already zeroed).
-                for &gid in self.netlist.fanout(NetId(net as u32)) {
-                    let gid = gid.index();
-                    let gate = self.gates[gid];
-                    let out = self.eval_gate(gid);
+                // (its arrival buckets are already zeroed). Fanout is
+                // live-filtered: pruned gates never see events.
+                let start = build.fanout_offsets[net] as usize;
+                let end = build.fanout_offsets[net + 1] as usize;
+                for k in start..end {
+                    let gate = build.rows[build.fanout_gate_ids[k] as usize];
+                    let out = eval_row(state, &gate);
                     let out_net = gate.out as usize;
-                    let s = self.state[out_net];
+                    let s = state[out_net];
                     if (s & SCHED != 0) != out {
-                        self.state[out_net] = (s & !SCHED) | if out { SCHED } else { 0 };
-                        self.queue.push(
+                        state[out_net] = (s & !SCHED) | if out { SCHED } else { 0 };
+                        queue.push(
                             gate.lane as usize,
                             Event::new(u64::from(gate.delay_fs), seq, gate.out, out),
                         );
@@ -629,37 +649,38 @@ impl<'a> BatchSim<'a> {
             }
         }
 
-        while let Some(ev) = self.queue.pop() {
+        while let Some(ev) = queue.pop() {
             let net = ev.net() as usize;
             let value = ev.value();
-            let s = self.state[net];
+            let s = state[net];
             // Push-time filtering guarantees every popped event toggles
             // (the scheduled bit was set to `value` at push time).
             debug_assert_ne!(s & VALUE != 0, value);
             let t = ev.time_fs;
-            self.state[net] = (s & !VALUE) | if value { VALUE } else { 0 };
+            state[net] = (s & !VALUE) | if value { VALUE } else { 0 };
             toggles += 1;
-            energy_fj += self.net_energy_fj[net];
+            energy_fj += build.net_energy_fj[net];
             if s & INTEREST != 0 {
-                let oslot = self.output_slot[net];
+                let oslot = output_slot[net];
                 if oslot != NO_SLOT {
-                    self.output_arrival_fs[oslot as usize] = t;
+                    output_arrival_fs[oslot as usize] = t;
                     last_output_toggle_fs = last_output_toggle_fs.max(t);
                 }
-                let wslot = self.observe_slot[net];
+                let wslot = observe_slot[net];
                 if wslot != NO_SLOT {
-                    self.observed_arrival_fs[wslot as usize] = t;
+                    observed_arrival_fs[wslot as usize] = t;
                 }
             }
-            for &gid in self.netlist.fanout(NetId(net as u32)) {
-                let gid = gid.index();
-                let gate = self.gates[gid];
-                let out = self.eval_gate(gid);
+            let start = build.fanout_offsets[net] as usize;
+            let end = build.fanout_offsets[net + 1] as usize;
+            for k in start..end {
+                let gate = build.rows[build.fanout_gate_ids[k] as usize];
+                let out = eval_row(state, &gate);
                 let out_net = gate.out as usize;
-                let s = self.state[out_net];
+                let s = state[out_net];
                 if (s & SCHED != 0) != out {
-                    self.state[out_net] = (s & !SCHED) | if out { SCHED } else { 0 };
-                    self.queue.push(
+                    state[out_net] = (s & !SCHED) | if out { SCHED } else { 0 };
+                    queue.push(
                         gate.lane as usize,
                         Event::new(t + u64::from(gate.delay_fs), seq, gate.out, out),
                     );

@@ -26,6 +26,11 @@
 //! * [`sta`] — static timing analysis: longest structural path from any
 //!   net to any net, used for the accumulator adder exactly as the paper
 //!   describes (Fig. 5).
+//! * [`intervals`] — per-net `[min, max]` STA arrival intervals and the
+//!   [`PrunePlan`] pruning pass: constant propagation over pinned
+//!   inputs proves whole cones silent before simulation, and the
+//!   intervals bound every settle time the engines may report. The
+//!   shared build layer behind every engine's `with_plan` constructor.
 //!
 //! # Examples
 //!
@@ -58,6 +63,7 @@ pub mod circuits;
 pub mod counters;
 pub mod engine;
 pub mod export;
+pub mod intervals;
 pub mod netlist;
 pub mod sim;
 pub mod sta;
@@ -68,6 +74,7 @@ pub use builder::NetlistBuilder;
 pub use cells::{CellKind, CellLibrary, CellParams};
 pub use counters::{register_metrics, sim_transitions};
 pub use engine::{BatchAccumulator, BatchSim, TransitionView};
+pub use intervals::{NetInterval, PrunePlan};
 pub use netlist::{Gate, GateId, NetId, Netlist};
 pub use sim::{Simulator, TransitionStats};
 pub use sta::Sta;

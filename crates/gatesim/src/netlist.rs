@@ -134,6 +134,13 @@ impl Netlist {
         self.gates.len()
     }
 
+    /// All net ids, `0 .. net_count()` — inputs, constants and gate
+    /// outputs alike. Handy for exhaustive per-net property checks
+    /// (external code cannot construct a [`NetId`] directly).
+    pub fn net_ids(&self) -> impl Iterator<Item = NetId> {
+        (0..self.net_count() as u32).map(NetId)
+    }
+
     /// Source of a net.
     ///
     /// # Panics

@@ -12,7 +12,8 @@
 //! dynamic delay of the transition (dynamic timing analysis).
 
 use crate::cells::CellLibrary;
-use crate::netlist::{NetId, NetSource, Netlist};
+use crate::intervals::{EngineBuild, PrunePlan};
+use crate::netlist::{NetId, Netlist};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -85,13 +86,12 @@ impl TransitionStats {
 #[derive(Debug)]
 pub struct Simulator<'a> {
     netlist: &'a Netlist,
+    /// Shared engine compilation: gate rows, live-filtered fanout,
+    /// per-net energies and pin assertions (see [`crate::intervals`]).
+    build: EngineBuild,
     values: Vec<bool>,
     current_inputs: Vec<bool>,
     settled: bool,
-    /// Per-gate delay in femtoseconds.
-    gate_delay_fs: Vec<u64>,
-    /// Per-gate switching energy in femtojoules.
-    gate_energy_fj: Vec<f64>,
     /// Output slot of each net (usize::MAX if not an output).
     output_slot: Vec<usize>,
     /// Observation slot of each net (usize::MAX if not observed).
@@ -101,18 +101,25 @@ pub struct Simulator<'a> {
 
 impl<'a> Simulator<'a> {
     /// Creates a simulator for `netlist` with electrical data from `lib`.
+    ///
+    /// Equivalent to [`Simulator::with_plan`] with an unpinned
+    /// [`PrunePlan`]: constant-fed cones are still pruned, which never
+    /// changes any observable result.
     #[must_use]
     pub fn new(netlist: &'a Netlist, lib: &CellLibrary) -> Self {
-        let gate_delay_fs = netlist
-            .gates()
-            .iter()
-            .map(|g| (lib.params(g.kind).delay_ps * FS_PER_PS).round() as u64)
-            .collect();
-        let gate_energy_fj = netlist
-            .gates()
-            .iter()
-            .map(|g| lib.params(g.kind).energy_fj)
-            .collect();
+        Self::with_plan(netlist, lib, &PrunePlan::unpinned(netlist, lib))
+    }
+
+    /// Creates a simulator that skips the gates `plan` proved silent.
+    ///
+    /// Results are exactly bit-identical to the unpruned engine for any
+    /// stimulus that respects the plan's pinned inputs — pruned gates
+    /// provably contribute zero toggles and zero energy. Every settle
+    /// and transition asserts that the pinned inputs hold their pinned
+    /// values.
+    #[must_use]
+    pub fn with_plan(netlist: &'a Netlist, lib: &CellLibrary, plan: &PrunePlan) -> Self {
+        let build = EngineBuild::new(netlist, lib, plan);
         let mut output_slot = vec![usize::MAX; netlist.net_count()];
         for (slot, net) in netlist.outputs().iter().enumerate() {
             // first slot wins if a net is listed twice
@@ -122,14 +129,24 @@ impl<'a> Simulator<'a> {
         }
         Simulator {
             netlist,
+            build,
             values: vec![false; netlist.net_count()],
             current_inputs: vec![false; netlist.inputs().len()],
             settled: false,
-            gate_delay_fs,
-            gate_energy_fj,
             output_slot,
             observe_slot: vec![usize::MAX; netlist.net_count()],
             observed_count: 0,
+        }
+    }
+
+    /// Panics unless every pinned input holds its pinned value — the
+    /// pruning proofs are conditional on exactly that.
+    fn assert_pins(&self, inputs: &[bool]) {
+        for &(pos, v) in &self.build.pins {
+            assert_eq!(
+                inputs[pos as usize], v,
+                "pinned input {pos} violated (plan pins it to {v})"
+            );
         }
     }
 
@@ -159,6 +176,7 @@ impl<'a> Simulator<'a> {
     ///
     /// Panics if the input vector length does not match the netlist.
     pub fn settle(&mut self, inputs: &[bool]) {
+        self.assert_pins(inputs);
         self.values = self.netlist.evaluate(inputs);
         self.current_inputs = inputs.to_vec();
         self.settled = true;
@@ -198,6 +216,7 @@ impl<'a> Simulator<'a> {
             self.current_inputs.len(),
             "input vector length mismatch"
         );
+        self.assert_pins(new_inputs);
         let mut stats = TransitionStats::new(self.netlist.outputs().len(), self.observed_count);
 
         // Min-heap of (time_fs, seq, net, value).
@@ -225,9 +244,9 @@ impl<'a> Simulator<'a> {
             }
             self.values[net.index()] = value;
             stats.toggles += 1;
-            if let NetSource::Gate(gid) = self.netlist.source(net) {
-                stats.energy_fj += self.gate_energy_fj[gid.index()];
-            }
+            // 0.0 for inputs and constants — adding +0.0 to the
+            // non-negative accumulator is bit-exact with skipping it.
+            stats.energy_fj += self.build.net_energy_fj[net.index()];
             let oslot = self.output_slot[net.index()];
             if oslot != usize::MAX {
                 stats.output_arrival_ps[oslot] = t as f64 / FS_PER_PS;
@@ -237,18 +256,15 @@ impl<'a> Simulator<'a> {
             if wslot != usize::MAX {
                 stats.observed_arrival_ps[wslot] = t as f64 / FS_PER_PS;
             }
-            for &gid in self.netlist.fanout(net) {
-                let gate = &self.netlist.gates()[gid.index()];
-                let a = self.values[gate.inputs[0].index()];
-                let b = self.values[gate.inputs[1].index()];
-                let c = self.values[gate.inputs[2].index()];
-                let out = gate.kind.eval(a, b, c);
-                heap.push(Reverse((
-                    t + self.gate_delay_fs[gid.index()],
-                    seq,
-                    gate.output.0,
-                    out,
-                )));
+            // Live-filtered fanout: gates the plan proved silent never
+            // see events (their events could only ever be filtered).
+            for &gid in self.build.fanout(net.index()) {
+                let gate = self.build.rows[gid as usize];
+                let idx = usize::from(self.values[gate.in0 as usize])
+                    | usize::from(self.values[gate.in1 as usize]) << 1
+                    | usize::from(self.values[gate.in2 as usize]) << 2;
+                let out = gate.lut >> idx & 1 == 1;
+                heap.push(Reverse((t + u64::from(gate.delay_fs), seq, gate.out, out)));
                 seq += 1;
             }
         }

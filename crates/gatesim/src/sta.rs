@@ -148,20 +148,23 @@ impl<'a> Sta<'a> {
             match self.netlist.source(cursor) {
                 NetSource::Gate(gid) => {
                     let gate = &self.netlist.gates()[gid.index()];
-                    let target =
-                        arrival[cursor.index()].expect("on path") - self.gate_delay_ps[gid.index()];
-                    // Pick the input whose arrival equals the target.
-                    let mut next = None;
+                    // The output's arrival was computed as the max
+                    // input arrival plus the gate delay, so the argmax
+                    // input is on the path by construction. Matching
+                    // `arrival[out] - delay` within a tolerance instead
+                    // can miss every input once arrivals grow past the
+                    // tolerance's resolution (reconvergent fanin with
+                    // equal-delay paths), silently truncating the walk.
+                    let mut next: Option<(NetId, f64)> = None;
                     for &input in gate.active_inputs() {
                         if let Some(t) = arrival[input.index()] {
-                            if (t - target).abs() < 1e-9 {
-                                next = Some(input);
-                                break;
+                            if next.is_none_or(|(_, best)| t > best) {
+                                next = Some((input, t));
                             }
                         }
                     }
                     match next {
-                        Some(n) => cursor = n,
+                        Some((n, _)) => cursor = n,
                         None => break,
                     }
                 }
@@ -250,6 +253,35 @@ mod tests {
                 .any(|&g| adder.netlist().gates()[g.index()].output == w[1]);
             assert!(ok, "path edge {} -> {} is not a gate", w[0], w[1]);
         }
+    }
+
+    #[test]
+    fn critical_path_survives_reconvergent_equal_arrival_fanin() {
+        // Two equal-delay inverter chains from one input reconverging
+        // in an AND: both fanin arrivals tie exactly. The delay is
+        // chosen so the accumulated f64 arrivals are not exactly
+        // representable — `fl(fl(a + d) - d) != a` partway down the
+        // chain — which made the old `|t - target| < 1e-9` tie-break
+        // find no matching input and silently truncate the walk.
+        const LEN: usize = 40;
+        let mut b = NetlistBuilder::new("diamond");
+        let a = b.input("a");
+        let mut left = a;
+        let mut right = a;
+        for _ in 0..LEN {
+            left = b.inv(left);
+            right = b.inv(right);
+        }
+        let z = b.and2(left, right);
+        b.output(z);
+        let nl = b.finish();
+        let lib = CellLibrary::uniform(3_333_333.3, 0.0, 0.0);
+        let sta = Sta::new(&nl, &lib);
+        let path = sta.critical_path_nets();
+        // Full chain: input, LEN inverter outputs, the AND output.
+        assert_eq!(path.len(), LEN + 2, "walk truncated mid-path");
+        assert_eq!(path[0], a, "path must start at a primary input");
+        assert_eq!(*path.last().unwrap(), z);
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! never toggle in any lane.
 
 use gatesim::circuits::{AdderCircuit, AdderKind, BoothMultiplierCircuit, MacCircuit};
-use gatesim::{BitSim, CellKind, CellLibrary, Netlist, NetlistBuilder, Simulator, Sta};
+use gatesim::{
+    BitSim, CellKind, CellLibrary, NetId, Netlist, NetlistBuilder, PrunePlan, Simulator, Sta,
+};
 use powerpruning::chars::{
     characterize_power, characterize_power_batched, characterize_power_scalar,
     characterize_power_with_threads, MacHardware, PowerConfig, PsumBinning,
@@ -31,14 +33,20 @@ fn pack(vectors: &[Vec<bool>]) -> Vec<u64> {
 
 /// Runs `pairs` through the scalar reference and through [`BitSim`] in
 /// blocks of at most `block` lanes, asserting per-vector exact
-/// agreement on toggles and energy, then cross-checks STA
-/// reachability: nets with no arrival from any primary input must
-/// never have toggled.
+/// agreement on toggles and energy, then cross-checks two standing STA
+/// properties: nets with no arrival from any primary input must never
+/// have toggled, and every observed per-net settle time must fall
+/// inside the net's `[min, max]` arrival interval from
+/// [`PrunePlan::unpinned`] — the two-sided strengthening of the old
+/// one-sided `delay <= STA bound` check.
 fn assert_bitsim_agrees(netlist: &Netlist, pairs: &[(Vec<bool>, Vec<bool>)], block: usize) {
     assert!((1..=64).contains(&block));
     let lib = CellLibrary::nangate15_like();
     let mut scalar = Simulator::new(netlist, &lib);
     let mut bits = BitSim::new(netlist, &lib);
+    let plan = PrunePlan::unpinned(netlist, &lib);
+    let all_nets: Vec<NetId> = netlist.net_ids().collect();
+    scalar.observe(&all_nets);
 
     for chunk in pairs.chunks(block) {
         let from: Vec<Vec<bool>> = chunk.iter().map(|(f, _)| f.clone()).collect();
@@ -59,6 +67,24 @@ fn assert_bitsim_agrees(netlist: &Netlist, pairs: &[(Vec<bool>, Vec<bool>)], blo
                 view.lane_energy_fj(lane),
                 "energy diverged in lane {lane}"
             );
+            // Interval property: a gate output's last toggle must land
+            // inside its static arrival interval. Primary-input edges
+            // arrive at t = 0 by definition and are skipped.
+            for (slot, &net) in all_nets.iter().enumerate() {
+                let t_ps = stats.observed_arrival_ps(slot);
+                if t_ps > 0.0 {
+                    let iv = plan
+                        .interval(net)
+                        .unwrap_or_else(|| panic!("net {net} toggled but has no interval"));
+                    assert!(
+                        iv.contains_ps(t_ps),
+                        "net {net} settled at {t_ps} ps outside its STA interval \
+                         [{}, {}] ps",
+                        iv.lo_ps(),
+                        iv.hi_ps()
+                    );
+                }
+            }
         }
     }
 
